@@ -1,0 +1,336 @@
+package plinger
+
+// The benchmark harness regenerates every quantitative artifact of the
+// paper's evaluation:
+//
+//	BenchmarkSerialNodeRate      - Section 3/5.1 single-node flop rates
+//	BenchmarkFig1Scaling         - Figure 1: wallclock/CPU vs processors
+//	BenchmarkFig2SpectrumLOS     - Figure 2 pipeline (line-of-sight engine)
+//	BenchmarkFig2BruteForce      - Figure 2 by the paper's brute-force method
+//	BenchmarkFig3SkyMap          - Figure 3 map synthesis
+//	BenchmarkPsiMovie            - the psi(x, tau) movie frames
+//	BenchmarkTransportComparison - Section 4: "choice of library has no effect"
+//	BenchmarkScheduleOrder       - Section 5.2: largest-k-first idle-time trick
+//	BenchmarkIntegrators         - Section 2: DVERK vs the RKF45 baseline
+//	BenchmarkMessageOverhead     - Section 4: message bytes vs compute time
+//
+// Rates are reported as custom metrics (Mflop/s, efficiency %, bytes/mode)
+// so `go test -bench . -benchmem` prints the full table.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"plinger/internal/core"
+	"plinger/internal/cosmology"
+	"plinger/internal/mp"
+	"plinger/internal/mp/chanmp"
+	"plinger/internal/mp/fifomp"
+	"plinger/internal/mp/tcpmp"
+	"plinger/internal/ode"
+	runner "plinger/internal/plinger"
+	"plinger/internal/recomb"
+	"plinger/internal/sky"
+	"plinger/internal/spectra"
+	"plinger/internal/thermo"
+)
+
+var (
+	benchOnce  sync.Once
+	benchModel *Model
+	benchCore  *core.Model
+	benchErr   error
+)
+
+func getBenchModel(b *testing.B) (*Model, *core.Model) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchModel, benchErr = New(SCDM())
+		if benchErr != nil {
+			return
+		}
+		bg, err := cosmology.New(cosmology.SCDM())
+		if err != nil {
+			benchErr = err
+			return
+		}
+		th, err := thermo.New(bg, recomb.Options{})
+		if err != nil {
+			benchErr = err
+			return
+		}
+		benchCore = core.NewModel(bg, th)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchModel, benchCore
+}
+
+// BenchmarkSerialNodeRate measures the single-worker throughput on one
+// k mode, the analogue of the paper's per-node numbers (570 Mflop on a C90
+// vector node, 40-58 Mflop on an SP2 Power2, 15 Mflop on a T3D node; this
+// Go code on a modern core lands far above all three).
+func BenchmarkSerialNodeRate(b *testing.B) {
+	m, _ := getBenchModel(b)
+	var flops, secs float64
+	for i := 0; i < b.N; i++ {
+		res, err := m.EvolveMode(ModeOptions{K: 0.05, LMax: 120})
+		if err != nil {
+			b.Fatal(err)
+		}
+		flops += res.Flops
+		secs += res.Seconds
+	}
+	if secs > 0 {
+		b.ReportMetric(flops/secs/1e6, "Mflop/s")
+	}
+}
+
+// BenchmarkFig1Scaling runs the fixed Figure 1 workload with growing worker
+// pools and reports wallclock, parallel efficiency and aggregate rate.
+func BenchmarkFig1Scaling(b *testing.B) {
+	m, _ := getBenchModel(b)
+	var ks []float64
+	for i := 0; i < 16; i++ {
+		ks = append(ks, 0.002+0.0025*float64(i))
+	}
+	for _, np := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("np=%d", np), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				run, err := m.RunParallel(ParallelOptions{KValues: ks, Workers: np, LMax: 60})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*run.Efficiency, "eff%")
+				b.ReportMetric(run.FlopRate/1e6, "Mflop/s")
+			}
+		})
+	}
+}
+
+// BenchmarkFig2SpectrumLOS runs the reduced Figure 2 pipeline with the
+// line-of-sight engine.
+func BenchmarkFig2SpectrumLOS(b *testing.B) {
+	m, _ := getBenchModel(b)
+	for i := 0; i < b.N; i++ {
+		spec, err := m.ComputeSpectrum(SpectrumOptions{LMaxCl: 150, NK: 130})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := spec.NormalizeCOBE(18); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2BruteForce uses the paper's method: full hierarchy per k,
+// C_l read directly off the final moments (at reduced resolution).
+func BenchmarkFig2BruteForce(b *testing.B) {
+	m, _ := getBenchModel(b)
+	for i := 0; i < b.N; i++ {
+		spec, err := m.ComputeSpectrum(SpectrumOptions{
+			LMaxCl: 40, NK: 70, Method: "brute", Ls: []int{2, 5, 10, 20, 40},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if spec.Cl[0] <= 0 {
+			b.Fatal("bad spectrum")
+		}
+	}
+}
+
+// BenchmarkFig3SkyMap synthesizes the half-degree flat patch of Figure 3.
+func BenchmarkFig3SkyMap(b *testing.B) {
+	var ls []int
+	var cl []float64
+	for l := 2; l <= 1024; l += 4 {
+		ls = append(ls, l)
+		cl = append(cl, 1e-10/float64(l*(l+1)))
+	}
+	spec := &sky.Spectrum{L: ls, Cl: cl, TCMB: 2.726}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mp, err := sky.FlatPatch(spec, 128, 32, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, mx, _ := mp.Stats(); mx == 0 {
+			b.Fatal("empty map")
+		}
+	}
+}
+
+// BenchmarkPsiMovie builds the potential-movie realization and renders
+// frames through recombination.
+func BenchmarkPsiMovie(b *testing.B) {
+	_, cm := getBenchModel(b)
+	ks := spectra.LogGrid(0.05, 2.0, 12)
+	sweep, err := spectra.RunSweep(cm, core.Params{
+		LMax: 30, Gauge: core.ConformalNewtonian, KeepSources: true, TauEnd: 250,
+	}, ks, 0, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		field, err := sky.NewPsiField(ks, sweep.Results, 64, 100, 1.0, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for f := 0; f < 10; f++ {
+			if _, err := field.Frame(5 + 25*float64(f)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func runWorkload(b *testing.B, eps []mp.Endpoint, cm *core.Model, ks []float64, sched runner.Schedule) *runner.Results {
+	b.Helper()
+	mode := core.Params{LMax: 40, Gauge: core.Synchronous}
+	np := len(eps) - 1
+	var wg sync.WaitGroup
+	for w := 1; w <= np; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if err := runner.Worker(eps[w], cm, ks, mode); err != nil {
+				b.Error(err)
+			}
+		}(w)
+	}
+	res, err := runner.Master(eps[0], cm, runner.Config{KValues: ks, Mode: mode, Schedule: sched})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wg.Wait()
+	return res
+}
+
+// BenchmarkTransportComparison reproduces the Section 4 claim that the
+// message-passing library does not affect throughput: the same workload
+// over the in-process, strict-FIFO (MPL-style) and TCP (PVM-style)
+// transports.
+func BenchmarkTransportComparison(b *testing.B) {
+	_, cm := getBenchModel(b)
+	ks := []float64{0.004, 0.01, 0.02, 0.03, 0.045, 0.06, 0.015, 0.008}
+	const np = 2
+	for _, tr := range []string{"chanmp", "fifomp", "tcpmp"} {
+		b.Run(tr, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var eps []mp.Endpoint
+				var closeHub func()
+				switch tr {
+				case "chanmp":
+					_, e, err := chanmp.New(np + 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					eps = e
+				case "fifomp":
+					_, e, err := fifomp.New(np + 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					eps = e
+				case "tcpmp":
+					hub, err := tcpmp.NewHub("127.0.0.1:0", np+1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					closeHub = func() { hub.Close() }
+					eps = make([]mp.Endpoint, np+1)
+					var wg sync.WaitGroup
+					var mu sync.Mutex
+					for j := 0; j <= np; j++ {
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							ep, err := tcpmp.Connect(hub.Addr())
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							mu.Lock()
+							eps[ep.Rank()] = ep
+							mu.Unlock()
+						}()
+					}
+					wg.Wait()
+				}
+				res := runWorkload(b, eps, cm, ks, runner.LargestFirst)
+				b.ReportMetric(100*res.Stats.Efficiency, "eff%")
+				if closeHub != nil {
+					closeHub()
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScheduleOrder is the Section 5.2 ablation: handing out the
+// largest (most expensive) wavenumbers first minimizes the end-of-run idle
+// tail relative to naive orders.
+func BenchmarkScheduleOrder(b *testing.B) {
+	_, cm := getBenchModel(b)
+	// A strongly heterogeneous workload: one expensive mode, many cheap.
+	ks := []float64{0.001, 0.002, 0.003, 0.004, 0.005, 0.006, 0.007, 0.09}
+	for _, sched := range []runner.Schedule{runner.LargestFirst, runner.InputOrder, runner.SmallestFirst} {
+		b.Run(sched.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, eps, err := chanmp.New(3)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := runWorkload(b, eps, cm, ks, sched)
+				b.ReportMetric(100*res.Stats.Efficiency, "eff%")
+			}
+		})
+	}
+}
+
+// BenchmarkIntegrators compares the paper's DVERK (Verner 6(5)) against the
+// Fehlberg 4(5) baseline on the same mode and tolerance.
+func BenchmarkIntegrators(b *testing.B) {
+	_, cm := getBenchModel(b)
+	for _, mk := range []struct {
+		name string
+		in   func() ode.Integrator
+	}{
+		{"DVERK", func() ode.Integrator { return ode.NewDVERK(1e-6, 1e-12) }},
+		{"RKF45", func() ode.Integrator { return ode.NewRKF45(1e-6, 1e-12) }},
+	} {
+		b.Run(mk.name, func(b *testing.B) {
+			var evals int
+			for i := 0; i < b.N; i++ {
+				res, err := cm.Evolve(core.Params{
+					K: 0.05, LMax: 60, Gauge: core.Synchronous, Integrator: mk.in(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				evals += res.Stats.Evals
+			}
+			b.ReportMetric(float64(evals)/float64(b.N), "evals/mode")
+		})
+	}
+}
+
+// BenchmarkMessageOverhead quantifies the Section 4 observation that
+// communication is negligible: bytes moved per mode against per-mode
+// compute time (the paper: 150 bytes to 80 kbyte per mode, minutes of CPU).
+func BenchmarkMessageOverhead(b *testing.B) {
+	m, _ := getBenchModel(b)
+	ks := []float64{0.005, 0.015, 0.03, 0.05}
+	for i := 0; i < b.N; i++ {
+		run, err := m.RunParallel(ParallelOptions{KValues: ks, Workers: 2, LMax: 80})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(run.BytesMoved)/float64(len(ks)), "bytes/mode")
+		b.ReportMetric(run.TotalCPU/float64(len(ks))*1e3, "ms-cpu/mode")
+	}
+}

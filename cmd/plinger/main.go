@@ -1,0 +1,192 @@
+// Command plinger is the parallel driver: the master/worker decomposition
+// of Appendix A over either in-process workers (like MPI on one node) or
+// TCP across OS processes (like PVM across a cluster; the hub plays the
+// PVM daemon).
+//
+// Single process, n workers:
+//
+//	plinger -np 8 -nk 64 -lmax 80 -unit1 plinger.txt -unit2 plinger.dat
+//
+// Across processes: start the master, then connect workers:
+//
+//	plinger -transport tcp -role master -addr :7070 -np 4 -nk 64
+//	plinger -transport tcp -role worker -addr host:7070 -nk 64
+//
+// The worker must be given the same -nk/-kmin/-kmax so both sides agree on
+// the wavenumber table (the paper broadcasts the rest at tag 1).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sync"
+
+	"plinger/internal/core"
+	"plinger/internal/cosmology"
+	"plinger/internal/mp"
+	"plinger/internal/mp/chanmp"
+	"plinger/internal/mp/tcpmp"
+	runner "plinger/internal/plinger"
+	"plinger/internal/recomb"
+	"plinger/internal/spectra"
+	"plinger/internal/thermo"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("plinger: ")
+	var (
+		np        = flag.Int("np", 2, "number of workers (master is extra)")
+		nk        = flag.Int("nk", 32, "number of wavenumbers")
+		kmin      = flag.Float64("kmin", 0.0, "smallest k (0: from lmaxcl grid)")
+		kmax      = flag.Float64("kmax", 0.0, "largest k (0: from lmaxcl grid)")
+		lmaxcl    = flag.Int("lmaxcl", 200, "target C_l multipole for the k grid")
+		lmax      = flag.Int("lmax", 0, "hierarchy cutoff (0: adaptive per k)")
+		gaugeName = flag.String("gauge", "synchronous", "gauge: synchronous or newtonian")
+		schedule  = flag.String("schedule", "largest-first", "largest-first | input-order | smallest-first")
+		transport = flag.String("transport", "chan", "chan (in-process) or tcp")
+		role      = flag.String("role", "master", "tcp role: master or worker")
+		addr      = flag.String("addr", "127.0.0.1:7070", "tcp address")
+		unit1     = flag.String("unit1", "", "ASCII summary output file")
+		unit2     = flag.String("unit2", "", "binary moment output file")
+	)
+	flag.Parse()
+
+	bg, err := cosmology.New(cosmology.SCDM())
+	if err != nil {
+		log.Fatal(err)
+	}
+	th, err := thermo.New(bg, recomb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := core.NewModel(bg, th)
+
+	var ks []float64
+	if *kmin > 0 && *kmax > *kmin {
+		ks = spectra.LogGrid(*kmin, *kmax, *nk)
+	} else {
+		ks = spectra.ClGrid(*lmaxcl, bg.Tau0(), *nk)
+	}
+	gl := *lmax
+	if gl == 0 {
+		gl = spectra.PerKLMax(ks[len(ks)-1], bg.Tau0(), 1<<20)
+	}
+	gauge := core.Synchronous
+	if *gaugeName == "newtonian" {
+		gauge = core.ConformalNewtonian
+	}
+	mode := core.Params{LMax: gl, Gauge: gauge}
+
+	var sched runner.Schedule
+	switch *schedule {
+	case "largest-first":
+		sched = runner.LargestFirst
+	case "input-order":
+		sched = runner.InputOrder
+	case "smallest-first":
+		sched = runner.SmallestFirst
+	default:
+		log.Fatalf("unknown schedule %q", *schedule)
+	}
+
+	openOut := func(name string) io.Writer {
+		if name == "" {
+			return nil
+		}
+		f, err := os.Create(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := bufio.NewWriter(f)
+		// flushed on exit
+		deferred = append(deferred, func() { w.Flush(); f.Close() })
+		return w
+	}
+
+	cfg := runner.Config{KValues: ks, Mode: mode, Schedule: sched,
+		ASCIIOut: openOut(*unit1), BinaryOut: openOut(*unit2)}
+
+	switch *transport {
+	case "chan":
+		_, eps, err := chanmp.New(*np + 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for w := 1; w <= *np; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				if err := runner.Worker(eps[w], model, ks, mode); err != nil {
+					log.Printf("worker %d: %v", w, err)
+				}
+			}(w)
+		}
+		res, err := runner.Master(eps[0], model, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wg.Wait()
+		report(res)
+	case "tcp":
+		switch *role {
+		case "master":
+			hub, err := tcpmp.NewHub(*addr, *np+1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer hub.Close()
+			fmt.Printf("hub listening on %s; waiting for %d workers\n", hub.Addr(), *np)
+			ep, err := tcpmp.Connect(hub.Addr())
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := runner.Master(ep, model, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			report(res)
+			fmt.Printf("hub routed %d payload bytes\n", hub.BytesMoved())
+		case "worker":
+			ep, err := tcpmp.Connect(*addr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("connected as rank %d of %d\n", ep.Rank(), ep.Size())
+			if err := runner.Worker(ep, model, ks, mode); err != nil && err != mp.ErrClosed {
+				log.Fatal(err)
+			}
+		default:
+			log.Fatalf("unknown role %q", *role)
+		}
+	default:
+		log.Fatalf("unknown transport %q", *transport)
+	}
+	for _, f := range deferred {
+		f()
+	}
+}
+
+var deferred []func()
+
+func report(res *runner.Results) {
+	st := res.Stats
+	fmt.Printf("modes: %d  wallclock: %.2fs  total CPU: %.2fs  efficiency: %.1f%%  rate: %.1f Mflop/s\n",
+		len(res.Mode), st.Wallclock, st.TotalCPU, 100*st.Efficiency, st.FlopRate/1e6)
+	for _, w := range st.Workers {
+		fmt.Printf("  worker %d: %d modes, %.2fs busy, %.0f Mflop\n",
+			w.Rank, w.Modes, w.Seconds, w.Flops/1e6)
+	}
+	worst := 0.0
+	for _, r := range res.Mode {
+		if r.MaxConstraintResidual > worst {
+			worst = r.MaxConstraintResidual
+		}
+	}
+	fmt.Printf("worst Einstein constraint residual: %.2e\n", worst)
+}

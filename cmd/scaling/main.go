@@ -1,0 +1,157 @@
+// Command scaling regenerates Figure 1 of the paper: wallclock and total
+// CPU time as a function of the number of processors for a fixed test
+// workload, together with the ideal 1/P curve, the parallel efficiency
+// ((total CPU)/(wallclock x processors), 95% in the paper) and the
+// aggregate flop rate (the Section 5.1 table). It can also sweep the
+// scheduling policies (the paper's largest-k-first trick) and transports.
+//
+// Usage:
+//
+//	scaling [-np 1,2,4,8] [-nk 24] [-lmax 120] [-schedules] [-transports]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"sync"
+
+	"plinger/internal/core"
+	"plinger/internal/cosmology"
+	"plinger/internal/mp"
+	"plinger/internal/mp/chanmp"
+	"plinger/internal/mp/fifomp"
+	"plinger/internal/mp/tcpmp"
+	runner "plinger/internal/plinger"
+	"plinger/internal/recomb"
+	"plinger/internal/spectra"
+	"plinger/internal/thermo"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("scaling: ")
+	var (
+		npList     = flag.String("np", "1,2,4,8", "comma-separated worker counts")
+		nk         = flag.Int("nk", 24, "number of wavenumbers in the test run")
+		lmax       = flag.Int("lmax", 120, "hierarchy cutoff cap")
+		schedules  = flag.Bool("schedules", false, "also sweep scheduling policies")
+		transports = flag.Bool("transports", false, "also sweep transports")
+	)
+	flag.Parse()
+
+	bg, err := cosmology.New(cosmology.SCDM())
+	if err != nil {
+		log.Fatal(err)
+	}
+	th, err := thermo.New(bg, recomb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := core.NewModel(bg, th)
+	ks := spectra.ClGrid(*lmax, bg.Tau0(), *nk)
+	mode := core.Params{LMax: *lmax, Gauge: core.Synchronous}
+
+	fmt.Printf("Figure 1: fixed workload of %d modes (lmax %d), largest-k-first\n", *nk, *lmax)
+	fmt.Printf("%4s %12s %12s %11s %12s %12s\n",
+		"np", "wall [s]", "CPU [s]", "eff [%]", "Mflop/s", "ideal [s]")
+	var t1 float64
+	for _, s := range strings.Split(*npList, ",") {
+		np, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || np < 1 {
+			log.Fatalf("bad worker count %q", s)
+		}
+		res := run(model, ks, mode, np, runner.LargestFirst, "chan")
+		st := res.Stats
+		if t1 == 0 {
+			t1 = st.Wallclock
+		}
+		fmt.Printf("%4d %12.3f %12.3f %11.1f %12.1f %12.3f\n",
+			np, st.Wallclock, st.TotalCPU, 100*st.Efficiency,
+			st.FlopRate/1e6, t1/float64(np))
+	}
+
+	if *schedules {
+		fmt.Printf("\nscheduling ablation (4 workers): the paper computes the largest k first\n")
+		fmt.Printf("%16s %12s %11s\n", "schedule", "wall [s]", "eff [%]")
+		for _, sched := range []runner.Schedule{runner.LargestFirst, runner.InputOrder, runner.SmallestFirst} {
+			res := run(model, ks, mode, 4, sched, "chan")
+			fmt.Printf("%16s %12.3f %11.1f\n", sched, res.Stats.Wallclock, 100*res.Stats.Efficiency)
+		}
+	}
+
+	if *transports {
+		fmt.Printf("\ntransport ablation (4 workers): \"the choice of which library to use\n")
+		fmt.Printf("has no effect on the efficiency of the code\" (Section 4)\n")
+		fmt.Printf("%10s %12s %11s %14s\n", "transport", "wall [s]", "eff [%]", "payload [kB]")
+		for _, tr := range []string{"chan", "fifo", "tcp"} {
+			res := run(model, ks, mode, 4, runner.LargestFirst, tr)
+			fmt.Printf("%10s %12.3f %11.1f %14.1f\n",
+				tr, res.Stats.Wallclock, 100*res.Stats.Efficiency,
+				float64(res.Stats.BytesReceived)/1e3)
+		}
+	}
+}
+
+func run(model *core.Model, ks []float64, mode core.Params, np int, sched runner.Schedule, transport string) *runner.Results {
+	var eps []mp.Endpoint
+	var cleanup func()
+	switch transport {
+	case "chan":
+		_, e, err := chanmp.New(np + 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eps = e
+	case "fifo":
+		_, e, err := fifomp.New(np + 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eps = e
+	case "tcp":
+		hub, err := tcpmp.NewHub("127.0.0.1:0", np+1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cleanup = func() { hub.Close() }
+		eps = make([]mp.Endpoint, np+1)
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		for i := 0; i <= np; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ep, err := tcpmp.Connect(hub.Addr())
+				if err != nil {
+					log.Fatal(err)
+				}
+				mu.Lock()
+				eps[ep.Rank()] = ep
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+	}
+	var wg sync.WaitGroup
+	for w := 1; w <= np; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if err := runner.Worker(eps[w], model, ks, mode); err != nil {
+				log.Printf("worker %d: %v", w, err)
+			}
+		}(w)
+	}
+	res, err := runner.Master(eps[0], model, runner.Config{KValues: ks, Mode: mode, Schedule: sched})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wg.Wait()
+	if cleanup != nil {
+		cleanup()
+	}
+	return res
+}

@@ -1,0 +1,61 @@
+// matterpower computes the linear matter transfer function and power
+// spectrum — the second science product of LINGER ("useful both for
+// calculations of the CMB anisotropy and the linear power spectrum of
+// matter fluctuations") — and the COBE-normalized sigma_8 for standard CDM
+// and a mixed dark matter variant, showing the massive-neutrino
+// free-streaming suppression.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"plinger"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	run := func(name string, cfg plinger.Config) *plinger.MatterPowerResult {
+		m, err := plinger.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// COBE normalization via a low-l spectrum.
+		spec, err := m.ComputeSpectrum(plinger.SpectrumOptions{
+			LMaxCl: 20, NK: 60, Ls: []int{2, 4, 8, 16},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		amp, err := spec.NormalizeCOBE(18)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mp, err := m.MatterPower(3e-4, 1.0, 36, 0, amp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: sigma8 (COBE-normalized) = %.2f\n", name, mp.Sigma8)
+		return mp
+	}
+
+	scdm := run("standard CDM (h=0.5, Omega_b=0.05)", plinger.SCDM())
+	mdm := run("mixed dark matter (m_nu = 4 eV)", plinger.MDM(4.0))
+
+	fmt.Println("\n  k [Mpc^-1]    T_SCDM(k)    T_MDM(k)    P_SCDM [Mpc^3]  MDM/SCDM")
+	for i := range scdm.K {
+		if i%3 != 0 {
+			continue
+		}
+		ratio := 0.0
+		if scdm.P[i] > 0 {
+			ratio = mdm.P[i] / scdm.P[i] * (scdm.P[0] / mdm.P[0]) // large-scale normalized
+		}
+		fmt.Printf("  %.4e   %.4e  %.4e  %.4e   %.3f\n",
+			scdm.K[i], scdm.T[i], mdm.T[i], scdm.P[i], ratio)
+	}
+	fmt.Println("\nthe MDM/SCDM column shows the massive-neutrino free-streaming")
+	fmt.Println("suppression of small-scale power (the Section 2 physics: the full")
+	fmt.Println("momentum-dependent phase-space hierarchy, no approximation)")
+}

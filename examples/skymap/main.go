@@ -1,0 +1,74 @@
+// skymap reproduces Figure 3 at example scale: a Gaussian realization of
+// the COBE-normalized SCDM sky, both as a COBE-like full-sky map and as the
+// paper's half-degree flat patch, rendered as ASCII art and PGM files.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"plinger"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	m, err := plinger.New(plinger.SCDM())
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := m.ComputeSpectrum(plinger.SpectrumOptions{LMaxCl: 250, NK: 220})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := spec.NormalizeCOBE(18); err != nil {
+		log.Fatal(err)
+	}
+
+	full, err := plinger.MakeSkyMap(spec, 2.726, plinger.SkyMapOptions{
+		N: 20, LMaxSynthesis: 30, Seed: 1995,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full sky (COBE-like, lmax=30): min %.0f uK, max %.0f uK, rms %.0f uK\n",
+		full.Min, full.Max, full.RMS)
+	ascii(full)
+
+	patch, err := plinger.MakeSkyMap(spec, 2.726, plinger.SkyMapOptions{
+		Flat: true, N: 64, SizeDeg: 32, Seed: 1995,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nflat patch 32x32 deg (half-degree pixels): min %.0f uK, max %.0f uK, rms %.0f uK\n",
+		patch.Min, patch.Max, patch.RMS)
+	fmt.Println("(the paper quotes +/- 200 uK extremes at this resolution)")
+
+	for name, mp := range map[string]*plinger.SkyMapResult{"skymap_full.pgm": full, "skymap_patch.pgm": patch} {
+		f, err := os.Create(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := mp.WritePGM(f, 0); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", name)
+	}
+}
+
+// ascii renders the map with a coarse gray ramp.
+func ascii(mp *plinger.SkyMapResult) {
+	ramp := []byte(" .:-=+*#%@")
+	span := mp.Max - mp.Min
+	for _, row := range mp.Pix {
+		line := make([]byte, len(row))
+		for i, v := range row {
+			idx := int(float64(len(ramp)-1) * (v - mp.Min) / span)
+			line[i] = ramp[idx]
+		}
+		fmt.Printf("  %s\n", line)
+	}
+}

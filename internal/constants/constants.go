@@ -1,0 +1,105 @@
+// Package constants collects the physical constants used throughout the
+// LINGER/PLINGER reproduction, expressed in the code's natural unit system:
+// c = 1, lengths in Mpc, conformal time in Mpc, wavenumbers in Mpc^-1.
+//
+// The conventions follow Ma & Bertschinger (1995), the companion paper of
+// the SC'95 text: the background is parameterized by density parameters
+// Omega_i today with the scale factor normalized to a = 1 at the present.
+package constants
+
+import "math"
+
+// SI and CGS-derived base constants.
+const (
+	// CLight is the speed of light in m/s.
+	CLight = 2.99792458e8
+	// GNewton is Newton's constant in m^3 kg^-1 s^-2.
+	GNewton = 6.67430e-11
+	// KBoltzmann is Boltzmann's constant in J/K.
+	KBoltzmann = 1.380649e-23
+	// HBar is the reduced Planck constant in J s.
+	HBar = 1.054571817e-34
+	// ElectronMassKg is the electron mass in kg.
+	ElectronMassKg = 9.1093837015e-31
+	// ProtonMassKg is the proton mass in kg.
+	ProtonMassKg = 1.67262192369e-27
+	// HydrogenMassKg is the mass of a hydrogen atom in kg.
+	HydrogenMassKg = 1.6735575e-27
+	// SigmaThomsonM2 is the Thomson cross-section in m^2.
+	SigmaThomsonM2 = 6.6524587321e-29
+	// EVJoule is one electron-volt in joules.
+	EVJoule = 1.602176634e-19
+)
+
+// Unit conversions.
+const (
+	// MpcMeter is one megaparsec in meters.
+	MpcMeter = 3.085677581491367e22
+	// MpcSecond is the light-travel time of one Mpc in seconds (Mpc/c).
+	MpcSecond = MpcMeter / CLight
+	// KmSMpcToInvMpc converts a Hubble constant in km/s/Mpc to Mpc^-1
+	// (H0[Mpc^-1] = H0[km/s/Mpc] * KmSMpcToInvMpc).
+	KmSMpcToInvMpc = 1.0e3 / CLight
+)
+
+// Radiation and cosmology constants.
+const (
+	// TCMBDefault is the FIRAS CMB temperature in K used by the paper.
+	TCMBDefault = 2.726
+	// YHeDefault is the primordial helium mass fraction.
+	YHeDefault = 0.24
+	// TNuPerTGamma is the neutrino-to-photon temperature ratio (4/11)^(1/3)
+	// after e+e- annihilation.
+	TNuPerTGamma = 0.7137658555036082 // (4/11)^(1/3)
+	// NuPerGamma is the energy density of one massless two-component
+	// neutrino species relative to the photons: (7/8)(4/11)^(4/3).
+	NuPerGamma = 0.22710731766023898
+	// QrmsPSDefault is the COBE Q_rms-PS normalization in microkelvin used
+	// for Figure 2 of the paper.
+	QrmsPSDefault = 18.0
+)
+
+// RadiationDensity returns the photon energy-density parameter times h^2,
+// Omega_gamma h^2, for a blackbody of temperature tcmb (kelvin). It is
+// computed from first principles: rho_gamma = (pi^2/15) (kT)^4/(hbar c)^3 c^-2.
+func RadiationDensity(tcmb float64) float64 {
+	kt := KBoltzmann * tcmb
+	// Energy density in J/m^3.
+	u := math.Pi * math.Pi / 15.0 * kt * kt * kt * kt /
+		(HBar * HBar * HBar * CLight * CLight * CLight)
+	rho := u / (CLight * CLight) // kg/m^3
+	return rho / RhoCritH2()
+}
+
+// RhoCritH2 returns the critical density divided by h^2 in kg/m^3:
+// rho_crit = 3 H0^2 / (8 pi G) with H0 = 100 km/s/Mpc.
+func RhoCritH2() float64 {
+	h0 := 100.0 * 1.0e3 / MpcMeter // s^-1
+	return 3.0 * h0 * h0 / (8.0 * math.Pi * GNewton)
+}
+
+// SigmaThomsonMpc2 is the Thomson cross section in Mpc^2.
+var SigmaThomsonMpc2 = SigmaThomsonM2 / (MpcMeter * MpcMeter)
+
+// HubbleInvMpc converts little-h to H0 in Mpc^-1 (units where c=1).
+func HubbleInvMpc(h float64) float64 { return h * 100.0 * KmSMpcToInvMpc }
+
+// NHydrogenToday returns the comoving hydrogen number density in Mpc^-3 for
+// a baryon density Omega_b h^2 = obh2 and helium mass fraction yhe.
+func NHydrogenToday(obh2, yhe float64) float64 {
+	rhoB := obh2 * RhoCritH2() // kg/m^3
+	nH := rhoB * (1.0 - yhe) / HydrogenMassKg
+	return nH * MpcMeter * MpcMeter * MpcMeter
+}
+
+// TNuKelvin returns the relic neutrino temperature today for a given CMB
+// temperature.
+func TNuKelvin(tcmb float64) float64 { return tcmb * TNuPerTGamma }
+
+// NeutrinoMassToQ converts a neutrino mass in eV to the dimensionless
+// combination m_nu c^2 / (k T_nu0): the momentum grid used for massive
+// neutrinos is expressed in units of k T_nu0.
+func NeutrinoMassToQ(massEV, tcmb float64) float64 {
+	ktnu := KBoltzmann * TNuKelvin(tcmb) / EVJoule // eV
+	return massEV / ktnu
+}

@@ -1,0 +1,81 @@
+package constants
+
+import (
+	"math"
+	"testing"
+)
+
+func close(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= rel*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestRadiationDensity(t *testing.T) {
+	// The standard value for T = 2.726 K is Omega_gamma h^2 ~= 2.47e-5.
+	got := RadiationDensity(TCMBDefault)
+	if !close(got, 2.47e-5, 0.01) {
+		t.Fatalf("Omega_gamma h^2 = %g, want ~2.47e-5", got)
+	}
+}
+
+func TestRadiationDensityScalesAsT4(t *testing.T) {
+	r1 := RadiationDensity(2.0)
+	r2 := RadiationDensity(4.0)
+	if !close(r2/r1, 16.0, 1e-12) {
+		t.Fatalf("radiation density ratio %g, want 16", r2/r1)
+	}
+}
+
+func TestRhoCrit(t *testing.T) {
+	// rho_crit/h^2 ~= 1.878e-26 kg/m^3.
+	got := RhoCritH2()
+	if !close(got, 1.878e-26, 0.001) {
+		t.Fatalf("rho_crit = %g kg/m^3, want ~1.878e-26", got)
+	}
+}
+
+func TestHubbleInvMpc(t *testing.T) {
+	// H0 = 100 km/s/Mpc corresponds to 1/2997.92458 Mpc^-1.
+	got := HubbleInvMpc(1.0)
+	if !close(got, 1.0/2997.92458, 1e-9) {
+		t.Fatalf("H0 = %g Mpc^-1, want %g", got, 1.0/2997.92458)
+	}
+}
+
+func TestNeutrinoTemperature(t *testing.T) {
+	tnu := TNuKelvin(TCMBDefault)
+	if !close(tnu, 1.9457, 0.001) {
+		t.Fatalf("T_nu = %g K, want ~1.9457", tnu)
+	}
+}
+
+func TestNuPerGammaConstant(t *testing.T) {
+	want := 7.0 / 8.0 * math.Pow(4.0/11.0, 4.0/3.0)
+	if !close(NuPerGamma, want, 1e-12) {
+		t.Fatalf("NuPerGamma = %v, want %v", NuPerGamma, want)
+	}
+	want = math.Pow(4.0/11.0, 1.0/3.0)
+	if !close(TNuPerTGamma, want, 1e-12) {
+		t.Fatalf("TNuPerTGamma = %v, want %v", TNuPerTGamma, want)
+	}
+}
+
+func TestNHydrogenToday(t *testing.T) {
+	// For Omega_b h^2 = 0.0125, Y = 0.24: n_H ~ 8.0 m^-3 * (Mpc/m)^3... the
+	// physical number is n_H ~= 1.878e-26*0.0125*0.76/1.6736e-27 = 0.1066 m^-3.
+	nH := NHydrogenToday(0.0125, 0.24)
+	perM3 := nH / (MpcMeter * MpcMeter * MpcMeter)
+	if !close(perM3, 0.1066, 0.01) {
+		t.Fatalf("n_H = %g m^-3, want ~0.1066", perM3)
+	}
+}
+
+func TestNeutrinoMassToQ(t *testing.T) {
+	// kT_nu0 ~= 1.6766e-4 eV, so 1 eV => q ~ 5965.
+	q := NeutrinoMassToQ(1.0, TCMBDefault)
+	if !close(q, 5965, 0.01) {
+		t.Fatalf("m/T = %g, want ~5965", q)
+	}
+}

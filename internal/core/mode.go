@@ -1,0 +1,363 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"plinger/internal/cosmology"
+	"plinger/internal/ode"
+)
+
+// mode is the in-flight state of one k evolution.
+type mode struct {
+	Model
+	p  Params
+	k  float64
+	k2 float64
+
+	// state layout
+	nvar int
+	ia   int // scale factor
+	idc  int // delta_c
+	itc  int // theta_c (Newtonian only; -1 in synchronous)
+	idb  int // delta_b
+	itb  int // theta_b
+	iphi int // phi (Newtonian; -1 otherwise)
+	ieta int // eta (synchronous; -1 otherwise)
+	ih   int // h
+	ihd  int // h-dot
+	ifg  int // photon temperature F_l, l = 0..lmax
+	igg  int // photon polarization G_l
+	ifn  int // massless neutrino F_l
+	ipsn int // massive neutrino Psi(q, l), q-major
+
+	nq  int
+	lnu int
+
+	tca bool // current right-hand-side regime
+
+	maxResidual float64
+	sources     []Sample
+
+	scratch cosmology.Grho
+}
+
+// Evolve integrates one k mode to completion.
+func (mdl *Model) Evolve(p Params) (*Result, error) {
+	p.setDefaults()
+	if p.K <= 0 {
+		return nil, fmt.Errorf("core: k = %g must be positive", p.K)
+	}
+	if p.TauEnd <= 0 {
+		p.TauEnd = mdl.BG.Tau0()
+	}
+	if p.TauEnd > mdl.BG.Tau0()*1.0000001 {
+		return nil, fmt.Errorf("core: TauEnd = %g beyond the present %g", p.TauEnd, mdl.BG.Tau0())
+	}
+
+	m := &mode{Model: *mdl, p: p, k: p.K, k2: p.K * p.K}
+	m.layout()
+
+	tauStart := m.startTime()
+	if tauStart >= p.TauEnd {
+		return nil, fmt.Errorf("core: start time %g is not before end time %g (k=%g)", tauStart, p.TauEnd, p.K)
+	}
+	y := make([]float64, m.nvar)
+	m.initialConditions(tauStart, y)
+
+	integ := p.Integrator
+	if integ == nil {
+		dv := ode.NewDVERK(p.RTol, p.ATol)
+		dv.InitialStep = tauStart * 1e-3
+		integ = dv
+	}
+	if ad, ok := integ.(*ode.Adaptive); ok && p.KeepSources {
+		ad.OnStep = func(t float64, yy []float64) { m.record(t, yy) }
+	} else if ad, ok := integ.(*ode.Adaptive); ok {
+		// Still monitor the constraint without storing samples.
+		ad.OnStep = func(t float64, yy []float64) { m.monitor(t, yy) }
+	}
+
+	res := &Result{K: p.K, Gauge: p.Gauge, LMax: p.LMax}
+	start := time.Now()
+
+	var stats ode.Stats
+
+	// Phase 1: tight coupling, if applicable.
+	m.tca = !p.DisableTightCoupling && m.tcaHolds(m.BG.AofTau(tauStart))
+	tau := tauStart
+	if m.tca {
+		tauSwitch := m.findTCASwitch(tauStart, p.TauEnd)
+		if tauSwitch > tauStart {
+			st, err := integ.Integrate(m.rhs, tau, tauSwitch, y)
+			stats.Add(st)
+			if err != nil {
+				return nil, fmt.Errorf("core: tight-coupling phase (k=%g): %w", p.K, err)
+			}
+			tau = tauSwitch
+			res.TauSwitch = tauSwitch
+		}
+		m.releaseTightCoupling(tau, y)
+		m.tca = false
+	}
+
+	// Phase 2: full equations to the end.
+	st, err := integ.Integrate(m.rhs, tau, p.TauEnd, y)
+	stats.Add(st)
+	if err != nil {
+		return nil, fmt.Errorf("core: full phase (k=%g): %w", p.K, err)
+	}
+
+	res.Seconds = time.Since(start).Seconds()
+	res.Stats = stats
+	res.Flops = float64(stats.Evals) * FlopsPerRHS(p.LMax, m.lnu, m.nq, p.Gauge)
+	m.pack(p.TauEnd, y, res)
+	res.MaxConstraintResidual = m.maxResidual
+	res.Sources = m.sources
+	return res, nil
+}
+
+// layout assigns state-vector indices.
+func (m *mode) layout() {
+	if m.BG.P.NNuMassive > 0 {
+		m.nq = len(m.BG.Q)
+		m.lnu = m.p.LMaxNu
+	}
+	L := m.p.LMax + 1
+	i := 0
+	alloc := func(n int) int { j := i; i += n; return j }
+	m.ia = alloc(1)
+	m.idc = alloc(1)
+	if m.p.Gauge == ConformalNewtonian {
+		m.itc = alloc(1)
+	} else {
+		m.itc = -1
+	}
+	m.idb = alloc(1)
+	m.itb = alloc(1)
+	if m.p.Gauge == ConformalNewtonian {
+		m.iphi = alloc(1)
+		m.ieta, m.ih, m.ihd = -1, -1, -1
+	} else {
+		m.iphi = -1
+		m.ieta = alloc(1)
+		m.ih = alloc(1)
+		m.ihd = alloc(1)
+	}
+	m.ifg = alloc(L)
+	m.igg = alloc(L)
+	m.ifn = alloc(L)
+	m.ipsn = alloc(m.nq * (m.lnu + 1))
+	m.nvar = i
+}
+
+// startTime picks the initial conformal time: superhorizon (k tau small),
+// deep enough in the radiation era, inside the thermodynamic table, and —
+// when massive neutrinos are present — while they are still relativistic.
+func (m *mode) startTime() float64 {
+	aCap := 1e-5
+	if m.BG.P.NNuMassive > 0 {
+		if amax := 1e-3 / m.BG.MassQ; amax < aCap {
+			aCap = amax
+		}
+	}
+	tau := m.p.KTauStart / m.k
+	if tCap := m.BG.Tau(aCap); tau > tCap {
+		tau = tCap
+	}
+	if tMin := m.BG.Tau(2e-8); tau < tMin {
+		tau = tMin
+	}
+	return tau
+}
+
+// rnuFraction returns R_nu = rho_nu/(rho_gamma + rho_nu) at scale factor a
+// counting all (still relativistic) neutrinos.
+func (m *mode) rnuFraction(a float64) float64 {
+	g := &m.scratch
+	m.BG.Eval(a, g)
+	return (g.Nu + g.HNu) / (g.G + g.Nu + g.HNu)
+}
+
+// initialConditions sets the adiabatic growing mode of MB95 eq. (96) with
+// normalization C = 1. The conformal Newtonian state is obtained by an
+// exact gauge transformation of the synchronous series using the true
+// background expansion rate: the transformation absorbs the small matter
+// contamination at the start time, which a pure radiation-era Newtonian
+// series (MB95 eq. 98) would miss; unlike the synchronous variables, the
+// Newtonian potential is O(1) on super-horizon scales, so such errors
+// would persist instead of decaying.
+func (m *mode) initialConditions(tau float64, y []float64) {
+	a := m.BG.AofTau(tau)
+	rnu := m.rnuFraction(a)
+	k, kt := m.k, m.k*tau
+	kt2 := kt * kt
+	const c = 1.0
+
+	y[m.ia] = a
+
+	// Synchronous adiabatic series (MB95 eq. 96).
+	h := c * kt2
+	eta := 2.0*c - c*(5.0+4.0*rnu)/(6.0*(15.0+4.0*rnu))*kt2
+	hdot := 2.0 * c * k * kt
+	etadot := -c * (5.0 + 4.0*rnu) / (3.0 * (15.0 + 4.0*rnu)) * m.k2 * tau
+	deltaG := -2.0 / 3.0 * c * kt2
+	deltaNu := deltaG
+	deltaC := 0.75 * deltaG
+	deltaB := deltaC
+	thetaG := -c / 18.0 * kt2 * kt * k
+	thetaB := thetaG
+	thetaC := 0.0
+	thetaNu := thetaG * (23.0 + 4.0*rnu) / (15.0 + 4.0*rnu)
+	sigmaNu := 4.0 * c / (3.0 * (15.0 + 4.0*rnu)) * kt2
+
+	if m.p.Gauge == Synchronous {
+		y[m.ieta] = eta
+		y[m.ih] = h
+		y[m.ihd] = hdot
+	} else {
+		// Gauge shift alpha = (h-dot + 6 eta-dot)/(2 k^2); transform with
+		// the tabulated (not pure-radiation) conformal Hubble rate.
+		hc := m.BG.HConf(a)
+		alpha := (hdot + 6.0*etadot) / (2.0 * m.k2)
+		y[m.iphi] = eta - hc*alpha
+		deltaG -= 4.0 * hc * alpha
+		deltaNu -= 4.0 * hc * alpha
+		deltaC -= 3.0 * hc * alpha
+		deltaB -= 3.0 * hc * alpha
+		thetaG += m.k2 * alpha
+		thetaB += m.k2 * alpha
+		thetaNu += m.k2 * alpha
+		thetaC += m.k2 * alpha
+		y[m.itc] = thetaC
+	}
+
+	y[m.idc] = deltaC
+	y[m.idb] = deltaB
+	y[m.itb] = thetaB
+
+	// Photons: monopole and dipole only (higher moments are Thomson
+	// suppressed; polarization vanishes in tight coupling).
+	y[m.ifg] = deltaG
+	y[m.ifg+1] = 4.0 / (3.0 * k) * thetaG
+
+	// Massless neutrinos.
+	y[m.ifn] = deltaNu
+	y[m.ifn+1] = 4.0 / (3.0 * k) * thetaNu
+	y[m.ifn+2] = 2.0 * sigmaNu
+
+	// Massive neutrinos: Psi_l from the fluid moments via dln f0/dln q.
+	for iq := 0; iq < m.nq; iq++ {
+		q := m.BG.Q[iq]
+		df := m.BG.DlnF0DlnQ[iq]
+		am := a * m.BG.MassQ
+		eps := math.Sqrt(q*q + am*am)
+		base := m.ipsn + iq*(m.lnu+1)
+		y[base] = -0.25 * deltaNu * df
+		y[base+1] = -eps / (3.0 * q * k) * thetaNu * df
+		y[base+2] = -0.5 * sigmaNu * df
+	}
+}
+
+// tcaHolds reports whether the tight-coupling regime criteria hold at a.
+func (m *mode) tcaHolds(a float64) bool {
+	kd := m.TH.Opacity(a)
+	if kd < m.p.TCAFactor*m.k {
+		return false
+	}
+	if kd < m.p.TCAFactor*m.BG.HConf(a) {
+		return false
+	}
+	// Safety: stay well before last scattering.
+	return m.TH.OpticalDepth(a) > 20.0
+}
+
+// findTCASwitch bisects for the conformal time at which tight coupling
+// first fails.
+func (m *mode) findTCASwitch(tauStart, tauEnd float64) float64 {
+	lo, hi := tauStart, tauEnd
+	if m.tcaHolds(m.BG.AofTau(hi)) {
+		return hi // never fails (cannot happen in practice: opacity dies)
+	}
+	for iter := 0; iter < 200 && hi-lo > 1e-10*hi; iter++ {
+		mid := 0.5 * (lo + hi)
+		if m.tcaHolds(m.BG.AofTau(mid)) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// releaseTightCoupling performs the hand-off state surgery: the quadrupole
+// and polarization moments take their first-order tight-coupling values.
+func (m *mode) releaseTightCoupling(tau float64, y []float64) {
+	a := y[m.ia]
+	kd := m.TH.Opacity(a)
+	if kd <= 0 {
+		return
+	}
+	tc := 1.0 / kd
+	thetaG := 0.75 * m.k * y[m.ifg+1]
+	shearSource := thetaG
+	if m.p.Gauge == Synchronous {
+		// s = (h-dot + 6 eta-dot)/2 enters the l=2 source in this gauge.
+		etaDot := m.etaDotAt(tau, y)
+		shearSource += 0.5*y[m.ihd] + 3.0*etaDot
+	}
+	fg2 := 32.0 / 45.0 * tc * shearSource
+	y[m.ifg+2] = fg2
+	y[m.igg] = 1.25 * fg2
+	y[m.igg+2] = 0.25 * fg2
+}
+
+// etaDotAt evaluates eta-dot = g_theta/(2 k^2) from the current state.
+func (m *mode) etaDotAt(tau float64, y []float64) float64 {
+	var s sums
+	m.gatherSums(tau, y, &s)
+	return 0.5 * s.gtheta / m.k2
+}
+
+// pack fills the Result from the final state.
+func (m *mode) pack(tau float64, y []float64, res *Result) {
+	L := m.p.LMax + 1
+	res.Tau = tau
+	res.A = y[m.ia]
+	res.ThetaL = make([]float64, L)
+	res.ThetaPL = make([]float64, L)
+	for l := 0; l < L; l++ {
+		res.ThetaL[l] = 0.25 * y[m.ifg+l]
+		res.ThetaPL[l] = 0.25 * y[m.igg+l]
+	}
+	res.DeltaC = y[m.idc]
+	res.DeltaB = y[m.idb]
+	res.DeltaG = y[m.ifg]
+	res.DeltaNu = y[m.ifn]
+	res.ThetaB = y[m.itb]
+	if m.p.Gauge == ConformalNewtonian {
+		res.ThetaC = y[m.itc]
+		var s sums
+		m.gatherSums(tau, y, &s)
+		res.Phi = y[m.iphi]
+		res.Psi = y[m.iphi] - 1.5*s.gshear/m.k2
+	} else {
+		res.Eta = y[m.ieta]
+		res.HDot = y[m.ihd]
+	}
+	if m.nq > 0 {
+		// Massive neutrino density contrast from the Psi_0 integral.
+		var num, den float64
+		am := y[m.ia] * m.BG.MassQ
+		for iq := 0; iq < m.nq; iq++ {
+			q := m.BG.Q[iq]
+			eps := math.Sqrt(q*q + am*am)
+			num += m.BG.W[iq] * eps * y[m.ipsn+iq*(m.lnu+1)]
+			den += m.BG.W[iq] * eps
+		}
+		if den != 0 {
+			res.DeltaHNu = num / den
+		}
+	}
+}

@@ -1,0 +1,334 @@
+package core
+
+import "math"
+
+// sums collects the perturbed stress-energy sources of the Einstein
+// equations, all in 8 pi G a^2 units (Mpc^-2):
+//
+//	gdrho  = 8 pi G a^2 delta rho
+//	gtheta = 8 pi G a^2 (rho+P) theta
+//	gshear = 8 pi G a^2 (rho+P) sigma
+//	gdp3   = 3 * 8 pi G a^2 delta P
+type sums struct {
+	a      float64
+	hconf  float64
+	kd     float64 // Thomson opacity
+	cs2    float64 // baryon sound speed squared
+	gdrho  float64
+	gtheta float64
+	gshear float64
+	gdp3   float64
+
+	deltaG, thetaG, sigmaG float64
+	deltaNu, thetaNu       float64
+}
+
+// gatherSums evaluates background quantities and the stress-energy sums for
+// the current state.
+func (m *mode) gatherSums(tau float64, y []float64, s *sums) {
+	g := &m.scratch
+	a := y[m.ia]
+	m.BG.Eval(a, g)
+	s.a = a
+	s.hconf = g.HConf
+	s.kd = m.TH.Opacity(a)
+	s.cs2 = m.TH.Cs2(a)
+
+	k := m.k
+	dc, db := y[m.idc], y[m.idb]
+	tb := y[m.itb]
+	var tc float64
+	if m.itc >= 0 {
+		tc = y[m.itc]
+	}
+
+	s.deltaG = y[m.ifg]
+	s.thetaG = 0.75 * k * y[m.ifg+1]
+	if m.tca {
+		// Algebraic first-order tight-coupling shear. The synchronous
+		// metric contribution is added by the caller (it needs eta-dot,
+		// which itself needs gtheta — the shear term there is O(tau_c)
+		// and may be evaluated with the photon velocity alone).
+		s.sigmaG = 16.0 / 45.0 / s.kd * s.thetaG
+	} else {
+		s.sigmaG = 0.5 * y[m.ifg+2]
+	}
+	s.deltaNu = y[m.ifn]
+	s.thetaNu = 0.75 * k * y[m.ifn+1]
+	sigmaNu := 0.5 * y[m.ifn+2]
+
+	s.gdrho = g.C*dc + g.B*db + g.G*s.deltaG + g.Nu*s.deltaNu
+	s.gtheta = g.C*tc + g.B*tb + 4.0/3.0*(g.G*s.thetaG+g.Nu*s.thetaNu)
+	s.gshear = 4.0 / 3.0 * (g.G*s.sigmaG + g.Nu*sigmaNu)
+	s.gdp3 = g.G*s.deltaG + g.Nu*s.deltaNu + 3.0*s.cs2*g.B*db
+
+	if m.nq > 0 {
+		am := a * m.BG.MassQ
+		var r0, r1, r2, rp float64
+		for iq := 0; iq < m.nq; iq++ {
+			q := m.BG.Q[iq]
+			w := m.BG.W[iq]
+			eps := math.Sqrt(q*q + am*am)
+			base := m.ipsn + iq*(m.lnu+1)
+			r0 += w * eps * y[base]
+			r1 += w * q * y[base+1]
+			r2 += w * q * q / eps * y[base+2]
+			rp += w * q * q / eps * y[base]
+		}
+		// Normalize against the massless integral Int q^3 f0 dq so the
+		// prefactor is the single-species radiation coefficient.
+		nrm := 0.0
+		for iq := 0; iq < m.nq; iq++ {
+			nrm += m.BG.W[iq] * m.BG.Q[iq]
+		}
+		pref := m.BG.Grhor1 * float64(m.BG.P.NNuMassive) / (a * a) / nrm
+		s.gdrho += pref * r0
+		s.gtheta += pref * k * r1
+		s.gshear += pref * 2.0 / 3.0 * r2
+		s.gdp3 += pref * rp
+	}
+}
+
+// rhs is the complete right-hand side of the coupled system; it dispatches
+// on gauge and the tight-coupling regime.
+func (m *mode) rhs(tau float64, y, dy []float64) {
+	var s sums
+	m.gatherSums(tau, y, &s)
+	k, k2 := m.k, m.k2
+	a, hc, kd := s.a, s.hconf, s.kd
+	lmax := m.p.LMax
+
+	dy[m.ia] = a * hc
+
+	// Metric sources.
+	var (
+		psi, phiDot float64 // conformal Newtonian
+		hdot, eDot  float64 // synchronous
+		src0        float64 // radiation monopole source: 4 phi-dot | -(2/3) h-dot
+		src1        float64 // radiation dipole source: (4/3) k psi | 0
+		src2        float64 // l=2 source: 0 | (8/15) s2
+	)
+	if m.p.Gauge == ConformalNewtonian {
+		phi := y[m.iphi]
+		psi = phi - 1.5*s.gshear/k2
+		phiDot = 0.5*s.gtheta/k2 - hc*psi
+		dy[m.iphi] = phiDot
+		src0 = 4.0 * phiDot
+		src1 = 4.0 / 3.0 * k * psi
+		src2 = 0
+	} else {
+		eta := y[m.ieta]
+		hdot = y[m.ihd]
+		eDot = 0.5 * s.gtheta / k2
+		dy[m.ieta] = eDot
+		dy[m.ih] = hdot
+		// MB95 (21c): h-ddot + 2 aH h-dot - 2 k^2 eta = -8 pi G a^2 (3 dP).
+		dy[m.ihd] = -2.0*hc*hdot + 2.0*k2*eta - s.gdp3
+		s2 := 0.5*hdot + 3.0*eDot
+		src0 = -2.0 / 3.0 * hdot
+		src1 = 0
+		src2 = 8.0 / 15.0 * s2
+		if m.tca {
+			// Add the metric part of the tight-coupling shear.
+			s.sigmaG += 16.0 / 45.0 / kd * s2
+		}
+	}
+
+	// Cold dark matter.
+	if m.p.Gauge == ConformalNewtonian {
+		tc := y[m.itc]
+		dy[m.idc] = -tc + 3.0*phiDot
+		dy[m.itc] = -hc*tc + k2*psi
+	} else {
+		dy[m.idc] = -0.5 * hdot
+	}
+
+	// Baryons and the photon monopole/dipole.
+	db, tb := y[m.idb], y[m.itb]
+	if m.p.Gauge == ConformalNewtonian {
+		dy[m.idb] = -tb + 3.0*phiDot
+	} else {
+		dy[m.idb] = -tb - 0.5*hdot
+	}
+	dy[m.ifg] = -k*y[m.ifg+1] + src0
+
+	// Photon-baryon momentum exchange. m.scratch still holds the
+	// background densities filled by gatherSums.
+	gb := &m.scratch
+	r := 4.0 / 3.0 * gb.G / gb.B
+	photonAccel := k2 * (0.25*s.deltaG - s.sigmaG)
+	var kpsi float64
+	if m.p.Gauge == ConformalNewtonian {
+		kpsi = k2 * psi
+	}
+
+	if m.tca {
+		// First-order tight coupling: eliminate the stiff Thomson terms.
+		// Slip N = k^2(delta_g/4 - sigma_g) + aH theta_b - cs^2 k^2 delta_b
+		// with theta_g - theta_b = tau_c N/(1+R).
+		n := photonAccel + hc*tb - s.cs2*k2*db
+		dy[m.itb] = -hc*tb + s.cs2*k2*db + kpsi + r/(1.0+r)*n
+		thetaGDot := photonAccel + kpsi - n/(1.0+r)
+		dy[m.ifg+1] = 4.0 / (3.0 * k) * thetaGDot
+		// Higher photon moments and polarization are algebraically slaved;
+		// hold their stored values frozen (they remain ~0 until release).
+		for l := 2; l <= lmax; l++ {
+			dy[m.ifg+l] = 0
+			dy[m.igg+l] = 0
+		}
+		dy[m.igg] = 0
+		dy[m.igg+1] = 0
+	} else {
+		dy[m.itb] = -hc*tb + s.cs2*k2*db + kpsi + r*kd*(s.thetaG-tb)
+		thetaGDot := photonAccel + kpsi + kd*(tb-s.thetaG)
+		dy[m.ifg+1] = 4.0 / (3.0 * k) * thetaGDot
+
+		pi := y[m.ifg+2] + y[m.igg] + y[m.igg+2]
+		// Temperature quadrupole and higher. MB95 eq. (63): the Thomson
+		// term is -kd [ (9/10) F_2 - (1/10)(G_0 + G_2) ], equivalently
+		// -kd (F_2 - Pi/10) with Pi = F_2 + G_0 + G_2.
+		dy[m.ifg+2] = k/5.0*(2.0*y[m.ifg+1]-3.0*y[m.ifg+3]) + src2 -
+			kd*(y[m.ifg+2]-0.1*pi)
+		for l := 3; l < lmax; l++ {
+			fl := float64(l)
+			dy[m.ifg+l] = k/(2.0*fl+1.0)*(fl*y[m.ifg+l-1]-(fl+1.0)*y[m.ifg+l+1]) - kd*y[m.ifg+l]
+		}
+		// Free-streaming truncation (MB95 eq. 65).
+		dy[m.ifg+lmax] = k*y[m.ifg+lmax-1] - (float64(lmax)+1.0)/tau*y[m.ifg+lmax] - kd*y[m.ifg+lmax]
+
+		// Polarization hierarchy.
+		dy[m.igg] = -k*y[m.igg+1] + kd*(0.5*pi-y[m.igg])
+		dy[m.igg+1] = k/3.0*(y[m.igg]-2.0*y[m.igg+2]) - kd*y[m.igg+1]
+		if lmax >= 3 {
+			dy[m.igg+2] = k/5.0*(2.0*y[m.igg+1]-3.0*y[m.igg+3]) + kd*(0.1*pi-y[m.igg+2])
+		} else {
+			dy[m.igg+2] = k/5.0*(2.0*y[m.igg+1]) + kd*(0.1*pi-y[m.igg+2])
+		}
+		for l := 3; l < lmax; l++ {
+			fl := float64(l)
+			dy[m.igg+l] = k/(2.0*fl+1.0)*(fl*y[m.igg+l-1]-(fl+1.0)*y[m.igg+l+1]) - kd*y[m.igg+l]
+		}
+		dy[m.igg+lmax] = k*y[m.igg+lmax-1] - (float64(lmax)+1.0)/tau*y[m.igg+lmax] - kd*y[m.igg+lmax]
+	}
+
+	// Massless neutrinos.
+	dy[m.ifn] = -k*y[m.ifn+1] + src0
+	dy[m.ifn+1] = k/3.0*(y[m.ifn]-2.0*y[m.ifn+2]) + src1
+	if lmax >= 3 {
+		dy[m.ifn+2] = k/5.0*(2.0*y[m.ifn+1]-3.0*y[m.ifn+3]) + src2
+	} else {
+		dy[m.ifn+2] = k / 5.0 * (2.0 * y[m.ifn+1])
+	}
+	for l := 3; l < lmax; l++ {
+		fl := float64(l)
+		dy[m.ifn+l] = k / (2.0*fl + 1.0) * (fl*y[m.ifn+l-1] - (fl+1.0)*y[m.ifn+l+1])
+	}
+	dy[m.ifn+lmax] = k*y[m.ifn+lmax-1] - (float64(lmax)+1.0)/tau*y[m.ifn+lmax]
+
+	// Massive neutrinos: full momentum dependence.
+	if m.nq > 0 {
+		am := a * m.BG.MassQ
+		for iq := 0; iq < m.nq; iq++ {
+			q := m.BG.Q[iq]
+			df := m.BG.DlnF0DlnQ[iq]
+			eps := math.Sqrt(q*q + am*am)
+			qke := q * k / eps
+			base := m.ipsn + iq*(m.lnu+1)
+			var s0, s1, s2nu float64
+			if m.p.Gauge == ConformalNewtonian {
+				s0 = -phiDot * df
+				s1 = -eps * k / (3.0 * q) * psi * df
+			} else {
+				s0 = hdot / 6.0 * df
+				s2nu = -2.0 / 15.0 * (0.5*hdot + 3.0*eDot) * df
+			}
+			dy[base] = -qke*y[base+1] + s0
+			dy[base+1] = qke/3.0*(y[base]-2.0*y[base+2]) + s1
+			if m.lnu >= 3 {
+				dy[base+2] = qke/5.0*(2.0*y[base+1]-3.0*y[base+3]) + s2nu
+			} else {
+				dy[base+2] = qke/5.0*(2.0*y[base+1]) + s2nu
+			}
+			for l := 3; l < m.lnu; l++ {
+				fl := float64(l)
+				dy[base+l] = qke / (2.0*fl + 1.0) * (fl*y[base+l-1] - (fl+1.0)*y[base+l+1])
+			}
+			dy[base+m.lnu] = qke*y[base+m.lnu-1] - (float64(m.lnu)+1.0)/tau*y[base+m.lnu]
+		}
+	}
+}
+
+// constraintResidual evaluates the unused Einstein equation as a relative
+// error — the accuracy monitor of the original LINGER code.
+func (m *mode) constraintResidual(tau float64, y []float64) float64 {
+	var s sums
+	m.gatherSums(tau, y, &s)
+	k2 := m.k2
+	if m.p.Gauge == ConformalNewtonian {
+		phi := y[m.iphi]
+		psi := phi - 1.5*s.gshear/k2
+		phiDot := 0.5*s.gtheta/k2 - s.hconf*psi
+		lhs := k2*phi + 3.0*s.hconf*(phiDot+s.hconf*psi)
+		rhs := -0.5 * s.gdrho
+		scale := math.Max(math.Abs(k2*phi), math.Max(math.Abs(rhs), 3.0*s.hconf*s.hconf*math.Abs(psi)))
+		if scale == 0 {
+			return 0
+		}
+		return math.Abs(lhs-rhs) / scale
+	}
+	eta := y[m.ieta]
+	hdot := y[m.ihd]
+	lhs := k2*eta - 0.5*s.hconf*hdot
+	rhs := -0.5 * s.gdrho
+	scale := math.Max(math.Abs(k2*eta), math.Max(math.Abs(rhs), 0.5*s.hconf*math.Abs(hdot)))
+	if scale == 0 {
+		return 0
+	}
+	return math.Abs(lhs-rhs) / scale
+}
+
+// monitor tracks the worst constraint violation.
+func (m *mode) monitor(tau float64, y []float64) {
+	if r := m.constraintResidual(tau, y); r > m.maxResidual {
+		m.maxResidual = r
+	}
+}
+
+// record stores a line-of-sight source sample (and monitors constraints).
+func (m *mode) record(tau float64, y []float64) {
+	resid := m.constraintResidual(tau, y)
+	if resid > m.maxResidual {
+		m.maxResidual = resid
+	}
+	var s sums
+	m.gatherSums(tau, y, &s)
+	smp := Sample{
+		Residual: resid,
+		Tau:      tau,
+		A:        s.a,
+		Theta0:   0.25 * y[m.ifg],
+		VB:       y[m.itb] / m.k,
+		Kdot:     s.kd,
+		Kappa:    m.TH.OpticalDepth(s.a),
+		DeltaC:   y[m.idc],
+		DeltaB:   y[m.idb],
+	}
+	if m.tca {
+		smp.Pi = 2.5 * 2.0 * s.sigmaG // Pi = (5/2) F_2 = 5 sigma_g
+	} else {
+		smp.Pi = y[m.ifg+2] + y[m.igg] + y[m.igg+2]
+	}
+	if m.p.Gauge == ConformalNewtonian {
+		phi := y[m.iphi]
+		psi := phi - 1.5*s.gshear/m.k2
+		smp.Phi = phi
+		smp.Psi = psi
+		smp.PhiDot = 0.5*s.gtheta/m.k2 - s.hconf*psi
+	} else {
+		smp.Eta = y[m.ieta]
+		smp.HDot = y[m.ihd]
+		smp.EtaDot = 0.5 * s.gtheta / m.k2
+		smp.Alpha = (smp.HDot + 6.0*smp.EtaDot) / (2.0 * m.k2)
+	}
+	m.sources = append(m.sources, smp)
+}

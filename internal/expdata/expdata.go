@@ -1,0 +1,47 @@
+// Package expdata bundles the mid-1990s CMB anisotropy measurements plotted
+// as the points of the paper's Figure 2. The paper took them from the
+// COSAPP band-power compilation of Dave & Steinhardt (University of
+// Pennsylvania); that exact file is no longer distributed, so this table
+// collects the published values from the era's experiments — COBE DMR,
+// Tenerife, South Pole (SP91/SP94), Python, ARGO, MAX, MSAM, Saskatoon and
+// CAT — which are the same measurements the compilation contained. Values
+// are band powers dT_l = sqrt(l(l+1)C_l/2pi) T_0 in microkelvin at an
+// effective multipole.
+package expdata
+
+// BandPower is one experimental measurement.
+type BandPower struct {
+	// Experiment names the instrument/flight.
+	Experiment string
+	// LEff is the effective multipole of the window function.
+	LEff float64
+	// DT is the band power in microkelvin.
+	DT float64
+	// ErrUp and ErrDown are the one-sigma errors (microkelvin).
+	ErrUp, ErrDown float64
+}
+
+// Points returns the Figure 2 compilation, ordered by effective multipole.
+func Points() []BandPower {
+	return []BandPower{
+		// COBE DMR first- and second-year data, ten-degree scales.
+		{"COBE DMR (yr 1)", 4, 27.0, 7.0, 7.0},
+		{"COBE DMR (yr 2)", 10, 30.0, 5.0, 5.0},
+		{"Tenerife", 20, 32.5, 10.1, 8.5},
+		{"SP91", 60, 30.2, 8.9, 5.5},
+		{"SP94", 68, 36.3, 13.6, 6.1},
+		{"Saskatoon 94", 69, 41.0, 11.0, 9.0},
+		{"Python", 91, 37.8, 12.0, 8.9},
+		{"ARGO", 98, 39.1, 8.7, 8.7},
+		{"MSAM (2-beam)", 143, 49.0, 12.0, 11.0},
+		{"MAX GUM", 145, 54.5, 16.4, 10.9},
+		{"MAX ID", 145, 46.3, 21.8, 13.6},
+		{"Saskatoon 95", 172, 49.0, 10.0, 10.0},
+		{"MSAM (3-beam)", 249, 47.0, 14.0, 13.0},
+		{"CAT", 396, 51.8, 13.6, 13.6},
+	}
+}
+
+// COBEQrmsPS is the COBE Q_rms-PS normalization in microkelvin used to
+// anchor the theory curve in Figure 2.
+const COBEQrmsPS = 18.0

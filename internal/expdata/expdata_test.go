@@ -1,0 +1,40 @@
+package expdata
+
+import "testing"
+
+func TestPointsWellFormed(t *testing.T) {
+	pts := Points()
+	if len(pts) < 10 {
+		t.Fatalf("only %d points; the Figure 2 compilation has more", len(pts))
+	}
+	prev := 0.0
+	for _, p := range pts {
+		if p.Experiment == "" {
+			t.Fatal("unnamed experiment")
+		}
+		if p.LEff < prev {
+			t.Fatalf("points not ordered by multipole at %s", p.Experiment)
+		}
+		prev = p.LEff
+		if p.DT <= 0 || p.ErrUp <= 0 || p.ErrDown <= 0 {
+			t.Fatalf("non-positive values for %s", p.Experiment)
+		}
+		if p.DT < 10 || p.DT > 100 {
+			t.Fatalf("%s band power %g uK outside the plausible 1995 range", p.Experiment, p.DT)
+		}
+	}
+}
+
+func TestCOBEAnchor(t *testing.T) {
+	// The two leftmost points are COBE, as the paper says.
+	pts := Points()
+	if pts[0].Experiment[:4] != "COBE" || pts[1].Experiment[:4] != "COBE" {
+		t.Fatal("first two points must be COBE")
+	}
+	if pts[0].LEff > 20 {
+		t.Fatal("COBE probes ten-degree scales (low multipoles)")
+	}
+	if COBEQrmsPS != 18.0 {
+		t.Fatal("paper's Figure 2 normalization is Q = 18 uK")
+	}
+}

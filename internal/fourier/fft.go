@@ -1,0 +1,99 @@
+// Package fourier implements the fast Fourier transforms used for sky-map
+// synthesis (Figure 3 of the paper) and for the conformal-Newtonian
+// potential movie: an iterative radix-2 complex FFT and 2-D helpers.
+// Only power-of-two lengths are supported; the map grids are chosen
+// accordingly.
+package fourier
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// FFT performs an in-place forward DFT of x (length must be a power of two):
+// X_k = sum_j x_j exp(-2 pi i jk/n).
+func FFT(x []complex128) error { return transform(x, -1) }
+
+// IFFT performs the in-place inverse DFT including the 1/n normalization.
+func IFFT(x []complex128) error {
+	if err := transform(x, +1); err != nil {
+		return err
+	}
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+	return nil
+}
+
+func transform(x []complex128, sign int) error {
+	n := len(x)
+	if !IsPowerOfTwo(n) {
+		return fmt.Errorf("fourier: length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+		mask := n >> 1
+		for ; j&mask != 0; mask >>= 1 {
+			j &^= mask
+		}
+		j |= mask
+	}
+	// Danielson-Lanczos butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		theta := float64(sign) * 2.0 * math.Pi / float64(size)
+		wstep := cmplx.Exp(complex(0, theta))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				u := x[start+k]
+				v := x[start+k+half] * w
+				x[start+k] = u + v
+				x[start+k+half] = u - v
+				w *= wstep
+			}
+		}
+	}
+	return nil
+}
+
+// FFT2D performs an in-place forward 2-D DFT on an n x n grid stored
+// row-major in x.
+func FFT2D(x []complex128, n int) error { return transform2D(x, n, FFT) }
+
+// IFFT2D performs the in-place inverse 2-D DFT (normalized).
+func IFFT2D(x []complex128, n int) error { return transform2D(x, n, IFFT) }
+
+func transform2D(x []complex128, n int, f func([]complex128) error) error {
+	if len(x) != n*n {
+		return fmt.Errorf("fourier: grid length %d != %d^2", len(x), n)
+	}
+	// Rows.
+	for r := 0; r < n; r++ {
+		if err := f(x[r*n : (r+1)*n]); err != nil {
+			return err
+		}
+	}
+	// Columns via a scratch slice.
+	col := make([]complex128, n)
+	for c := 0; c < n; c++ {
+		for r := 0; r < n; r++ {
+			col[r] = x[r*n+c]
+		}
+		if err := f(col); err != nil {
+			return err
+		}
+		for r := 0; r < n; r++ {
+			x[r*n+c] = col[r]
+		}
+	}
+	return nil
+}

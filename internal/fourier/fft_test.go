@@ -1,0 +1,182 @@
+package fourier
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFFTKnownTransform(t *testing.T) {
+	// DFT of a delta function is flat.
+	x := make([]complex128, 8)
+	x[0] = 1
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("delta transform bin %d = %v", i, v)
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	n := 64
+	k := 5
+	x := make([]complex128, n)
+	for j := range x {
+		ph := 2 * math.Pi * float64(k*j) / float64(n)
+		x[j] = cmplx.Exp(complex(0, ph))
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		want := complex(0, 0)
+		if i == k {
+			want = complex(float64(n), 0)
+		}
+		if cmplx.Abs(v-want) > 1e-9 {
+			t.Fatalf("tone bin %d = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 4, 16, 128, 1024} {
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			orig[i] = x[i]
+		}
+		if err := FFT(x); err != nil {
+			t.Fatal(err)
+		}
+		if err := IFFT(x); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-10 {
+				t.Fatalf("n=%d round trip failed at %d: %v vs %v", n, i, x[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 256
+	x := make([]complex128, n)
+	sumT := 0.0
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+		sumT += real(x[i] * cmplx.Conj(x[i]))
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	sumF := 0.0
+	for i := range x {
+		sumF += real(x[i] * cmplx.Conj(x[i]))
+	}
+	if math.Abs(sumF/float64(n)-sumT) > 1e-8*sumT {
+		t.Fatalf("Parseval violated: time %g freq/n %g", sumT, sumF/float64(n))
+	}
+}
+
+func TestNonPowerOfTwoRejected(t *testing.T) {
+	if err := FFT(make([]complex128, 12)); err == nil {
+		t.Error("want error for n=12")
+	}
+	if err := IFFT(make([]complex128, 0)); err == nil {
+		t.Error("want error for n=0")
+	}
+	if err := FFT2D(make([]complex128, 12), 4); err == nil {
+		t.Error("want error for mismatched 2D grid")
+	}
+}
+
+func TestFFT2DRoundTrip(t *testing.T) {
+	n := 32
+	rng := rand.New(rand.NewSource(3))
+	x := make([]complex128, n*n)
+	orig := make([]complex128, n*n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		orig[i] = x[i]
+	}
+	if err := FFT2D(x, n); err != nil {
+		t.Fatal(err)
+	}
+	if err := IFFT2D(x, n); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+			t.Fatalf("2D round trip failed at %d", i)
+		}
+	}
+}
+
+func TestFFT2DPlaneWave(t *testing.T) {
+	n := 16
+	kx, ky := 3, 5
+	x := make([]complex128, n*n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			ph := 2 * math.Pi * (float64(kx*c) + float64(ky*r)) / float64(n)
+			x[r*n+c] = cmplx.Exp(complex(0, ph))
+		}
+	}
+	if err := FFT2D(x, n); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			want := complex(0, 0)
+			if r == ky && c == kx {
+				want = complex(float64(n*n), 0)
+			}
+			if cmplx.Abs(x[r*n+c]-want) > 1e-8 {
+				t.Fatalf("plane wave bin (%d,%d) = %v", r, c, x[r*n+c])
+			}
+		}
+	}
+}
+
+// Property: linearity of the transform.
+func TestQuickLinearity(t *testing.T) {
+	f := func(seed int64, ar, br float64) bool {
+		if math.IsNaN(ar) || math.IsInf(ar, 0) || math.IsNaN(br) || math.IsInf(br, 0) {
+			return true
+		}
+		a := complex(math.Mod(ar, 100), 0)
+		b := complex(math.Mod(br, 100), 0)
+		rng := rand.New(rand.NewSource(seed))
+		n := 32
+		x := make([]complex128, n)
+		y := make([]complex128, n)
+		z := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			y[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			z[i] = a*x[i] + b*y[i]
+		}
+		if FFT(x) != nil || FFT(y) != nil || FFT(z) != nil {
+			return false
+		}
+		for i := range z {
+			if cmplx.Abs(z[i]-(a*x[i]+b*y[i])) > 1e-8*(1+cmplx.Abs(z[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

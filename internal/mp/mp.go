@@ -1,0 +1,198 @@
+// Package mp provides the message-passing substrate of PLINGER. The paper
+// isolates all communication behind a small set of wrapper routines —
+// initpass, endpass, mybcastreal, mysendreal, mycheckany, mycheckone,
+// mychecktid and myrecvreal — implemented on PVM, MPI, MPL and PVMe. This
+// package defines the same abstraction as the Endpoint interface, with the
+// same probe/receive semantics (blocking probes that match on message tag
+// and/or source, FIFO delivery per (source, tag) pair, exactly MPI_PROBE +
+// MPI_RECV), over interchangeable transports:
+//
+//   - chanmp: in-process goroutine "nodes" (shared-memory MPI analogue)
+//   - tcpmp:  a PVM-daemon-style TCP hub routing frames between OS
+//     processes (or in-process endpoints, for tests)
+//   - fifomp: a strict arrival-order transport modelling the MPL
+//     restriction noted in Section 4 ("MPL requires that messages be
+//     received in the order in which they arrive")
+//
+// The paper's observation — that for this computation the choice of library
+// has no effect on efficiency — is reproduced as a benchmark.
+package mp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// AnyTag matches any message tag in probe/receive operations.
+const AnyTag = -1
+
+// AnySource matches any sender in probe/receive operations.
+const AnySource = -1
+
+// Message is one tagged message of float64 payload, mirroring the paper's
+// "length double precision numbers starting at position buffer".
+type Message struct {
+	Tag    int
+	Source int
+	Data   []float64
+}
+
+// Endpoint is one process's connection to the message-passing world: the
+// Go rendering of the paper's wrapper routines. Implementations must be
+// safe for use by one goroutine per endpoint (the PLINGER pattern); Probe
+// and Recv block until a matching message arrives.
+type Endpoint interface {
+	// Rank returns this process's ID (the paper's mytid).
+	Rank() int
+	// Size returns the number of processes.
+	Size() int
+	// Master returns the master's rank (the paper's mastid).
+	Master() int
+
+	// Bcast sends data with the given tag to every other process
+	// (mybcastreal). Only meaningful on the master.
+	Bcast(tag int, data []float64) error
+	// Send sends data with the given tag to one process (mysendreal).
+	Send(dst, tag int, data []float64) error
+	// Probe blocks until a message matching (tag, source) is available and
+	// returns its actual tag and source without consuming it. Use AnyTag
+	// and AnySource for wildcards; this single routine realizes
+	// mycheckany (AnyTag, AnySource), mycheckone (tag, src) and
+	// mychecktid (AnyTag, src).
+	Probe(tag, source int) (gotTag, gotSource int, err error)
+	// Recv consumes and returns the first message matching (tag, source)
+	// (myrecvreal).
+	Recv(tag, source int) (Message, error)
+	// Close leaves the message-passing world (endpass).
+	Close() error
+}
+
+// ErrClosed is returned by operations on a closed endpoint.
+var ErrClosed = errors.New("mp: endpoint closed")
+
+// Queue is a blocking mailbox with MPI matching semantics: messages are
+// kept in arrival order and probes/receives select the first message whose
+// (tag, source) matches, preserving FIFO order per (source, tag) pair.
+// It is the shared matching engine of all transports.
+type Queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	msgs   []Message
+	closed bool
+
+	// strictFIFO restricts matching to the head of the queue, modelling
+	// MPL's arrival-order receive.
+	strictFIFO bool
+}
+
+// NewQueue returns an empty mailbox.
+func NewQueue() *Queue {
+	q := &Queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// NewStrictFIFOQueue returns a mailbox that only matches the head message,
+// as MPL requires.
+func NewStrictFIFOQueue() *Queue {
+	q := NewQueue()
+	q.strictFIFO = true
+	return q
+}
+
+// Push delivers a message to the mailbox.
+func (q *Queue) Push(m Message) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	q.msgs = append(q.msgs, m)
+	q.cond.Broadcast()
+	return nil
+}
+
+// Close wakes all waiters with ErrClosed.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+func match(m Message, tag, source int) bool {
+	if tag != AnyTag && m.Tag != tag {
+		return false
+	}
+	if source != AnySource && m.Source != source {
+		return false
+	}
+	return true
+}
+
+// Probe blocks until a matching message is present, returning its tag and
+// source without removing it.
+func (q *Queue) Probe(tag, source int) (int, int, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.strictFIFO {
+			if len(q.msgs) > 0 {
+				m := q.msgs[0]
+				if !match(m, tag, source) {
+					return 0, 0, fmt.Errorf("mp: strict-FIFO transport: head message (tag %d from %d) does not match probe (tag %d, src %d)",
+						m.Tag, m.Source, tag, source)
+				}
+				return m.Tag, m.Source, nil
+			}
+		} else {
+			for _, m := range q.msgs {
+				if match(m, tag, source) {
+					return m.Tag, m.Source, nil
+				}
+			}
+		}
+		if q.closed {
+			return 0, 0, ErrClosed
+		}
+		q.cond.Wait()
+	}
+}
+
+// Recv blocks until a matching message is present and removes it.
+func (q *Queue) Recv(tag, source int) (Message, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.strictFIFO {
+			if len(q.msgs) > 0 {
+				m := q.msgs[0]
+				if !match(m, tag, source) {
+					return Message{}, fmt.Errorf("mp: strict-FIFO transport: head message (tag %d from %d) does not match recv (tag %d, src %d)",
+						m.Tag, m.Source, tag, source)
+				}
+				q.msgs = q.msgs[1:]
+				return m, nil
+			}
+		} else {
+			for i, m := range q.msgs {
+				if match(m, tag, source) {
+					q.msgs = append(q.msgs[:i], q.msgs[i+1:]...)
+					return m, nil
+				}
+			}
+		}
+		if q.closed {
+			return Message{}, ErrClosed
+		}
+		q.cond.Wait()
+	}
+}
+
+// Len reports the number of queued messages (for tests and stats).
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.msgs)
+}

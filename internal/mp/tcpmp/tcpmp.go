@@ -1,0 +1,240 @@
+// Package tcpmp is the distributed transport: a small rendezvous daemon
+// (the Hub, playing the role of the PVM daemon) accepts one TCP connection
+// per process, assigns ranks in connection order (the first connection —
+// by convention the master — gets rank 0), and routes tagged frames
+// between processes. Endpoints may live in one OS process (tests) or in
+// many (cmd/plinger -role master|worker), which is how the paper's code ran
+// across the nodes of the SP2 and the C90/T3D pairing.
+package tcpmp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"plinger/internal/mp"
+)
+
+const magic = 0x504c4e47 // "PLNG"
+
+// maxFrameDoubles bounds a single message (16 Mi doubles = 128 MiB).
+const maxFrameDoubles = 16 << 20
+
+// Hub is the rendezvous/routing daemon.
+type Hub struct {
+	ln    net.Listener
+	n     int
+	mu    sync.Mutex
+	conns []net.Conn
+	wmu   []sync.Mutex // per-connection write locks
+	bytes atomic.Int64
+	done  chan struct{}
+	err   atomic.Value
+}
+
+// NewHub starts a hub for n processes listening on addr (use
+// "127.0.0.1:0" for an ephemeral test port).
+func NewHub(addr string, n int) (*Hub, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("tcpmp: need at least one process, got %d", n)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpmp: listen: %w", err)
+	}
+	h := &Hub{ln: ln, n: n, done: make(chan struct{})}
+	go h.accept()
+	return h, nil
+}
+
+// Addr returns the hub's listen address for workers to dial.
+func (h *Hub) Addr() string { return h.ln.Addr().String() }
+
+// BytesMoved returns the cumulative payload bytes routed.
+func (h *Hub) BytesMoved() int64 { return h.bytes.Load() }
+
+// Close shuts the hub down.
+func (h *Hub) Close() error {
+	select {
+	case <-h.done:
+	default:
+		close(h.done)
+	}
+	err := h.ln.Close()
+	h.mu.Lock()
+	for _, c := range h.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+	h.mu.Unlock()
+	return err
+}
+
+func (h *Hub) accept() {
+	conns := make([]net.Conn, 0, h.n)
+	for len(conns) < h.n {
+		c, err := h.ln.Accept()
+		if err != nil {
+			h.err.Store(err)
+			return
+		}
+		var m uint32
+		if err := binary.Read(c, binary.LittleEndian, &m); err != nil || m != magic {
+			c.Close()
+			continue
+		}
+		conns = append(conns, c)
+	}
+	h.mu.Lock()
+	h.conns = conns
+	h.wmu = make([]sync.Mutex, h.n)
+	h.mu.Unlock()
+	// Handshake: tell each process its rank and the world size.
+	for rank, c := range conns {
+		hdr := [2]int32{int32(rank), int32(h.n)}
+		if err := binary.Write(c, binary.LittleEndian, hdr[:]); err != nil {
+			h.err.Store(err)
+			return
+		}
+	}
+	for rank := range conns {
+		go h.route(rank)
+	}
+}
+
+// route forwards frames arriving from one process to their destinations.
+func (h *Hub) route(rank int) {
+	src := h.conns[rank]
+	for {
+		var hdr [3]int32 // dst, tag, n
+		if err := binary.Read(src, binary.LittleEndian, hdr[:]); err != nil {
+			return // EOF: process left
+		}
+		dst, tag, n := int(hdr[0]), int(hdr[1]), int(hdr[2])
+		if n < 0 || n > maxFrameDoubles {
+			return
+		}
+		payload := make([]byte, 8*n)
+		if _, err := io.ReadFull(src, payload); err != nil {
+			return
+		}
+		if dst < 0 || dst >= h.n {
+			continue
+		}
+		h.bytes.Add(int64(8 * n))
+		out := [3]int32{int32(rank), int32(tag), int32(n)}
+		h.wmu[dst].Lock()
+		err1 := binary.Write(h.conns[dst], binary.LittleEndian, out[:])
+		var err2 error
+		if err1 == nil {
+			_, err2 = h.conns[dst].Write(payload)
+		}
+		h.wmu[dst].Unlock()
+		if err1 != nil || err2 != nil {
+			return
+		}
+	}
+}
+
+// endpoint is one process's connection to the hub.
+type endpoint struct {
+	conn net.Conn
+	rank int
+	size int
+	q    *mp.Queue
+	wmu  sync.Mutex
+}
+
+// Connect joins the world at the hub address; it blocks until all
+// processes have connected and returns the ranked endpoint.
+func Connect(addr string) (mp.Endpoint, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpmp: dial %s: %w", addr, err)
+	}
+	if err := binary.Write(c, binary.LittleEndian, uint32(magic)); err != nil {
+		c.Close()
+		return nil, err
+	}
+	var hdr [2]int32
+	if err := binary.Read(c, binary.LittleEndian, hdr[:]); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("tcpmp: handshake: %w", err)
+	}
+	e := &endpoint{conn: c, rank: int(hdr[0]), size: int(hdr[1]), q: mp.NewQueue()}
+	go e.reader()
+	return e, nil
+}
+
+func (e *endpoint) reader() {
+	for {
+		var hdr [3]int32 // src, tag, n
+		if err := binary.Read(e.conn, binary.LittleEndian, hdr[:]); err != nil {
+			e.q.Close()
+			return
+		}
+		n := int(hdr[2])
+		if n < 0 || n > maxFrameDoubles {
+			e.q.Close()
+			return
+		}
+		buf := make([]byte, 8*n)
+		if _, err := io.ReadFull(e.conn, buf); err != nil {
+			e.q.Close()
+			return
+		}
+		data := make([]float64, n)
+		for i := 0; i < n; i++ {
+			data[i] = bitsToFloat(binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+		e.q.Push(mp.Message{Tag: int(hdr[1]), Source: int(hdr[0]), Data: data})
+	}
+}
+
+func (e *endpoint) Rank() int   { return e.rank }
+func (e *endpoint) Size() int   { return e.size }
+func (e *endpoint) Master() int { return 0 }
+
+func (e *endpoint) Send(dst, tag int, data []float64) error {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	hdr := [3]int32{int32(dst), int32(tag), int32(len(data))}
+	if err := binary.Write(e.conn, binary.LittleEndian, hdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 8*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(buf[8*i:], floatToBits(v))
+	}
+	_, err := e.conn.Write(buf)
+	return err
+}
+
+func (e *endpoint) Bcast(tag int, data []float64) error {
+	for i := 0; i < e.size; i++ {
+		if i == e.rank {
+			continue
+		}
+		if err := e.Send(i, tag, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *endpoint) Probe(tag, source int) (int, int, error) {
+	return e.q.Probe(tag, source)
+}
+
+func (e *endpoint) Recv(tag, source int) (mp.Message, error) {
+	return e.q.Recv(tag, source)
+}
+
+func (e *endpoint) Close() error {
+	e.q.Close()
+	return e.conn.Close()
+}

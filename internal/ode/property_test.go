@@ -1,0 +1,116 @@
+package ode
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for the linear test equation y' = a*y with a < 0, the DVERK
+// solution matches exp(a t) for randomized decay rates and horizons.
+func TestQuickLinearDecay(t *testing.T) {
+	f := func(aRaw, tRaw float64) bool {
+		if math.IsNaN(aRaw) || math.IsInf(aRaw, 0) || math.IsNaN(tRaw) || math.IsInf(tRaw, 0) {
+			return true
+		}
+		a := -math.Mod(math.Abs(aRaw), 5.0) - 0.01
+		tEnd := math.Mod(math.Abs(tRaw), 8.0) + 0.1
+		in := NewDVERK(1e-8, 1e-12)
+		y := []float64{1}
+		if _, err := in.Integrate(func(_ float64, y, dy []float64) {
+			dy[0] = a * y[0]
+		}, 0, tEnd, y); err != nil {
+			return false
+		}
+		want := math.Exp(a * tEnd)
+		return math.Abs(y[0]-want) <= 1e-6*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: integrating in two legs equals integrating in one leg.
+func TestQuickAdditivity(t *testing.T) {
+	rhs := func(tm float64, y, dy []float64) {
+		dy[0] = y[1]
+		dy[1] = -2.5*y[0] - 0.1*y[1] + math.Sin(tm)
+	}
+	f := func(splitRaw float64) bool {
+		if math.IsNaN(splitRaw) || math.IsInf(splitRaw, 0) {
+			return true
+		}
+		split := math.Mod(math.Abs(splitRaw), 0.8) + 0.1 // in (0.1, 0.9)
+		one := []float64{1, 0}
+		in1 := NewDVERK(1e-10, 1e-13)
+		if _, err := in1.Integrate(rhs, 0, 5, one); err != nil {
+			return false
+		}
+		two := []float64{1, 0}
+		in2 := NewDVERK(1e-10, 1e-13)
+		if _, err := in2.Integrate(rhs, 0, 5*split, two); err != nil {
+			return false
+		}
+		if _, err := in2.Integrate(rhs, 5*split, 5, two); err != nil {
+			return false
+		}
+		return math.Abs(one[0]-two[0]) < 1e-7 && math.Abs(one[1]-two[1]) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Steps: 1, Rejected: 2, Evals: 3}
+	a.Add(Stats{Steps: 10, Rejected: 20, Evals: 30})
+	if a.Steps != 11 || a.Rejected != 22 || a.Evals != 33 {
+		t.Fatalf("Add: %+v", a)
+	}
+}
+
+// The controller must reject steps on a problem with a kink and still get
+// the answer right.
+func TestRejectionsHappenAndRecover(t *testing.T) {
+	kink := func(tm float64, y, dy []float64) {
+		if tm < 1 {
+			dy[0] = 1
+		} else {
+			dy[0] = -50 * (y[0] - 1)
+		}
+	}
+	in := NewDVERK(1e-8, 1e-12)
+	in.InitialStep = 0.5
+	y := []float64{0}
+	st, err := in.Integrate(kink, 0, 3, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rejected == 0 {
+		t.Fatal("expected step rejections across the kink")
+	}
+	if math.Abs(y[0]-1.0) > 1e-4 {
+		t.Fatalf("y(3) = %g, want ~1", y[0])
+	}
+}
+
+// MaxStep must be honored exactly.
+func TestMaxStepHonored(t *testing.T) {
+	in := NewDVERK(1e-6, 1e-9)
+	in.MaxStep = 0.01
+	var largest float64
+	prev := 0.0
+	in.OnStep = func(tm float64, y []float64) {
+		if tm-prev > largest {
+			largest = tm - prev
+		}
+		prev = tm
+	}
+	y := []float64{1}
+	if _, err := in.Integrate(expDecay, 0, 1, y); err != nil {
+		t.Fatal(err)
+	}
+	if largest > 0.010000001 {
+		t.Fatalf("step %g exceeded MaxStep", largest)
+	}
+}

@@ -1,0 +1,356 @@
+package plinger
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"plinger/internal/core"
+	"plinger/internal/cosmology"
+	"plinger/internal/mp"
+	"plinger/internal/mp/chanmp"
+	"plinger/internal/mp/fifomp"
+	"plinger/internal/mp/tcpmp"
+	"plinger/internal/recomb"
+	"plinger/internal/thermo"
+)
+
+var (
+	mdlOnce sync.Once
+	mdl     *core.Model
+)
+
+func model(t *testing.T) *core.Model {
+	t.Helper()
+	mdlOnce.Do(func() {
+		bg, err := cosmology.New(cosmology.SCDM())
+		if err != nil {
+			t.Fatal(err)
+		}
+		th, err := thermo.New(bg, recomb.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mdl = core.NewModel(bg, th)
+	})
+	return mdl
+}
+
+func fakeResult(k float64, lmax int) *core.Result {
+	r := &core.Result{
+		K: k, Tau: 11000, A: 1, Gauge: core.Synchronous, LMax: lmax,
+		DeltaC: -5, DeltaB: -4.5, DeltaG: 0.1, DeltaNu: 0.05, DeltaHNu: 0.01,
+		ThetaC: 0, ThetaB: 0.2, Eta: 1.5, HDot: 0.4,
+		MaxConstraintResidual: 1e-4, Seconds: 0.5, Flops: 1e6,
+		ThetaL:  make([]float64, lmax+1),
+		ThetaPL: make([]float64, lmax+1),
+	}
+	for l := range r.ThetaL {
+		r.ThetaL[l] = math.Sin(float64(l)+k) / float64(l+1)
+		r.ThetaPL[l] = math.Cos(float64(l)*k) / float64(l+3)
+	}
+	r.Stats.Steps = 100
+	r.Stats.Evals = 800
+	return r
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	r := fakeResult(0.05, 17)
+	sum := packSummary(3, r)
+	mom := packMoments(3, r)
+	if len(sum) != 21 {
+		t.Fatalf("summary block length %d, want the paper's 21", len(sum))
+	}
+	if len(mom) != 8+2*(17+1) {
+		t.Fatalf("moment block length %d, want 8+2(lmax+1)", len(mom))
+	}
+	ik, got, err := unpackResult(sum, mom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ik != 3 {
+		t.Fatalf("ik = %d", ik)
+	}
+	if got.K != r.K || got.DeltaC != r.DeltaC || got.Eta != r.Eta ||
+		got.Stats.Evals != r.Stats.Evals || got.LMax != r.LMax {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	for l := range r.ThetaL {
+		if got.ThetaL[l] != r.ThetaL[l] || got.ThetaPL[l] != r.ThetaPL[l] {
+			t.Fatalf("moment %d mismatch", l)
+		}
+	}
+}
+
+func TestUnpackRejectsCorruptBlocks(t *testing.T) {
+	r := fakeResult(0.1, 8)
+	sum := packSummary(1, r)
+	mom := packMoments(2, r) // mismatched ik
+	if _, _, err := unpackResult(sum, mom); err == nil {
+		t.Fatal("ik mismatch accepted")
+	}
+	if _, _, err := unpackResult(sum[:5], packMoments(1, r)); err == nil {
+		t.Fatal("short summary accepted")
+	}
+	if _, _, err := unpackResult(sum, mom[:3]); err == nil {
+		t.Fatal("short moments accepted")
+	}
+}
+
+// Property: pack/unpack is the identity for any finite payload.
+func TestQuickPackUnpack(t *testing.T) {
+	f := func(kRaw float64, ikRaw uint16) bool {
+		k := math.Mod(math.Abs(kRaw), 10.0) + 1e-4
+		if math.IsNaN(k) || math.IsInf(k, 0) {
+			return true
+		}
+		ik := int(ikRaw%1000) + 1
+		r := fakeResult(k, 12)
+		gotIK, got, err := unpackResult(packSummary(ik, r), packMoments(ik, r))
+		if err != nil || gotIK != ik {
+			return false
+		}
+		return got.K == r.K && got.HDot == r.HDot
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runParallel executes a full master/worker run over the given endpoints.
+func runParallel(t *testing.T, eps []mp.Endpoint, ks []float64, cfg Config) *Results {
+	t.Helper()
+	m := model(t)
+	cfg.KValues = ks
+	var wg sync.WaitGroup
+	for w := 1; w < len(eps); w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if err := Worker(eps[w], m, ks, cfg.Mode); err != nil {
+				t.Errorf("worker %d: %v", w, err)
+			}
+		}(w)
+	}
+	res, err := Master(eps[0], m, cfg)
+	if err != nil {
+		t.Fatalf("master: %v", err)
+	}
+	wg.Wait()
+	return res
+}
+
+func testKs() []float64 { return []float64{0.002, 0.012, 0.03, 0.05, 0.075, 0.02, 0.008} }
+
+func smallMode() core.Params {
+	return core.Params{LMax: 10, Gauge: core.Synchronous, TauEnd: 300}
+}
+
+func TestMasterWorkerChanTransport(t *testing.T) {
+	_, eps, err := chanmp.New(4) // 1 master + 3 workers
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := testKs()
+	res := runParallel(t, eps, ks, Config{Mode: smallMode()})
+	for i, r := range res.Mode {
+		if r == nil {
+			t.Fatalf("missing result %d", i)
+		}
+		if r.K != ks[i] {
+			t.Fatalf("result %d has k=%g want %g", i, r.K, ks[i])
+		}
+	}
+	st := res.Stats
+	if st.NProc != 4 || st.Wallclock <= 0 || st.TotalCPU <= 0 || st.TotalFlops <= 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if len(st.Workers) == 0 {
+		t.Fatal("no worker timings")
+	}
+	modes := 0
+	for _, w := range st.Workers {
+		modes += w.Modes
+	}
+	if modes != len(ks) {
+		t.Fatalf("workers computed %d modes, want %d", modes, len(ks))
+	}
+}
+
+// The same protocol must run unchanged over the strict arrival-order (MPL)
+// transport — the compatibility the paper asserts in Section 4.
+func TestMasterWorkerFIFOTransport(t *testing.T) {
+	_, eps, err := fifomp.New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runParallel(t, eps, testKs(), Config{Mode: smallMode()})
+	for i, r := range res.Mode {
+		if r == nil {
+			t.Fatalf("missing result %d", i)
+		}
+	}
+}
+
+func TestMasterWorkerTCPTransport(t *testing.T) {
+	hub, err := tcpmp.NewHub("127.0.0.1:0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	eps := make([]mp.Endpoint, 3)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ep, err := tcpmp.Connect(hub.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			eps[ep.Rank()] = ep
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	res := runParallel(t, eps, testKs()[:4], Config{Mode: smallMode()})
+	for i, r := range res.Mode {
+		if r == nil {
+			t.Fatalf("missing result %d", i)
+		}
+	}
+	if hub.BytesMoved() == 0 {
+		t.Fatal("no bytes routed")
+	}
+}
+
+// Results must be byte-identical regardless of transport and worker count —
+// determinism of the physics under the parallel decomposition.
+func TestParallelDeterminism(t *testing.T) {
+	ks := testKs()
+	run := func(nproc int) *Results {
+		_, eps, err := chanmp.New(nproc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return runParallel(t, eps, ks, Config{Mode: smallMode()})
+	}
+	a := run(2)
+	b := run(5)
+	for i := range ks {
+		if a.Mode[i].DeltaC != b.Mode[i].DeltaC {
+			t.Fatalf("delta_c differs with worker count at k=%g: %g vs %g",
+				ks[i], a.Mode[i].DeltaC, b.Mode[i].DeltaC)
+		}
+		for l := range a.Mode[i].ThetaL {
+			if a.Mode[i].ThetaL[l] != b.Mode[i].ThetaL[l] {
+				t.Fatalf("Theta_%d differs with worker count", l)
+			}
+		}
+	}
+}
+
+func TestScheduleOrders(t *testing.T) {
+	// All schedules must produce complete results; the largest-first
+	// policy is the paper's default.
+	for _, s := range []Schedule{LargestFirst, InputOrder, SmallestFirst} {
+		_, eps, err := chanmp.New(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := runParallel(t, eps, testKs(), Config{Mode: smallMode(), Schedule: s})
+		for i, r := range res.Mode {
+			if r == nil {
+				t.Fatalf("%v: missing result %d", s, i)
+			}
+		}
+	}
+	if LargestFirst.String() == "" || InputOrder.String() == "" ||
+		SmallestFirst.String() == "" || Schedule(9).String() == "" {
+		t.Fatal("schedule names")
+	}
+}
+
+func TestOutputFiles(t *testing.T) {
+	_, eps, err := chanmp.New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ascii bytes.Buffer
+	var bin bytes.Buffer
+	ks := testKs()[:4]
+	runParallel(t, eps, ks, Config{Mode: smallMode(), ASCIIOut: &ascii, BinaryOut: &bin})
+	lines := strings.Split(strings.TrimSpace(ascii.String()), "\n")
+	if len(lines) != len(ks) {
+		t.Fatalf("ascii lines %d, want %d", len(lines), len(ks))
+	}
+	for _, ln := range lines {
+		if got := len(strings.Fields(ln)); got != 20 {
+			t.Fatalf("ascii record has %d fields, want the paper's 20", got)
+		}
+	}
+	recs, err := ReadBinaryRecords(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(ks) {
+		t.Fatalf("binary records %d, want %d", len(recs), len(ks))
+	}
+	for _, rec := range recs {
+		if len(rec) < momentsHeaderLen {
+			t.Fatal("truncated binary record")
+		}
+	}
+}
+
+func TestSingleWorkerMatchesSerial(t *testing.T) {
+	// PLINGER with one worker must equal a direct core evolution.
+	m := model(t)
+	ks := []float64{0.03}
+	_, eps, err := chanmp.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runParallel(t, eps, ks, Config{Mode: smallMode()})
+	p := smallMode()
+	p.K = 0.03
+	direct, err := m.Evolve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode[0].DeltaC != direct.DeltaC || res.Mode[0].Eta != direct.Eta {
+		t.Fatalf("parallel result differs from serial: %g vs %g",
+			res.Mode[0].DeltaC, direct.DeltaC)
+	}
+}
+
+func TestMasterRejectsEmptyWork(t *testing.T) {
+	_, eps, err := chanmp.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Master(eps[0], model(t), Config{}); err == nil {
+		t.Fatal("empty k list accepted")
+	}
+}
+
+func TestMessageSizesMatchPaper(t *testing.T) {
+	// "the results are gathered as a single message of roughly 150 bytes
+	// ... to a maximum of 80 kbyte": the tag-5 block is 8*(8+2(lmax+1))
+	// bytes. With lmax ~ 10 (small k) that is ~240 bytes; with the paper's
+	// lmax = 5000 it is ~80 kB. Verify the formula at both ends.
+	small := packMoments(1, fakeResult(0.001, 10))
+	if got := 8 * len(small); got > 400 {
+		t.Fatalf("small-k message %d bytes, want a few hundred", got)
+	}
+	big := packMoments(1, fakeResult(0.5, 5000))
+	if got := 8 * len(big); got < 75000 || got > 90000 {
+		t.Fatalf("production-lmax message %d bytes, want ~80 kB as in the paper", got)
+	}
+}

@@ -1,0 +1,160 @@
+// Package plinger implements the parallel code of the paper: the
+// master/worker decomposition over independent k modes, using exactly the
+// message-passing algorithm of Appendix A. The master broadcasts the run
+// parameters (tag 1), workers request wavenumbers (tag 2), the master
+// assigns them (tag 3), workers return a 21-double summary block (tag 4)
+// followed by the full multipole block of 8+2(lmax+1) doubles (tag 5), and
+// the master answers each result with the next wavenumber or a stop message
+// (tag 6). Wavenumbers are handed out largest-k-first, the paper's trick
+// for minimizing end-of-run idle time, and the master writes an ASCII
+// summary file and a binary moment file, like the original's unit_1/unit_2.
+package plinger
+
+import (
+	"fmt"
+
+	"plinger/internal/core"
+)
+
+// Message tags, exactly as tabulated in Appendix A of the paper.
+const (
+	// TagInit is the first message from master to workers.
+	TagInit = 1
+	// TagRequest is sent by a worker asking for a wavenumber.
+	TagRequest = 2
+	// TagAssign carries a wavenumber index from master to worker.
+	TagAssign = 3
+	// TagSummary carries the worker's first data block (21 doubles + lmax).
+	TagSummary = 4
+	// TagMoments carries the worker's second block (8 + 2(lmax+1) doubles).
+	TagMoments = 5
+	// TagStop tells a worker to exit.
+	TagStop = 6
+)
+
+// initBlockLen is the length of the tag-1 broadcast: the paper sends 5
+// doubles of run parameters.
+const initBlockLen = 5
+
+// summaryBlockLen is the length of the tag-4 block: the paper's master
+// receives 21 doubles (20 summary values plus lmax).
+const summaryBlockLen = 21
+
+// Summary block layout (the paper prints y(1..20) to the ASCII file and
+// keeps y(21) = lmax).
+const (
+	sumIK       = 0  // wavenumber index (1-based, as in the Fortran)
+	sumK        = 1  // k in Mpc^-1
+	sumTau      = 2  // final conformal time
+	sumA        = 3  // final scale factor
+	sumDeltaC   = 4  // CDM density contrast
+	sumDeltaB   = 5  // baryon density contrast
+	sumDeltaG   = 6  // photon density contrast
+	sumDeltaNu  = 7  // massless neutrino density contrast
+	sumDeltaHNu = 8  // massive neutrino density contrast
+	sumThetaC   = 9  // CDM velocity divergence
+	sumThetaB   = 10 // baryon velocity divergence
+	sumPhi      = 11 // Newtonian potential phi (or 0)
+	sumPsi      = 12 // Newtonian potential psi (or 0)
+	sumEta      = 13 // synchronous eta (or 0)
+	sumHDot     = 14 // synchronous h-dot (or 0)
+	sumResidual = 15 // max Einstein constraint residual
+	sumSeconds  = 16 // worker CPU seconds for this mode
+	sumFlops    = 17 // model flop count for this mode
+	sumSteps    = 18 // accepted integrator steps
+	sumEvals    = 19 // right-hand-side evaluations
+	sumLMax     = 20 // hierarchy cutoff (the paper's y(21))
+)
+
+// momentsHeaderLen is the 8-double header preceding the two moment arrays
+// in the tag-5 block.
+const momentsHeaderLen = 8
+
+// packSummary flattens a Result into the paper's tag-4 block.
+func packSummary(ik int, r *core.Result) []float64 {
+	y := make([]float64, summaryBlockLen)
+	y[sumIK] = float64(ik)
+	y[sumK] = r.K
+	y[sumTau] = r.Tau
+	y[sumA] = r.A
+	y[sumDeltaC] = r.DeltaC
+	y[sumDeltaB] = r.DeltaB
+	y[sumDeltaG] = r.DeltaG
+	y[sumDeltaNu] = r.DeltaNu
+	y[sumDeltaHNu] = r.DeltaHNu
+	y[sumThetaC] = r.ThetaC
+	y[sumThetaB] = r.ThetaB
+	y[sumPhi] = r.Phi
+	y[sumPsi] = r.Psi
+	y[sumEta] = r.Eta
+	y[sumHDot] = r.HDot
+	y[sumResidual] = r.MaxConstraintResidual
+	y[sumSeconds] = r.Seconds
+	y[sumFlops] = r.Flops
+	y[sumSteps] = float64(r.Stats.Steps)
+	y[sumEvals] = float64(r.Stats.Evals)
+	y[sumLMax] = float64(r.LMax)
+	return y
+}
+
+// packMoments flattens the multipoles into the paper's tag-5 block:
+// an 8-double header, then Theta_l (temperature), then ThetaP_l
+// (polarization), each of length lmax+1.
+func packMoments(ik int, r *core.Result) []float64 {
+	l1 := len(r.ThetaL)
+	y := make([]float64, momentsHeaderLen+2*l1)
+	y[0] = float64(ik)
+	y[1] = r.K
+	y[2] = float64(l1 - 1)
+	y[3] = r.Tau
+	y[4] = float64(r.Gauge)
+	y[5] = r.MaxConstraintResidual
+	y[6] = r.Seconds
+	y[7] = r.Flops
+	copy(y[momentsHeaderLen:], r.ThetaL)
+	copy(y[momentsHeaderLen+l1:], r.ThetaPL)
+	return y
+}
+
+// unpackResult reconstructs a Result (the master's view) from the two
+// blocks.
+func unpackResult(sum, mom []float64) (ik int, r *core.Result, err error) {
+	if len(sum) != summaryBlockLen {
+		return 0, nil, fmt.Errorf("plinger: summary block length %d, want %d", len(sum), summaryBlockLen)
+	}
+	lmax := int(sum[sumLMax])
+	l1 := lmax + 1
+	if len(mom) != momentsHeaderLen+2*l1 {
+		return 0, nil, fmt.Errorf("plinger: moment block length %d, want %d", len(mom), momentsHeaderLen+2*l1)
+	}
+	ik = int(sum[sumIK])
+	if int(mom[0]) != ik {
+		return 0, nil, fmt.Errorf("plinger: moment block for ik=%d arrived with summary for ik=%d", int(mom[0]), ik)
+	}
+	r = &core.Result{
+		K:                     sum[sumK],
+		Tau:                   sum[sumTau],
+		A:                     sum[sumA],
+		Gauge:                 core.Gauge(int(mom[4])),
+		LMax:                  lmax,
+		DeltaC:                sum[sumDeltaC],
+		DeltaB:                sum[sumDeltaB],
+		DeltaG:                sum[sumDeltaG],
+		DeltaNu:               sum[sumDeltaNu],
+		DeltaHNu:              sum[sumDeltaHNu],
+		ThetaC:                sum[sumThetaC],
+		ThetaB:                sum[sumThetaB],
+		Phi:                   sum[sumPhi],
+		Psi:                   sum[sumPsi],
+		Eta:                   sum[sumEta],
+		HDot:                  sum[sumHDot],
+		MaxConstraintResidual: sum[sumResidual],
+		Seconds:               sum[sumSeconds],
+		Flops:                 sum[sumFlops],
+		ThetaL:                append([]float64(nil), mom[momentsHeaderLen:momentsHeaderLen+l1]...),
+		ThetaPL:               append([]float64(nil), mom[momentsHeaderLen+l1:]...),
+	}
+	r.Stats.Steps = int(sum[sumSteps])
+	r.Stats.Evals = int(sum[sumEvals])
+	return ik, r, nil
+}

@@ -1,0 +1,369 @@
+package plinger
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"plinger/internal/core"
+	"plinger/internal/mp"
+)
+
+// Schedule selects the order in which the master hands out wavenumbers.
+type Schedule int
+
+const (
+	// LargestFirst is the paper's policy: "Since larger wavenumbers require
+	// greater computation, one simple method by which we minimized this
+	// idle time was to compute the largest k first."
+	LargestFirst Schedule = iota
+	// InputOrder hands wavenumbers out as given (the ablation baseline).
+	InputOrder
+	// SmallestFirst is the adversarial ordering for the ablation.
+	SmallestFirst
+)
+
+// String implements fmt.Stringer.
+func (s Schedule) String() string {
+	switch s {
+	case LargestFirst:
+		return "largest-first"
+	case InputOrder:
+		return "input-order"
+	case SmallestFirst:
+		return "smallest-first"
+	default:
+		return fmt.Sprintf("Schedule(%d)", int(s))
+	}
+}
+
+// Config describes one parallel run.
+type Config struct {
+	// KValues are the wavenumbers to evolve (Mpc^-1).
+	KValues []float64
+	// Mode holds the per-k evolution parameters (K is overwritten).
+	Mode core.Params
+	// Schedule is the hand-out order (default LargestFirst).
+	Schedule Schedule
+	// ASCIIOut, if non-nil, receives the unit_1-style text summary lines.
+	ASCIIOut io.Writer
+	// BinaryOut, if non-nil, receives the unit_2-style binary moment
+	// records.
+	BinaryOut io.Writer
+}
+
+// WorkerTiming is the per-worker accounting used for Figure 1.
+type WorkerTiming struct {
+	Rank    int
+	Modes   int     // k values computed
+	Seconds float64 // busy seconds (the paper's etime)
+	Flops   float64 // model flop count
+}
+
+// RunStats aggregates a parallel run, reproducing the quantities plotted in
+// Figure 1 and tabulated in Section 5.
+type RunStats struct {
+	NProc         int
+	Wallclock     float64 // seconds
+	TotalCPU      float64 // sum of busy seconds over workers
+	Efficiency    float64 // TotalCPU / (Wallclock * workers)
+	TotalFlops    float64
+	FlopRate      float64 // flop/s = TotalFlops / Wallclock
+	BytesReceived int64   // protocol payload volume at the master
+	Workers       []WorkerTiming
+}
+
+// Results is the master's collected output, ordered like KValues.
+type Results struct {
+	Mode    []*core.Result
+	Stats   RunStats
+	KValues []float64
+}
+
+// Master runs the master subroutine of Appendix A over the endpoint. It
+// returns when every wavenumber has been received and every worker stopped.
+func Master(ep mp.Endpoint, model *core.Model, cfg Config) (*Results, error) {
+	nk := len(cfg.KValues)
+	if nk == 0 {
+		return nil, fmt.Errorf("plinger: no wavenumbers to distribute")
+	}
+	start := time.Now()
+
+	// Broadcast initial data (tag 1): end time, lmax, nk, gauge, rtol.
+	tauEnd := cfg.Mode.TauEnd
+	if tauEnd <= 0 {
+		tauEnd = model.BG.Tau0()
+	}
+	init := []float64{tauEnd, float64(cfg.Mode.LMax), float64(nk),
+		float64(cfg.Mode.Gauge), cfg.Mode.RTol}
+	if len(init) != initBlockLen {
+		panic("plinger: init block length drifted from the protocol")
+	}
+	if err := ep.Bcast(TagInit, init); err != nil {
+		return nil, fmt.Errorf("plinger: broadcast: %w", err)
+	}
+
+	// Build the hand-out order.
+	order := make([]int, nk)
+	for i := range order {
+		order[i] = i
+	}
+	switch cfg.Schedule {
+	case LargestFirst:
+		sort.Slice(order, func(a, b int) bool {
+			return cfg.KValues[order[a]] > cfg.KValues[order[b]]
+		})
+	case SmallestFirst:
+		sort.Slice(order, func(a, b int) bool {
+			return cfg.KValues[order[a]] < cfg.KValues[order[b]]
+		})
+	case InputOrder:
+		// as given
+	}
+
+	res := &Results{
+		Mode:    make([]*core.Result, nk),
+		KValues: append([]float64(nil), cfg.KValues...),
+	}
+	workers := map[int]*WorkerTiming{}
+	var bytes int64
+
+	next := 0 // position in order
+	done := 0
+	stopped := map[int]bool{}
+
+	assign := func(dst int) error {
+		if next < nk {
+			ik := order[next]
+			next++
+			// The Fortran sends the 1-based wavenumber index.
+			return ep.Send(dst, TagAssign, []float64{float64(ik + 1)})
+		}
+		if !stopped[dst] {
+			stopped[dst] = true
+			return ep.Send(dst, TagStop, []float64{0})
+		}
+		return nil
+	}
+
+	for done < nk {
+		tag, src, err := ep.Probe(mp.AnyTag, mp.AnySource)
+		if err != nil {
+			return nil, fmt.Errorf("plinger: master probe: %w", err)
+		}
+		switch tag {
+		case TagRequest:
+			// Dispose of the request (it carries no data) and reply.
+			m, err := ep.Recv(TagRequest, src)
+			if err != nil {
+				return nil, err
+			}
+			bytes += int64(8 * len(m.Data))
+			if w := workers[src]; w == nil {
+				workers[src] = &WorkerTiming{Rank: src}
+			}
+			if err := assign(src); err != nil {
+				return nil, err
+			}
+		case TagSummary:
+			sum, err := ep.Recv(TagSummary, src)
+			if err != nil {
+				return nil, err
+			}
+			// The moment block follows from the same worker (tag 5); the
+			// paper waits for it explicitly with mycheckone.
+			if _, _, err := ep.Probe(TagMoments, src); err != nil {
+				return nil, err
+			}
+			mom, err := ep.Recv(TagMoments, src)
+			if err != nil {
+				return nil, err
+			}
+			bytes += int64(8 * (len(sum.Data) + len(mom.Data)))
+			ik1, r, err := unpackResult(sum.Data, mom.Data)
+			if err != nil {
+				return nil, err
+			}
+			ik := ik1 - 1
+			if ik < 0 || ik >= nk {
+				return nil, fmt.Errorf("plinger: wavenumber index %d out of range", ik1)
+			}
+			res.Mode[ik] = r
+			done++
+			w := workers[src]
+			if w == nil {
+				w = &WorkerTiming{Rank: src}
+				workers[src] = w
+			}
+			w.Modes++
+			w.Seconds += r.Seconds
+			w.Flops += r.Flops
+			if cfg.ASCIIOut != nil {
+				writeASCIIRecord(cfg.ASCIIOut, sum.Data)
+			}
+			if cfg.BinaryOut != nil {
+				if err := writeBinaryRecord(cfg.BinaryOut, mom.Data); err != nil {
+					return nil, err
+				}
+			}
+			if err := assign(src); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("plinger: master got unexpected tag %d from %d", tag, src)
+		}
+	}
+
+	// Stop any workers that never got a stop (they may still be asking).
+	for rank := range workers {
+		if !stopped[rank] {
+			// They will send a request or are idle; flush pending requests.
+			for {
+				tag, src, err := ep.Probe(mp.AnyTag, rank)
+				if err != nil || tag != TagRequest || src != rank {
+					break
+				}
+				if _, err := ep.Recv(TagRequest, rank); err != nil {
+					break
+				}
+				break
+			}
+			stopped[rank] = true
+			if err := ep.Send(rank, TagStop, []float64{0}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	st := &res.Stats
+	st.NProc = ep.Size()
+	st.Wallclock = time.Since(start).Seconds()
+	for _, w := range workers {
+		st.Workers = append(st.Workers, *w)
+		st.TotalCPU += w.Seconds
+		st.TotalFlops += w.Flops
+	}
+	sort.Slice(st.Workers, func(a, b int) bool { return st.Workers[a].Rank < st.Workers[b].Rank })
+	nWorkers := ep.Size() - 1
+	if nWorkers < 1 {
+		nWorkers = 1
+	}
+	if st.Wallclock > 0 {
+		st.Efficiency = st.TotalCPU / (st.Wallclock * float64(nWorkers))
+		st.FlopRate = st.TotalFlops / st.Wallclock
+	}
+	st.BytesReceived = bytes
+	return res, nil
+}
+
+// Worker runs the worker subroutine of Appendix A: receive the initial
+// broadcast, then alternate between requesting work and returning results
+// until a stop message arrives.
+func Worker(ep mp.Endpoint, model *core.Model, kValues []float64, mode core.Params) error {
+	master := ep.Master()
+	// Receive initial data (tag 1).
+	if _, _, err := ep.Probe(TagInit, master); err != nil {
+		return fmt.Errorf("plinger: worker init probe: %w", err)
+	}
+	init, err := ep.Recv(TagInit, master)
+	if err != nil {
+		return fmt.Errorf("plinger: worker init: %w", err)
+	}
+	if len(init.Data) != initBlockLen {
+		return fmt.Errorf("plinger: init block length %d", len(init.Data))
+	}
+	mode.TauEnd = init.Data[0]
+	if lm := int(init.Data[1]); lm > 0 {
+		mode.LMax = lm
+	}
+	mode.Gauge = core.Gauge(int(init.Data[3]))
+	if rt := init.Data[4]; rt > 0 {
+		mode.RTol = rt
+	}
+
+	// Ask for the first wavenumber (tag 2).
+	if err := ep.Send(master, TagRequest, []float64{0}); err != nil {
+		return err
+	}
+	for {
+		// Receive next assignment or stop (mychecktid pattern: any tag
+		// from the master).
+		tag, _, err := ep.Probe(mp.AnyTag, master)
+		if err != nil {
+			return err
+		}
+		m, err := ep.Recv(tag, master)
+		if err != nil {
+			return err
+		}
+		if tag == TagStop {
+			return nil
+		}
+		if tag != TagAssign {
+			return fmt.Errorf("plinger: worker got unexpected tag %d", tag)
+		}
+		ik1 := int(m.Data[0])
+		if ik1 < 1 || ik1 > len(kValues) {
+			return fmt.Errorf("plinger: assigned index %d out of range", ik1)
+		}
+		p := mode
+		p.K = kValues[ik1-1]
+		r, err := model.Evolve(p)
+		if err != nil {
+			return fmt.Errorf("plinger: worker evolve (ik=%d, k=%g): %w", ik1, p.K, err)
+		}
+		if err := ep.Send(master, TagSummary, packSummary(ik1, r)); err != nil {
+			return err
+		}
+		if err := ep.Send(master, TagMoments, packMoments(ik1, r)); err != nil {
+			return err
+		}
+	}
+}
+
+// writeASCIIRecord prints the 20 summary values, one line per mode, like
+// the paper's "WRITE(unit_1,*) (y(i),i=1,20)".
+func writeASCIIRecord(w io.Writer, sum []float64) {
+	for i := 0; i < 20; i++ {
+		sep := " "
+		if i == 19 {
+			sep = "\n"
+		}
+		fmt.Fprintf(w, "%.10e%s", sum[i], sep)
+	}
+}
+
+// writeBinaryRecord writes the moment block as little-endian float64s with
+// a length prefix, the Go rendering of the unformatted Fortran record
+// "WRITE(unit_2) ...".
+func writeBinaryRecord(w io.Writer, mom []float64) error {
+	if err := binary.Write(w, binary.LittleEndian, int64(len(mom))); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, mom)
+}
+
+// ReadBinaryRecords parses a unit_2-style stream back into moment blocks.
+func ReadBinaryRecords(r io.Reader) ([][]float64, error) {
+	var out [][]float64
+	for {
+		var n int64
+		err := binary.Read(r, binary.LittleEndian, &n)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 || n > 1<<26 {
+			return nil, fmt.Errorf("plinger: corrupt record length %d", n)
+		}
+		rec := make([]float64, n)
+		if err := binary.Read(r, binary.LittleEndian, rec); err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}

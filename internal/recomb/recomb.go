@@ -1,0 +1,300 @@
+// Package recomb computes the ionization history of the universe: Saha
+// equilibrium for hydrogen and both helium stages at early times, matched
+// onto the Peebles effective three-level atom for hydrogen through
+// recombination, together with the baryon temperature evolution including
+// Compton coupling to the radiation. The paper lists "accurate treatments
+// of hydrogen and helium recombination" and the "decoupling of photons and
+// baryons" among the physics modeled; this package is that substrate.
+//
+// All microphysics here is evaluated in SI units and the results are
+// returned as dimensionless fractions and kelvin on a logarithmic grid in
+// the scale factor.
+package recomb
+
+import (
+	"fmt"
+	"math"
+
+	"plinger/internal/constants"
+	"plinger/internal/cosmology"
+)
+
+// Ionization energies in eV.
+const (
+	chiH    = 13.605698
+	chiHeI  = 24.587387
+	chiHeII = 54.417760
+)
+
+// Atomic constants for the Peebles three-level atom.
+const (
+	lambda2s1s   = 8.2245809   // 2s->1s two-photon rate, s^-1
+	lambdaLyAlph = 121.5682e-9 // Lyman-alpha wavelength, m
+	e2sEV        = chiH / 4.0  // binding energy of n=2, eV
+	eLyAlphaEV   = chiH * 0.75 // Ly-alpha transition energy, eV
+	alphaFudge   = 1.14        // case-B fudge factor (RECFAST convention)
+	sahaSwitchXp = 0.985       // hand-off from Saha to the Peebles ODE
+)
+
+// History tabulates the ionization state on a grid uniform in ln a.
+type History struct {
+	// LnA is the grid in ln(a), increasing.
+	LnA []float64
+	// Xe is n_e/n_H (can exceed 1 thanks to helium).
+	Xe []float64
+	// Xp is the ionized hydrogen fraction n_p/n_H.
+	Xp []float64
+	// TBaryon is the baryon (matter) temperature in kelvin.
+	TBaryon []float64
+	// TGamma is the photon temperature in kelvin.
+	TGamma []float64
+
+	// FHe is the helium-to-hydrogen number ratio Y/(4(1-Y)).
+	FHe float64
+	// NH0 is the comoving hydrogen number density, Mpc^-3.
+	NH0 float64
+}
+
+// Options tunes the integration grid.
+type Options struct {
+	// AStart is the initial scale factor (default 1e-8).
+	AStart float64
+	// N is the number of grid points (default 6000).
+	N int
+}
+
+// Compute integrates the ionization history for the given background.
+func Compute(bg *cosmology.Background, opt Options) (*History, error) {
+	if opt.AStart <= 0 {
+		opt.AStart = 1e-8
+	}
+	if opt.N <= 1 {
+		opt.N = 6000
+	}
+	if opt.AStart >= 1 {
+		return nil, fmt.Errorf("recomb: AStart = %g must be < 1", opt.AStart)
+	}
+	p := bg.P
+	h := &History{
+		LnA:     make([]float64, opt.N),
+		Xe:      make([]float64, opt.N),
+		Xp:      make([]float64, opt.N),
+		TBaryon: make([]float64, opt.N),
+		TGamma:  make([]float64, opt.N),
+		FHe:     p.YHe / (4.0 * (1.0 - p.YHe)),
+		NH0:     constants.NHydrogenToday(p.OmegaB*p.H*p.H, p.YHe),
+	}
+	lnA0 := math.Log(opt.AStart)
+	dln := -lnA0 / float64(opt.N-1)
+
+	// nH in m^-3 at scale factor a.
+	nH0SI := h.NH0 / (constants.MpcMeter * constants.MpcMeter * constants.MpcMeter)
+	nH := func(a float64) float64 { return nH0SI / (a * a * a) }
+	// Physical Hubble rate in s^-1.
+	hubbleSI := func(a float64) float64 {
+		return bg.HConf(a) / a / constants.MpcSecond
+	}
+
+	usePeebles := false
+	xp := 1.0
+	tb := p.TCMB / opt.AStart
+
+	for i := 0; i < opt.N; i++ {
+		lnA := lnA0 + float64(i)*dln
+		a := math.Exp(lnA)
+		tg := p.TCMB / a
+		h.LnA[i] = lnA
+		h.TGamma[i] = tg
+
+		if !usePeebles {
+			// Full Saha equilibrium (H + He) with T = T_gamma.
+			xpS, xe := sahaSolve(tg, nH(a), h.FHe)
+			xp = xpS
+			h.Xp[i] = xp
+			h.Xe[i] = xe
+			if xp < sahaSwitchXp {
+				usePeebles = true
+			}
+		} else {
+			// Advance the Peebles ODE for hydrogen across one grid step.
+			// Immediately after the Saha hand-off the equation is stiff
+			// (the net rate relaxes x_p to quasi-equilibrium much faster
+			// than a Hubble time), so an exponential (linearized-implicit)
+			// Euler step is used: x += f * (e^{J h} - 1)/J, which tracks
+			// the equilibrium exactly in the stiff limit and reduces to
+			// explicit Euler when the rates are slow. Helium follows Saha.
+			const nSub = 8
+			hSub := dln / nSub
+			for s := 0; s < nSub; s++ {
+				lnAs := lnA - dln + float64(s)*hSub
+				as := math.Exp(lnAs + 0.5*hSub) // midpoint scale factor
+				f := func(x float64) float64 {
+					xe := x + heliumSaha(p.TCMB/as, nH(as), h.FHe, math.Max(x, 1e-12))
+					return dxpDlnA(as, x, xe, p.TCMB/as, tb, nH(as), hubbleSI(as))
+				}
+				fx := f(xp)
+				delta := 1e-6 + 1e-4*xp
+				jac := (f(xp+delta) - f(xp-delta)) / (2.0 * delta)
+				z := jac * hSub
+				var phi float64
+				if math.Abs(z) > 1e-6 {
+					phi = math.Expm1(z) / z
+				} else {
+					phi = 1.0 + 0.5*z
+				}
+				xp += fx * phi * hSub
+				if xp < 0 {
+					xp = 0
+				}
+				if xp > 1 {
+					xp = 1
+				}
+			}
+			h.Xp[i] = xp
+			h.Xe[i] = xp + heliumSaha(tg, nH(a), h.FHe, math.Max(xp, 1e-12))
+		}
+
+		// Baryon temperature: locked to T_gamma while the Compton rate
+		// dominates, explicit midpoint step afterwards.
+		rate := comptonRate(h.Xe[i], h.FHe, a, p.TCMB)
+		if rate > 300.0*hubbleSI(a) {
+			tb = tg
+		} else if i > 0 {
+			aPrev := math.Exp(lnA - dln)
+			d := func(aa, T float64) float64 {
+				r := comptonRate(h.Xe[i], h.FHe, aa, p.TCMB)
+				return -2.0*T + r/hubbleSI(aa)*(p.TCMB/aa-T)
+			}
+			k1 := d(aPrev, tb)
+			k2 := d(math.Exp(lnA-0.5*dln), tb+0.5*dln*k1)
+			tb += dln * k2
+		}
+		h.TBaryon[i] = tb
+	}
+	return h, nil
+}
+
+// sahaFactor returns (2 pi m_e k T / h_planck^2)^(3/2) exp(-chi/kT) / nH,
+// the dimensionless right-hand side of the Saha equation per ion state.
+func sahaFactor(tK, nHm3, chiEV float64) float64 {
+	kt := constants.KBoltzmann * tK
+	hPlanck := 2.0 * math.Pi * constants.HBar
+	pref := math.Pow(2.0*math.Pi*constants.ElectronMassKg*kt/(hPlanck*hPlanck), 1.5)
+	arg := chiEV * constants.EVJoule / kt
+	if arg > 650 {
+		return 0
+	}
+	return pref * math.Exp(-arg) / nHm3
+}
+
+// heliumSaha returns x_HeII + 2 x_HeIII (per hydrogen nucleus) in Saha
+// equilibrium at photon temperature tK given the current electron fraction.
+func heliumSaha(tK, nHm3, fHe, xe float64) float64 {
+	r1 := 4.0 * sahaFactor(tK, nHm3, chiHeI)
+	r2 := sahaFactor(tK, nHm3, chiHeII)
+	u1 := r1 / xe
+	u2 := u1 * r2 / xe
+	den := 1.0 + u1 + u2
+	return fHe * (u1 + 2.0*u2) / den
+}
+
+// sahaSolve returns (x_p, x_e) from the coupled H + He Saha system by
+// damped fixed-point iteration.
+func sahaSolve(tK, nHm3, fHe float64) (xp, xe float64) {
+	sH := sahaFactor(tK, nHm3, chiH)
+	xe = 1.0 + 2.0*fHe // fully ionized guess
+	for iter := 0; iter < 200; iter++ {
+		xeSafe := math.Max(xe, 1e-12)
+		// x_p x_e/(1-x_p) = sH  =>  x_p = sH/(sH + x_e).
+		xp = sH / (sH + xeSafe)
+		xeNew := xp + heliumSaha(tK, nHm3, fHe, xeSafe)
+		if math.Abs(xeNew-xe) < 1e-13*(1.0+xeNew) {
+			xe = xeNew
+			break
+		}
+		xe = 0.5*xe + 0.5*xeNew
+	}
+	xp = sH / (sH + math.Max(xe, 1e-12))
+	return xp, xe
+}
+
+// alphaB returns the case-B recombination coefficient in m^3/s
+// (Pequignot, Petitjean & Boisson 1991 fit with the standard fudge).
+func alphaB(tK float64) float64 {
+	t4 := tK / 1e4
+	cm3 := alphaFudge * 1e-13 * 4.309 * math.Pow(t4, -0.6166) /
+		(1.0 + 0.6703*math.Pow(t4, 0.5300))
+	return cm3 * 1e-6
+}
+
+// dxpDlnA is the Peebles three-level-atom rate dx_p/dln a.
+func dxpDlnA(a, xp, xe, tg, tb, nHm3, hubble float64) float64 {
+	if tb <= 0 {
+		tb = tg
+	}
+	kTb := constants.KBoltzmann * tb
+	alpha := alphaB(tb)
+	// Detailed-balance photoionization rate from the n=2 level.
+	hPlanck := 2.0 * math.Pi * constants.HBar
+	pre := math.Pow(2.0*math.Pi*constants.ElectronMassKg*kTb/(hPlanck*hPlanck), 1.5)
+	beta := alpha * pre * math.Exp(-e2sEV*constants.EVJoule/kTb)
+	// Ly-alpha escape (Peebles C factor).
+	n1s := (1.0 - xp) * nHm3
+	if n1s < 0 {
+		n1s = 0
+	}
+	kLy := lambdaLyAlph * lambdaLyAlph * lambdaLyAlph / (8.0 * math.Pi * hubble)
+	c := (1.0 + kLy*lambda2s1s*n1s) / (1.0 + kLy*(lambda2s1s+beta)*n1s)
+	// Boltzmann factor for the net 2->1 source uses the Ly-alpha energy.
+	arg := eLyAlphaEV * constants.EVJoule / kTb
+	var up float64
+	if arg < 650 {
+		up = beta * (1.0 - xp) * math.Exp(-arg)
+	}
+	down := alpha * xp * xe * nHm3
+	return c * (up - down) / hubble
+}
+
+// comptonRate returns the Compton heating rate coefficient
+// (8/3) sigma_T a_r T_gamma^4 x_e / (m_e c (1 + f_He + x_e)) in s^-1.
+func comptonRate(xe, fHe, a, tcmb float64) float64 {
+	tg := tcmb / a
+	// Radiation energy density u = a_r T^4 with
+	// a_r = pi^2 k^4/(15 hbar^3 c^3).
+	kt := constants.KBoltzmann * tg
+	u := math.Pi * math.Pi / 15.0 * kt * kt * kt * kt /
+		(constants.HBar * constants.HBar * constants.HBar *
+			constants.CLight * constants.CLight * constants.CLight)
+	return 8.0 / 3.0 * constants.SigmaThomsonM2 * u /
+		(constants.ElectronMassKg * constants.CLight) *
+		xe / (1.0 + fHe + xe)
+}
+
+// XeAt interpolates x_e at scale factor a (linear in ln a; the table is
+// dense enough that this is sub-0.1%).
+func (h *History) XeAt(a float64) float64 {
+	return interp(h.LnA, h.Xe, math.Log(a))
+}
+
+// TBaryonAt interpolates the baryon temperature at scale factor a.
+func (h *History) TBaryonAt(a float64) float64 {
+	return interp(h.LnA, h.TBaryon, math.Log(a))
+}
+
+func interp(xs, ys []float64, x float64) float64 {
+	n := len(xs)
+	if x <= xs[0] {
+		return ys[0]
+	}
+	if x >= xs[n-1] {
+		return ys[n-1]
+	}
+	// Uniform grid: direct index.
+	dx := (xs[n-1] - xs[0]) / float64(n-1)
+	i := int((x - xs[0]) / dx)
+	if i > n-2 {
+		i = n - 2
+	}
+	f := (x - xs[i]) / (xs[i+1] - xs[i])
+	return ys[i]*(1.0-f) + ys[i+1]*f
+}

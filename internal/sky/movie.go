@@ -1,0 +1,196 @@
+package sky
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"plinger/internal/core"
+	"plinger/internal/fourier"
+)
+
+// PsiField realizes the conformal-Newtonian potential psi(x, tau) on a
+// two-dimensional comoving slice, reproducing the paper's MPEG movie: "the
+// square is a comoving 100 Mpc across ... the movie ends shortly after
+// recombination, at conformal time 250 Mpc ... The potential oscillates at
+// early times due to the acoustic oscillations of the photon-baryon fluid."
+//
+// The field is built from the evolved transfer functions psi(k, tau) of a
+// set of k modes (interpolated in ln k) with frozen random phases, so
+// successive frames show the same realization evolving in time.
+type PsiField struct {
+	n    int
+	box  float64 // comoving side length in Mpc
+	kLn  []float64
+	srcs []*kSeries
+	amp  []float64 // sqrt of primordial power per mode
+	phRe []float64 // frozen Gaussian amplitudes (real part)
+	phIm []float64
+	spec float64 // spectral index
+}
+
+type kSeries struct {
+	tau []float64
+	psi []float64
+}
+
+func newKSeries(samples []core.Sample) *kSeries {
+	ks := &kSeries{}
+	for _, s := range samples {
+		ks.tau = append(ks.tau, s.Tau)
+		ks.psi = append(ks.psi, s.Psi)
+	}
+	return ks
+}
+
+func (ks *kSeries) at(tau float64) float64 {
+	n := len(ks.tau)
+	if tau <= ks.tau[0] {
+		return ks.psi[0]
+	}
+	if tau >= ks.tau[n-1] {
+		return ks.psi[n-1]
+	}
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if ks.tau[mid] <= tau {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	f := (tau - ks.tau[lo]) / (ks.tau[hi] - ks.tau[lo])
+	return ks.psi[lo]*(1-f) + ks.psi[hi]*f
+}
+
+// NewPsiField prepares a realization. The results must come from conformal
+// Newtonian gauge evolutions with KeepSources, covering the k range of the
+// box (2 pi/box up to pi*n/box); n must be a power of two.
+func NewPsiField(ks []float64, res []*core.Result, n int, boxMpc, spectralIndex float64, seed int64) (*PsiField, error) {
+	if !fourier.IsPowerOfTwo(n) {
+		return nil, fmt.Errorf("sky: grid %d is not a power of two", n)
+	}
+	if len(ks) != len(res) || len(ks) < 2 {
+		return nil, fmt.Errorf("sky: need matching k values and results")
+	}
+	pf := &PsiField{n: n, box: boxMpc, spec: spectralIndex}
+	for i := range ks {
+		if res[i].Gauge != core.ConformalNewtonian {
+			return nil, fmt.Errorf("sky: psi movie requires the conformal Newtonian gauge")
+		}
+		if len(res[i].Sources) < 10 {
+			return nil, fmt.Errorf("sky: mode k=%g has no sources", ks[i])
+		}
+		pf.kLn = append(pf.kLn, math.Log(ks[i]))
+		pf.srcs = append(pf.srcs, newKSeries(res[i].Sources))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pf.amp = make([]float64, n*n)
+	pf.phRe = make([]float64, n*n)
+	pf.phIm = make([]float64, n*n)
+	for j := 0; j < n*n; j++ {
+		pf.phRe[j] = rng.NormFloat64()
+		pf.phIm[j] = rng.NormFloat64()
+	}
+	return pf, nil
+}
+
+// psiAt interpolates psi(k, tau)/C in ln k.
+func (pf *PsiField) psiAt(k, tau float64) float64 {
+	lk := math.Log(k)
+	n := len(pf.kLn)
+	if lk <= pf.kLn[0] {
+		return pf.srcs[0].at(tau)
+	}
+	if lk >= pf.kLn[n-1] {
+		return pf.srcs[n-1].at(tau)
+	}
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if pf.kLn[mid] <= lk {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	f := (lk - pf.kLn[lo]) / (pf.kLn[hi] - pf.kLn[lo])
+	return pf.srcs[lo].at(tau)*(1-f) + pf.srcs[hi].at(tau)*f
+}
+
+// Frame renders psi(x) at conformal time tau. Units are arbitrary (the
+// movie shows relative oscillations); the amplitude follows the primordial
+// spectrum P_C(k) ~ k^(n-4) in 3D, projected onto the slice.
+func (pf *PsiField) Frame(tau float64) (*Map, error) {
+	n := pf.n
+	grid := make([]complex128, n*n)
+	for jy := 0; jy < n; jy++ {
+		for jx := 0; jx < n; jx++ {
+			mx, my := jx, jy
+			if mx > n/2 {
+				mx -= n
+			}
+			if my > n/2 {
+				my -= n
+			}
+			if mx == 0 && my == 0 {
+				continue
+			}
+			k := 2 * math.Pi * math.Sqrt(float64(mx*mx+my*my)) / pf.box
+			// 3D dimensionless power ~ k^(n-1); the mode amplitude in the
+			// slice goes as sqrt(P_3D(k) k^3)/k ~ k^((n-1)/2)/k ... keep the
+			// conventional flat-sky weight sqrt(P_C(k))/k.
+			amp := math.Pow(k, 0.5*(pf.spec-1.0)) / k
+			tr := pf.psiAt(k, tau)
+			idx := jy*n + jx
+			grid[idx] = complex(pf.phRe[idx]*amp*tr, pf.phIm[idx]*amp*tr)
+		}
+	}
+	if err := fourier.FFT2D(grid, n); err != nil {
+		return nil, err
+	}
+	mp := &Map{NX: n, NY: n, Pix: make([][]float64, n),
+		Desc: fmt.Sprintf("psi slice at tau=%.1f Mpc", tau)}
+	for j := 0; j < n; j++ {
+		row := make([]float64, n)
+		for i := 0; i < n; i++ {
+			row[i] = real(grid[j*n+i]) / math.Sqrt2
+		}
+		mp.Pix[j] = row
+	}
+	return mp, nil
+}
+
+// WritePGM emits the map as a binary 8-bit PGM image scaled to the given
+// symmetric range (+-scale); pass scale <= 0 to auto-scale to the extrema.
+func (m *Map) WritePGM(w io.Writer, scale float64) error {
+	if scale <= 0 {
+		mn, mx, _ := m.Stats()
+		scale = math.Max(math.Abs(mn), math.Abs(mx))
+		if scale == 0 {
+			scale = 1
+		}
+	}
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", m.NX, m.NY); err != nil {
+		return err
+	}
+	buf := make([]byte, m.NX)
+	for _, row := range m.Pix {
+		for i, v := range row {
+			g := 127.5 + 127.5*v/scale
+			if g < 0 {
+				g = 0
+			}
+			if g > 255 {
+				g = 255
+			}
+			buf[i] = byte(g)
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+package sky
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"plinger/internal/core"
+)
+
+// flatSpectrum returns a Sachs-Wolfe-like l(l+1)C_l = const spectrum.
+func flatSpectrum(lmax int, amp float64) *Spectrum {
+	var ls []int
+	var cl []float64
+	for l := 2; l <= lmax; l += 1 {
+		ls = append(ls, l)
+		cl = append(cl, amp/float64(l*(l+1)))
+	}
+	return &Spectrum{L: ls, Cl: cl, TCMB: 2.726}
+}
+
+func TestFullSkyVarianceMatchesTheory(t *testing.T) {
+	spec := flatSpectrum(40, 1e-10)
+	want, err := TheoryRMS(spec, 2, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average over several realizations: the sample rms fluctuates by
+	// ~1/sqrt(Nalm) per map.
+	var got float64
+	const nreal = 6
+	for s := int64(0); s < nreal; s++ {
+		m, err := FullSky(spec, 40, 64, 1000+s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, rms := m.Stats()
+		got += rms * rms
+	}
+	got = math.Sqrt(got / nreal)
+	// Note: equirectangular rows oversample the poles, so the pixel rms is
+	// not exactly the sky rms; accept 25%.
+	if math.Abs(got-want) > 0.25*want {
+		t.Fatalf("map rms %g uK vs theory %g uK", got, want)
+	}
+}
+
+func TestFullSkyDeterministicSeed(t *testing.T) {
+	spec := flatSpectrum(20, 1e-10)
+	a, err := FullSky(spec, 20, 32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FullSky(spec, 20, 32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.Pix {
+		for i := range a.Pix[j] {
+			if a.Pix[j][i] != b.Pix[j][i] {
+				t.Fatal("same seed must give the same map")
+			}
+		}
+	}
+	c, err := FullSky(spec, 20, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Pix[5][5] == a.Pix[5][5] {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestFlatPatchVariance(t *testing.T) {
+	// For l(l+1)C_l = A flat, the variance integral
+	// integral dl^2 C_l/(2pi)^2 between the patch's lmin and lmax is
+	// A/(2 pi) ln(lmax/lmin) approximately; just verify the rms is within
+	// a factor ~2 of TheoryRMS over the patch's multipole window.
+	spec := flatSpectrum(3000, 1e-10)
+	n := 128
+	sizeDeg := 32.0
+	var rms2 float64
+	const nreal = 4
+	for s := int64(0); s < nreal; s++ {
+		m, err := FlatPatch(spec, n, sizeDeg, 99+s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, rms := m.Stats()
+		rms2 += rms * rms
+	}
+	got := math.Sqrt(rms2 / nreal)
+	lmin := int(360.0 / sizeDeg)
+	lmax := int(360.0 / sizeDeg * float64(n) / 2)
+	if lmax > 3000 {
+		lmax = 3000
+	}
+	want, err := TheoryRMS(spec, lmin, lmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0.5*want || got > 2.0*want {
+		t.Fatalf("patch rms %g uK vs theory %g uK [l in %d..%d]", got, want, lmin, lmax)
+	}
+}
+
+func TestFlatPatchRejectsBadSize(t *testing.T) {
+	spec := flatSpectrum(100, 1e-10)
+	if _, err := FlatPatch(spec, 100, 10, 1); err == nil {
+		t.Fatal("non-power-of-two accepted")
+	}
+	if _, err := FullSky(spec, 1, 16, 1); err == nil {
+		t.Fatal("lmax<2 accepted")
+	}
+	if _, err := FullSky(&Spectrum{L: []int{2}, Cl: []float64{1}}, 10, 16, 1); err == nil {
+		t.Fatal("single-point spectrum accepted")
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	spec := flatSpectrum(20, 1e-10)
+	m, err := FullSky(spec, 20, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WritePGM(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if !bytes.HasPrefix(b, []byte("P5\n32 16\n255\n")) {
+		t.Fatalf("bad PGM header: %q", b[:16])
+	}
+	if len(b) != len("P5\n32 16\n255\n")+32*16 {
+		t.Fatalf("PGM size %d", len(b))
+	}
+}
+
+func fakeSources(psi0 func(tau float64) float64) []core.Sample {
+	var out []core.Sample
+	for tau := 1.0; tau < 300; tau += 2 {
+		out = append(out, core.Sample{Tau: tau, Psi: psi0(tau)})
+	}
+	return out
+}
+
+func TestPsiFieldEvolves(t *testing.T) {
+	// Two k modes whose psi decays at different rates; frames at later
+	// times must have smaller amplitude.
+	ks := []float64{0.05, 1.0}
+	mk := func(rate float64) *core.Result {
+		return &core.Result{
+			Gauge:   core.ConformalNewtonian,
+			Sources: fakeSources(func(tau float64) float64 { return math.Exp(-tau * rate) }),
+		}
+	}
+	res := []*core.Result{mk(0.005), mk(0.01)}
+	pf, err := NewPsiField(ks, res, 32, 100.0, 1.0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	early, err := pf.Frame(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := pf.Frame(250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, rmsE := early.Stats()
+	_, _, rmsL := late.Stats()
+	if rmsL >= rmsE {
+		t.Fatalf("decaying potential should shrink: rms %g -> %g", rmsE, rmsL)
+	}
+	// Same phases: the maps must be strongly correlated.
+	var dot, na, nb float64
+	for j := range early.Pix {
+		for i := range early.Pix[j] {
+			dot += early.Pix[j][i] * late.Pix[j][i]
+			na += early.Pix[j][i] * early.Pix[j][i]
+			nb += late.Pix[j][i] * late.Pix[j][i]
+		}
+	}
+	corr := dot / math.Sqrt(na*nb)
+	if corr < 0.9 {
+		t.Fatalf("frames decorrelated: r=%g", corr)
+	}
+}
+
+func TestPsiFieldValidation(t *testing.T) {
+	good := &core.Result{Gauge: core.ConformalNewtonian,
+		Sources: fakeSources(func(float64) float64 { return 1 })}
+	badGauge := &core.Result{Gauge: core.Synchronous,
+		Sources: fakeSources(func(float64) float64 { return 1 })}
+	if _, err := NewPsiField([]float64{0.1, 0.2}, []*core.Result{good, badGauge}, 16, 100, 1, 1); err == nil {
+		t.Fatal("synchronous sources accepted")
+	}
+	if _, err := NewPsiField([]float64{0.1}, []*core.Result{good}, 16, 100, 1, 1); err == nil {
+		t.Fatal("single k accepted")
+	}
+	if _, err := NewPsiField([]float64{0.1, 0.2}, []*core.Result{good, good}, 17, 100, 1, 1); err == nil {
+		t.Fatal("non-power-of-two grid accepted")
+	}
+}

@@ -1,0 +1,152 @@
+package specfunc
+
+import "math"
+
+// SphericalBesselJ returns the spherical Bessel function j_l(x) for x >= 0.
+// For x greater than l the stable upward recurrence is used; below the
+// turning point Miller's backward recurrence with normalization against j_0
+// is used (upward recursion is violently unstable there).
+func SphericalBesselJ(l int, x float64) float64 {
+	if l < 0 {
+		return 0
+	}
+	if x == 0 {
+		if l == 0 {
+			return 1
+		}
+		return 0
+	}
+	if x < 0 {
+		// j_l(-x) = (-1)^l j_l(x)
+		v := SphericalBesselJ(l, -x)
+		if l%2 == 1 {
+			return -v
+		}
+		return v
+	}
+	j0 := math.Sin(x) / x
+	if l == 0 {
+		return j0
+	}
+	j1 := math.Sin(x)/(x*x) - math.Cos(x)/x
+	if l == 1 {
+		return j1
+	}
+	if x > float64(l)+0.5 {
+		// Upward recurrence j_{n+1} = (2n+1)/x j_n - j_{n-1}.
+		jm, j := j0, j1
+		for n := 1; n < l; n++ {
+			jm, j = j, (2.0*float64(n)+1.0)/x*j-jm
+		}
+		return j
+	}
+	// For very small arguments use the leading series term to avoid
+	// underflow churn: j_l(x) ~ x^l / (2l+1)!!.
+	if x < 1e-3*float64(l) || x < 1e-6 {
+		v := 1.0
+		for n := 1; n <= l; n++ {
+			v *= x / (2.0*float64(n) + 1.0)
+			if v == 0 {
+				return 0
+			}
+		}
+		// v = x^l/(2l+1)!!; include the (1 - x^2/(2(2l+3))) correction.
+		return v * (1.0 - x*x/(2.0*(2.0*float64(l)+3.0)))
+	}
+	// Miller backward recurrence from a safely large starting order.
+	start := l + int(math.Sqrt(40.0*float64(l))) + 20
+	jp, j := 0.0, 1e-30
+	var jl float64
+	for n := start; n >= 1; n-- {
+		jm := (2.0*float64(n)+1.0)/x*j - jp
+		jp, j = j, jm
+		if n-1 == l {
+			jl = j
+		}
+		// Rescale to avoid overflow.
+		if math.Abs(j) > 1e100 {
+			j *= 1e-100
+			jp *= 1e-100
+			jl *= 1e-100
+		}
+	}
+	// j now holds the unnormalized j_0; normalize with the analytic j_0.
+	if j == 0 {
+		return 0
+	}
+	return jl * (j0 / j)
+}
+
+// SphericalBesselY returns the spherical Bessel function of the second kind
+// y_l(x) for x > 0 via the (stable) upward recurrence.
+func SphericalBesselY(l int, x float64) float64 {
+	y0 := -math.Cos(x) / x
+	if l == 0 {
+		return y0
+	}
+	y1 := -math.Cos(x)/(x*x) - math.Sin(x)/x
+	if l == 1 {
+		return y1
+	}
+	ym, y := y0, y1
+	for n := 1; n < l; n++ {
+		ym, y = y, (2.0*float64(n)+1.0)/x*y-ym
+	}
+	return y
+}
+
+// SphericalBesselJArray fills out[0..lmax] with j_l(x) using a single
+// backward recurrence pass (much cheaper than lmax separate calls).
+func SphericalBesselJArray(lmax int, x float64, out []float64) []float64 {
+	if cap(out) < lmax+1 {
+		out = make([]float64, lmax+1)
+	}
+	out = out[:lmax+1]
+	if x == 0 {
+		out[0] = 1
+		for i := 1; i <= lmax; i++ {
+			out[i] = 0
+		}
+		return out
+	}
+	j0 := math.Sin(x) / x
+	out[0] = j0
+	if lmax == 0 {
+		return out
+	}
+	j1 := math.Sin(x)/(x*x) - math.Cos(x)/x
+	out[1] = j1
+	if lmax == 1 {
+		return out
+	}
+	if x > float64(lmax)+0.5 {
+		for n := 1; n < lmax; n++ {
+			out[n+1] = (2.0*float64(n)+1.0)/x*out[n] - out[n-1]
+		}
+		return out
+	}
+	// Backward recurrence filling all orders, then normalize.
+	start := lmax + int(math.Sqrt(40.0*float64(lmax))) + 20
+	jp, j := 0.0, 1e-30
+	for n := start; n >= 1; n-- {
+		jm := (2.0*float64(n)+1.0)/x*j - jp
+		jp, j = j, jm
+		if n-1 <= lmax {
+			out[n-1] = j
+		}
+		if math.Abs(j) > 1e100 {
+			j *= 1e-100
+			jp *= 1e-100
+			for i := n - 1; i <= lmax; i++ {
+				if i >= 0 {
+					out[i] *= 1e-100
+				}
+			}
+		}
+	}
+	scale := j0 / out[0]
+	for i := 0; i <= lmax; i++ {
+		out[i] *= scale
+	}
+	return out
+}

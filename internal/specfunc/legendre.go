@@ -1,0 +1,126 @@
+// Package specfunc provides the special functions needed by the
+// Einstein-Boltzmann solver and its post-processing: Legendre polynomials
+// (angular expansion of the photon distribution), associated Legendre
+// functions (sky-map synthesis), spherical Bessel functions (line-of-sight
+// integration), and Gaussian quadrature rules (momentum integrals for
+// massive neutrinos, C_l integrals).
+package specfunc
+
+import "math"
+
+// LegendreP returns the Legendre polynomial P_l(x) via the standard upward
+// recurrence (l+1)P_{l+1} = (2l+1)x P_l - l P_{l-1}.
+func LegendreP(l int, x float64) float64 {
+	switch l {
+	case 0:
+		return 1
+	case 1:
+		return x
+	}
+	pm, p := 1.0, x
+	for ell := 1; ell < l; ell++ {
+		pm, p = p, ((2*float64(ell)+1)*x*p-float64(ell)*pm)/float64(ell+1)
+	}
+	return p
+}
+
+// LegendreAll fills out[0..lmax] with P_l(x). It reuses out if it has
+// sufficient capacity and returns the filled slice.
+func LegendreAll(lmax int, x float64, out []float64) []float64 {
+	if cap(out) < lmax+1 {
+		out = make([]float64, lmax+1)
+	}
+	out = out[:lmax+1]
+	out[0] = 1
+	if lmax == 0 {
+		return out
+	}
+	out[1] = x
+	for ell := 1; ell < lmax; ell++ {
+		out[ell+1] = ((2*float64(ell)+1)*x*out[ell] - float64(ell)*out[ell-1]) / float64(ell+1)
+	}
+	return out
+}
+
+// AssociatedLegendre returns the normalized associated Legendre function
+//
+//	N_lm P_lm(x),  N_lm = sqrt((2l+1)/(4 pi) (l-m)!/(l+m)!)
+//
+// i.e. the theta-part of the real spherical harmonic, for 0 <= m <= l.
+// The normalized recursion avoids overflow for large l.
+func AssociatedLegendre(l, m int, x float64) float64 {
+	if m < 0 || m > l {
+		return 0
+	}
+	// Normalized P_mm.
+	pmm := math.Sqrt(1.0 / (4.0 * math.Pi))
+	if m > 0 {
+		s2 := (1.0 - x) * (1.0 + x)
+		if s2 < 0 {
+			s2 = 0
+		}
+		s := math.Sqrt(s2)
+		for k := 1; k <= m; k++ {
+			pmm *= -math.Sqrt((2.0*float64(k)+1.0)/(2.0*float64(k))) * s
+		}
+	} else {
+		pmm = math.Sqrt(1.0/(4.0*math.Pi)) * 1.0
+	}
+	if l == m {
+		// Multiply in sqrt(2m+1) normalization already accumulated above for
+		// m>0; for m=0, P_00 normalized is sqrt(1/4pi).
+		return pmm
+	}
+	// Normalized upward recursion in l.
+	pm1 := pmm
+	p := x * math.Sqrt(2.0*float64(m)+3.0) * pmm // l = m+1
+	if l == m+1 {
+		return p
+	}
+	for ell := m + 2; ell <= l; ell++ {
+		fl, fm := float64(ell), float64(m)
+		a := math.Sqrt((4.0*fl*fl - 1.0) / (fl*fl - fm*fm))
+		b := math.Sqrt(((fl-1.0)*(fl-1.0) - fm*fm) / (4.0*(fl-1.0)*(fl-1.0) - 1.0))
+		pm1, p = p, a*(x*p-b*pm1)
+	}
+	return p
+}
+
+// AssociatedLegendreCol fills out[l] for l in [m, lmax] with the normalized
+// associated Legendre functions at fixed m (entries below m are zeroed).
+// It reuses out when possible and returns the filled slice.
+func AssociatedLegendreCol(lmax, m int, x float64, out []float64) []float64 {
+	if cap(out) < lmax+1 {
+		out = make([]float64, lmax+1)
+	}
+	out = out[:lmax+1]
+	for i := 0; i < m && i <= lmax; i++ {
+		out[i] = 0
+	}
+	if m > lmax {
+		return out
+	}
+	pmm := math.Sqrt(1.0 / (4.0 * math.Pi))
+	if m > 0 {
+		s2 := (1.0 - x) * (1.0 + x)
+		if s2 < 0 {
+			s2 = 0
+		}
+		s := math.Sqrt(s2)
+		for k := 1; k <= m; k++ {
+			pmm *= -math.Sqrt((2.0*float64(k)+1.0)/(2.0*float64(k))) * s
+		}
+	}
+	out[m] = pmm
+	if m == lmax {
+		return out
+	}
+	out[m+1] = x * math.Sqrt(2.0*float64(m)+3.0) * pmm
+	for ell := m + 2; ell <= lmax; ell++ {
+		fl, fm := float64(ell), float64(m)
+		a := math.Sqrt((4.0*fl*fl - 1.0) / (fl*fl - fm*fm))
+		b := math.Sqrt(((fl-1.0)*(fl-1.0) - fm*fm) / (4.0*(fl-1.0)*(fl-1.0) - 1.0))
+		out[ell] = a * (x*out[ell-1] - b*out[ell-2])
+	}
+	return out
+}

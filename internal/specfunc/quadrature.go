@@ -1,0 +1,123 @@
+package specfunc
+
+import (
+	"fmt"
+	"math"
+)
+
+// GaussLegendre returns the nodes and weights of the n-point Gauss-Legendre
+// rule on [a, b].
+func GaussLegendre(n int, a, b float64) (x, w []float64, err error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("specfunc: GaussLegendre n=%d < 1", n)
+	}
+	x = make([]float64, n)
+	w = make([]float64, n)
+	m := (n + 1) / 2
+	xm := 0.5 * (b + a)
+	xl := 0.5 * (b - a)
+	for i := 0; i < m; i++ {
+		// Initial guess from Chebyshev approximation of the roots.
+		z := math.Cos(math.Pi * (float64(i) + 0.75) / (float64(n) + 0.5))
+		var pp float64
+		for iter := 0; iter < 100; iter++ {
+			p1, p2 := 1.0, 0.0
+			for j := 0; j < n; j++ {
+				p1, p2 = ((2.0*float64(j)+1.0)*z*p1-float64(j)*p2)/float64(j+1), p1
+			}
+			pp = float64(n) * (z*p1 - p2) / (z*z - 1.0)
+			z1 := z
+			z = z1 - p1/pp
+			if math.Abs(z-z1) < 1e-15 {
+				break
+			}
+		}
+		// Recompute p1 at the converged node for the weight.
+		p1, p2 := 1.0, 0.0
+		for j := 0; j < n; j++ {
+			p1, p2 = ((2.0*float64(j)+1.0)*z*p1-float64(j)*p2)/float64(j+1), p1
+		}
+		pp = float64(n) * (z*p1 - p2) / (z*z - 1.0)
+		x[i] = xm - xl*z
+		x[n-1-i] = xm + xl*z
+		w[i] = 2.0 * xl / ((1.0 - z*z) * pp * pp)
+		w[n-1-i] = w[i]
+	}
+	return x, w, nil
+}
+
+// GaussLaguerre returns the nodes and weights of the n-point Gauss-Laguerre
+// rule: integral_0^inf e^{-x} f(x) dx ~= sum w_i f(x_i).
+func GaussLaguerre(n int) (x, w []float64, err error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("specfunc: GaussLaguerre n=%d < 1", n)
+	}
+	x = make([]float64, n)
+	w = make([]float64, n)
+	var z float64
+	for i := 0; i < n; i++ {
+		switch i {
+		case 0:
+			z = 3.0 / (1.0 + 2.4*float64(n))
+		case 1:
+			z += 15.0 / (1.0 + 2.5*float64(n))
+		default:
+			ai := float64(i - 1)
+			z += (1.0 + 2.55*ai) / (1.9 * ai) * (z - x[i-2])
+		}
+		var pp, p1 float64
+		for iter := 0; iter < 200; iter++ {
+			p1 = 1.0
+			p2 := 0.0
+			for j := 0; j < n; j++ {
+				fj := float64(j)
+				p1, p2 = ((2.0*fj+1.0-z)*p1-fj*p2)/(fj+1.0), p1
+			}
+			pp = float64(n) * (p1 - p2) / z
+			z1 := z
+			z = z1 - p1/pp
+			if math.Abs(z-z1) <= 1e-14*math.Abs(z) {
+				break
+			}
+		}
+		x[i] = z
+		w[i] = -1.0 / (pp * float64(n) * fermiP2(n, z))
+	}
+	return x, w, nil
+}
+
+// fermiP2 returns L_{n-1}(z), the value of p2 after the recurrence above
+// converged; recomputed here to keep the weight formula readable:
+// w_i = x_i / ((n+1)^2 [L_{n+1}(x_i)]^2) in one convention; we use
+// w_i = -1/(pp * n * L_{n-1}(x_i)) following Numerical Recipes.
+func fermiP2(n int, z float64) float64 {
+	p1, p2 := 1.0, 0.0
+	for j := 0; j < n; j++ {
+		fj := float64(j)
+		p1, p2 = ((2.0*fj+1.0-z)*p1-fj*p2)/(fj+1.0), p1
+	}
+	return p2
+}
+
+// FermiDiracMomentumGrid returns nodes q_i and weights W_i such that for a
+// smooth g(q)
+//
+//	integral_0^inf dq q^2 f0(q) g(q) ~= sum_i W_i g(q_i),
+//
+// with the relativistic Fermi-Dirac kernel f0(q) = 1/(e^q + 1) (q measured
+// in units of kT). This is the momentum grid used for the massive-neutrino
+// phase-space integration; the paper integrates the full q dependence with
+// no free-streaming approximation.
+func FermiDiracMomentumGrid(n int) (q, w []float64, err error) {
+	x, gw, err := GaussLaguerre(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	q = x
+	w = make([]float64, n)
+	for i := range x {
+		// integrand = e^{-q} * [q^2 g(q) e^q/(e^q+1)] => W = gw * q^2/(1+e^{-q})
+		w[i] = gw[i] * x[i] * x[i] / (1.0 + math.Exp(-x[i]))
+	}
+	return q, w, nil
+}

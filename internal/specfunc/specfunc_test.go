@@ -1,0 +1,274 @@
+package specfunc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol*(1.0+math.Abs(want)) {
+		t.Fatalf("%s: got %g, want %g (tol %g)", msg, got, want, tol)
+	}
+}
+
+func TestLegendreLowOrders(t *testing.T) {
+	for _, x := range []float64{-1, -0.5, 0, 0.3, 0.99, 1} {
+		approx(t, LegendreP(0, x), 1, 1e-14, "P0")
+		approx(t, LegendreP(1, x), x, 1e-14, "P1")
+		approx(t, LegendreP(2, x), 0.5*(3*x*x-1), 1e-13, "P2")
+		approx(t, LegendreP(3, x), 0.5*(5*x*x*x-3*x), 1e-13, "P3")
+		approx(t, LegendreP(4, x), (35*x*x*x*x-30*x*x+3)/8, 1e-12, "P4")
+	}
+}
+
+func TestLegendreEndpoints(t *testing.T) {
+	for l := 0; l <= 50; l++ {
+		approx(t, LegendreP(l, 1), 1, 1e-10, "P_l(1)")
+		want := 1.0
+		if l%2 == 1 {
+			want = -1.0
+		}
+		approx(t, LegendreP(l, -1), want, 1e-10, "P_l(-1)")
+	}
+}
+
+func TestLegendreAllMatchesScalar(t *testing.T) {
+	p := LegendreAll(30, 0.37, nil)
+	for l := 0; l <= 30; l++ {
+		approx(t, p[l], LegendreP(l, 0.37), 1e-13, "LegendreAll")
+	}
+}
+
+// Orthogonality: integral_-1^1 P_l P_m dx = 2/(2l+1) delta_lm, checked with
+// Gauss-Legendre quadrature (exact for polynomials of degree <= 2n-1).
+func TestLegendreOrthogonality(t *testing.T) {
+	x, w, err := GaussLegendre(40, -1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l <= 10; l++ {
+		for m := 0; m <= 10; m++ {
+			sum := 0.0
+			for i := range x {
+				sum += w[i] * LegendreP(l, x[i]) * LegendreP(m, x[i])
+			}
+			want := 0.0
+			if l == m {
+				want = 2.0 / (2.0*float64(l) + 1.0)
+			}
+			if math.Abs(sum-want) > 1e-12 {
+				t.Fatalf("orthogonality (%d,%d): %g want %g", l, m, sum, want)
+			}
+		}
+	}
+}
+
+func TestGaussLegendreIntegratesPolynomials(t *testing.T) {
+	x, w, err := GaussLegendre(8, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// integral_0^2 x^7 dx = 2^8/8 = 32.
+	sum := 0.0
+	for i := range x {
+		sum += w[i] * math.Pow(x[i], 7)
+	}
+	approx(t, sum, 32, 1e-12, "x^7 on [0,2]")
+	// Weights sum to interval length.
+	total := 0.0
+	for _, wi := range w {
+		total += wi
+	}
+	approx(t, total, 2, 1e-13, "weight sum")
+}
+
+func TestGaussLaguerre(t *testing.T) {
+	x, w, err := GaussLaguerre(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// integral_0^inf e^-x dx = 1
+	sum := 0.0
+	for i := range x {
+		sum += w[i]
+	}
+	approx(t, sum, 1, 1e-10, "GL weights sum")
+	// integral_0^inf e^-x x^3 dx = 6
+	sum = 0.0
+	for i := range x {
+		sum += w[i] * x[i] * x[i] * x[i]
+	}
+	approx(t, sum, 6, 1e-10, "Gamma(4)")
+	// integral_0^inf e^-x sin(x) dx = 1/2 (non-polynomial, needs many nodes)
+	sum = 0.0
+	for i := range x {
+		sum += w[i] * math.Sin(x[i])
+	}
+	approx(t, sum, 0.5, 1e-6, "sin integral")
+}
+
+func TestFermiDiracMomentumGrid(t *testing.T) {
+	q, w, err := FermiDiracMomentumGrid(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// integral q^2/(e^q+1) dq = 3/2 zeta(3) = 1.8030853547...
+	sum := 0.0
+	for i := range q {
+		sum += w[i]
+	}
+	approx(t, sum, 1.8030853547393952, 1e-9, "number integral")
+	// integral q^3/(e^q+1) dq = 7 pi^4/120 = 5.6821969...
+	sum = 0.0
+	for i := range q {
+		sum += w[i] * q[i]
+	}
+	approx(t, sum, 7.0*math.Pow(math.Pi, 4)/120.0, 1e-9, "energy integral")
+	// Relativistic pressure integral: integral q^4/(3 eps)/(e^q+1), eps=q
+	// equals 1/3 of the energy integral.
+	sum = 0.0
+	for i := range q {
+		sum += w[i] * q[i] / 3.0
+	}
+	approx(t, sum, 7.0*math.Pow(math.Pi, 4)/360.0, 1e-9, "pressure integral")
+}
+
+func TestSphericalBesselLowOrders(t *testing.T) {
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10, 40} {
+		approx(t, SphericalBesselJ(0, x), math.Sin(x)/x, 1e-12, "j0")
+		approx(t, SphericalBesselJ(1, x), math.Sin(x)/(x*x)-math.Cos(x)/x, 1e-12, "j1")
+		j2 := (3.0/(x*x)-1.0)*math.Sin(x)/x - 3.0*math.Cos(x)/(x*x)
+		approx(t, SphericalBesselJ(2, x), j2, 1e-10, "j2")
+	}
+}
+
+func TestSphericalBesselKnownValues(t *testing.T) {
+	// j_5(1) = 9.256115861125816e-05
+	approx(t, SphericalBesselJ(5, 1), 9.256115861125816e-05, 1e-8, "j5(1)")
+	// j_10(10) = 0.06460515449256426
+	approx(t, SphericalBesselJ(10, 10), 0.06460515449256426, 1e-8, "j10(10)")
+}
+
+// Wronskian identity: j_{l+1}(x) y_l(x) - j_l(x) y_{l+1}(x) = 1/x^2.
+// This is an independent exactness check that validates j_l deep in the
+// x << l tunneling regime, where the backward recurrence is doing the work.
+func TestSphericalBesselWronskian(t *testing.T) {
+	for _, c := range []struct {
+		l int
+		x float64
+	}{
+		{0, 1}, {1, 0.3}, {5, 2}, {10, 3}, {25, 40}, {50, 20}, {100, 30}, {200, 150},
+	} {
+		jl := SphericalBesselJ(c.l, c.x)
+		jl1 := SphericalBesselJ(c.l+1, c.x)
+		yl := SphericalBesselY(c.l, c.x)
+		yl1 := SphericalBesselY(c.l+1, c.x)
+		w := jl1*yl - jl*yl1
+		want := 1.0 / (c.x * c.x)
+		if math.Abs(w-want) > 1e-8*math.Abs(want) {
+			t.Fatalf("Wronskian(l=%d,x=%g) = %g, want %g", c.l, c.x, w, want)
+		}
+	}
+}
+
+func TestSphericalBesselZeroArgument(t *testing.T) {
+	if SphericalBesselJ(0, 0) != 1 {
+		t.Fatal("j0(0) != 1")
+	}
+	for l := 1; l < 10; l++ {
+		if SphericalBesselJ(l, 0) != 0 {
+			t.Fatalf("j%d(0) != 0", l)
+		}
+	}
+}
+
+func TestSphericalBesselArrayMatchesScalar(t *testing.T) {
+	for _, x := range []float64{0.3, 3, 30, 120} {
+		arr := SphericalBesselJArray(60, x, nil)
+		for l := 0; l <= 60; l++ {
+			want := SphericalBesselJ(l, x)
+			if math.Abs(arr[l]-want) > 1e-10*(1+math.Abs(want)) {
+				t.Fatalf("array j_%d(%g) = %g, scalar %g", l, x, arr[l], want)
+			}
+		}
+	}
+}
+
+// Recurrence property: x(j_{l-1} + j_{l+1}) = (2l+1) j_l.
+func TestSphericalBesselRecurrenceProperty(t *testing.T) {
+	f := func(li uint8, xr float64) bool {
+		l := int(li%40) + 1
+		x := math.Mod(math.Abs(xr), 60.0) + 0.1
+		jm := SphericalBesselJ(l-1, x)
+		j := SphericalBesselJ(l, x)
+		jp := SphericalBesselJ(l+1, x)
+		lhs := x * (jm + jp)
+		rhs := (2.0*float64(l) + 1.0) * j
+		scale := math.Max(math.Abs(lhs), math.Abs(rhs))
+		if scale < 1e-280 {
+			return true
+		}
+		return math.Abs(lhs-rhs) <= 1e-8*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssociatedLegendreM0MatchesLegendre(t *testing.T) {
+	for l := 0; l <= 20; l++ {
+		for _, x := range []float64{-0.9, -0.2, 0, 0.4, 0.95} {
+			want := math.Sqrt((2.0*float64(l)+1.0)/(4.0*math.Pi)) * LegendreP(l, x)
+			got := AssociatedLegendre(l, 0, x)
+			if math.Abs(got-want) > 1e-11*(1+math.Abs(want)) {
+				t.Fatalf("Plm(l=%d,m=0,%g) = %g want %g", l, x, got, want)
+			}
+		}
+	}
+}
+
+// Spherical harmonic normalization: 2 pi integral_-1^1 [N P_lm]^2 dx = 1
+// (the phi integral of cos^2/sin^2 contributes the 2 pi for m=0 and pi for
+// m>0 under real conventions; here we check the m=0 and the general complex
+// normalization integral = 1/(2 pi) factorized).
+func TestAssociatedLegendreNormalization(t *testing.T) {
+	x, w, err := GaussLegendre(64, -1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lm := range [][2]int{{0, 0}, {1, 0}, {1, 1}, {5, 3}, {10, 10}, {20, 7}} {
+		l, m := lm[0], lm[1]
+		sum := 0.0
+		for i := range x {
+			p := AssociatedLegendre(l, m, x[i])
+			sum += w[i] * p * p
+		}
+		// integral |Y_lm|^2 dOmega = 2 pi integral [N P_lm]^2 dcos = 1.
+		if math.Abs(2.0*math.Pi*sum-1.0) > 1e-10 {
+			t.Fatalf("norm (l=%d,m=%d): 2pi*int = %g", l, m, 2*math.Pi*sum)
+		}
+	}
+}
+
+func TestAssociatedLegendreColMatchesScalar(t *testing.T) {
+	for _, m := range []int{0, 1, 4, 9} {
+		col := AssociatedLegendreCol(25, m, 0.3, nil)
+		for l := 0; l <= 25; l++ {
+			want := AssociatedLegendre(l, m, 0.3)
+			if math.Abs(col[l]-want) > 1e-11*(1+math.Abs(want)) {
+				t.Fatalf("col (l=%d,m=%d) = %g want %g", l, m, col[l], want)
+			}
+		}
+	}
+}
+
+func TestQuadratureErrors(t *testing.T) {
+	if _, _, err := GaussLegendre(0, 0, 1); err == nil {
+		t.Error("GaussLegendre(0) should error")
+	}
+	if _, _, err := GaussLaguerre(0); err == nil {
+		t.Error("GaussLaguerre(0) should error")
+	}
+}

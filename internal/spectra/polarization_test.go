@@ -1,0 +1,45 @@
+package spectra
+
+import (
+	"testing"
+
+	"plinger/internal/core"
+)
+
+// Polarization spectrum physics: generated only through the visibility
+// window, it is strongly suppressed relative to temperature at the
+// multipoles the 1995 experiments probed.
+func TestPolarizationSpectrum(t *testing.T) {
+	m := model(t)
+	ks := ClGrid(40, m.BG.Tau0(), 80)
+	sw, err := RunSweep(m, core.Params{LMax: 160, Gauge: core.Synchronous}, ks, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := []int{5, 10, 20, 35}
+	temp, err := sw.Cl(ls, DefaultPrimordial(1.0), m.BG.P.TCMB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := sw.ClPolarization(ls, DefaultPrimordial(1.0), m.BG.P.TCMB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range ls {
+		if pol.Cl[i] < 0 {
+			t.Fatalf("negative polarization power at l=%d", l)
+		}
+		if pol.Cl[i] >= 0.05*temp.Cl[i] {
+			t.Fatalf("polarization/temperature at l=%d: %g, want << 1",
+				l, pol.Cl[i]/temp.Cl[i])
+		}
+	}
+	// It must not be identically zero either.
+	var total float64
+	for _, c := range pol.Cl {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("polarization spectrum identically zero")
+	}
+}

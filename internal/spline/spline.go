@@ -1,0 +1,105 @@
+// Package spline implements natural cubic spline interpolation on
+// monotonically increasing abscissae. The background cosmology and the
+// thermodynamic history are tabulated once and then interpolated millions of
+// times from the per-k integrators, so evaluation is kept allocation-free
+// and O(log n).
+package spline
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Spline is a natural cubic spline y(x) through a fixed set of knots.
+type Spline struct {
+	x, y, y2 []float64
+}
+
+// New constructs a natural cubic spline through the points (x[i], y[i]).
+// x must be strictly increasing and len(x) == len(y) >= 2.
+func New(x, y []float64) (*Spline, error) {
+	n := len(x)
+	if n < 2 {
+		return nil, errors.New("spline: need at least two knots")
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("spline: len(x)=%d != len(y)=%d", n, len(y))
+	}
+	for i := 1; i < n; i++ {
+		if x[i] <= x[i-1] {
+			return nil, fmt.Errorf("spline: x not strictly increasing at index %d (%g <= %g)", i, x[i], x[i-1])
+		}
+	}
+	s := &Spline{
+		x:  append([]float64(nil), x...),
+		y:  append([]float64(nil), y...),
+		y2: make([]float64, n),
+	}
+	// Solve the tridiagonal system for second derivatives with natural
+	// boundary conditions y2[0] = y2[n-1] = 0.
+	u := make([]float64, n)
+	for i := 1; i < n-1; i++ {
+		sig := (x[i] - x[i-1]) / (x[i+1] - x[i-1])
+		p := sig*s.y2[i-1] + 2.0
+		s.y2[i] = (sig - 1.0) / p
+		u[i] = (y[i+1]-y[i])/(x[i+1]-x[i]) - (y[i]-y[i-1])/(x[i]-x[i-1])
+		u[i] = (6.0*u[i]/(x[i+1]-x[i-1]) - sig*u[i-1]) / p
+	}
+	for i := n - 2; i >= 0; i-- {
+		s.y2[i] = s.y2[i]*s.y2[i+1] + u[i]
+	}
+	return s, nil
+}
+
+// MustNew is New but panics on error; for static tables known to be valid.
+func MustNew(x, y []float64) *Spline {
+	s, err := New(x, y)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// locate returns the index i such that x[i] <= v < x[i+1], clamped to the
+// valid interior range.
+func (s *Spline) locate(v float64) int {
+	i := sort.SearchFloat64s(s.x, v) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i > len(s.x)-2 {
+		i = len(s.x) - 2
+	}
+	return i
+}
+
+// Eval evaluates the spline at v. Values outside the knot range are
+// extrapolated with the boundary cubic.
+func (s *Spline) Eval(v float64) float64 {
+	i := s.locate(v)
+	h := s.x[i+1] - s.x[i]
+	a := (s.x[i+1] - v) / h
+	b := (v - s.x[i]) / h
+	return a*s.y[i] + b*s.y[i+1] +
+		((a*a*a-a)*s.y2[i]+(b*b*b-b)*s.y2[i+1])*(h*h)/6.0
+}
+
+// Deriv evaluates dy/dx at v.
+func (s *Spline) Deriv(v float64) float64 {
+	i := s.locate(v)
+	h := s.x[i+1] - s.x[i]
+	a := (s.x[i+1] - v) / h
+	b := (v - s.x[i]) / h
+	return (s.y[i+1]-s.y[i])/h +
+		((3.0*b*b-1.0)*s.y2[i+1]-(3.0*a*a-1.0)*s.y2[i])*h/6.0
+}
+
+// Xmin returns the smallest knot abscissa.
+func (s *Spline) Xmin() float64 { return s.x[0] }
+
+// Xmax returns the largest knot abscissa.
+func (s *Spline) Xmax() float64 { return s.x[len(s.x)-1] }
+
+// Len returns the number of knots.
+func (s *Spline) Len() int { return len(s.x) }

@@ -1,0 +1,118 @@
+package spline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestInterpolatesKnotsExactly(t *testing.T) {
+	x := []float64{0, 1, 2.5, 3, 4.5}
+	y := []float64{1, -1, 0.5, 2, -3}
+	s := MustNew(x, y)
+	for i := range x {
+		if got := s.Eval(x[i]); math.Abs(got-y[i]) > 1e-12 {
+			t.Errorf("Eval(%g) = %g, want %g", x[i], got, y[i])
+		}
+	}
+}
+
+func TestLinearDataIsReproducedExactly(t *testing.T) {
+	// A natural cubic spline through samples of a straight line is the line.
+	x := make([]float64, 11)
+	y := make([]float64, 11)
+	for i := range x {
+		x[i] = float64(i) * 0.4
+		y[i] = 3.0*x[i] - 2.0
+	}
+	s := MustNew(x, y)
+	for v := 0.05; v < 4.0; v += 0.173 {
+		if got, want := s.Eval(v), 3.0*v-2.0; math.Abs(got-want) > 1e-10 {
+			t.Fatalf("Eval(%g) = %g, want %g", v, got, want)
+		}
+		if got := s.Deriv(v); math.Abs(got-3.0) > 1e-10 {
+			t.Fatalf("Deriv(%g) = %g, want 3", v, got)
+		}
+	}
+}
+
+func TestSmoothFunctionAccuracy(t *testing.T) {
+	n := 200
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i) / float64(n-1) * 2 * math.Pi
+		y[i] = math.Sin(x[i])
+	}
+	s := MustNew(x, y)
+	for v := 0.01; v < 2*math.Pi-0.01; v += 0.0137 {
+		if err := math.Abs(s.Eval(v) - math.Sin(v)); err > 1e-7 {
+			t.Fatalf("sin interpolation error %g at %g", err, v)
+		}
+		if err := math.Abs(s.Deriv(v) - math.Cos(v)); err > 1e-5 {
+			t.Fatalf("cos derivative error %g at %g", err, v)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := New([]float64{1}, []float64{1}); err == nil {
+		t.Error("want error for single knot")
+	}
+	if _, err := New([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("want error for length mismatch")
+	}
+	if _, err := New([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("want error for non-increasing x")
+	}
+	if _, err := New([]float64{2, 1}, []float64{1, 2}); err == nil {
+		t.Error("want error for decreasing x")
+	}
+}
+
+func TestRangeAccessors(t *testing.T) {
+	s := MustNew([]float64{-1, 0, 2}, []float64{1, 2, 3})
+	if s.Xmin() != -1 || s.Xmax() != 2 || s.Len() != 3 {
+		t.Fatalf("accessors: got (%g,%g,%d)", s.Xmin(), s.Xmax(), s.Len())
+	}
+}
+
+// Property: spline evaluation between two adjacent knots is bounded when the
+// data is monotone-ish; more fundamentally, Eval at any knot returns the knot
+// value regardless of the (sorted, deduplicated) input data.
+func TestQuickKnotReproduction(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		if len(raw) > 40 {
+			raw = raw[:40]
+		}
+		// Build strictly increasing x from |raw| increments and bounded y.
+		x := make([]float64, len(raw))
+		y := make([]float64, len(raw))
+		acc := 0.0
+		for i, r := range raw {
+			if math.IsNaN(r) || math.IsInf(r, 0) {
+				return true
+			}
+			step := math.Mod(math.Abs(r), 10.0) + 1e-3
+			acc += step
+			x[i] = acc
+			y[i] = math.Mod(r, 100.0)
+		}
+		s, err := New(x, y)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(s.Eval(x[i])-y[i]) > 1e-6*(1+math.Abs(y[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,172 @@
+// Package thermo assembles the thermodynamic history needed by the
+// perturbation equations from the ionization history: the Thomson opacity
+// kappa-dot = a n_e sigma_T (per unit conformal time), the optical depth and
+// visibility function, and the baryon sound speed. These are tabulated once
+// per model and interpolated from the per-k right-hand sides, which is where
+// essentially all of LINGER's CPU time is spent.
+package thermo
+
+import (
+	"fmt"
+	"math"
+
+	"plinger/internal/constants"
+	"plinger/internal/cosmology"
+	"plinger/internal/recomb"
+	"plinger/internal/spline"
+)
+
+// Thermo holds the tabulated thermodynamic history for one model.
+type Thermo struct {
+	BG   *cosmology.Background
+	Hist *recomb.History
+
+	opac  *spline.Spline // ln(kappa-dot) vs ln a
+	depth *spline.Spline // ln(optical depth) vs ln a  (kappa from a to 1)
+	cs2   *spline.Spline // baryon sound speed squared vs ln a
+
+	lnAMin, lnAMax float64
+
+	tauRec float64 // conformal time of peak visibility
+	aRec   float64 // scale factor of peak visibility
+}
+
+// New computes the thermodynamic history for the background.
+func New(bg *cosmology.Background, opt recomb.Options) (*Thermo, error) {
+	hist, err := recomb.Compute(bg, opt)
+	if err != nil {
+		return nil, err
+	}
+	th := &Thermo{BG: bg, Hist: hist}
+	if err := th.build(); err != nil {
+		return nil, err
+	}
+	return th, nil
+}
+
+func (th *Thermo) build() error {
+	h := th.Hist
+	n := len(h.LnA)
+	th.lnAMin, th.lnAMax = h.LnA[0], h.LnA[n-1]
+
+	// Opacity kappa-dot(a) = x_e n_H0 sigma_T / a^2 in Mpc^-1 (n_H0 is
+	// comoving, so physical n_e = x_e n_H0/a^3 and the conformal-time
+	// opacity is a n_e sigma_T = x_e n_H0 sigma_T / a^2).
+	lnOp := make([]float64, n)
+	cs2 := make([]float64, n)
+	fHe := h.FHe
+	for i := 0; i < n; i++ {
+		a := math.Exp(h.LnA[i])
+		xe := math.Max(h.Xe[i], 1e-12)
+		op := xe * h.NH0 * constants.SigmaThomsonMpc2 / (a * a)
+		lnOp[i] = math.Log(op)
+
+		// Sound speed c_s^2 = (k T_b / mu m_H c^2)(1 - (1/3) dlnT/dlna).
+		var dlnT float64
+		switch {
+		case i == 0:
+			dlnT = (math.Log(h.TBaryon[1]) - math.Log(h.TBaryon[0])) / (h.LnA[1] - h.LnA[0])
+		case i == n-1:
+			dlnT = (math.Log(h.TBaryon[n-1]) - math.Log(h.TBaryon[n-2])) / (h.LnA[n-1] - h.LnA[n-2])
+		default:
+			dlnT = (math.Log(h.TBaryon[i+1]) - math.Log(h.TBaryon[i-1])) / (h.LnA[i+1] - h.LnA[i-1])
+		}
+		mu := (1.0 + 4.0*fHe) / (1.0 + fHe + h.Xe[i])
+		kT := constants.KBoltzmann * h.TBaryon[i]
+		mc2 := mu * constants.HydrogenMassKg * constants.CLight * constants.CLight
+		c := kT / mc2 * (1.0 - dlnT/3.0)
+		if c < 0 {
+			c = 0
+		}
+		cs2[i] = c
+	}
+	var err error
+	th.opac, err = spline.New(h.LnA, lnOp)
+	if err != nil {
+		return err
+	}
+	th.cs2, err = spline.New(h.LnA, cs2)
+	if err != nil {
+		return err
+	}
+
+	// Optical depth kappa(a) = integral_a^1 kappa-dot dtau
+	//             = integral kappa-dot/(aH) dln a, accumulated backwards.
+	depth := make([]float64, n)
+	f := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a := math.Exp(h.LnA[i])
+		f[i] = math.Exp(lnOp[i]) / th.BG.HConf(a)
+	}
+	depth[n-1] = 0
+	for i := n - 2; i >= 0; i-- {
+		dl := h.LnA[i+1] - h.LnA[i]
+		depth[i] = depth[i+1] + 0.5*dl*(f[i]+f[i+1])
+	}
+	lnDepth := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lnDepth[i] = math.Log(math.Max(depth[i], 1e-300))
+	}
+	th.depth, err = spline.New(h.LnA, lnDepth)
+	if err != nil {
+		return err
+	}
+
+	// Peak of the visibility function g = kappa-dot e^-kappa.
+	best, bestG := 0, -1.0
+	for i := 0; i < n; i++ {
+		g := math.Exp(lnOp[i]) * math.Exp(-depth[i])
+		if g > bestG {
+			bestG, best = g, i
+		}
+	}
+	if best == 0 || best == n-1 {
+		return fmt.Errorf("thermo: visibility peak at grid edge (index %d)", best)
+	}
+	th.aRec = math.Exp(h.LnA[best])
+	th.tauRec = th.BG.Tau(th.aRec)
+	return nil
+}
+
+// Opacity returns kappa-dot = a n_e sigma_T in Mpc^-1 at scale factor a.
+func (th *Thermo) Opacity(a float64) float64 {
+	l := clamp(math.Log(a), th.lnAMin, th.lnAMax)
+	return math.Exp(th.opac.Eval(l))
+}
+
+// OpticalDepth returns the Thomson optical depth from a to the present.
+func (th *Thermo) OpticalDepth(a float64) float64 {
+	l := clamp(math.Log(a), th.lnAMin, th.lnAMax)
+	return math.Exp(th.depth.Eval(l))
+}
+
+// Visibility returns g(a) = kappa-dot e^-kappa (per unit conformal time).
+func (th *Thermo) Visibility(a float64) float64 {
+	return th.Opacity(a) * math.Exp(-th.OpticalDepth(a))
+}
+
+// Cs2 returns the baryon sound speed squared (c=1 units) at scale factor a.
+func (th *Thermo) Cs2(a float64) float64 {
+	l := clamp(math.Log(a), th.lnAMin, th.lnAMax)
+	c := th.cs2.Eval(l)
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// ARec returns the scale factor of peak visibility (recombination).
+func (th *Thermo) ARec() float64 { return th.aRec }
+
+// TauRec returns the conformal time of peak visibility (Mpc).
+func (th *Thermo) TauRec() float64 { return th.tauRec }
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

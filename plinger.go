@@ -1,0 +1,571 @@
+// Package plinger is a Go reproduction of LINGER/PLINGER, the serial and
+// parallel linear general-relativity codes of Bode & Bertschinger
+// (Supercomputing '95): it integrates the coupled, linearized Einstein,
+// Boltzmann and fluid equations that link the primeval fluctuations of the
+// early universe to the cosmic microwave background anisotropies and the
+// linear matter power spectrum observable today.
+//
+// The package exposes the high-level workflow of the paper:
+//
+//	cfg := plinger.SCDM()                  // standard Cold Dark Matter
+//	m, err := plinger.New(cfg)             // background + thermodynamics
+//	res, err := m.EvolveMode(plinger.ModeOptions{K: 0.05})
+//	spec, err := m.ComputeSpectrum(plinger.SpectrumOptions{LMaxCl: 300})
+//	spec.NormalizeCOBE(18)                 // Figure 2 normalization
+//
+// and the master/worker parallel decomposition over independent k modes:
+//
+//	run, err := m.RunParallel(plinger.ParallelOptions{Workers: 8, ...})
+//
+// The heavy lifting lives in the internal packages (core, cosmology,
+// recomb, thermo, spectra, mp, plinger, sky); this facade re-exposes the
+// stable subset an application needs. Command-line tools under cmd/ and
+// runnable examples under examples/ exercise every part of it.
+package plinger
+
+import (
+	"fmt"
+	"io"
+
+	"plinger/internal/core"
+	"plinger/internal/cosmology"
+	"plinger/internal/expdata"
+	"plinger/internal/mp/chanmp"
+	runner "plinger/internal/plinger"
+	"plinger/internal/recomb"
+	"plinger/internal/sky"
+	"plinger/internal/spectra"
+	"plinger/internal/thermo"
+)
+
+// Config selects the cosmological model.
+type Config struct {
+	// H is the Hubble constant in units of 100 km/s/Mpc.
+	H float64
+	// OmegaC, OmegaB, OmegaLambda are the density parameters of cold dark
+	// matter, baryons and the cosmological constant.
+	OmegaC, OmegaB, OmegaLambda float64
+	// TCMB is the CMB temperature in kelvin, YHe the helium mass fraction.
+	TCMB, YHe float64
+	// NNuMassless counts massless two-component neutrino species;
+	// NNuMassive massive species of mass MNuEV (eV).
+	NNuMassless float64
+	NNuMassive  int
+	MNuEV       float64
+	// SpectralIndex is the primordial index n (1 = scale-invariant).
+	SpectralIndex float64
+	// Flatten absorbs any curvature into OmegaC (required for massive
+	// neutrinos, whose density depends on the momentum integrals).
+	Flatten bool
+}
+
+// SCDM returns the paper's standard Cold Dark Matter model
+// (Omega = 1, h = 0.5, Omega_b = 0.05, n = 1).
+func SCDM() Config {
+	p := cosmology.SCDM()
+	return Config{
+		H: p.H, OmegaC: p.OmegaC, OmegaB: p.OmegaB, OmegaLambda: p.OmegaLambda,
+		TCMB: p.TCMB, YHe: p.YHe, NNuMassless: p.NNuMassless,
+		SpectralIndex: p.SpectralIndex,
+	}
+}
+
+// MDM returns the mixed dark matter variant with one massive neutrino.
+func MDM(massEV float64) Config {
+	p := cosmology.MDM(massEV)
+	return Config{
+		H: p.H, OmegaC: p.OmegaC, OmegaB: p.OmegaB, OmegaLambda: p.OmegaLambda,
+		TCMB: p.TCMB, YHe: p.YHe, NNuMassless: p.NNuMassless,
+		NNuMassive: p.NNuMassive, MNuEV: p.MNuEV,
+		SpectralIndex: p.SpectralIndex, Flatten: true,
+	}
+}
+
+// Gauge selects the perturbation gauge.
+type Gauge string
+
+const (
+	// Synchronous is the primary gauge of the original LINGER.
+	Synchronous Gauge = "synchronous"
+	// ConformalNewtonian is the longitudinal gauge.
+	ConformalNewtonian Gauge = "newtonian"
+)
+
+func (g Gauge) internal() (core.Gauge, error) {
+	switch g {
+	case Synchronous, "":
+		return core.Synchronous, nil
+	case ConformalNewtonian:
+		return core.ConformalNewtonian, nil
+	default:
+		return 0, fmt.Errorf("plinger: unknown gauge %q", string(g))
+	}
+}
+
+// Model holds the precomputed background cosmology and thermodynamic
+// history; it is safe for concurrent use by many workers.
+type Model struct {
+	cfg  Config
+	prim spectra.Primordial
+	core *core.Model
+}
+
+// New builds a model: Friedmann background (with massive-neutrino momentum
+// integrals when requested), Saha+Peebles recombination, Thomson opacity
+// and visibility tables.
+func New(cfg Config) (*Model, error) {
+	p := cosmology.Params{
+		H: cfg.H, OmegaC: cfg.OmegaC, OmegaB: cfg.OmegaB,
+		OmegaLambda: cfg.OmegaLambda, TCMB: cfg.TCMB, YHe: cfg.YHe,
+		NNuMassless: cfg.NNuMassless, NNuMassive: cfg.NNuMassive,
+		MNuEV: cfg.MNuEV, SpectralIndex: cfg.SpectralIndex,
+	}
+	var bg *cosmology.Background
+	var err error
+	if cfg.Flatten {
+		bg, err = cosmology.NewFlattened(p)
+	} else {
+		bg, err = cosmology.New(p)
+	}
+	if err != nil {
+		return nil, err
+	}
+	th, err := thermo.New(bg, recomb.Options{})
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.SpectralIndex
+	if n == 0 {
+		n = 1
+	}
+	return &Model{cfg: cfg, prim: spectra.DefaultPrimordial(n), core: core.NewModel(bg, th)}, nil
+}
+
+// Tau0 returns the conformal age of the model in Mpc.
+func (m *Model) Tau0() float64 { return m.core.BG.Tau0() }
+
+// TauRecombination returns the conformal time of peak visibility (Mpc).
+func (m *Model) TauRecombination() float64 { return m.core.TH.TauRec() }
+
+// ModeOptions configures the evolution of one Fourier mode.
+type ModeOptions struct {
+	// K is the comoving wavenumber in Mpc^-1.
+	K float64
+	// LMax is the photon hierarchy cutoff (default 50).
+	LMax int
+	// Gauge selects synchronous (default) or conformal Newtonian.
+	Gauge Gauge
+	// RTol is the integrator's relative tolerance (default 1e-6).
+	RTol float64
+	// KeepSources records line-of-sight sources at every step.
+	KeepSources bool
+	// TauEnd stops the evolution early (default: the present).
+	TauEnd float64
+}
+
+func (o ModeOptions) internal() (core.Params, error) {
+	g, err := o.Gauge.internal()
+	if err != nil {
+		return core.Params{}, err
+	}
+	lmax := o.LMax
+	if lmax == 0 {
+		lmax = 50
+	}
+	return core.Params{
+		K: o.K, LMax: lmax, Gauge: g, RTol: o.RTol,
+		KeepSources: o.KeepSources, TauEnd: o.TauEnd,
+	}, nil
+}
+
+// ModeResult is the outcome of evolving one mode: the multipole transfer
+// functions and fluid perturbations at the final time.
+type ModeResult struct {
+	K      float64
+	Tau, A float64
+	// ThetaL and ThetaPL are the temperature and polarization multipole
+	// transfer functions Theta_l = F_l/4 per unit primordial amplitude.
+	ThetaL, ThetaPL []float64
+	// Density contrasts and velocities.
+	DeltaC, DeltaB, DeltaG, DeltaNu, DeltaHNu float64
+	ThetaB                                    float64
+	// Metric potentials (gauge-dependent; Phi/Psi for Newtonian runs,
+	// Eta/HDot for synchronous).
+	Phi, Psi, Eta, HDot float64
+	// ConstraintResidual is the worst relative violation of the unused
+	// Einstein equation — the accuracy monitor.
+	ConstraintResidual float64
+	// Steps and Evals describe the integrator work; Flops applies the
+	// operation-count model; Seconds is the wallclock cost.
+	Steps, Evals int
+	Flops        float64
+	Seconds      float64
+}
+
+func wrapResult(r *core.Result) *ModeResult {
+	return &ModeResult{
+		K: r.K, Tau: r.Tau, A: r.A,
+		ThetaL: r.ThetaL, ThetaPL: r.ThetaPL,
+		DeltaC: r.DeltaC, DeltaB: r.DeltaB, DeltaG: r.DeltaG,
+		DeltaNu: r.DeltaNu, DeltaHNu: r.DeltaHNu, ThetaB: r.ThetaB,
+		Phi: r.Phi, Psi: r.Psi, Eta: r.Eta, HDot: r.HDot,
+		ConstraintResidual: r.MaxConstraintResidual,
+		Steps:              r.Stats.Steps, Evals: r.Stats.Evals,
+		Flops: r.Flops, Seconds: r.Seconds,
+	}
+}
+
+// EvolveMode integrates one k mode from the early radiation era to the
+// present (the serial LINGER computation for a single wavenumber).
+func (m *Model) EvolveMode(o ModeOptions) (*ModeResult, error) {
+	p, err := o.internal()
+	if err != nil {
+		return nil, err
+	}
+	r, err := m.core.Evolve(p)
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(r), nil
+}
+
+// Spectrum is an angular power spectrum (thermodynamic temperature units
+// after COBE normalization).
+type Spectrum struct {
+	L  []int
+	Cl []float64
+
+	inner *spectra.ClSpectrum
+}
+
+// BandPower returns dT_l = T0 sqrt(l(l+1)C_l/2pi) in microkelvin.
+func (s *Spectrum) BandPower(i int) float64 { return s.inner.BandPower(i) }
+
+// NormalizeCOBE rescales to the COBE Q_rms-PS quadrupole (microkelvin),
+// returning the applied primordial amplitude.
+func (s *Spectrum) NormalizeCOBE(qMicroK float64) (float64, error) {
+	sc, err := s.inner.NormalizeCOBE(qMicroK)
+	if err != nil {
+		return 0, err
+	}
+	copy(s.Cl, s.inner.Cl)
+	return sc, nil
+}
+
+// SpectrumOptions configures a C_l computation.
+type SpectrumOptions struct {
+	// LMaxCl is the largest multipole wanted (default 300).
+	LMaxCl int
+	// Ls lists the multipoles to evaluate (default: log-spaced 2..LMaxCl).
+	Ls []int
+	// NK is the wavenumber grid size (default 4 per multipole octave
+	// resolution: LMaxCl + 200 points).
+	NK int
+	// Workers bounds the shared-memory parallelism (default GOMAXPROCS).
+	Workers int
+	// Method selects "los" (fast line-of-sight, default) or "brute"
+	// (the paper's full-hierarchy read-off).
+	Method string
+	// LMax is the hierarchy cutoff: default 24 for los; for brute the
+	// per-k cutoff adapts up to max(1.5 k tau0)+60.
+	LMax int
+	// Polarization computes the polarization spectrum from the G_l
+	// hierarchy instead of temperature (brute method only; the paper's
+	// Thomson treatment includes "two photon polarizations").
+	Polarization bool
+}
+
+// ComputeSpectrum runs the k sweep and assembles C_l.
+func (m *Model) ComputeSpectrum(o SpectrumOptions) (*Spectrum, error) {
+	if o.LMaxCl <= 0 {
+		o.LMaxCl = 300
+	}
+	ls := o.Ls
+	if len(ls) == 0 {
+		for l := 2; l <= o.LMaxCl; {
+			ls = append(ls, l)
+			step := 1 + l/8
+			l += step
+		}
+	}
+	nk := o.NK
+	if nk <= 0 {
+		nk = o.LMaxCl + 200
+	}
+	tau0 := m.Tau0()
+	ks := spectra.ClGrid(o.LMaxCl, tau0, nk)
+	method := o.Method
+	if method == "" {
+		method = "los"
+	}
+	switch method {
+	case "los":
+		if o.Polarization {
+			return nil, fmt.Errorf("plinger: polarization requires Method \"brute\"")
+		}
+		lmax := o.LMax
+		if lmax == 0 {
+			lmax = 24
+		}
+		sw, err := spectra.RunSweep(m.core, core.Params{
+			LMax: lmax, Gauge: core.ConformalNewtonian, KeepSources: true,
+		}, ks, o.Workers, false)
+		if err != nil {
+			return nil, err
+		}
+		cl, err := sw.ClLOS(ls, m.prim, m.cfg.TCMB, m.core.TH.TauRec())
+		if err != nil {
+			return nil, err
+		}
+		return &Spectrum{L: cl.L, Cl: cl.Cl, inner: cl}, nil
+	case "brute":
+		lmax := o.LMax
+		if lmax == 0 {
+			lmax = int(1.5*ks[len(ks)-1]*tau0) + 60
+		}
+		sw, err := spectra.RunSweep(m.core, core.Params{
+			LMax: lmax, Gauge: core.Synchronous,
+		}, ks, o.Workers, true)
+		if err != nil {
+			return nil, err
+		}
+		var cl *spectra.ClSpectrum
+		if o.Polarization {
+			cl, err = sw.ClPolarization(ls, m.prim, m.cfg.TCMB)
+		} else {
+			cl, err = sw.Cl(ls, m.prim, m.cfg.TCMB)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &Spectrum{L: cl.L, Cl: cl.Cl, inner: cl}, nil
+	default:
+		return nil, fmt.Errorf("plinger: unknown method %q", method)
+	}
+}
+
+// MatterPowerResult bundles the transfer function and power spectrum.
+type MatterPowerResult struct {
+	K      []float64
+	T      []float64 // normalized transfer function
+	P      []float64 // power spectrum, Mpc^3 (per primordial amplitude)
+	Sigma8 float64
+}
+
+// MatterPower computes the matter transfer function, power spectrum and
+// sigma_8 on a logarithmic k grid. Pass the amplitude returned by
+// NormalizeCOBE to get COBE-normalized results (amp <= 0 means unit
+// primordial amplitude).
+func (m *Model) MatterPower(kmin, kmax float64, nk, workers int, amp float64) (*MatterPowerResult, error) {
+	if kmin <= 0 {
+		kmin = 2e-4
+	}
+	if kmax <= kmin {
+		kmax = 0.5
+	}
+	if nk <= 0 {
+		nk = 40
+	}
+	ks := spectra.LogGrid(kmin, kmax, nk)
+	sw, err := spectra.RunSweep(m.core, core.Params{LMax: 24, Gauge: core.Synchronous}, ks, workers, false)
+	if err != nil {
+		return nil, err
+	}
+	tf, err := sw.MatterTransfer(m.cfg.OmegaC, m.cfg.OmegaB)
+	if err != nil {
+		return nil, err
+	}
+	prim := m.prim
+	if amp > 0 {
+		prim.Amp = amp
+	}
+	pk, err := sw.PowerSpectrum(prim, m.cfg.OmegaC, m.cfg.OmegaB)
+	if err != nil {
+		return nil, err
+	}
+	s8, err := sw.Sigma8(pk, m.cfg.H)
+	if err != nil {
+		return nil, err
+	}
+	return &MatterPowerResult{K: tf.K, T: tf.T, P: pk, Sigma8: s8}, nil
+}
+
+// ParallelOptions configures a PLINGER master/worker run over the
+// in-process transport.
+type ParallelOptions struct {
+	// KValues are the wavenumbers to distribute.
+	KValues []float64
+	// Workers is the number of worker processes (the master is extra).
+	Workers int
+	// LMax, Gauge, RTol as in ModeOptions.
+	LMax  int
+	Gauge Gauge
+	RTol  float64
+	// Schedule: "largest-first" (default, the paper's policy),
+	// "input-order" or "smallest-first".
+	Schedule string
+	// ASCIIOut and BinaryOut receive the unit_1/unit_2 style outputs.
+	ASCIIOut, BinaryOut io.Writer
+}
+
+// ParallelRun is the master's collected output.
+type ParallelRun struct {
+	Results []*ModeResult
+	// Wallclock and TotalCPU in seconds; Efficiency is the paper's
+	// (total CPU)/(wallclock x workers); FlopRate in flop/s.
+	Wallclock, TotalCPU, Efficiency, FlopRate float64
+	// BytesMoved is the message payload volume.
+	BytesMoved int64
+}
+
+// RunParallel executes the paper's Appendix A algorithm: a master and
+// Workers worker goroutines exchanging tagged messages over the in-process
+// transport. Results are deterministic and independent of Workers.
+func (m *Model) RunParallel(o ParallelOptions) (*ParallelRun, error) {
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if len(o.KValues) == 0 {
+		return nil, fmt.Errorf("plinger: no wavenumbers")
+	}
+	g, err := o.Gauge.internal()
+	if err != nil {
+		return nil, err
+	}
+	lmax := o.LMax
+	if lmax == 0 {
+		lmax = 50
+	}
+	var sched runner.Schedule
+	switch o.Schedule {
+	case "", "largest-first":
+		sched = runner.LargestFirst
+	case "input-order":
+		sched = runner.InputOrder
+	case "smallest-first":
+		sched = runner.SmallestFirst
+	default:
+		return nil, fmt.Errorf("plinger: unknown schedule %q", o.Schedule)
+	}
+	world, eps, err := chanmp.New(o.Workers + 1)
+	if err != nil {
+		return nil, err
+	}
+	mode := core.Params{LMax: lmax, Gauge: g, RTol: o.RTol}
+	errCh := make(chan error, o.Workers)
+	for w := 1; w <= o.Workers; w++ {
+		go func(w int) {
+			errCh <- runner.Worker(eps[w], m.core, o.KValues, mode)
+		}(w)
+	}
+	res, err := runner.Master(eps[0], m.core, runner.Config{
+		KValues: o.KValues, Mode: mode, Schedule: sched,
+		ASCIIOut: o.ASCIIOut, BinaryOut: o.BinaryOut,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for w := 0; w < o.Workers; w++ {
+		if werr := <-errCh; werr != nil {
+			return nil, werr
+		}
+	}
+	out := &ParallelRun{
+		Wallclock:  res.Stats.Wallclock,
+		TotalCPU:   res.Stats.TotalCPU,
+		Efficiency: res.Stats.Efficiency,
+		FlopRate:   res.Stats.FlopRate,
+		BytesMoved: world.BytesMoved(),
+	}
+	for _, r := range res.Mode {
+		out.Results = append(out.Results, wrapResult(r))
+	}
+	return out, nil
+}
+
+// SkyMap synthesizes a Gaussian temperature map from a spectrum: a full-sky
+// COBE-like map when flat is false, or the paper's half-degree flat patch
+// (Figure 3) when flat is true.
+type SkyMapOptions struct {
+	Flat bool
+	// N is the pixel count (full sky: rows; flat: side, power of two).
+	N int
+	// SizeDeg is the flat patch side in degrees (default 32).
+	SizeDeg float64
+	// LMaxSynthesis caps the full-sky synthesis (default 60).
+	LMaxSynthesis int
+	Seed          int64
+}
+
+// SkyMapResult is a rendered map in microkelvin.
+type SkyMapResult struct {
+	Pix        [][]float64
+	NX, NY     int
+	Min, Max   float64
+	RMS        float64
+	Desc       string
+	writeGuard *sky.Map
+}
+
+// WritePGM renders the map to an 8-bit PGM (scale <= 0 auto-scales).
+func (r *SkyMapResult) WritePGM(w io.Writer, scale float64) error {
+	return r.writeGuard.WritePGM(w, scale)
+}
+
+// MakeSkyMap realizes a map from the spectrum.
+func MakeSkyMap(spec *Spectrum, tcmb float64, o SkyMapOptions) (*SkyMapResult, error) {
+	in := &sky.Spectrum{L: spec.L, Cl: spec.Cl, TCMB: tcmb}
+	var mp *sky.Map
+	var err error
+	if o.Flat {
+		n := o.N
+		if n == 0 {
+			n = 128
+		}
+		size := o.SizeDeg
+		if size == 0 {
+			size = 32
+		}
+		mp, err = sky.FlatPatch(in, n, size, o.Seed)
+	} else {
+		n := o.N
+		if n == 0 {
+			n = 64
+		}
+		lmax := o.LMaxSynthesis
+		if lmax == 0 {
+			lmax = 60
+		}
+		mp, err = sky.FullSky(in, lmax, n, o.Seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	mn, mx, rms := mp.Stats()
+	return &SkyMapResult{
+		Pix: mp.Pix, NX: mp.NX, NY: mp.NY,
+		Min: mn, Max: mx, RMS: rms, Desc: mp.Desc, writeGuard: mp,
+	}, nil
+}
+
+// BandPowerPoint is one experimental CMB measurement from the Figure 2
+// compilation.
+type BandPowerPoint struct {
+	Experiment     string
+	LEff           float64
+	DT             float64 // microkelvin
+	ErrUp, ErrDown float64
+}
+
+// ExperimentPoints returns the era's measured CMB band powers (the points
+// of Figure 2).
+func ExperimentPoints() []BandPowerPoint {
+	var out []BandPowerPoint
+	for _, p := range expdata.Points() {
+		out = append(out, BandPowerPoint{
+			Experiment: p.Experiment, LEff: p.LEff, DT: p.DT,
+			ErrUp: p.ErrUp, ErrDown: p.ErrDown,
+		})
+	}
+	return out
+}

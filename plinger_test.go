@@ -1,0 +1,236 @@
+package plinger
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+)
+
+var (
+	scdmOnce sync.Once
+	scdmMdl  *Model
+)
+
+func scdmModel(t *testing.T) *Model {
+	t.Helper()
+	scdmOnce.Do(func() {
+		m, err := New(SCDM())
+		if err != nil {
+			t.Fatal(err)
+		}
+		scdmMdl = m
+	})
+	return scdmMdl
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	cfg := SCDM()
+	cfg.OmegaC = 0.1 // not flat
+	if _, err := New(cfg); err == nil {
+		t.Fatal("open model accepted without Flatten")
+	}
+	cfg.Flatten = true
+	if _, err := New(cfg); err != nil {
+		t.Fatalf("Flatten failed: %v", err)
+	}
+}
+
+func TestModelBasics(t *testing.T) {
+	m := scdmModel(t)
+	if m.Tau0() < 11000 || m.Tau0() > 12100 {
+		t.Fatalf("tau0 = %g", m.Tau0())
+	}
+	if m.TauRecombination() < 200 || m.TauRecombination() > 320 {
+		t.Fatalf("tau_rec = %g", m.TauRecombination())
+	}
+}
+
+func TestEvolveModeThroughFacade(t *testing.T) {
+	m := scdmModel(t)
+	res, err := m.EvolveMode(ModeOptions{K: 0.04, LMax: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.A-1) > 1e-3 || res.Steps == 0 || res.Flops <= 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	if res.ConstraintResidual > 0.02 {
+		t.Fatalf("constraint residual %g", res.ConstraintResidual)
+	}
+	if _, err := m.EvolveMode(ModeOptions{K: 0.04, Gauge: "bogus"}); err == nil {
+		t.Fatal("bogus gauge accepted")
+	}
+	newt, err := m.EvolveMode(ModeOptions{K: 0.04, LMax: 16, Gauge: ConformalNewtonian})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newt.Phi == 0 || newt.Psi == 0 {
+		t.Fatal("Newtonian potentials missing")
+	}
+}
+
+func TestSpectrumEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spectrum sweep is expensive")
+	}
+	m := scdmModel(t)
+	spec, err := m.ComputeSpectrum(SpectrumOptions{
+		LMaxCl: 40, NK: 80, Ls: []int{2, 5, 10, 20, 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range spec.Cl {
+		if c <= 0 {
+			t.Fatalf("C_%d = %g", spec.L[i], c)
+		}
+	}
+	amp, err := spec.NormalizeCOBE(18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if amp <= 0 {
+		t.Fatalf("amplitude %g", amp)
+	}
+	bp := spec.BandPower(1) // l=5
+	if bp < 20 || bp > 40 {
+		t.Fatalf("band power at l=5: %g uK", bp)
+	}
+	if _, err := m.ComputeSpectrum(SpectrumOptions{Method: "nope"}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestPolarizationThroughFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("brute-force sweep is expensive")
+	}
+	m := scdmModel(t)
+	opts := SpectrumOptions{LMaxCl: 20, NK: 50, Method: "brute", Ls: []int{5, 10, 20}}
+	temp, err := m.ComputeSpectrum(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Polarization = true
+	pol, err := m.ComputeSpectrum(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range temp.Cl {
+		if pol.Cl[i] < 0 || pol.Cl[i] >= temp.Cl[i] {
+			t.Fatalf("polarization %g vs temperature %g at l=%d", pol.Cl[i], temp.Cl[i], temp.L[i])
+		}
+	}
+	// The LOS engine does not provide polarization.
+	if _, err := m.ComputeSpectrum(SpectrumOptions{Polarization: true}); err == nil {
+		t.Fatal("LOS polarization should be rejected")
+	}
+}
+
+func TestMatterPowerThroughFacade(t *testing.T) {
+	m := scdmModel(t)
+	res, err := m.MatterPower(3e-4, 0.3, 18, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.K) != 18 || res.Sigma8 <= 0 {
+		t.Fatalf("bad matter power: %+v", res)
+	}
+	if math.Abs(res.T[0]-1) > 1e-9 {
+		t.Fatalf("T(kmin) = %g", res.T[0])
+	}
+}
+
+func TestRunParallelFacade(t *testing.T) {
+	m := scdmModel(t)
+	var ascii, bin bytes.Buffer
+	run, err := m.RunParallel(ParallelOptions{
+		KValues:  []float64{0.01, 0.03, 0.05, 0.02},
+		Workers:  3,
+		LMax:     10,
+		ASCIIOut: &ascii, BinaryOut: &bin,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Results) != 4 {
+		t.Fatalf("results %d", len(run.Results))
+	}
+	for i, k := range []float64{0.01, 0.03, 0.05, 0.02} {
+		if run.Results[i].K != k {
+			t.Fatalf("order broken at %d", i)
+		}
+	}
+	if run.Efficiency <= 0 || run.FlopRate <= 0 || run.BytesMoved == 0 {
+		t.Fatalf("stats: %+v", run)
+	}
+	if ascii.Len() == 0 || bin.Len() == 0 {
+		t.Fatal("output files empty")
+	}
+	if _, err := m.RunParallel(ParallelOptions{}); err == nil {
+		t.Fatal("empty k list accepted")
+	}
+	if _, err := m.RunParallel(ParallelOptions{KValues: []float64{0.1}, Schedule: "??"}); err == nil {
+		t.Fatal("bad schedule accepted")
+	}
+}
+
+func TestSkyMapFacade(t *testing.T) {
+	// Synthetic flat spectrum.
+	var ls []int
+	var cl []float64
+	for l := 2; l <= 128; l += 2 {
+		ls = append(ls, l)
+		cl = append(cl, 1e-10/float64(l*(l+1)))
+	}
+	spec := &Spectrum{L: ls, Cl: cl, inner: nil}
+	mp, err := MakeSkyMap(spec, 2.726, SkyMapOptions{Flat: true, N: 64, SizeDeg: 16, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.NX != 64 || mp.Min >= mp.Max || mp.RMS <= 0 {
+		t.Fatalf("map: %+v", mp)
+	}
+	var buf bytes.Buffer
+	if err := mp.WritePGM(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty PGM")
+	}
+	full, err := MakeSkyMap(spec, 2.726, SkyMapOptions{N: 24, LMaxSynthesis: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.NY != 24 || full.NX != 48 {
+		t.Fatalf("full sky dims %dx%d", full.NX, full.NY)
+	}
+}
+
+func TestExperimentPoints(t *testing.T) {
+	pts := ExperimentPoints()
+	if len(pts) < 10 {
+		t.Fatalf("%d points", len(pts))
+	}
+	if pts[0].Experiment[:4] != "COBE" {
+		t.Fatal("COBE anchors the compilation")
+	}
+}
+
+func TestMDMConfig(t *testing.T) {
+	m, err := New(MDM(2.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.EvolveMode(ModeOptions{K: 0.03, LMax: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeltaHNu == 0 {
+		t.Fatal("massive neutrino transfer missing")
+	}
+}
