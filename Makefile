@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check fmt-check vet build test-short test bench
+
+check: fmt-check vet build test-short
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test-short:
+	$(GO) test -short ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -18,18 +18,15 @@ package plinger
 // so `go test -bench . -benchmem` prints the full table.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
 
 	"plinger/internal/core"
 	"plinger/internal/cosmology"
-	"plinger/internal/mp"
-	"plinger/internal/mp/chanmp"
-	"plinger/internal/mp/fifomp"
-	"plinger/internal/mp/tcpmp"
+	"plinger/internal/dispatch"
 	"plinger/internal/ode"
-	runner "plinger/internal/plinger"
 	"plinger/internal/recomb"
 	"plinger/internal/sky"
 	"plinger/internal/spectra"
@@ -188,26 +185,20 @@ func BenchmarkPsiMovie(b *testing.B) {
 	}
 }
 
-func runWorkload(b *testing.B, eps []mp.Endpoint, cm *core.Model, ks []float64, sched runner.Schedule) *runner.Results {
+func runWorkload(b *testing.B, cm *core.Model, ks []float64, sched dispatch.Schedule, transport string) *dispatch.RunStats {
 	b.Helper()
 	mode := core.Params{LMax: 40, Gauge: core.Synchronous}
-	np := len(eps) - 1
-	var wg sync.WaitGroup
-	for w := 1; w <= np; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			if err := runner.Worker(eps[w], cm, ks, mode); err != nil {
-				b.Error(err)
-			}
-		}(w)
-	}
-	res, err := runner.Master(eps[0], cm, runner.Config{KValues: ks, Mode: mode, Schedule: sched})
+	d, cleanup, err := dispatch.NewMP(cm, transport, 2)
 	if err != nil {
 		b.Fatal(err)
 	}
-	wg.Wait()
-	return res
+	defer cleanup()
+	d.Schedule = sched
+	_, st, err := d.Run(context.Background(), ks, mode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
 }
 
 // BenchmarkTransportComparison reproduces the Section 4 claim that the
@@ -217,55 +208,11 @@ func runWorkload(b *testing.B, eps []mp.Endpoint, cm *core.Model, ks []float64, 
 func BenchmarkTransportComparison(b *testing.B) {
 	_, cm := getBenchModel(b)
 	ks := []float64{0.004, 0.01, 0.02, 0.03, 0.045, 0.06, 0.015, 0.008}
-	const np = 2
-	for _, tr := range []string{"chanmp", "fifomp", "tcpmp"} {
+	for _, tr := range []string{"chan", "fifo", "tcp"} {
 		b.Run(tr, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				var eps []mp.Endpoint
-				var closeHub func()
-				switch tr {
-				case "chanmp":
-					_, e, err := chanmp.New(np + 1)
-					if err != nil {
-						b.Fatal(err)
-					}
-					eps = e
-				case "fifomp":
-					_, e, err := fifomp.New(np + 1)
-					if err != nil {
-						b.Fatal(err)
-					}
-					eps = e
-				case "tcpmp":
-					hub, err := tcpmp.NewHub("127.0.0.1:0", np+1)
-					if err != nil {
-						b.Fatal(err)
-					}
-					closeHub = func() { hub.Close() }
-					eps = make([]mp.Endpoint, np+1)
-					var wg sync.WaitGroup
-					var mu sync.Mutex
-					for j := 0; j <= np; j++ {
-						wg.Add(1)
-						go func() {
-							defer wg.Done()
-							ep, err := tcpmp.Connect(hub.Addr())
-							if err != nil {
-								b.Error(err)
-								return
-							}
-							mu.Lock()
-							eps[ep.Rank()] = ep
-							mu.Unlock()
-						}()
-					}
-					wg.Wait()
-				}
-				res := runWorkload(b, eps, cm, ks, runner.LargestFirst)
-				b.ReportMetric(100*res.Stats.Efficiency, "eff%")
-				if closeHub != nil {
-					closeHub()
-				}
+				st := runWorkload(b, cm, ks, dispatch.LargestFirst, tr)
+				b.ReportMetric(100*st.Efficiency, "eff%")
 			}
 		})
 	}
@@ -278,15 +225,11 @@ func BenchmarkScheduleOrder(b *testing.B) {
 	_, cm := getBenchModel(b)
 	// A strongly heterogeneous workload: one expensive mode, many cheap.
 	ks := []float64{0.001, 0.002, 0.003, 0.004, 0.005, 0.006, 0.007, 0.09}
-	for _, sched := range []runner.Schedule{runner.LargestFirst, runner.InputOrder, runner.SmallestFirst} {
+	for _, sched := range []dispatch.Schedule{dispatch.LargestFirst, dispatch.InputOrder, dispatch.SmallestFirst} {
 		b.Run(sched.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				_, eps, err := chanmp.New(3)
-				if err != nil {
-					b.Fatal(err)
-				}
-				res := runWorkload(b, eps, cm, ks, sched)
-				b.ReportMetric(100*res.Stats.Efficiency, "eff%")
+				st := runWorkload(b, cm, ks, sched, "chan")
+				b.ReportMetric(100*st.Efficiency, "eff%")
 			}
 		})
 	}

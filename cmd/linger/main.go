@@ -72,7 +72,9 @@ func main() {
 	defer w.Flush()
 
 	start = time.Now()
-	mp, err := m.MatterPower(*kmin, *kmax, *nk, *workers, 0)
+	mp, err := m.MatterPower(plinger.MatterPowerOptions{
+		KMin: *kmin, KMax: *kmax, NK: *nk, Workers: *workers,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

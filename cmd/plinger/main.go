@@ -1,9 +1,9 @@
 // Command plinger is the parallel driver: the master/worker decomposition
 // of Appendix A over either in-process workers (like MPI on one node) or
 // TCP across OS processes (like PVM across a cluster; the hub plays the
-// PVM daemon).
+// PVM daemon). All fan-out goes through the dispatch subsystem.
 //
-// Single process, n workers:
+// Single process, n workers (in-process "chan" or strict-FIFO "fifo"):
 //
 //	plinger -np 8 -nk 64 -lmax 80 -unit1 plinger.txt -unit2 plinger.dat
 //
@@ -18,19 +18,18 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
-	"sync"
 
 	"plinger/internal/core"
 	"plinger/internal/cosmology"
+	"plinger/internal/dispatch"
 	"plinger/internal/mp"
-	"plinger/internal/mp/chanmp"
 	"plinger/internal/mp/tcpmp"
-	runner "plinger/internal/plinger"
 	"plinger/internal/recomb"
 	"plinger/internal/spectra"
 	"plinger/internal/thermo"
@@ -48,7 +47,7 @@ func main() {
 		lmax      = flag.Int("lmax", 0, "hierarchy cutoff (0: adaptive per k)")
 		gaugeName = flag.String("gauge", "synchronous", "gauge: synchronous or newtonian")
 		schedule  = flag.String("schedule", "largest-first", "largest-first | input-order | smallest-first")
-		transport = flag.String("transport", "chan", "chan (in-process) or tcp")
+		transport = flag.String("transport", "chan", "chan | fifo (in-process) or tcp")
 		role      = flag.String("role", "master", "tcp role: master or worker")
 		addr      = flag.String("addr", "127.0.0.1:7070", "tcp address")
 		unit1     = flag.String("unit1", "", "ASCII summary output file")
@@ -72,6 +71,9 @@ func main() {
 	} else {
 		ks = spectra.ClGrid(*lmaxcl, bg.Tau0(), *nk)
 	}
+	// -lmax 0 requests the paper's per-k adaptive hierarchy: the global
+	// cap covers the largest wavenumber and the dispatcher trims per mode.
+	adapt := *lmax == 0
 	gl := *lmax
 	if gl == 0 {
 		gl = spectra.PerKLMax(ks[len(ks)-1], bg.Tau0(), 1<<20)
@@ -82,16 +84,9 @@ func main() {
 	}
 	mode := core.Params{LMax: gl, Gauge: gauge}
 
-	var sched runner.Schedule
-	switch *schedule {
-	case "largest-first":
-		sched = runner.LargestFirst
-	case "input-order":
-		sched = runner.InputOrder
-	case "smallest-first":
-		sched = runner.SmallestFirst
-	default:
-		log.Fatalf("unknown schedule %q", *schedule)
+	sched, err := dispatch.ParseSchedule(*schedule)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	openOut := func(name string) io.Writer {
@@ -108,31 +103,22 @@ func main() {
 		return w
 	}
 
-	cfg := runner.Config{KValues: ks, Mode: mode, Schedule: sched,
-		ASCIIOut: openOut(*unit1), BinaryOut: openOut(*unit2)}
-
 	switch *transport {
-	case "chan":
-		_, eps, err := chanmp.New(*np + 1)
+	case "chan", "fifo":
+		d, cleanup, err := dispatch.NewMP(model, *transport, *np)
 		if err != nil {
 			log.Fatal(err)
 		}
-		var wg sync.WaitGroup
-		for w := 1; w <= *np; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				if err := runner.Worker(eps[w], model, ks, mode); err != nil {
-					log.Printf("worker %d: %v", w, err)
-				}
-			}(w)
-		}
-		res, err := runner.Master(eps[0], model, cfg)
+		d.Schedule = sched
+		d.AdaptLMax = adapt
+		d.ASCIIOut = openOut(*unit1)
+		d.BinaryOut = openOut(*unit2)
+		sw, st, err := d.Run(context.Background(), ks, mode)
+		cleanup()
 		if err != nil {
 			log.Fatal(err)
 		}
-		wg.Wait()
-		report(res)
+		report(sw, st)
 	case "tcp":
 		switch *role {
 		case "master":
@@ -146,11 +132,20 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			res, err := runner.Master(ep, model, cfg)
+			d := &dispatch.MP{
+				Model:     model,
+				Endpoints: []mp.Endpoint{ep},
+				Schedule:  sched,
+				AdaptLMax: adapt,
+				ASCIIOut:  openOut(*unit1),
+				BinaryOut: openOut(*unit2),
+				Transport: "tcp",
+			}
+			sw, st, err := d.Run(context.Background(), ks, mode)
 			if err != nil {
 				log.Fatal(err)
 			}
-			report(res)
+			report(sw, st)
 			fmt.Printf("hub routed %d payload bytes\n", hub.BytesMoved())
 		case "worker":
 			ep, err := tcpmp.Connect(*addr)
@@ -158,7 +153,7 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Printf("connected as rank %d of %d\n", ep.Rank(), ep.Size())
-			if err := runner.Worker(ep, model, ks, mode); err != nil && err != mp.ErrClosed {
+			if err := dispatch.RunWorker(ep, model, ks, mode); err != nil && err != mp.ErrClosed {
 				log.Fatal(err)
 			}
 		default:
@@ -174,16 +169,15 @@ func main() {
 
 var deferred []func()
 
-func report(res *runner.Results) {
-	st := res.Stats
+func report(sw *dispatch.Sweep, st *dispatch.RunStats) {
 	fmt.Printf("modes: %d  wallclock: %.2fs  total CPU: %.2fs  efficiency: %.1f%%  rate: %.1f Mflop/s\n",
-		len(res.Mode), st.Wallclock, st.TotalCPU, 100*st.Efficiency, st.FlopRate/1e6)
+		st.Modes, st.Wallclock, st.TotalCPU, 100*st.Efficiency, st.FlopRate/1e6)
 	for _, w := range st.Workers {
 		fmt.Printf("  worker %d: %d modes, %.2fs busy, %.0f Mflop\n",
 			w.Rank, w.Modes, w.Seconds, w.Flops/1e6)
 	}
 	worst := 0.0
-	for _, r := range res.Mode {
+	for _, r := range sw.Results {
 		if r.MaxConstraintResidual > worst {
 			worst = r.MaxConstraintResidual
 		}

@@ -3,28 +3,26 @@
 // workload, together with the ideal 1/P curve, the parallel efficiency
 // ((total CPU)/(wallclock x processors), 95% in the paper) and the
 // aggregate flop rate (the Section 5.1 table). It can also sweep the
-// scheduling policies (the paper's largest-k-first trick) and transports.
+// scheduling policies (the paper's largest-k-first trick) and the
+// execution backends (shared-memory pool and every mp transport), all
+// through the dispatch subsystem.
 //
 // Usage:
 //
-//	scaling [-np 1,2,4,8] [-nk 24] [-lmax 120] [-schedules] [-transports]
+//	scaling [-np 1,2,4,8] [-nk 24] [-lmax 120] [-schedules] [-backends]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"strconv"
 	"strings"
-	"sync"
 
 	"plinger/internal/core"
 	"plinger/internal/cosmology"
-	"plinger/internal/mp"
-	"plinger/internal/mp/chanmp"
-	"plinger/internal/mp/fifomp"
-	"plinger/internal/mp/tcpmp"
-	runner "plinger/internal/plinger"
+	"plinger/internal/dispatch"
 	"plinger/internal/recomb"
 	"plinger/internal/spectra"
 	"plinger/internal/thermo"
@@ -34,11 +32,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("scaling: ")
 	var (
-		npList     = flag.String("np", "1,2,4,8", "comma-separated worker counts")
-		nk         = flag.Int("nk", 24, "number of wavenumbers in the test run")
-		lmax       = flag.Int("lmax", 120, "hierarchy cutoff cap")
-		schedules  = flag.Bool("schedules", false, "also sweep scheduling policies")
-		transports = flag.Bool("transports", false, "also sweep transports")
+		npList    = flag.String("np", "1,2,4,8", "comma-separated worker counts")
+		nk        = flag.Int("nk", 24, "number of wavenumbers in the test run")
+		lmax      = flag.Int("lmax", 120, "hierarchy cutoff cap")
+		schedules = flag.Bool("schedules", false, "also sweep scheduling policies")
+		backends  = flag.Bool("backends", false, "also sweep execution backends")
 	)
 	flag.Parse()
 
@@ -63,8 +61,7 @@ func main() {
 		if err != nil || np < 1 {
 			log.Fatalf("bad worker count %q", s)
 		}
-		res := run(model, ks, mode, np, runner.LargestFirst, "chan")
-		st := res.Stats
+		st := run(model, ks, mode, np, dispatch.LargestFirst, "chan")
 		if t1 == 0 {
 			t1 = st.Wallclock
 		}
@@ -76,82 +73,43 @@ func main() {
 	if *schedules {
 		fmt.Printf("\nscheduling ablation (4 workers): the paper computes the largest k first\n")
 		fmt.Printf("%16s %12s %11s\n", "schedule", "wall [s]", "eff [%]")
-		for _, sched := range []runner.Schedule{runner.LargestFirst, runner.InputOrder, runner.SmallestFirst} {
-			res := run(model, ks, mode, 4, sched, "chan")
-			fmt.Printf("%16s %12.3f %11.1f\n", sched, res.Stats.Wallclock, 100*res.Stats.Efficiency)
+		for _, sched := range []dispatch.Schedule{dispatch.LargestFirst, dispatch.InputOrder, dispatch.SmallestFirst} {
+			st := run(model, ks, mode, 4, sched, "chan")
+			fmt.Printf("%16s %12.3f %11.1f\n", sched, st.Wallclock, 100*st.Efficiency)
 		}
 	}
 
-	if *transports {
-		fmt.Printf("\ntransport ablation (4 workers): \"the choice of which library to use\n")
+	if *backends {
+		fmt.Printf("\nbackend ablation (4 workers): \"the choice of which library to use\n")
 		fmt.Printf("has no effect on the efficiency of the code\" (Section 4)\n")
-		fmt.Printf("%10s %12s %11s %14s\n", "transport", "wall [s]", "eff [%]", "payload [kB]")
-		for _, tr := range []string{"chan", "fifo", "tcp"} {
-			res := run(model, ks, mode, 4, runner.LargestFirst, tr)
+		fmt.Printf("%10s %12s %11s %14s\n", "backend", "wall [s]", "eff [%]", "payload [kB]")
+		for _, tr := range []string{"pool", "chan", "fifo", "tcp"} {
+			st := run(model, ks, mode, 4, dispatch.LargestFirst, tr)
 			fmt.Printf("%10s %12.3f %11.1f %14.1f\n",
-				tr, res.Stats.Wallclock, 100*res.Stats.Efficiency,
-				float64(res.Stats.BytesReceived)/1e3)
+				st.Backend, st.Wallclock, 100*st.Efficiency,
+				float64(st.BytesMoved)/1e3)
 		}
 	}
 }
 
-func run(model *core.Model, ks []float64, mode core.Params, np int, sched runner.Schedule, transport string) *runner.Results {
-	var eps []mp.Endpoint
-	var cleanup func()
-	switch transport {
-	case "chan":
-		_, e, err := chanmp.New(np + 1)
+// run executes the fixed workload on one dispatcher configuration.
+func run(model *core.Model, ks []float64, mode core.Params, np int, sched dispatch.Schedule, backend string) *dispatch.RunStats {
+	var d dispatch.Dispatcher
+	cleanup := func() {}
+	if backend == "pool" {
+		d = &dispatch.Pool{Model: model, Workers: np, Schedule: sched}
+	} else {
+		mpd, c, err := dispatch.NewMP(model, backend, np)
 		if err != nil {
 			log.Fatal(err)
 		}
-		eps = e
-	case "fifo":
-		_, e, err := fifomp.New(np + 1)
-		if err != nil {
-			log.Fatal(err)
-		}
-		eps = e
-	case "tcp":
-		hub, err := tcpmp.NewHub("127.0.0.1:0", np+1)
-		if err != nil {
-			log.Fatal(err)
-		}
-		cleanup = func() { hub.Close() }
-		eps = make([]mp.Endpoint, np+1)
-		var wg sync.WaitGroup
-		var mu sync.Mutex
-		for i := 0; i <= np; i++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				ep, err := tcpmp.Connect(hub.Addr())
-				if err != nil {
-					log.Fatal(err)
-				}
-				mu.Lock()
-				eps[ep.Rank()] = ep
-				mu.Unlock()
-			}()
-		}
-		wg.Wait()
+		mpd.Schedule = sched
+		d, cleanup = mpd, c
 	}
-	var wg sync.WaitGroup
-	for w := 1; w <= np; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			if err := runner.Worker(eps[w], model, ks, mode); err != nil {
-				log.Printf("worker %d: %v", w, err)
-			}
-		}(w)
-	}
-	res, err := runner.Master(eps[0], model, runner.Config{KValues: ks, Mode: mode, Schedule: sched})
+	_, st, err := d.Run(context.Background(), ks, mode)
+	cleanup()
 	if err != nil {
 		log.Fatal(err)
 	}
-	wg.Wait()
-	if cleanup != nil {
-		cleanup()
-	}
-	return res
+	return st
 }

@@ -32,7 +32,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		mp, err := m.MatterPower(3e-4, 1.0, 36, 0, amp)
+		mp, err := m.MatterPower(plinger.MatterPowerOptions{
+			KMin: 3e-4, KMax: 1.0, NK: 36, Amp: amp,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}

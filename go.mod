@@ -1,0 +1,3 @@
+module plinger
+
+go 1.24

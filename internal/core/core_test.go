@@ -93,6 +93,9 @@ func TestTCAAgreesWithStiffIntegration(t *testing.T) {
 	// Thomson terms. A small k starts late enough that DVERK can resolve
 	// the opacity directly; the TCA run must agree while being far
 	// cheaper. This is the integrator-level ablation of Section 2.
+	if testing.Short() {
+		t.Skip("the stiff ablation run is expensive")
+	}
 	a := evolve(t, Params{K: 0.002, LMax: 8, Gauge: Synchronous, TauEnd: 60})
 	b := evolve(t, Params{K: 0.002, LMax: 8, Gauge: Synchronous, TauEnd: 60, DisableTightCoupling: true})
 	if b.Stats.Evals < 2*a.Stats.Evals {

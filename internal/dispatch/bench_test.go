@@ -1,0 +1,44 @@
+package dispatch
+
+import (
+	"context"
+	"testing"
+
+	"plinger/internal/core"
+)
+
+// BenchmarkPoolSchedule is the Section 5.2 ablation on the pool backend:
+// on a skewed k grid (many cheap small-k modes, a few expensive large-k
+// ones) handing the largest wavenumbers out first shrinks the end-of-run
+// idle tail, and the per-k adaptive hierarchy removes work outright —
+// largest-first + adaptive must beat input-order wall clock.
+func BenchmarkPoolSchedule(b *testing.B) {
+	m := model(b)
+	var ks []float64
+	for i := 0; i < 12; i++ {
+		ks = append(ks, 0.001+0.001*float64(i))
+	}
+	ks = append(ks, 0.06, 0.08, 0.1)
+	mode := core.Params{LMax: 300, Gauge: core.Synchronous, TauEnd: 300}
+	for _, cfg := range []struct {
+		name  string
+		sched Schedule
+		adapt bool
+	}{
+		{"input-order", InputOrder, false},
+		{"largest-first", LargestFirst, false},
+		{"largest-first+adaptive", LargestFirst, true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := &Pool{Model: m, Workers: 4, Schedule: cfg.sched, AdaptLMax: cfg.adapt}
+				_, st, err := p.Run(context.Background(), ks, mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*st.Efficiency, "eff%")
+				b.ReportMetric(st.Wallclock*1e3, "ms-wall")
+			}
+		})
+	}
+}

@@ -1,0 +1,83 @@
+// Package dispatch is the parallel-execution subsystem: every fan-out over
+// independent k modes in the repository runs through a Dispatcher. The
+// paper's central observation (Section 3) is that the per-k linear GR
+// computation parallelizes embarrassingly and that three concerns are
+// separable:
+//
+//   - scheduling — which wavenumber is handed out next (the paper's
+//     largest-k-first trick, Section 5.2), expressed by Schedule;
+//   - transport — shared memory versus message passing over PVM/MPI/MPL,
+//     expressed by the two Dispatcher backends, Pool (shared-memory worker
+//     pool, the Cray Autotasking analogue) and MP (the Appendix A
+//     master/worker protocol over any mp.Endpoint transport);
+//   - accounting — wallclock, per-worker busy time, parallel efficiency and
+//     flop rate (Figure 1 / Section 5.1), expressed by RunStats and
+//     populated identically by both backends.
+//
+// Higher layers (spectra sweeps, the facade's ComputeSpectrum, MatterPower
+// and RunParallel, the cmd/ drivers) choose a Dispatcher and never touch
+// goroutines or endpoints themselves.
+package dispatch
+
+import (
+	"context"
+
+	"plinger/internal/core"
+)
+
+// Dispatcher evolves every wavenumber in ks with the template parameters
+// mode (mode.K is overwritten per assignment) and returns the results in
+// input order together with the run telemetry. Implementations must be
+// deterministic: the Results depend only on (ks, mode), never on worker
+// count, schedule or transport.
+type Dispatcher interface {
+	Run(ctx context.Context, ks []float64, mode core.Params) (*Sweep, *RunStats, error)
+}
+
+// Sweep is the raw outcome of a dispatched run: one result per wavenumber,
+// ordered like ks. The science post-processing (C_l assembly, transfer
+// functions) lives in package spectra, which wraps this type.
+type Sweep struct {
+	KValues []float64
+	Results []*core.Result
+	// Tau0 is the final conformal time of the sweep (the conformal age
+	// unless mode.TauEnd cut the evolution short).
+	Tau0 float64
+}
+
+// PerKLMax returns the hierarchy cutoff actually needed for wavenumber k:
+// moments beyond ~ k tau_0 receive no power, so small k can run with far
+// smaller hierarchies. This is why the paper's per-mode messages vary from
+// 150 bytes to 80 kbyte and why CPU time grows with k. Both backends use it
+// when adaptive hierarchies are enabled.
+func PerKLMax(k, tau0 float64, lmaxGlobal int) int {
+	l := int(1.5*k*tau0) + 60
+	if l > lmaxGlobal {
+		return lmaxGlobal
+	}
+	if l < 8 {
+		l = 8
+	}
+	return l
+}
+
+// sweepTau0 returns the final conformal time of a run.
+func sweepTau0(model *core.Model, mode core.Params) float64 {
+	if mode.TauEnd > 0 {
+		return mode.TauEnd
+	}
+	return model.BG.Tau0()
+}
+
+// perKLMaxTable precomputes the per-index hierarchy cutoffs for a run, or
+// returns nil when the global cutoff applies to every mode.
+func perKLMaxTable(ks []float64, tau0 float64, lmaxGlobal int, adapt bool) []int {
+	if !adapt {
+		return nil
+	}
+	t := make([]int, len(ks))
+	for i, k := range ks {
+		t[i] = PerKLMax(k, tau0, lmaxGlobal)
+	}
+	return t
+}

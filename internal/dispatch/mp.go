@@ -1,0 +1,271 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"plinger/internal/core"
+	"plinger/internal/mp"
+	"plinger/internal/mp/chanmp"
+	"plinger/internal/mp/fifomp"
+	"plinger/internal/mp/tcpmp"
+	runner "plinger/internal/plinger"
+)
+
+// MP is the message-passing backend: the paper's Appendix A master/worker
+// protocol over any mp.Endpoint transport. The dispatcher owns scheduling
+// (it hands the protocol engine an explicit hand-out order) and telemetry;
+// the wire protocol itself lives in internal/plinger.
+type MP struct {
+	Model *core.Model
+	// Endpoints[0] is the master's endpoint; a worker goroutine is
+	// spawned for every further endpoint. Remote workers in other OS
+	// processes join the same run by calling RunWorker on their own
+	// endpoints, in which case Endpoints holds only the master.
+	Endpoints []mp.Endpoint
+	// Schedule is the hand-out order (zero value: largest-first).
+	Schedule Schedule
+	// AdaptLMax reduces the hierarchy cutoff per wavenumber via PerKLMax;
+	// the per-mode cutoff rides along in the assignment message.
+	AdaptLMax bool
+	// ASCIIOut and BinaryOut receive the unit_1/unit_2 style outputs.
+	ASCIIOut, BinaryOut io.Writer
+	// Transport labels RunStats.Backend (e.g. "chan", "fifo", "tcp").
+	Transport string
+	// BytesMoved, when set, reports the transport-level payload counter
+	// (e.g. chanmp.World.BytesMoved, which also sees master-to-worker
+	// traffic); otherwise the master's received-byte count is used.
+	BytesMoved func() int64
+}
+
+// Run implements Dispatcher.
+func (d *MP) Run(ctx context.Context, ks []float64, mode core.Params) (*Sweep, *RunStats, error) {
+	if d.Model == nil {
+		return nil, nil, fmt.Errorf("dispatch: mp dispatcher has no model")
+	}
+	if len(d.Endpoints) == 0 {
+		return nil, nil, fmt.Errorf("dispatch: mp dispatcher has no endpoints")
+	}
+	if len(ks) == 0 {
+		return nil, nil, fmt.Errorf("dispatch: empty wavenumber grid")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	tau0 := sweepTau0(d.Model, mode)
+	cfg := runner.Config{
+		KValues:   ks,
+		Mode:      mode,
+		Order:     d.Schedule.Order(ks),
+		PerKLMax:  perKLMaxTable(ks, tau0, mode.LMax, d.AdaptLMax),
+		ASCIIOut:  d.ASCIIOut,
+		BinaryOut: d.BinaryOut,
+	}
+
+	// Cancellation: blocking probes cannot watch a context, so closing
+	// the endpoints is the abort path — every pending Probe/Recv then
+	// returns mp.ErrClosed.
+	runDone := make(chan struct{})
+	defer close(runDone)
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				for _, ep := range d.Endpoints {
+					ep.Close()
+				}
+			case <-runDone:
+			}
+		}()
+	}
+
+	nLocal := len(d.Endpoints) - 1
+	errCh := make(chan error, nLocal)
+	for _, ep := range d.Endpoints[1:] {
+		go func(ep mp.Endpoint) {
+			errCh <- runner.Worker(ep, d.Model, ks, mode)
+		}(ep)
+	}
+	// A failed worker never reports back over the protocol, so the master
+	// would block forever waiting for its result. Watch the local workers
+	// concurrently and abort the whole world on the first failure.
+	var wmu sync.Mutex
+	var workerErr error
+	workersDone := make(chan struct{})
+	go func() {
+		defer close(workersDone)
+		for i := 0; i < nLocal; i++ {
+			if werr := <-errCh; werr != nil {
+				wmu.Lock()
+				if workerErr == nil {
+					workerErr = werr
+					for _, ep := range d.Endpoints {
+						ep.Close()
+					}
+				}
+				wmu.Unlock()
+			}
+		}
+	}()
+	res, err := runner.Master(d.Endpoints[0], d.Model, cfg)
+	if err != nil {
+		// Unblock any local workers still probing, then collect them.
+		for _, ep := range d.Endpoints {
+			ep.Close()
+		}
+		<-workersDone
+		if ctx.Err() != nil {
+			return nil, nil, ctx.Err()
+		}
+		wmu.Lock()
+		werr := workerErr
+		wmu.Unlock()
+		// Prefer the root cause: a genuine worker failure beats the
+		// master's probe fallout, but a worker's bare ErrClosed is
+		// itself fallout from the master failing first.
+		if werr != nil && !errors.Is(werr, mp.ErrClosed) {
+			return nil, nil, werr
+		}
+		return nil, nil, err
+	}
+	<-workersDone
+	if workerErr != nil {
+		return nil, nil, workerErr
+	}
+
+	st := &RunStats{
+		Backend:   "mp/" + d.transportName(),
+		Schedule:  d.Schedule,
+		NProc:     res.NProc,
+		NWorkers:  res.NProc - 1,
+		Wallclock: res.Wallclock,
+	}
+	if st.NWorkers < 1 {
+		st.NWorkers = 1
+	}
+	for _, w := range res.Workers {
+		st.Workers = append(st.Workers, WorkerTiming(w))
+	}
+	if d.BytesMoved != nil {
+		st.BytesMoved = d.BytesMoved()
+	} else {
+		st.BytesMoved = res.BytesReceived
+	}
+	st.finalize()
+	sw := &Sweep{
+		KValues: append([]float64(nil), ks...),
+		Results: res.Mode,
+		Tau0:    tau0,
+	}
+	return sw, st, nil
+}
+
+func (d *MP) transportName() string {
+	if d.Transport == "" {
+		return "unknown"
+	}
+	return d.Transport
+}
+
+// RunWorker joins an MP run from the worker side: remote processes (e.g.
+// cmd/plinger -role worker) call it on their own endpoint while the master
+// process runs MP.Run with only the master endpoint.
+func RunWorker(ep mp.Endpoint, model *core.Model, ks []float64, mode core.Params) error {
+	return runner.Worker(ep, model, ks, mode)
+}
+
+// NewMP builds an MP dispatcher over a freshly created in-process world of
+// the named transport — "chan" (in-process goroutine nodes, the default),
+// "fifo" (the strict arrival-order MPL model) or "tcp" (a loopback
+// PVM-style hub) — with the given number of workers (<= 0: one). The
+// returned cleanup closes the endpoints (and hub) and must be called after
+// the final Run.
+func NewMP(model *core.Model, transport string, workers int) (*MP, func(), error) {
+	if workers <= 0 {
+		workers = 1
+	}
+	n := workers + 1
+	var eps []mp.Endpoint
+	var bytes func() int64
+	closeHub := func() {}
+	name := transport
+	switch transport {
+	case "", "chan":
+		name = "chan"
+		world, e, err := chanmp.New(n)
+		if err != nil {
+			return nil, nil, err
+		}
+		eps, bytes = e, world.BytesMoved
+	case "fifo":
+		world, e, err := fifomp.New(n)
+		if err != nil {
+			return nil, nil, err
+		}
+		eps, bytes = e, world.BytesMoved
+	case "tcp":
+		hub, err := tcpmp.NewHub("127.0.0.1:0", n)
+		if err != nil {
+			return nil, nil, err
+		}
+		eps, err = connectAll(hub, n)
+		if err != nil {
+			hub.Close()
+			return nil, nil, err
+		}
+		bytes = hub.BytesMoved
+		closeHub = func() { hub.Close() }
+	default:
+		return nil, nil, fmt.Errorf("dispatch: unknown transport %q", transport)
+	}
+	cleanup := func() {
+		for _, ep := range eps {
+			ep.Close()
+		}
+		closeHub()
+	}
+	d := &MP{Model: model, Endpoints: eps, Transport: name, BytesMoved: bytes}
+	return d, cleanup, nil
+}
+
+// connectAll joins n loopback endpoints to the hub. Connections must be
+// made concurrently: the hub completes the rank handshake only once all n
+// processes have dialed in.
+func connectAll(hub *tcpmp.Hub, n int) ([]mp.Endpoint, error) {
+	eps := make([]mp.Endpoint, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ep, err := tcpmp.Connect(hub.Addr())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			mu.Lock()
+			eps[ep.Rank()] = ep
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for rank, ep := range eps {
+		if ep == nil {
+			return nil, fmt.Errorf("dispatch: no endpoint claimed rank %d", rank)
+		}
+	}
+	return eps, nil
+}

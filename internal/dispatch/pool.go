@@ -1,0 +1,125 @@
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"plinger/internal/core"
+)
+
+// Pool is the shared-memory backend: a fixed set of worker goroutines
+// pulling wavenumbers from a scheduled queue, the analogue of the Cray
+// Autotasking parallelism of Section 3. It honours the same scheduling
+// policies as the message-passing backend (the queue is fed in Schedule
+// order, so largest-first still shrinks the end-of-run idle tail on a
+// skewed grid) and the same per-k adaptive hierarchy cutoff.
+type Pool struct {
+	Model *core.Model
+	// Workers bounds the goroutine pool (<= 0: GOMAXPROCS).
+	Workers int
+	// Schedule is the hand-out order (zero value: largest-first).
+	Schedule Schedule
+	// AdaptLMax reduces the hierarchy cutoff per wavenumber via PerKLMax,
+	// with mode.LMax as the global cap.
+	AdaptLMax bool
+}
+
+// NewPool returns a pool dispatcher with the paper's default schedule.
+func NewPool(model *core.Model, workers int) *Pool {
+	return &Pool{Model: model, Workers: workers}
+}
+
+// Run implements Dispatcher.
+func (p *Pool) Run(ctx context.Context, ks []float64, mode core.Params) (*Sweep, *RunStats, error) {
+	if p.Model == nil {
+		return nil, nil, fmt.Errorf("dispatch: pool has no model")
+	}
+	if len(ks) == 0 {
+		return nil, nil, fmt.Errorf("dispatch: empty wavenumber grid")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	tau0 := sweepTau0(p.Model, mode)
+	perk := perKLMaxTable(ks, tau0, mode.LMax, p.AdaptLMax)
+	order := p.Schedule.Order(ks)
+
+	start := time.Now()
+	results := make([]*core.Result, len(ks))
+	timings := make([]WorkerTiming, workers)
+	idx := make(chan int)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			t := &timings[w]
+			t.Rank = w + 1
+			for i := range idx {
+				pm := mode
+				pm.K = ks[i]
+				if perk != nil {
+					pm.LMax = perk[i]
+				}
+				r, err := p.Model.Evolve(pm)
+				if err != nil {
+					errs <- fmt.Errorf("dispatch: k=%g: %w", ks[i], err)
+					return
+				}
+				results[i] = r
+				t.Modes++
+				t.Seconds += r.Seconds
+				t.Flops += r.Flops
+			}
+		}(w)
+	}
+	for _, i := range order {
+		select {
+		case err := <-errs:
+			close(idx)
+			wg.Wait()
+			return nil, nil, err
+		case <-ctx.Done():
+			close(idx)
+			wg.Wait()
+			return nil, nil, ctx.Err()
+		case idx <- i:
+		}
+	}
+	close(idx)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, nil, err
+	default:
+	}
+	// The last modes may still have been evolving when the context was
+	// cancelled; honour the cancellation like the MP backend does.
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+
+	st := &RunStats{
+		Backend:   "pool",
+		Schedule:  p.Schedule,
+		NWorkers:  workers,
+		NProc:     workers,
+		Wallclock: time.Since(start).Seconds(),
+		Workers:   timings,
+	}
+	st.finalize()
+	sw := &Sweep{
+		KValues: append([]float64(nil), ks...),
+		Results: results,
+		Tau0:    tau0,
+	}
+	return sw, st, nil
+}

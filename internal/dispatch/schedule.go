@@ -1,0 +1,73 @@
+package dispatch
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Schedule selects the order in which wavenumbers are handed to workers.
+// It is purely a wall-clock concern: results are identical under every
+// schedule, only the end-of-run idle tail changes.
+type Schedule int
+
+const (
+	// LargestFirst is the paper's policy: "Since larger wavenumbers
+	// require greater computation, one simple method by which we minimized
+	// this idle time was to compute the largest k first."
+	LargestFirst Schedule = iota
+	// InputOrder hands wavenumbers out as given (the ablation baseline).
+	InputOrder
+	// SmallestFirst is the adversarial ordering for the ablation.
+	SmallestFirst
+)
+
+// String implements fmt.Stringer.
+func (s Schedule) String() string {
+	switch s {
+	case LargestFirst:
+		return "largest-first"
+	case InputOrder:
+		return "input-order"
+	case SmallestFirst:
+		return "smallest-first"
+	default:
+		return fmt.Sprintf("Schedule(%d)", int(s))
+	}
+}
+
+// ParseSchedule maps the command-line / facade spelling to a Schedule; the
+// empty string selects the paper's default, largest-first.
+func ParseSchedule(name string) (Schedule, error) {
+	switch name {
+	case "", "largest-first":
+		return LargestFirst, nil
+	case "input-order":
+		return InputOrder, nil
+	case "smallest-first":
+		return SmallestFirst, nil
+	default:
+		return 0, fmt.Errorf("dispatch: unknown schedule %q", name)
+	}
+}
+
+// Order returns the hand-out order as a permutation of indices into ks.
+// Ties keep input order (stable sort) so the permutation is deterministic.
+func (s Schedule) Order(ks []float64) []int {
+	order := make([]int, len(ks))
+	for i := range order {
+		order[i] = i
+	}
+	switch s {
+	case LargestFirst:
+		sort.SliceStable(order, func(a, b int) bool {
+			return ks[order[a]] > ks[order[b]]
+		})
+	case SmallestFirst:
+		sort.SliceStable(order, func(a, b int) bool {
+			return ks[order[a]] < ks[order[b]]
+		})
+	case InputOrder:
+		// as given
+	}
+	return order
+}

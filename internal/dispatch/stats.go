@@ -1,0 +1,64 @@
+package dispatch
+
+import "sort"
+
+// WorkerTiming is the per-worker accounting used for Figure 1. For the MP
+// backend Rank is the endpoint rank (1..n); the Pool backend numbers its
+// goroutines the same way so the two reports line up.
+type WorkerTiming struct {
+	Rank    int
+	Modes   int     // k values computed
+	Seconds float64 // busy seconds (the paper's etime)
+	Flops   float64 // model flop count
+}
+
+// RunStats is the unified run telemetry, reproducing the quantities plotted
+// in Figure 1 and tabulated in Section 5. Both backends populate every
+// field with the same semantics, so schedules and transports can be
+// compared directly.
+type RunStats struct {
+	// Backend names the dispatcher that produced the run: "pool", or
+	// "mp/<transport>" for a master/worker run.
+	Backend string
+	// Schedule is the hand-out order used.
+	Schedule Schedule
+	// NWorkers is the number of computing workers; NProc additionally
+	// counts the master for MP runs (the paper's "processors").
+	NWorkers, NProc int
+	// Modes is the number of wavenumbers evolved.
+	Modes int
+
+	Wallclock  float64 // seconds
+	TotalCPU   float64 // sum of busy seconds over workers
+	Efficiency float64 // TotalCPU / (Wallclock * NWorkers)
+	TotalFlops float64
+	FlopRate   float64 // flop/s = TotalFlops / Wallclock
+
+	// BytesMoved is the message payload volume (zero for the shared-memory
+	// pool, where no bytes cross a transport).
+	BytesMoved int64
+
+	Workers []WorkerTiming
+}
+
+// finalize derives the aggregate quantities from the per-worker timings,
+// the single formula shared by both backends.
+func (st *RunStats) finalize() {
+	sort.Slice(st.Workers, func(a, b int) bool {
+		return st.Workers[a].Rank < st.Workers[b].Rank
+	})
+	st.TotalCPU, st.TotalFlops, st.Modes = 0, 0, 0
+	for _, w := range st.Workers {
+		st.TotalCPU += w.Seconds
+		st.TotalFlops += w.Flops
+		st.Modes += w.Modes
+	}
+	n := st.NWorkers
+	if n < 1 {
+		n = 1
+	}
+	if st.Wallclock > 0 {
+		st.Efficiency = st.TotalCPU / (st.Wallclock * float64(n))
+		st.FlopRate = st.TotalFlops / st.Wallclock
+	}
+}

@@ -3,6 +3,7 @@ package plinger
 import (
 	"bytes"
 	"math"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -164,19 +165,24 @@ func TestMasterWorkerChanTransport(t *testing.T) {
 			t.Fatalf("result %d has k=%g want %g", i, r.K, ks[i])
 		}
 	}
-	st := res.Stats
-	if st.NProc != 4 || st.Wallclock <= 0 || st.TotalCPU <= 0 || st.TotalFlops <= 0 {
-		t.Fatalf("stats: %+v", st)
+	if res.NProc != 4 || res.Wallclock <= 0 || res.BytesReceived == 0 {
+		t.Fatalf("telemetry: %+v", res)
 	}
-	if len(st.Workers) == 0 {
+	if len(res.Workers) == 0 {
 		t.Fatal("no worker timings")
 	}
 	modes := 0
-	for _, w := range st.Workers {
+	var cpu, flops float64
+	for _, w := range res.Workers {
 		modes += w.Modes
+		cpu += w.Seconds
+		flops += w.Flops
 	}
 	if modes != len(ks) {
 		t.Fatalf("workers computed %d modes, want %d", modes, len(ks))
+	}
+	if cpu <= 0 || flops <= 0 {
+		t.Fatalf("busy time %g s, %g flops", cpu, flops)
 	}
 }
 
@@ -256,24 +262,87 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 }
 
-func TestScheduleOrders(t *testing.T) {
-	// All schedules must produce complete results; the largest-first
-	// policy is the paper's default.
-	for _, s := range []Schedule{LargestFirst, InputOrder, SmallestFirst} {
+func TestHandOutOrders(t *testing.T) {
+	// Any permutation must produce complete results in input order; the
+	// dispatch layer computes the actual schedule.
+	ks := testKs()
+	for _, order := range [][]int{nil, {6, 5, 4, 3, 2, 1, 0}, {4, 3, 5, 0, 6, 2, 1}} {
 		_, eps, err := chanmp.New(3)
 		if err != nil {
 			t.Fatal(err)
 		}
-		res := runParallel(t, eps, testKs(), Config{Mode: smallMode(), Schedule: s})
+		res := runParallel(t, eps, ks, Config{Mode: smallMode(), Order: order})
 		for i, r := range res.Mode {
 			if r == nil {
-				t.Fatalf("%v: missing result %d", s, i)
+				t.Fatalf("order %v: missing result %d", order, i)
+			}
+			if r.K != ks[i] {
+				t.Fatalf("order %v: result %d has k=%g want %g", order, i, r.K, ks[i])
 			}
 		}
 	}
-	if LargestFirst.String() == "" || InputOrder.String() == "" ||
-		SmallestFirst.String() == "" || Schedule(9).String() == "" {
-		t.Fatal("schedule names")
+	// Malformed orders are rejected before any message is sent.
+	for _, bad := range [][]int{{0, 1}, {0, 0, 1, 2, 3, 4, 5}, {0, 1, 2, 3, 4, 5, 9}} {
+		_, eps, err := chanmp.New(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Master(eps[0], model(t), Config{KValues: ks, Mode: smallMode(), Order: bad}); err == nil {
+			t.Fatalf("order %v accepted", bad)
+		}
+	}
+}
+
+func TestPerKLMaxAssignment(t *testing.T) {
+	// The per-k cutoff rides in the assignment message and overrides the
+	// broadcast global.
+	ks := testKs()[:3]
+	perk := []int{8, 12, 16}
+	_, eps, err := chanmp.New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runParallel(t, eps, ks, Config{Mode: smallMode(), PerKLMax: perk})
+	for i, r := range res.Mode {
+		if r.LMax != perk[i] {
+			t.Fatalf("mode %d ran with lmax %d, want %d", i, r.LMax, perk[i])
+		}
+	}
+	_, eps, err = chanmp.New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Master(eps[0], model(t), Config{KValues: ks, Mode: smallMode(), PerKLMax: []int{8}}); err == nil {
+		t.Fatal("short per-k lmax table accepted")
+	}
+}
+
+func TestMasterWorkerWithSources(t *testing.T) {
+	// With KeepSources the tag-7 block ships the line-of-sight samples,
+	// bitwise identical to a direct serial evolution.
+	m := model(t)
+	mode := smallMode()
+	mode.Gauge = core.ConformalNewtonian
+	mode.KeepSources = true
+	ks := testKs()[:3]
+	_, eps, err := chanmp.New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runParallel(t, eps, ks, Config{Mode: mode})
+	for i, r := range res.Mode {
+		if r == nil || len(r.Sources) == 0 {
+			t.Fatalf("mode %d arrived without sources", i)
+		}
+		p := mode
+		p.K = ks[i]
+		direct, err := m.Evolve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(r.Sources, direct.Sources) {
+			t.Fatalf("mode %d sources differ from serial evolution", i)
+		}
 	}
 }
 
@@ -337,6 +406,48 @@ func TestMasterRejectsEmptyWork(t *testing.T) {
 	}
 	if _, err := Master(eps[0], model(t), Config{}); err == nil {
 		t.Fatal("empty k list accepted")
+	}
+}
+
+func TestSourcesRoundTrip(t *testing.T) {
+	r := fakeResult(0.05, 9)
+	r.Sources = []core.Sample{
+		{Tau: 1, A: 0.01, Theta0: 0.1, Psi: -0.2, VB: 0.3, Kdot: 2, DeltaC: -1, Residual: 1e-5},
+		{Tau: 2, Eta: 0.5, HDot: -0.1, EtaDot: 0.02, Alpha: 0.3, Pi: 0.01, Kappa: 4, DeltaB: -0.5},
+	}
+	y := packSources(4, r)
+	got, err := unpackSources(4, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r.Sources) {
+		t.Fatalf("sources round trip mismatch: %+v", got)
+	}
+	if _, err := unpackSources(5, y); err == nil {
+		t.Fatal("ik mismatch accepted")
+	}
+	if _, err := unpackSources(4, y[:len(y)-1]); err == nil {
+		t.Fatal("truncated block accepted")
+	}
+	y[2] = 5
+	if _, err := unpackSources(4, y); err == nil {
+		t.Fatal("field-count skew accepted")
+	}
+}
+
+func TestWriteASCIIRecordValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeASCIIRecord(&buf, make([]float64, 7)); err == nil {
+		t.Fatal("short summary block accepted")
+	}
+	if buf.Len() != 0 {
+		t.Fatal("short block partially written")
+	}
+	if err := writeASCIIRecord(&buf, packSummary(1, fakeResult(0.05, 8))); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Fields(buf.String())); got != asciiRecordLen {
+		t.Fatalf("ascii record has %d fields, want %d", got, asciiRecordLen)
 	}
 }
 

@@ -1,13 +1,17 @@
-// Package plinger implements the parallel code of the paper: the
-// master/worker decomposition over independent k modes, using exactly the
-// message-passing algorithm of Appendix A. The master broadcasts the run
-// parameters (tag 1), workers request wavenumbers (tag 2), the master
-// assigns them (tag 3), workers return a 21-double summary block (tag 4)
-// followed by the full multipole block of 8+2(lmax+1) doubles (tag 5), and
-// the master answers each result with the next wavenumber or a stop message
-// (tag 6). Wavenumbers are handed out largest-k-first, the paper's trick
-// for minimizing end-of-run idle time, and the master writes an ASCII
-// summary file and a binary moment file, like the original's unit_1/unit_2.
+// Package plinger implements the wire protocol of the paper's parallel
+// code: the master/worker decomposition over independent k modes, using
+// exactly the message-passing algorithm of Appendix A. The master
+// broadcasts the run parameters (tag 1), workers request wavenumbers
+// (tag 2), the master assigns them (tag 3), workers return a 21-double
+// summary block (tag 4) followed by the full multipole block of
+// 8+2(lmax+1) doubles (tag 5), and the master answers each result with the
+// next wavenumber or a stop message (tag 6). The master writes an ASCII
+// summary file and a binary moment file, like the original's
+// unit_1/unit_2.
+//
+// Scheduling policy (the paper's largest-k-first trick) and run telemetry
+// live one layer up, in internal/dispatch: the master receives an explicit
+// hand-out order and returns raw per-worker tallies.
 package plinger
 
 import (
@@ -16,7 +20,9 @@ import (
 	"plinger/internal/core"
 )
 
-// Message tags, exactly as tabulated in Appendix A of the paper.
+// Message tags 1-6 exactly as tabulated in Appendix A of the paper; tag 7
+// is this port's extension for shipping line-of-sight source samples so a
+// CMBFAST-style spectrum can be assembled at the master.
 const (
 	// TagInit is the first message from master to workers.
 	TagInit = 1
@@ -30,11 +36,14 @@ const (
 	TagMoments = 5
 	// TagStop tells a worker to exit.
 	TagStop = 6
+	// TagSources carries the recorded line-of-sight source samples; it is
+	// only sent when the run requests KeepSources.
+	TagSources = 7
 )
 
-// initBlockLen is the length of the tag-1 broadcast: the paper sends 5
-// doubles of run parameters.
-const initBlockLen = 5
+// initBlockLen is the length of the tag-1 broadcast: the paper's 5 doubles
+// of run parameters plus the keep-sources flag.
+const initBlockLen = 6
 
 // summaryBlockLen is the length of the tag-4 block: the paper's master
 // receives 21 doubles (20 summary values plus lmax).
@@ -114,6 +123,78 @@ func packMoments(ik int, r *core.Result) []float64 {
 	copy(y[momentsHeaderLen:], r.ThetaL)
 	copy(y[momentsHeaderLen+l1:], r.ThetaPL)
 	return y
+}
+
+// sourcesHeaderLen is the 3-double header (ik, sample count, fields per
+// sample) preceding the flattened samples in the tag-7 block.
+const sourcesHeaderLen = 3
+
+// sourceFieldLen is the number of doubles per line-of-sight sample; the
+// field count travels in the header so a mismatch is detected, not
+// misparsed.
+const sourceFieldLen = 17
+
+// packSources flattens the recorded line-of-sight samples into the tag-7
+// block.
+func packSources(ik int, r *core.Result) []float64 {
+	y := make([]float64, sourcesHeaderLen+sourceFieldLen*len(r.Sources))
+	y[0] = float64(ik)
+	y[1] = float64(len(r.Sources))
+	y[2] = sourceFieldLen
+	o := sourcesHeaderLen
+	for _, s := range r.Sources {
+		y[o+0] = s.Tau
+		y[o+1] = s.A
+		y[o+2] = s.Theta0
+		y[o+3] = s.Psi
+		y[o+4] = s.Phi
+		y[o+5] = s.PhiDot
+		y[o+6] = s.Eta
+		y[o+7] = s.HDot
+		y[o+8] = s.EtaDot
+		y[o+9] = s.Alpha
+		y[o+10] = s.VB
+		y[o+11] = s.Pi
+		y[o+12] = s.Kdot
+		y[o+13] = s.Kappa
+		y[o+14] = s.DeltaC
+		y[o+15] = s.DeltaB
+		y[o+16] = s.Residual
+		o += sourceFieldLen
+	}
+	return y
+}
+
+// unpackSources reconstructs the line-of-sight samples from a tag-7 block.
+func unpackSources(ik int, y []float64) ([]core.Sample, error) {
+	if len(y) < sourcesHeaderLen {
+		return nil, fmt.Errorf("plinger: sources block length %d", len(y))
+	}
+	if int(y[0]) != ik {
+		return nil, fmt.Errorf("plinger: sources block for ik=%d arrived with result for ik=%d", int(y[0]), ik)
+	}
+	if int(y[2]) != sourceFieldLen {
+		return nil, fmt.Errorf("plinger: sources block has %d fields per sample, want %d", int(y[2]), sourceFieldLen)
+	}
+	n := int(y[1])
+	if n < 0 || len(y) != sourcesHeaderLen+n*sourceFieldLen {
+		return nil, fmt.Errorf("plinger: sources block length %d for %d samples", len(y), n)
+	}
+	out := make([]core.Sample, n)
+	o := sourcesHeaderLen
+	for i := range out {
+		out[i] = core.Sample{
+			Tau: y[o+0], A: y[o+1], Theta0: y[o+2],
+			Psi: y[o+3], Phi: y[o+4], PhiDot: y[o+5],
+			Eta: y[o+6], HDot: y[o+7], EtaDot: y[o+8], Alpha: y[o+9],
+			VB: y[o+10], Pi: y[o+11],
+			Kdot: y[o+12], Kappa: y[o+13],
+			DeltaC: y[o+14], DeltaB: y[o+15],
+			Residual: y[o+16],
+		}
+		o += sourceFieldLen
+	}
+	return out, nil
 }
 
 // unpackResult reconstructs a Result (the master's view) from the two

@@ -11,42 +11,21 @@ import (
 	"plinger/internal/mp"
 )
 
-// Schedule selects the order in which the master hands out wavenumbers.
-type Schedule int
-
-const (
-	// LargestFirst is the paper's policy: "Since larger wavenumbers require
-	// greater computation, one simple method by which we minimized this
-	// idle time was to compute the largest k first."
-	LargestFirst Schedule = iota
-	// InputOrder hands wavenumbers out as given (the ablation baseline).
-	InputOrder
-	// SmallestFirst is the adversarial ordering for the ablation.
-	SmallestFirst
-)
-
-// String implements fmt.Stringer.
-func (s Schedule) String() string {
-	switch s {
-	case LargestFirst:
-		return "largest-first"
-	case InputOrder:
-		return "input-order"
-	case SmallestFirst:
-		return "smallest-first"
-	default:
-		return fmt.Sprintf("Schedule(%d)", int(s))
-	}
-}
-
-// Config describes one parallel run.
+// Config describes one parallel run. Scheduling policy is not decided
+// here: internal/dispatch computes the hand-out order and this package only
+// speaks the wire protocol.
 type Config struct {
 	// KValues are the wavenumbers to evolve (Mpc^-1).
 	KValues []float64
 	// Mode holds the per-k evolution parameters (K is overwritten).
 	Mode core.Params
-	// Schedule is the hand-out order (default LargestFirst).
-	Schedule Schedule
+	// Order is the hand-out order as a permutation of indices into
+	// KValues (nil: input order).
+	Order []int
+	// PerKLMax optionally overrides the hierarchy cutoff per wavenumber
+	// (entries <= 0 fall back to the broadcast Mode.LMax); the override
+	// rides along in the tag-3 assignment message.
+	PerKLMax []int
 	// ASCIIOut, if non-nil, receives the unit_1-style text summary lines.
 	ASCIIOut io.Writer
 	// BinaryOut, if non-nil, receives the unit_2-style binary moment
@@ -62,24 +41,44 @@ type WorkerTiming struct {
 	Flops   float64 // model flop count
 }
 
-// RunStats aggregates a parallel run, reproducing the quantities plotted in
-// Figure 1 and tabulated in Section 5.
-type RunStats struct {
-	NProc         int
-	Wallclock     float64 // seconds
-	TotalCPU      float64 // sum of busy seconds over workers
-	Efficiency    float64 // TotalCPU / (Wallclock * workers)
-	TotalFlops    float64
-	FlopRate      float64 // flop/s = TotalFlops / Wallclock
-	BytesReceived int64   // protocol payload volume at the master
-	Workers       []WorkerTiming
-}
-
-// Results is the master's collected output, ordered like KValues.
+// Results is the master's collected output, ordered like KValues, plus the
+// raw run telemetry. Derived quantities (parallel efficiency, flop rate)
+// are computed by internal/dispatch so that the pool and message-passing
+// backends share one formula.
 type Results struct {
 	Mode    []*core.Result
-	Stats   RunStats
 	KValues []float64
+	// NProc is the world size (workers plus master).
+	NProc int
+	// Wallclock is the master's elapsed seconds.
+	Wallclock float64
+	// BytesReceived is the protocol payload volume at the master.
+	BytesReceived int64
+	// Workers holds the per-worker tallies, sorted by rank.
+	Workers []WorkerTiming
+}
+
+// handOutOrder validates cfg.Order (or builds the identity order) as a
+// permutation of 0..nk-1.
+func handOutOrder(cfg Config, nk int) ([]int, error) {
+	if cfg.Order == nil {
+		order := make([]int, nk)
+		for i := range order {
+			order[i] = i
+		}
+		return order, nil
+	}
+	if len(cfg.Order) != nk {
+		return nil, fmt.Errorf("plinger: hand-out order has %d entries for %d wavenumbers", len(cfg.Order), nk)
+	}
+	seen := make([]bool, nk)
+	for _, ik := range cfg.Order {
+		if ik < 0 || ik >= nk || seen[ik] {
+			return nil, fmt.Errorf("plinger: hand-out order is not a permutation of 0..%d", nk-1)
+		}
+		seen[ik] = true
+	}
+	return cfg.Order, nil
 }
 
 // Master runs the master subroutine of Appendix A over the endpoint. It
@@ -89,38 +88,32 @@ func Master(ep mp.Endpoint, model *core.Model, cfg Config) (*Results, error) {
 	if nk == 0 {
 		return nil, fmt.Errorf("plinger: no wavenumbers to distribute")
 	}
+	order, err := handOutOrder(cfg, nk)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.PerKLMax != nil && len(cfg.PerKLMax) != nk {
+		return nil, fmt.Errorf("plinger: per-k lmax table has %d entries for %d wavenumbers", len(cfg.PerKLMax), nk)
+	}
 	start := time.Now()
 
-	// Broadcast initial data (tag 1): end time, lmax, nk, gauge, rtol.
+	// Broadcast initial data (tag 1): end time, lmax, nk, gauge, rtol,
+	// keep-sources flag.
 	tauEnd := cfg.Mode.TauEnd
 	if tauEnd <= 0 {
 		tauEnd = model.BG.Tau0()
 	}
+	keep := 0.0
+	if cfg.Mode.KeepSources {
+		keep = 1.0
+	}
 	init := []float64{tauEnd, float64(cfg.Mode.LMax), float64(nk),
-		float64(cfg.Mode.Gauge), cfg.Mode.RTol}
+		float64(cfg.Mode.Gauge), cfg.Mode.RTol, keep}
 	if len(init) != initBlockLen {
 		panic("plinger: init block length drifted from the protocol")
 	}
 	if err := ep.Bcast(TagInit, init); err != nil {
 		return nil, fmt.Errorf("plinger: broadcast: %w", err)
-	}
-
-	// Build the hand-out order.
-	order := make([]int, nk)
-	for i := range order {
-		order[i] = i
-	}
-	switch cfg.Schedule {
-	case LargestFirst:
-		sort.Slice(order, func(a, b int) bool {
-			return cfg.KValues[order[a]] > cfg.KValues[order[b]]
-		})
-	case SmallestFirst:
-		sort.Slice(order, func(a, b int) bool {
-			return cfg.KValues[order[a]] < cfg.KValues[order[b]]
-		})
-	case InputOrder:
-		// as given
 	}
 
 	res := &Results{
@@ -138,8 +131,13 @@ func Master(ep mp.Endpoint, model *core.Model, cfg Config) (*Results, error) {
 		if next < nk {
 			ik := order[next]
 			next++
-			// The Fortran sends the 1-based wavenumber index.
-			return ep.Send(dst, TagAssign, []float64{float64(ik + 1)})
+			lmax := 0.0
+			if cfg.PerKLMax != nil && cfg.PerKLMax[ik] > 0 {
+				lmax = float64(cfg.PerKLMax[ik])
+			}
+			// The Fortran sends the 1-based wavenumber index; the
+			// optional second value is the per-k hierarchy cutoff.
+			return ep.Send(dst, TagAssign, []float64{float64(ik + 1), lmax})
 		}
 		if !stopped[dst] {
 			stopped[dst] = true
@@ -148,67 +146,99 @@ func Master(ep mp.Endpoint, model *core.Model, cfg Config) (*Results, error) {
 		return nil
 	}
 
+	touch := func(src int) *WorkerTiming {
+		w := workers[src]
+		if w == nil {
+			w = &WorkerTiming{Rank: src}
+			workers[src] = w
+		}
+		return w
+	}
+
+	// A mode's result arrives as two or three messages (summary, moments,
+	// optionally sources). Messages from different workers interleave
+	// arbitrarily — and a strict arrival-order (MPL-style) transport can
+	// only ever deliver the head of the queue — so the master consumes
+	// every message in arrival order and assembles records per source.
+	type inflight struct {
+		sum, mom []float64
+	}
+	pending := map[int]*inflight{}
+
+	complete := func(src int, fl *inflight, srcBlock []float64) error {
+		delete(pending, src)
+		ik1, r, err := unpackResult(fl.sum, fl.mom)
+		if err != nil {
+			return err
+		}
+		ik := ik1 - 1
+		if ik < 0 || ik >= nk {
+			return fmt.Errorf("plinger: wavenumber index %d out of range", ik1)
+		}
+		if srcBlock != nil {
+			samples, err := unpackSources(ik1, srcBlock)
+			if err != nil {
+				return err
+			}
+			r.Sources = samples
+		}
+		res.Mode[ik] = r
+		done++
+		w := touch(src)
+		w.Modes++
+		w.Seconds += r.Seconds
+		w.Flops += r.Flops
+		if cfg.ASCIIOut != nil {
+			if err := writeASCIIRecord(cfg.ASCIIOut, fl.sum); err != nil {
+				return err
+			}
+		}
+		if cfg.BinaryOut != nil {
+			if err := writeBinaryRecord(cfg.BinaryOut, fl.mom); err != nil {
+				return err
+			}
+		}
+		return assign(src)
+	}
+
 	for done < nk {
 		tag, src, err := ep.Probe(mp.AnyTag, mp.AnySource)
 		if err != nil {
 			return nil, fmt.Errorf("plinger: master probe: %w", err)
 		}
+		m, err := ep.Recv(tag, src)
+		if err != nil {
+			return nil, err
+		}
+		bytes += int64(8 * len(m.Data))
 		switch tag {
 		case TagRequest:
-			// Dispose of the request (it carries no data) and reply.
-			m, err := ep.Recv(TagRequest, src)
-			if err != nil {
-				return nil, err
-			}
-			bytes += int64(8 * len(m.Data))
-			if w := workers[src]; w == nil {
-				workers[src] = &WorkerTiming{Rank: src}
-			}
+			touch(src)
 			if err := assign(src); err != nil {
 				return nil, err
 			}
 		case TagSummary:
-			sum, err := ep.Recv(TagSummary, src)
-			if err != nil {
-				return nil, err
+			if pending[src] != nil {
+				return nil, fmt.Errorf("plinger: worker %d sent a new summary before completing a mode", src)
 			}
-			// The moment block follows from the same worker (tag 5); the
-			// paper waits for it explicitly with mycheckone.
-			if _, _, err := ep.Probe(TagMoments, src); err != nil {
-				return nil, err
+			pending[src] = &inflight{sum: m.Data}
+		case TagMoments:
+			fl := pending[src]
+			if fl == nil || fl.mom != nil {
+				return nil, fmt.Errorf("plinger: worker %d sent moments without a summary", src)
 			}
-			mom, err := ep.Recv(TagMoments, src)
-			if err != nil {
-				return nil, err
-			}
-			bytes += int64(8 * (len(sum.Data) + len(mom.Data)))
-			ik1, r, err := unpackResult(sum.Data, mom.Data)
-			if err != nil {
-				return nil, err
-			}
-			ik := ik1 - 1
-			if ik < 0 || ik >= nk {
-				return nil, fmt.Errorf("plinger: wavenumber index %d out of range", ik1)
-			}
-			res.Mode[ik] = r
-			done++
-			w := workers[src]
-			if w == nil {
-				w = &WorkerTiming{Rank: src}
-				workers[src] = w
-			}
-			w.Modes++
-			w.Seconds += r.Seconds
-			w.Flops += r.Flops
-			if cfg.ASCIIOut != nil {
-				writeASCIIRecord(cfg.ASCIIOut, sum.Data)
-			}
-			if cfg.BinaryOut != nil {
-				if err := writeBinaryRecord(cfg.BinaryOut, mom.Data); err != nil {
+			fl.mom = m.Data
+			if !cfg.Mode.KeepSources {
+				if err := complete(src, fl, nil); err != nil {
 					return nil, err
 				}
 			}
-			if err := assign(src); err != nil {
+		case TagSources:
+			fl := pending[src]
+			if fl == nil || fl.mom == nil {
+				return nil, fmt.Errorf("plinger: worker %d sent sources without moments", src)
+			}
+			if err := complete(src, fl, m.Data); err != nil {
 				return nil, err
 			}
 		default:
@@ -216,45 +246,47 @@ func Master(ep mp.Endpoint, model *core.Model, cfg Config) (*Results, error) {
 		}
 	}
 
-	// Stop any workers that never got a stop (they may still be asking).
-	for rank := range workers {
-		if !stopped[rank] {
-			// They will send a request or are idle; flush pending requests.
-			for {
-				tag, src, err := ep.Probe(mp.AnyTag, rank)
-				if err != nil || tag != TagRequest || src != rank {
-					break
-				}
-				if _, err := ep.Recv(TagRequest, rank); err != nil {
-					break
-				}
-				break
-			}
-			stopped[rank] = true
-			if err := ep.Send(rank, TagStop, []float64{0}); err != nil {
-				return nil, err
-			}
+	// Late-starting workers may not have asked for work yet. Every worker
+	// sends exactly one request after the init broadcast, so wait for each
+	// outstanding one — in arrival order, as MPL-style transports require —
+	// and answer it with a stop. Like the paper's protocol this has no
+	// fault tolerance: a remote worker that joined the world but died
+	// before its first request stalls this wait, just as one dying
+	// mid-compute stalls the main loop above.
+	remaining := 0
+	for rank := 0; rank < ep.Size(); rank++ {
+		if rank != ep.Master() && !stopped[rank] {
+			remaining++
 		}
 	}
+	for remaining > 0 {
+		tag, src, err := ep.Probe(mp.AnyTag, mp.AnySource)
+		if err != nil {
+			return nil, fmt.Errorf("plinger: master drain probe: %w", err)
+		}
+		m, err := ep.Recv(tag, src)
+		if err != nil {
+			return nil, err
+		}
+		if tag != TagRequest || stopped[src] {
+			return nil, fmt.Errorf("plinger: master got unexpected tag %d from %d while draining", tag, src)
+		}
+		bytes += int64(8 * len(m.Data))
+		touch(src)
+		stopped[src] = true
+		if err := ep.Send(src, TagStop, []float64{0}); err != nil {
+			return nil, err
+		}
+		remaining--
+	}
 
-	st := &res.Stats
-	st.NProc = ep.Size()
-	st.Wallclock = time.Since(start).Seconds()
+	res.NProc = ep.Size()
+	res.Wallclock = time.Since(start).Seconds()
+	res.BytesReceived = bytes
 	for _, w := range workers {
-		st.Workers = append(st.Workers, *w)
-		st.TotalCPU += w.Seconds
-		st.TotalFlops += w.Flops
+		res.Workers = append(res.Workers, *w)
 	}
-	sort.Slice(st.Workers, func(a, b int) bool { return st.Workers[a].Rank < st.Workers[b].Rank })
-	nWorkers := ep.Size() - 1
-	if nWorkers < 1 {
-		nWorkers = 1
-	}
-	if st.Wallclock > 0 {
-		st.Efficiency = st.TotalCPU / (st.Wallclock * float64(nWorkers))
-		st.FlopRate = st.TotalFlops / st.Wallclock
-	}
-	st.BytesReceived = bytes
+	sort.Slice(res.Workers, func(a, b int) bool { return res.Workers[a].Rank < res.Workers[b].Rank })
 	return res, nil
 }
 
@@ -282,6 +314,7 @@ func Worker(ep mp.Endpoint, model *core.Model, kValues []float64, mode core.Para
 	if rt := init.Data[4]; rt > 0 {
 		mode.RTol = rt
 	}
+	mode.KeepSources = init.Data[5] != 0
 
 	// Ask for the first wavenumber (tag 2).
 	if err := ep.Send(master, TagRequest, []float64{0}); err != nil {
@@ -310,6 +343,9 @@ func Worker(ep mp.Endpoint, model *core.Model, kValues []float64, mode core.Para
 		}
 		p := mode
 		p.K = kValues[ik1-1]
+		if len(m.Data) > 1 && m.Data[1] > 0 {
+			p.LMax = int(m.Data[1])
+		}
 		r, err := model.Evolve(p)
 		if err != nil {
 			return fmt.Errorf("plinger: worker evolve (ik=%d, k=%g): %w", ik1, p.K, err)
@@ -320,19 +356,33 @@ func Worker(ep mp.Endpoint, model *core.Model, kValues []float64, mode core.Para
 		if err := ep.Send(master, TagMoments, packMoments(ik1, r)); err != nil {
 			return err
 		}
+		if mode.KeepSources {
+			if err := ep.Send(master, TagSources, packSources(ik1, r)); err != nil {
+				return err
+			}
+		}
 	}
 }
 
-// writeASCIIRecord prints the 20 summary values, one line per mode, like
-// the paper's "WRITE(unit_1,*) (y(i),i=1,20)".
-func writeASCIIRecord(w io.Writer, sum []float64) {
-	for i := 0; i < 20; i++ {
+// asciiRecordLen is the number of summary values printed per ASCII line
+// (the paper's "WRITE(unit_1,*) (y(i),i=1,20)").
+const asciiRecordLen = 20
+
+// writeASCIIRecord prints the 20 summary values, one line per mode.
+func writeASCIIRecord(w io.Writer, sum []float64) error {
+	if len(sum) < asciiRecordLen {
+		return fmt.Errorf("plinger: summary block has %d values, need %d for the ASCII record", len(sum), asciiRecordLen)
+	}
+	for i := 0; i < asciiRecordLen; i++ {
 		sep := " "
-		if i == 19 {
+		if i == asciiRecordLen-1 {
 			sep = "\n"
 		}
-		fmt.Fprintf(w, "%.10e%s", sum[i], sep)
+		if _, err := fmt.Fprintf(w, "%.10e%s", sum[i], sep); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // writeBinaryRecord writes the moment block as little-endian float64s with

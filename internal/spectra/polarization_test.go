@@ -10,6 +10,9 @@ import (
 // window, it is strongly suppressed relative to temperature at the
 // multipoles the 1995 experiments probed.
 func TestPolarizationSpectrum(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-hierarchy polarization sweep is expensive")
+	}
 	m := model(t)
 	ks := ClGrid(40, m.BG.Tau0(), 80)
 	sw, err := RunSweep(m, core.Params{LMax: 160, Gauge: core.Synchronous}, ks, 0, true)

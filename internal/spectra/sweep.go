@@ -12,12 +12,12 @@
 package spectra
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"plinger/internal/core"
+	"plinger/internal/dispatch"
 )
 
 // Sweep holds the results of evolving a set of k modes.
@@ -54,78 +54,37 @@ func LogGrid(kmin, kmax float64, nk int) []float64 {
 
 // PerKLMax returns the hierarchy cutoff actually needed for wavenumber k:
 // moments beyond ~ k tau_0 receive no power, so small k can run with far
-// smaller hierarchies. This is why the paper's per-mode messages vary from
-// 150 bytes to 80 kbyte and why CPU time grows with k.
+// smaller hierarchies. It forwards to the dispatch subsystem, which applies
+// the same adaptation in both execution backends.
 func PerKLMax(k, tau0 float64, lmaxGlobal int) int {
-	l := int(1.5*k*tau0) + 60
-	if l > lmaxGlobal {
-		return lmaxGlobal
-	}
-	if l < 8 {
-		l = 8
-	}
-	return l
+	return dispatch.PerKLMax(k, tau0, lmaxGlobal)
 }
 
-// RunSweep evolves every k in ks with the given template parameters using a
-// shared-memory worker pool (the analogue of the Cray Autotasking
-// parallelism of Section 3; the message-passing version lives in package
-// plinger). If adaptLMax is true the hierarchy cutoff is reduced per k via
-// PerKLMax.
+// RunSweep evolves every k in ks with the given template parameters on the
+// shared-memory pool dispatcher (the analogue of the Cray Autotasking
+// parallelism of Section 3; message-passing runs go through
+// dispatch.MP instead). If adaptLMax is true the hierarchy cutoff is
+// reduced per k via PerKLMax. For dispatcher choice and run telemetry use
+// RunSweepWith.
 func RunSweep(mdl *core.Model, mode core.Params, ks []float64, workers int, adaptLMax bool) (*Sweep, error) {
-	if len(ks) == 0 {
-		return nil, fmt.Errorf("spectra: empty wavenumber grid")
+	sw, _, err := RunSweepWith(&dispatch.Pool{
+		Model: mdl, Workers: workers, AdaptLMax: adaptLMax,
+	}, ks, mode)
+	return sw, err
+}
+
+// RunSweepWith evolves the grid on any dispatcher and wraps the results for
+// science post-processing, returning the run telemetry alongside.
+func RunSweepWith(d dispatch.Dispatcher, ks []float64, mode core.Params) (*Sweep, *dispatch.RunStats, error) {
+	dsw, st, err := d.Run(context.Background(), ks, mode)
+	if err != nil {
+		return nil, nil, err
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	sw, err := FromResults(dsw.KValues, dsw.Results, dsw.Tau0)
+	if err != nil {
+		return nil, nil, err
 	}
-	sw := &Sweep{
-		KValues: append([]float64(nil), ks...),
-		Results: make([]*core.Result, len(ks)),
-		Tau0:    mdl.BG.Tau0(),
-	}
-	if mode.TauEnd > 0 {
-		sw.Tau0 = mode.TauEnd
-	}
-	idx := make(chan int)
-	errs := make(chan error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				p := mode
-				p.K = ks[i]
-				if adaptLMax {
-					p.LMax = PerKLMax(ks[i], sw.Tau0, mode.LMax)
-				}
-				r, err := mdl.Evolve(p)
-				if err != nil {
-					errs <- fmt.Errorf("spectra: k=%g: %w", ks[i], err)
-					return
-				}
-				sw.Results[i] = r
-			}
-		}()
-	}
-	for i := range ks {
-		select {
-		case err := <-errs:
-			close(idx)
-			wg.Wait()
-			return nil, err
-		case idx <- i:
-		}
-	}
-	close(idx)
-	wg.Wait()
-	select {
-	case err := <-errs:
-		return nil, err
-	default:
-	}
-	return sw, nil
+	return sw, st, nil
 }
 
 // FromResults builds a Sweep from externally computed results (e.g. a

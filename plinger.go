@@ -18,20 +18,23 @@
 //	run, err := m.RunParallel(plinger.ParallelOptions{Workers: 8, ...})
 //
 // The heavy lifting lives in the internal packages (core, cosmology,
-// recomb, thermo, spectra, mp, plinger, sky); this facade re-exposes the
-// stable subset an application needs. Command-line tools under cmd/ and
-// runnable examples under examples/ exercise every part of it.
+// recomb, thermo, spectra, dispatch, mp, plinger, sky); this facade
+// re-exposes the stable subset an application needs. All parallel
+// execution — shared-memory pool or master/worker message passing —
+// routes through the dispatch subsystem. Command-line tools under cmd/
+// and runnable examples under examples/ exercise every part of it.
 package plinger
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime"
 
 	"plinger/internal/core"
 	"plinger/internal/cosmology"
+	"plinger/internal/dispatch"
 	"plinger/internal/expdata"
-	"plinger/internal/mp/chanmp"
-	runner "plinger/internal/plinger"
 	"plinger/internal/recomb"
 	"plinger/internal/sky"
 	"plinger/internal/spectra"
@@ -273,6 +276,42 @@ type SpectrumOptions struct {
 	// hierarchy instead of temperature (brute method only; the paper's
 	// Thomson treatment includes "two photon polarizations").
 	Polarization bool
+	// Transport selects the execution backend: "" or "pool" runs the
+	// shared-memory worker pool; "chan", "fifo" or "tcp" runs a full
+	// PLINGER master/worker decomposition over that mp transport. The
+	// spectrum is identical in every case.
+	Transport string
+	// Schedule is the hand-out order: "largest-first" (default, the
+	// paper's policy), "input-order" or "smallest-first".
+	Schedule string
+}
+
+// newDispatcher builds the execution backend for a sweep. The returned
+// cleanup must be called after the run.
+func (m *Model) newDispatcher(transport, schedule string, workers int, adaptLMax bool) (dispatch.Dispatcher, func(), error) {
+	sched, err := dispatch.ParseSchedule(schedule)
+	if err != nil {
+		return nil, nil, fmt.Errorf("plinger: unknown schedule %q", schedule)
+	}
+	switch transport {
+	case "", "pool":
+		return &dispatch.Pool{
+			Model: m.core, Workers: workers, Schedule: sched, AdaptLMax: adaptLMax,
+		}, func() {}, nil
+	case "chan", "fifo", "tcp":
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		d, cleanup, err := dispatch.NewMP(m.core, transport, workers)
+		if err != nil {
+			return nil, nil, err
+		}
+		d.Schedule = sched
+		d.AdaptLMax = adaptLMax
+		return d, cleanup, nil
+	default:
+		return nil, nil, fmt.Errorf("plinger: unknown transport %q", transport)
+	}
 }
 
 // ComputeSpectrum runs the k sweep and assembles C_l.
@@ -307,9 +346,14 @@ func (m *Model) ComputeSpectrum(o SpectrumOptions) (*Spectrum, error) {
 		if lmax == 0 {
 			lmax = 24
 		}
-		sw, err := spectra.RunSweep(m.core, core.Params{
+		d, cleanup, err := m.newDispatcher(o.Transport, o.Schedule, o.Workers, false)
+		if err != nil {
+			return nil, err
+		}
+		defer cleanup()
+		sw, _, err := spectra.RunSweepWith(d, ks, core.Params{
 			LMax: lmax, Gauge: core.ConformalNewtonian, KeepSources: true,
-		}, ks, o.Workers, false)
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -323,9 +367,14 @@ func (m *Model) ComputeSpectrum(o SpectrumOptions) (*Spectrum, error) {
 		if lmax == 0 {
 			lmax = int(1.5*ks[len(ks)-1]*tau0) + 60
 		}
-		sw, err := spectra.RunSweep(m.core, core.Params{
+		d, cleanup, err := m.newDispatcher(o.Transport, o.Schedule, o.Workers, true)
+		if err != nil {
+			return nil, err
+		}
+		defer cleanup()
+		sw, _, err := spectra.RunSweepWith(d, ks, core.Params{
 			LMax: lmax, Gauge: core.Synchronous,
-		}, ks, o.Workers, true)
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -352,22 +401,41 @@ type MatterPowerResult struct {
 	Sigma8 float64
 }
 
+// MatterPowerOptions configures a matter power spectrum computation.
+type MatterPowerOptions struct {
+	// KMin and KMax bound the logarithmic k grid (defaults 2e-4, 0.5).
+	KMin, KMax float64
+	// NK is the number of grid points (default 40).
+	NK int
+	// Workers bounds the parallelism (default GOMAXPROCS).
+	Workers int
+	// Amp is the primordial amplitude, typically the value returned by
+	// NormalizeCOBE (<= 0 means unit amplitude).
+	Amp float64
+	// Transport and Schedule select the execution backend, as in
+	// SpectrumOptions.
+	Transport, Schedule string
+}
+
 // MatterPower computes the matter transfer function, power spectrum and
-// sigma_8 on a logarithmic k grid. Pass the amplitude returned by
-// NormalizeCOBE to get COBE-normalized results (amp <= 0 means unit
-// primordial amplitude).
-func (m *Model) MatterPower(kmin, kmax float64, nk, workers int, amp float64) (*MatterPowerResult, error) {
-	if kmin <= 0 {
-		kmin = 2e-4
+// sigma_8 on a logarithmic k grid.
+func (m *Model) MatterPower(o MatterPowerOptions) (*MatterPowerResult, error) {
+	if o.KMin <= 0 {
+		o.KMin = 2e-4
 	}
-	if kmax <= kmin {
-		kmax = 0.5
+	if o.KMax <= o.KMin {
+		o.KMax = 0.5
 	}
-	if nk <= 0 {
-		nk = 40
+	if o.NK <= 0 {
+		o.NK = 40
 	}
-	ks := spectra.LogGrid(kmin, kmax, nk)
-	sw, err := spectra.RunSweep(m.core, core.Params{LMax: 24, Gauge: core.Synchronous}, ks, workers, false)
+	ks := spectra.LogGrid(o.KMin, o.KMax, o.NK)
+	d, cleanup, err := m.newDispatcher(o.Transport, o.Schedule, o.Workers, false)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	sw, _, err := spectra.RunSweepWith(d, ks, core.Params{LMax: 24, Gauge: core.Synchronous})
 	if err != nil {
 		return nil, err
 	}
@@ -376,8 +444,8 @@ func (m *Model) MatterPower(kmin, kmax float64, nk, workers int, amp float64) (*
 		return nil, err
 	}
 	prim := m.prim
-	if amp > 0 {
-		prim.Amp = amp
+	if o.Amp > 0 {
+		prim.Amp = o.Amp
 	}
 	pk, err := sw.PowerSpectrum(prim, m.cfg.OmegaC, m.cfg.OmegaB)
 	if err != nil {
@@ -390,8 +458,7 @@ func (m *Model) MatterPower(kmin, kmax float64, nk, workers int, amp float64) (*
 	return &MatterPowerResult{K: tf.K, T: tf.T, P: pk, Sigma8: s8}, nil
 }
 
-// ParallelOptions configures a PLINGER master/worker run over the
-// in-process transport.
+// ParallelOptions configures a PLINGER master/worker run.
 type ParallelOptions struct {
 	// KValues are the wavenumbers to distribute.
 	KValues []float64
@@ -404,23 +471,44 @@ type ParallelOptions struct {
 	// Schedule: "largest-first" (default, the paper's policy),
 	// "input-order" or "smallest-first".
 	Schedule string
+	// Transport selects the mp transport: "chan" (default, in-process),
+	// "fifo" (strict arrival-order, the MPL model) or "tcp" (a loopback
+	// PVM-style hub).
+	Transport string
+	// AdaptLMax reduces the hierarchy cutoff per wavenumber via the
+	// paper's k tau_0 criterion, shrinking both CPU time and messages
+	// for small k.
+	AdaptLMax bool
 	// ASCIIOut and BinaryOut receive the unit_1/unit_2 style outputs.
 	ASCIIOut, BinaryOut io.Writer
 }
 
-// ParallelRun is the master's collected output.
+// WorkerLoad is the per-worker share of a parallel run (Figure 1).
+type WorkerLoad struct {
+	Rank        int
+	Modes       int
+	BusySeconds float64
+	Flops       float64
+}
+
+// ParallelRun is the master's collected output plus the run telemetry.
 type ParallelRun struct {
 	Results []*ModeResult
+	// Backend names the dispatcher used (e.g. "mp/chan").
+	Backend string
 	// Wallclock and TotalCPU in seconds; Efficiency is the paper's
 	// (total CPU)/(wallclock x workers); FlopRate in flop/s.
 	Wallclock, TotalCPU, Efficiency, FlopRate float64
 	// BytesMoved is the message payload volume.
 	BytesMoved int64
+	// Workers is the per-worker accounting, sorted by rank.
+	Workers []WorkerLoad
 }
 
 // RunParallel executes the paper's Appendix A algorithm: a master and
-// Workers worker goroutines exchanging tagged messages over the in-process
-// transport. Results are deterministic and independent of Workers.
+// Workers worker goroutines exchanging tagged messages over the chosen
+// transport. Results are deterministic and independent of Workers,
+// Schedule and Transport.
 func (m *Model) RunParallel(o ParallelOptions) (*ParallelRun, error) {
 	if o.Workers <= 0 {
 		o.Workers = 1
@@ -436,48 +524,37 @@ func (m *Model) RunParallel(o ParallelOptions) (*ParallelRun, error) {
 	if lmax == 0 {
 		lmax = 50
 	}
-	var sched runner.Schedule
-	switch o.Schedule {
-	case "", "largest-first":
-		sched = runner.LargestFirst
-	case "input-order":
-		sched = runner.InputOrder
-	case "smallest-first":
-		sched = runner.SmallestFirst
-	default:
+	sched, err := dispatch.ParseSchedule(o.Schedule)
+	if err != nil {
 		return nil, fmt.Errorf("plinger: unknown schedule %q", o.Schedule)
 	}
-	world, eps, err := chanmp.New(o.Workers + 1)
+	d, cleanup, err := dispatch.NewMP(m.core, o.Transport, o.Workers)
 	if err != nil {
 		return nil, err
 	}
+	defer cleanup()
+	d.Schedule = sched
+	d.AdaptLMax = o.AdaptLMax
+	d.ASCIIOut, d.BinaryOut = o.ASCIIOut, o.BinaryOut
 	mode := core.Params{LMax: lmax, Gauge: g, RTol: o.RTol}
-	errCh := make(chan error, o.Workers)
-	for w := 1; w <= o.Workers; w++ {
-		go func(w int) {
-			errCh <- runner.Worker(eps[w], m.core, o.KValues, mode)
-		}(w)
-	}
-	res, err := runner.Master(eps[0], m.core, runner.Config{
-		KValues: o.KValues, Mode: mode, Schedule: sched,
-		ASCIIOut: o.ASCIIOut, BinaryOut: o.BinaryOut,
-	})
+	sw, st, err := d.Run(context.Background(), o.KValues, mode)
 	if err != nil {
 		return nil, err
-	}
-	for w := 0; w < o.Workers; w++ {
-		if werr := <-errCh; werr != nil {
-			return nil, werr
-		}
 	}
 	out := &ParallelRun{
-		Wallclock:  res.Stats.Wallclock,
-		TotalCPU:   res.Stats.TotalCPU,
-		Efficiency: res.Stats.Efficiency,
-		FlopRate:   res.Stats.FlopRate,
-		BytesMoved: world.BytesMoved(),
+		Backend:    st.Backend,
+		Wallclock:  st.Wallclock,
+		TotalCPU:   st.TotalCPU,
+		Efficiency: st.Efficiency,
+		FlopRate:   st.FlopRate,
+		BytesMoved: st.BytesMoved,
 	}
-	for _, r := range res.Mode {
+	for _, w := range st.Workers {
+		out.Workers = append(out.Workers, WorkerLoad{
+			Rank: w.Rank, Modes: w.Modes, BusySeconds: w.Seconds, Flops: w.Flops,
+		})
+	}
+	for _, r := range sw.Results {
 		out.Results = append(out.Results, wrapResult(r))
 	}
 	return out, nil

@@ -131,9 +131,45 @@ func TestPolarizationThroughFacade(t *testing.T) {
 	}
 }
 
+// The dispatcher choice is invisible in the physics: a C_l spectrum
+// computed end-to-end over a PLINGER master/worker run (sources shipped
+// back over the wire) must equal the shared-memory pool's bitwise, under
+// any schedule.
+func TestSpectrumTransportEquivalence(t *testing.T) {
+	m := scdmModel(t)
+	opts := SpectrumOptions{LMaxCl: 12, NK: 24, Ls: []int{2, 4, 8, 12}}
+	ref, err := m.ComputeSpectrum(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range []SpectrumOptions{
+		{Transport: "chan", Workers: 3},
+		{Transport: "fifo", Workers: 2},
+		{Transport: "chan", Workers: 2, Schedule: "smallest-first"},
+	} {
+		o.LMaxCl, o.NK, o.Ls = opts.LMaxCl, opts.NK, opts.Ls
+		got, err := m.ComputeSpectrum(o)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", o.Transport, o.Schedule, err)
+		}
+		for i := range ref.Cl {
+			if got.Cl[i] != ref.Cl[i] {
+				t.Fatalf("%s/%s: C_%d = %g, pool %g", o.Transport, o.Schedule,
+					ref.L[i], got.Cl[i], ref.Cl[i])
+			}
+		}
+	}
+	if _, err := m.ComputeSpectrum(SpectrumOptions{LMaxCl: 12, Transport: "telegraph"}); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+	if _, err := m.ComputeSpectrum(SpectrumOptions{LMaxCl: 12, Schedule: "alphabetical"}); err == nil {
+		t.Fatal("unknown schedule accepted")
+	}
+}
+
 func TestMatterPowerThroughFacade(t *testing.T) {
 	m := scdmModel(t)
-	res, err := m.MatterPower(3e-4, 0.3, 18, 0, 0)
+	res, err := m.MatterPower(MatterPowerOptions{KMin: 3e-4, KMax: 0.3, NK: 18})
 	if err != nil {
 		t.Fatal(err)
 	}
