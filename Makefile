@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check vet build test-short test bench
+.PHONY: check fmt-check vet build test-short test bench bench-json
 
 check: fmt-check vet build test-short
 
@@ -22,3 +22,9 @@ test:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# bench-json regenerates BENCH_PR2.json: the fast-vs-reference C_l pipeline
+# speedup, the projection/kernel microbenchmarks, and the measured accuracy
+# of the fast path.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_PR2.json

@@ -71,6 +71,7 @@ func getBenchModel(b *testing.B) (*Model, *core.Model) {
 // Go code on a modern core lands far above all three).
 func BenchmarkSerialNodeRate(b *testing.B) {
 	m, _ := getBenchModel(b)
+	b.ReportAllocs()
 	var flops, secs float64
 	for i := 0; i < b.N; i++ {
 		res, err := m.EvolveMode(ModeOptions{K: 0.05, LMax: 120})
@@ -108,9 +109,30 @@ func BenchmarkFig1Scaling(b *testing.B) {
 }
 
 // BenchmarkFig2SpectrumLOS runs the reduced Figure 2 pipeline with the
-// line-of-sight engine.
+// fast line-of-sight engine: ODE evolutions on a coarse k grid with
+// sources splined onto the full 130-point quadrature grid (KRefine), and
+// the projection against the shared spherical-Bessel kernel tables
+// (FastLOS). Same LMaxCl/NK as the reference benchmark below; the fast
+// spectrum matches it to < 1e-3 relative (TestFastSpectrumMatchesReference).
 func BenchmarkFig2SpectrumLOS(b *testing.B) {
 	m, _ := getBenchModel(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		spec, err := m.ComputeSpectrum(SpectrumOptions{LMaxCl: 150, NK: 130, FastLOS: true, KRefine: 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := spec.NormalizeCOBE(18); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2SpectrumLOSReference is the exact reference pipeline at the
+// same settings: every wavenumber evolved, kernels by recurrence.
+func BenchmarkFig2SpectrumLOSReference(b *testing.B) {
+	m, _ := getBenchModel(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		spec, err := m.ComputeSpectrum(SpectrumOptions{LMaxCl: 150, NK: 130})
 		if err != nil {
@@ -126,6 +148,7 @@ func BenchmarkFig2SpectrumLOS(b *testing.B) {
 // C_l read directly off the final moments (at reduced resolution).
 func BenchmarkFig2BruteForce(b *testing.B) {
 	m, _ := getBenchModel(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		spec, err := m.ComputeSpectrum(SpectrumOptions{
 			LMaxCl: 40, NK: 70, Method: "brute", Ls: []int{2, 5, 10, 20, 40},
@@ -148,6 +171,7 @@ func BenchmarkFig3SkyMap(b *testing.B) {
 		cl = append(cl, 1e-10/float64(l*(l+1)))
 	}
 	spec := &sky.Spectrum{L: ls, Cl: cl, TCMB: 2.726}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mp, err := sky.FlatPatch(spec, 128, 32, int64(i))
@@ -164,6 +188,7 @@ func BenchmarkFig3SkyMap(b *testing.B) {
 // frames through recombination.
 func BenchmarkPsiMovie(b *testing.B) {
 	_, cm := getBenchModel(b)
+	b.ReportAllocs()
 	ks := spectra.LogGrid(0.05, 2.0, 12)
 	sweep, err := spectra.RunSweep(cm, core.Params{
 		LMax: 30, Gauge: core.ConformalNewtonian, KeepSources: true, TauEnd: 250,
@@ -239,6 +264,7 @@ func BenchmarkScheduleOrder(b *testing.B) {
 // Fehlberg 4(5) baseline on the same mode and tolerance.
 func BenchmarkIntegrators(b *testing.B) {
 	_, cm := getBenchModel(b)
+	b.ReportAllocs()
 	for _, mk := range []struct {
 		name string
 		in   func() ode.Integrator
@@ -267,6 +293,7 @@ func BenchmarkIntegrators(b *testing.B) {
 // compute time (the paper: 150 bytes to 80 kbyte per mode, minutes of CPU).
 func BenchmarkMessageOverhead(b *testing.B) {
 	m, _ := getBenchModel(b)
+	b.ReportAllocs()
 	ks := []float64{0.005, 0.015, 0.03, 0.05}
 	for i := 0; i < b.N; i++ {
 		run, err := m.RunParallel(ParallelOptions{KValues: ks, Workers: 2, LMax: 80})

@@ -1,0 +1,215 @@
+// Command benchjson runs the key performance benchmarks of the repository
+// and writes a machine-readable JSON report (ns/op, bytes/op, allocs/op,
+// and the fast-vs-reference pipeline speedup plus its measured accuracy),
+// seeding the performance trajectory that later PRs extend:
+//
+//	benchjson [-out BENCH_PR2.json] [-quick]
+//
+// The headline numbers are the Figure-2 C_l pipeline with the fast
+// line-of-sight engine (shared spherical-Bessel tables + coarse-to-fine k
+// refinement) against the exact reference pipeline at identical
+// LMaxCl/NK settings, and the kernel-level microbenchmarks behind them.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"plinger"
+	"plinger/internal/core"
+	"plinger/internal/cosmology"
+	"plinger/internal/recomb"
+	"plinger/internal/specfunc"
+	"plinger/internal/spectra"
+	"plinger/internal/thermo"
+)
+
+// Entry is one benchmark row.
+type Entry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// Report is the written document.
+type Report struct {
+	Date          string  `json:"date"`
+	GoVersion     string  `json:"go_version"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	LMaxCl        int     `json:"lmax_cl"`
+	NK            int     `json:"nk"`
+	KRefine       int     `json:"krefine"`
+	Entries       []Entry `json:"benchmarks"`
+	SpeedupLOS    float64 `json:"speedup_los_pipeline"`
+	SpeedupTheta  float64 `json:"speedup_theta_projection"`
+	SpeedupBessel float64 `json:"speedup_bessel_kernel"`
+	MaxRelClErr   float64 `json:"max_rel_cl_err_fast_vs_reference"`
+}
+
+func run(name string, f func(b *testing.B)) Entry {
+	r := testing.Benchmark(f)
+	e := Entry{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		Iterations:  r.N,
+	}
+	fmt.Printf("%-28s %14.0f ns/op %12d B/op %8d allocs/op (n=%d)\n",
+		e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp, e.Iterations)
+	return e
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	var (
+		out   = flag.String("out", "BENCH_PR2.json", "output file")
+		quick = flag.Bool("quick", false, "smaller pipeline settings (for smoke runs)")
+	)
+	flag.Parse()
+
+	lmaxCl, nk, kRefine := 150, 130, 10
+	if *quick {
+		lmaxCl, nk = 60, 60
+	}
+
+	m, err := plinger.New(plinger.SCDM())
+	if err != nil {
+		log.Fatal(err)
+	}
+	bg, err := cosmology.New(cosmology.SCDM())
+	if err != nil {
+		log.Fatal(err)
+	}
+	th, err := thermo.New(bg, recomb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cm := core.NewModel(bg, th)
+
+	// Record the EFFECTIVE refinement factor: ComputeSpectrum clamps the
+	// request through SafeKRefine, and the report must describe the
+	// configuration that actually ran.
+	ksFine := spectra.ClGrid(lmaxCl, bg.Tau0(), nk)
+	kRefine = spectra.SafeKRefine(kRefine, nk, ksFine[0], ksFine[len(ksFine)-1], th.TauRec())
+	rep := &Report{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		LMaxCl:     lmaxCl, NK: nk, KRefine: kRefine,
+	}
+
+	// The two pipelines at identical settings, plus the accuracy of the
+	// fast one against the reference.
+	refOpts := plinger.SpectrumOptions{LMaxCl: lmaxCl, NK: nk}
+	fastOpts := refOpts
+	fastOpts.FastLOS = true
+	fastOpts.KRefine = kRefine
+	refSpec, err := m.ComputeSpectrum(refOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fastSpec, err := m.ComputeSpectrum(fastOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range refSpec.Cl {
+		rel := math.Abs(fastSpec.Cl[i]-refSpec.Cl[i]) / refSpec.Cl[i]
+		if rel > rep.MaxRelClErr {
+			rep.MaxRelClErr = rel
+		}
+	}
+
+	eFast := run("fig2_los_fast", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := m.ComputeSpectrum(fastOpts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	eRef := run("fig2_los_reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := m.ComputeSpectrum(refOpts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.SpeedupLOS = eRef.NsPerOp / eFast.NsPerOp
+
+	// Per-mode projection: exact recurrences vs kernel tables.
+	mode, err := cm.Evolve(core.Params{K: 0.02, LMax: 24, Gauge: core.ConformalNewtonian, KeepSources: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tau0, tauRec := bg.Tau0(), th.TauRec()
+	ls := spectra.DefaultLs(lmaxCl)
+	eThetaRef := run("theta_los_reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := spectra.ThetaLOS(mode, lmaxCl, tau0, tauRec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	eThetaFast := run("theta_los_table", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := spectra.ThetaLOSFast(mode, ls, tau0, tauRec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.SpeedupTheta = eThetaRef.NsPerOp / eThetaFast.NsPerOp
+
+	// Kernel level: one recurrence array fill vs one table interpolation.
+	eBesselRef := run("bessel_recurrence", func(b *testing.B) {
+		var jl []float64
+		x := 0.3
+		for i := 0; i < b.N; i++ {
+			jl = specfunc.SphericalBesselJArray(lmaxCl+1, x, jl)
+			x += 1.7
+			if x > 350 {
+				x = 0.3
+			}
+		}
+	})
+	tbl := specfunc.SharedBesselTable(ls, 384, nil)
+	row, _ := tbl.Row(ls[len(ls)-1])
+	eBesselTab := run("bessel_table_eval", func(b *testing.B) {
+		x := 0.3
+		var acc float64
+		for i := 0; i < b.N; i++ {
+			j, jp, q := row.Eval(x)
+			acc += j + jp + q
+			x += 1.7
+			if x > 350 {
+				x = 0.3
+			}
+		}
+		_ = acc
+	})
+	rep.SpeedupBessel = eBesselRef.NsPerOp / eBesselTab.NsPerOp
+
+	rep.Entries = []Entry{eFast, eRef, eThetaRef, eThetaFast, eBesselRef, eBesselTab}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npipeline speedup %.2fx, projection speedup %.2fx, kernel speedup %.2fx\n",
+		rep.SpeedupLOS, rep.SpeedupTheta, rep.SpeedupBessel)
+	fmt.Printf("max relative C_l deviation fast vs reference: %.3g\n", rep.MaxRelClErr)
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -14,6 +14,13 @@
 //
 // The worker must be given the same -nk/-kmin/-kmax so both sides agree on
 // the wavenumber table (the paper broadcasts the rest at tag 1).
+//
+// With -cl the master assembles the angular power spectrum from the
+// returned sources after the sweep; -fastcl switches to the table-driven
+// fast projection and -krefine N splines the sources onto an N-times finer
+// wavenumber grid first (the CMBFAST-style refinement):
+//
+//	plinger -np 4 -nk 40 -lmaxcl 150 -cl -fastcl -krefine 6
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"time"
 
 	"plinger/internal/core"
 	"plinger/internal/cosmology"
@@ -52,6 +60,9 @@ func main() {
 		addr      = flag.String("addr", "127.0.0.1:7070", "tcp address")
 		unit1     = flag.String("unit1", "", "ASCII summary output file")
 		unit2     = flag.String("unit2", "", "binary moment output file")
+		cl        = flag.Bool("cl", false, "assemble C_l from the sweep afterwards (forces newtonian gauge + sources)")
+		fastcl    = flag.Bool("fastcl", false, "with -cl: table-driven fast projection instead of the exact reference")
+		krefine   = flag.Int("krefine", 1, "with -cl: spline sources onto a krefine-times finer k grid before the quadrature")
 	)
 	flag.Parse()
 
@@ -83,6 +94,16 @@ func main() {
 		gauge = core.ConformalNewtonian
 	}
 	mode := core.Params{LMax: gl, Gauge: gauge}
+	if *cl {
+		// The line-of-sight assembly needs Newtonian sources; a short
+		// hierarchy suffices (the projection supplies the multipoles).
+		mode.Gauge = core.ConformalNewtonian
+		mode.KeepSources = true
+		if *lmax == 0 {
+			mode.LMax = 24
+			adapt = false
+		}
+	}
 
 	sched, err := dispatch.ParseSchedule(*schedule)
 	if err != nil {
@@ -119,6 +140,9 @@ func main() {
 			log.Fatal(err)
 		}
 		report(sw, st)
+		if *cl {
+			reportCl(sw, bg.Tau0(), th.TauRec(), *lmaxcl, *fastcl, *krefine)
+		}
 	case "tcp":
 		switch *role {
 		case "master":
@@ -146,6 +170,9 @@ func main() {
 				log.Fatal(err)
 			}
 			report(sw, st)
+			if *cl {
+				reportCl(sw, bg.Tau0(), th.TauRec(), *lmaxcl, *fastcl, *krefine)
+			}
 			fmt.Printf("hub routed %d payload bytes\n", hub.BytesMoved())
 		case "worker":
 			ep, err := tcpmp.Connect(*addr)
@@ -168,6 +195,60 @@ func main() {
 }
 
 var deferred []func()
+
+// reportCl assembles and prints the angular power spectrum from a sweep
+// that kept its sources, timing the post-processing: the exact reference
+// projection, or the fast engine (shared Bessel tables, and optionally a
+// krefine-times finer source-interpolated k grid).
+func reportCl(dsw *dispatch.Sweep, tau0, tauRec float64, lmaxcl int, fast bool, krefine int) {
+	sw, err := spectra.FromResults(dsw.KValues, dsw.Results, dsw.Tau0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ls := spectra.DefaultLs(lmaxcl)
+	prim := spectra.DefaultPrimordial(1.0)
+	start := time.Now()
+	if krefine > 1 {
+		// The same acoustic-resolution guard as the facade: if the evolved
+		// grid itself undersamples the sources' oscillation in k, spline
+		// refinement would alias it no matter the factor — refuse rather
+		// than print silently wrong numbers.
+		nc := len(sw.KValues)
+		if safe := spectra.SafeKRefine(krefine, krefine*nc, sw.KValues[0], sw.KValues[nc-1], tauRec); safe < krefine {
+			log.Printf("krefine %d skipped: the %d-mode sweep undersamples the source oscillation in k; rerun with a larger -nk", krefine, nc)
+		} else {
+			refined, err := sw.RefineK(krefine*nc, tauRec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sw = refined
+		}
+	}
+	var cl *spectra.ClSpectrum
+	if fast {
+		cl, err = sw.ClLOSFast(ls, prim, 2.726, tauRec)
+	} else {
+		cl, err = sw.ClLOS(ls, prim, 2.726, tauRec)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine := "reference"
+	if fast {
+		engine = "fast-table"
+	}
+	fmt.Printf("C_l (%s engine, %d quadrature modes): %.3fs\n",
+		engine, len(sw.KValues), time.Since(start).Seconds())
+	if _, err := cl.NormalizeCOBE(18); err != nil {
+		log.Fatalf("COBE normalization failed: %v", err)
+	}
+	fmt.Printf("  %6s %14s\n", "l", "dT_l [uK]")
+	for i, l := range cl.L {
+		if i%4 == 0 || i == len(cl.L)-1 {
+			fmt.Printf("  %6d %14.2f\n", l, cl.BandPower(i))
+		}
+	}
+}
 
 func report(sw *dispatch.Sweep, st *dispatch.RunStats) {
 	fmt.Printf("modes: %d  wallclock: %.2fs  total CPU: %.2fs  efficiency: %.1f%%  rate: %.1f Mflop/s\n",

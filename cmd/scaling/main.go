@@ -9,7 +9,11 @@
 //
 // Usage:
 //
-//	scaling [-np 1,2,4,8] [-nk 24] [-lmax 120] [-schedules] [-backends]
+//	scaling [-np 1,2,4,8] [-nk 24] [-lmax 120] [-schedules] [-backends] [-fastcl]
+//
+// -fastcl adds the fast C_l pipeline ablation: the exact reference
+// line-of-sight pipeline against the table-driven engine with
+// coarse-to-fine k refinement, at equal settings.
 package main
 
 import (
@@ -17,8 +21,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"strconv"
 	"strings"
+	"time"
 
 	"plinger/internal/core"
 	"plinger/internal/cosmology"
@@ -37,6 +43,7 @@ func main() {
 		lmax      = flag.Int("lmax", 120, "hierarchy cutoff cap")
 		schedules = flag.Bool("schedules", false, "also sweep scheduling policies")
 		backends  = flag.Bool("backends", false, "also sweep execution backends")
+		fastcl    = flag.Bool("fastcl", false, "also compare the reference and fast C_l pipelines")
 	)
 	flag.Parse()
 
@@ -90,6 +97,67 @@ func main() {
 				float64(st.BytesMoved)/1e3)
 		}
 	}
+
+	if *fastcl {
+		fastClAblation(model, th, *nk)
+	}
+}
+
+// fastClAblation times the reference Figure-2 C_l pipeline (every mode
+// evolved, exact Bessel recurrences) against the fast engine (coarse sweep
+// + source refinement in k + shared kernel tables) at equal settings and
+// reports the speedup and the worst relative deviation.
+func fastClAblation(model *core.Model, th *thermo.Thermo, nk int) {
+	const lmaxCl = 150
+	tau0 := model.BG.Tau0()
+	tauRec := th.TauRec()
+	ks := spectra.ClGrid(lmaxCl, tau0, nk)
+	ls := spectra.DefaultLs(lmaxCl)
+	prim := spectra.DefaultPrimordial(1.0)
+	mode := core.Params{LMax: 24, Gauge: core.ConformalNewtonian, KeepSources: true}
+
+	start := time.Now()
+	full, err := spectra.RunSweep(model, mode, ks, 0, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := full.ClLOS(ls, prim, 2.726, tauRec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tRef := time.Since(start).Seconds()
+
+	kRefine := spectra.SafeKRefine(10, nk, ks[0], ks[len(ks)-1], tauRec)
+	coarseKs := spectra.RefineCoarseGrid(ks, kRefine)
+	if kRefine <= 1 || len(coarseKs) >= nk {
+		fmt.Printf("\nfast C_l ablation skipped: -nk %d leaves no room for coarse-to-fine "+
+			"refinement (coarse grid would have %d modes); try -nk 130\n", nk, len(coarseKs))
+		return
+	}
+	start = time.Now()
+	coarse, err := spectra.RunSweep(model, mode, coarseKs, 0, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	refined, err := coarse.RefineK(nk, tauRec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fast, err := refined.ClLOSFast(ls, prim, 2.726, tauRec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tFast := time.Since(start).Seconds()
+
+	worst := 0.0
+	for i := range ref.Cl {
+		if rel := math.Abs(fast.Cl[i]-ref.Cl[i]) / ref.Cl[i]; rel > worst {
+			worst = rel
+		}
+	}
+	fmt.Printf("\nfast C_l pipeline (lmaxcl %d, nk %d, krefine %d):\n", lmaxCl, nk, kRefine)
+	fmt.Printf("%12s %12s %10s %22s\n", "ref [s]", "fast [s]", "speedup", "worst rel deviation")
+	fmt.Printf("%12.3f %12.3f %9.2fx %22.2e\n", tRef, tFast, tRef/tFast, worst)
 }
 
 // run executes the fixed workload on one dispatcher configuration.

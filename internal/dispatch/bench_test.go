@@ -30,6 +30,7 @@ func BenchmarkPoolSchedule(b *testing.B) {
 		{"largest-first+adaptive", LargestFirst, true},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				p := &Pool{Model: m, Workers: 4, Schedule: cfg.sched, AdaptLMax: cfg.adapt}
 				_, st, err := p.Run(context.Background(), ks, mode)

@@ -61,6 +61,22 @@ func PerKLMax(k, tau0 float64, lmaxGlobal int) int {
 	return l
 }
 
+// runPrebuild launches a backend's prebuild hook concurrently with the
+// sweep and returns the wait function the backend defers: whichever of the
+// sweep and the precomputation finishes first, Run returns only when both
+// are done.
+func runPrebuild(fn func()) func() {
+	if fn == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	return func() { <-done }
+}
+
 // sweepTau0 returns the final conformal time of a run.
 func sweepTau0(model *core.Model, mode core.Params) float64 {
 	if mode.TauEnd > 0 {

@@ -39,6 +39,9 @@ type MP struct {
 	// (e.g. chanmp.World.BytesMoved, which also sees master-to-worker
 	// traffic); otherwise the master's received-byte count is used.
 	BytesMoved func() int64
+	// Prebuild, when set, runs once concurrently with the sweep (see
+	// Pool.Prebuild); Run waits for it before returning.
+	Prebuild func()
 }
 
 // Run implements Dispatcher.
@@ -67,6 +70,8 @@ func (d *MP) Run(ctx context.Context, ks []float64, mode core.Params) (*Sweep, *
 		ASCIIOut:  d.ASCIIOut,
 		BinaryOut: d.BinaryOut,
 	}
+
+	defer runPrebuild(d.Prebuild)()
 
 	// Cancellation: blocking probes cannot watch a context, so closing
 	// the endpoints is the abort path — every pending Probe/Recv then

@@ -25,6 +25,11 @@ type Pool struct {
 	// AdaptLMax reduces the hierarchy cutoff per wavenumber via PerKLMax,
 	// with mode.LMax as the global cap.
 	AdaptLMax bool
+	// Prebuild, when set, runs once concurrently with the sweep — the hook
+	// the fast C_l engine uses to warm the spherical-Bessel table cache
+	// while the ODE evolutions are still going. Run waits for it before
+	// returning.
+	Prebuild func()
 }
 
 // NewPool returns a pool dispatcher with the paper's default schedule.
@@ -50,6 +55,8 @@ func (p *Pool) Run(ctx context.Context, ks []float64, mode core.Params) (*Sweep,
 	tau0 := sweepTau0(p.Model, mode)
 	perk := perKLMaxTable(ks, tau0, mode.LMax, p.AdaptLMax)
 	order := p.Schedule.Order(ks)
+
+	defer runPrebuild(p.Prebuild)()
 
 	start := time.Now()
 	results := make([]*core.Result, len(ks))

@@ -1,0 +1,52 @@
+package specfunc
+
+import "testing"
+
+// BenchmarkSphericalBesselJArray is the exact-recurrence kernel cost the
+// reference LOS projection pays at every quadrature point.
+func BenchmarkSphericalBesselJArray(b *testing.B) {
+	b.ReportAllocs()
+	var jl []float64
+	x := 0.3
+	for i := 0; i < b.N; i++ {
+		jl = SphericalBesselJArray(151, x, jl)
+		x += 1.7
+		if x > 350 {
+			x = 0.3
+		}
+	}
+	_ = jl
+}
+
+// BenchmarkBesselTableEval is the fast path's replacement: one cubic
+// interpolation returning all three LOS kernels.
+func BenchmarkBesselTableEval(b *testing.B) {
+	tbl := NewBesselTable(150, []int{2, 10, 50, 150}, 384, 0, nil)
+	row, _ := tbl.Row(150)
+	b.ReportAllocs()
+	b.ResetTimer()
+	x := 0.3
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		j, jp, q := row.Eval(x)
+		acc += j + jp + q
+		x += 1.7
+		if x > 350 {
+			x = 0.3
+		}
+	}
+	_ = acc
+}
+
+// BenchmarkBesselTableBuild is the one-off table construction the process
+// cache amortizes over every later projection.
+func BenchmarkBesselTableBuild(b *testing.B) {
+	ls := make([]int, 0, 30)
+	for l := 2; l <= 150; l += 5 {
+		ls = append(ls, l)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NewBesselTable(150, ls, 384, 0, nil)
+	}
+}

@@ -1,0 +1,409 @@
+package specfunc
+
+import (
+	"math"
+	"sync"
+)
+
+// BesselTable is the shared spherical-Bessel kernel table of the fast
+// line-of-sight engine (the CMBFAST precomputation): for a set of multipoles
+// l it tabulates, on a single uniform x grid,
+//
+//	j_l(x),   j_l'(x),   q_l(x) = (3 j_l''(x) + j_l(x)) / 2
+//
+// — exactly the three kernels of the LOS integral (monopole, dipole and
+// quadrupole/polarization terms). The recurrences that the exact path pays
+// at every (tau, l) quadrature point are paid here once per x node, for all
+// l at a time, and evaluation becomes a four-point cubic interpolation
+// (O(h^4) accurate; h = 1/16 keeps the kernel error below ~1e-6, far inside
+// the 1e-3 C_l budget). Tables are immutable after construction and safe
+// for concurrent readers.
+type BesselTable struct {
+	// LMax is the largest tabulated multipole; Xmax the largest argument
+	// the grid covers; H the node spacing.
+	LMax int
+	Xmax float64
+	H    float64
+
+	rows  []besselRow // indexed by l; data == nil means "not tabulated"
+	ls    []int       // sorted multipoles actually tabulated
+	nodes int         // x-grid node count, shared by every row
+}
+
+// besselRow is the per-l storage: j, j', q interleaved per node, plus the
+// negligibility threshold used to truncate integrals below the turning
+// point.
+type besselRow struct {
+	data []float64 // 3*n values: data[3i..3i+2] = j, j', q at x = i*h
+	xlow float64
+}
+
+// BesselRow is a borrowed, immutable view of one multipole's table for hot
+// loops: fetch it once per mode, then Eval per quadrature point.
+type BesselRow struct {
+	data []float64
+	invH float64
+	n    int
+	// XLow is the argument below which all three kernels are negligible
+	// (< ~1e-9 of the row peak): j_l is exponentially small below the
+	// turning point x ~ l, so LOS integrals can skip x < XLow outright.
+	XLow float64
+}
+
+// DefaultBesselH is the default node spacing: the kernels oscillate with
+// period 2 pi, so 1/16 gives ~100 nodes per oscillation and interpolation
+// errors near 1e-6.
+const DefaultBesselH = 1.0 / 16.0
+
+// NewBesselTable tabulates the LOS kernels for the multipoles in ls (nil:
+// every l in 0..lmax) on the uniform grid [0, xmax]. When par is non-nil
+// the node sweep is fanned out through it (the dispatch subsystem's
+// ParallelFor slots in here); par must run body(i) exactly once for every
+// i in [0, n).
+func NewBesselTable(lmax int, ls []int, xmax, h float64, par func(n int, body func(i int))) *BesselTable {
+	if lmax < 0 {
+		lmax = 0
+	}
+	if h <= 0 {
+		h = DefaultBesselH
+	}
+	if xmax < h {
+		xmax = h
+	}
+	if ls == nil {
+		ls = make([]int, lmax+1)
+		for l := range ls {
+			ls[l] = l
+		}
+	} else {
+		ls = sortedUniqueLs(ls)
+		if n := len(ls); n > 0 && ls[n-1] > lmax {
+			lmax = ls[n-1]
+		}
+	}
+	// Nodes 0..n-1 cover [0, xmax] with two spare nodes so the four-point
+	// stencil never runs off the end for x <= xmax.
+	n := int(math.Ceil(xmax/h)) + 3
+	t := &BesselTable{LMax: lmax, Xmax: xmax, H: h, rows: make([]besselRow, lmax+1), ls: ls, nodes: n}
+	for _, l := range ls {
+		t.rows[l].data = make([]float64, 3*n)
+	}
+
+	// One backward recurrence per node fills every tabulated l at once.
+	// Chunk the nodes so each parallel body amortizes its scratch buffer.
+	const chunk = 256
+	nchunks := (n + chunk - 1) / chunk
+	body := func(c int) {
+		lo, hi := c*chunk, (c+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		var jl []float64
+		for i := lo; i < hi; i++ {
+			x := float64(i) * h
+			jl = SphericalBesselJArray(lmax+1, x, jl)
+			for _, l := range ls {
+				j, jp, jpp := besselKernels(jl, l, x)
+				row := t.rows[l].data
+				row[3*i] = j
+				row[3*i+1] = jp
+				row[3*i+2] = 0.5 * (3.0*jpp + j)
+			}
+		}
+	}
+	if par != nil && nchunks > 1 {
+		par(nchunks, body)
+	} else {
+		for c := 0; c < nchunks; c++ {
+			body(c)
+		}
+	}
+
+	// Negligibility thresholds: j_l dies exponentially below the turning
+	// point, so record where each row first becomes non-negligible.
+	for _, l := range ls {
+		t.rows[l].xlow = rowXLow(t.rows[l].data, h)
+	}
+	return t
+}
+
+// besselKernels computes (j_l, j_l', j_l”) from a filled j array at
+// argument x, with the same small-argument limit branches as the exact LOS
+// path (j_1'(0) = 1/3, j_0”(0) = -1/3, j_2”(0) = 2/15).
+func besselKernels(jl []float64, l int, x float64) (j, jp, jpp float64) {
+	j = jl[l]
+	if x > 1e-8 {
+		if l == 0 {
+			jp = -jl[1]
+		} else {
+			jp = jl[l-1] - float64(l+1)/x*j
+		}
+		jpp = (float64(l*(l+1))/(x*x)-1.0)*j - 2.0/x*jp
+		return j, jp, jpp
+	}
+	switch l {
+	case 0:
+		jpp = -1.0 / 3.0
+	case 1:
+		jp = 1.0 / 3.0
+	case 2:
+		jpp = 2.0 / 15.0
+	}
+	return j, jp, jpp
+}
+
+// rowXLow scans a row for the first node where any kernel exceeds 1e-9 of
+// the row peak and returns the x two nodes before it (0 when the row is
+// live from the origin, as for small l).
+func rowXLow(data []float64, h float64) float64 {
+	var peak float64
+	for _, v := range data {
+		if a := math.Abs(v); a > peak {
+			peak = a
+		}
+	}
+	if peak == 0 {
+		return 0
+	}
+	thresh := 1e-9 * peak
+	n := len(data) / 3
+	for i := 0; i < n; i++ {
+		if math.Abs(data[3*i]) > thresh ||
+			math.Abs(data[3*i+1]) > thresh ||
+			math.Abs(data[3*i+2]) > thresh {
+			if i < 3 {
+				return 0
+			}
+			return float64(i-2) * h
+		}
+	}
+	return float64(n-1) * h
+}
+
+// Has reports whether multipole l is tabulated.
+func (t *BesselTable) Has(l int) bool {
+	return l >= 0 && l < len(t.rows) && t.rows[l].data != nil
+}
+
+// Ls returns the tabulated multipoles in increasing order.
+func (t *BesselTable) Ls() []int { return append([]int(nil), t.ls...) }
+
+// Row returns the hot-loop view of multipole l. ok is false when l is not
+// tabulated.
+func (t *BesselTable) Row(l int) (BesselRow, bool) {
+	if !t.Has(l) {
+		return BesselRow{}, false
+	}
+	r := t.rows[l]
+	return BesselRow{data: r.data, invH: 1.0 / t.H, n: len(r.data) / 3, XLow: r.xlow}, true
+}
+
+// Eval interpolates the three LOS kernels at x >= 0 with a four-point
+// cubic through the bracketing nodes. Arguments beyond the table range are
+// clamped to the boundary stencil (callers size Xmax to cover their run).
+func (r BesselRow) Eval(x float64) (j, jp, q float64) {
+	t := x * r.invH
+	i := int(t)
+	if i < 1 {
+		i = 1
+	} else if i > r.n-3 {
+		i = r.n - 3
+	}
+	f := t - float64(i)
+	if f > 2 {
+		f = 2 // clamp out-of-range arguments to the last stencil
+	}
+	// Cubic Lagrange weights on the uniform nodes i-1, i, i+1, i+2.
+	a, b, c := f-1.0, f-2.0, f+1.0
+	w0 := -f * a * b / 6.0
+	w1 := a * b * c / 2.0
+	w2 := -f * b * c / 2.0
+	w3 := f * a * c / 6.0
+	d := r.data[3*(i-1) : 3*(i-1)+12 : 3*(i-1)+12]
+	j = w0*d[0] + w1*d[3] + w2*d[6] + w3*d[9]
+	jp = w0*d[1] + w1*d[4] + w2*d[7] + w3*d[10]
+	q = w0*d[2] + w1*d[5] + w2*d[8] + w3*d[11]
+	return j, jp, q
+}
+
+// BesselStencil is a precomputed interpolation stencil: the node index and
+// four cubic weights for a set of arguments. All rows of a table share the
+// same x grid, so a projection loop computes the stencil once per mode and
+// reuses it for every multipole — the per-point work collapses to a
+// 12-float (or 4-float) dot product.
+type BesselStencil struct {
+	off []int32      // data offset of the first stencil node, 3*(i-1)
+	w   [][4]float64 // cubic Lagrange weights
+}
+
+// Len returns the number of stenciled arguments.
+func (st *BesselStencil) Len() int { return len(st.off) }
+
+// Stencil fills st with the interpolation stencil for the arguments xs
+// (negative values are clamped to zero), reusing its storage.
+func (t *BesselTable) Stencil(xs []float64, st *BesselStencil) {
+	n := len(xs)
+	if cap(st.off) < n {
+		st.off = make([]int32, n)
+		st.w = make([][4]float64, n)
+	}
+	st.off = st.off[:n]
+	st.w = st.w[:n]
+	invH := 1.0 / t.H
+	nn := t.nodes
+	for p, x := range xs {
+		if x < 0 {
+			x = 0
+		}
+		tt := x * invH
+		i := int(tt)
+		if i < 1 {
+			i = 1
+		} else if i > nn-3 {
+			i = nn - 3
+		}
+		f := tt - float64(i)
+		if f > 2 {
+			f = 2
+		}
+		a, b, c := f-1.0, f-2.0, f+1.0
+		st.off[p] = int32(3 * (i - 1))
+		st.w[p] = [4]float64{-f * a * b / 6.0, a * b * c / 2.0, -f * b * c / 2.0, f * a * c / 6.0}
+	}
+}
+
+// EvalStencil interpolates all three kernels at stencil point p.
+func (r BesselRow) EvalStencil(st *BesselStencil, p int) (j, jp, q float64) {
+	o := st.off[p]
+	w := &st.w[p]
+	d := r.data[o : o+12 : o+12]
+	j = w[0]*d[0] + w[1]*d[3] + w[2]*d[6] + w[3]*d[9]
+	jp = w[0]*d[1] + w[1]*d[4] + w[2]*d[7] + w[3]*d[10]
+	q = w[0]*d[2] + w[1]*d[5] + w[2]*d[8] + w[3]*d[11]
+	return j, jp, q
+}
+
+// EvalJStencil interpolates only j_l at stencil point p — for integrand
+// regions where the dipole and quadrupole sources vanish (outside the
+// visibility peak the LOS integrand reduces to the ISW term against j_l).
+func (r BesselRow) EvalJStencil(st *BesselStencil, p int) float64 {
+	o := st.off[p]
+	w := &st.w[p]
+	d := r.data[o : o+12 : o+12]
+	return w[0]*d[0] + w[1]*d[3] + w[2]*d[6] + w[3]*d[9]
+}
+
+// AccumStencil sums sA[p] j + sB[p] j' + sC[p] q over stencil points
+// [lo, hi) — the LOS integral's visibility-coupled region in one call, so
+// the per-point work is a branch-free fused dot product.
+func (r BesselRow) AccumStencil(st *BesselStencil, lo, hi int, sA, sB, sC []float64) float64 {
+	var sum float64
+	data := r.data
+	for p := lo; p < hi; p++ {
+		o := st.off[p]
+		w := &st.w[p]
+		d := data[o : o+12 : o+12]
+		j := w[0]*d[0] + w[1]*d[3] + w[2]*d[6] + w[3]*d[9]
+		jp := w[0]*d[1] + w[1]*d[4] + w[2]*d[7] + w[3]*d[10]
+		q := w[0]*d[2] + w[1]*d[5] + w[2]*d[8] + w[3]*d[11]
+		sum += sA[p]*j + sB[p]*jp + sC[p]*q
+	}
+	return sum
+}
+
+// AccumJStencil sums sA[p] j over stencil points [lo, hi) — the ISW tail,
+// monopole kernel only.
+func (r BesselRow) AccumJStencil(st *BesselStencil, lo, hi int, sA []float64) float64 {
+	var sum float64
+	data := r.data
+	for p := lo; p < hi; p++ {
+		o := st.off[p]
+		w := &st.w[p]
+		d := data[o : o+12 : o+12]
+		sum += sA[p] * (w[0]*d[0] + w[1]*d[3] + w[2]*d[6] + w[3]*d[9])
+	}
+	return sum
+}
+
+// sortedUniqueLs returns a sorted copy of ls without duplicates or
+// negative entries.
+func sortedUniqueLs(ls []int) []int {
+	seen := make(map[int]bool, len(ls))
+	out := make([]int, 0, len(ls))
+	for _, l := range ls {
+		if l >= 0 && !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// The process-wide table cache. C_l pipelines across a process ask for the
+// same (multipole set, argument range) over and over; building costs
+// milliseconds but evaluation happens billions of times, so tables are
+// built once behind a mutex and shared. Keys are bucketed so nearby
+// requests (xmax differing by the start-time offset, say) hit the same
+// entry.
+var besselCache = struct {
+	sync.Mutex
+	m map[besselCacheKey]*BesselTable
+}{m: map[besselCacheKey]*BesselTable{}}
+
+type besselCacheKey struct {
+	lmax  int
+	nodes int // xmax bucket expressed in nodes, so H changes miss cleanly
+}
+
+// besselXBucket rounds xmax up to a multiple of 64 so slightly different
+// ranges share a table.
+func besselXBucket(xmax float64) float64 {
+	if xmax < 1 {
+		xmax = 1
+	}
+	return 64.0 * math.Ceil(xmax/64.0)
+}
+
+// SharedBesselTable returns the cached table covering the multipoles ls and
+// arguments [0, xmax], building (or extending) it on first use. The build
+// fans out through par when non-nil. Safe for concurrent use; returned
+// tables are immutable.
+func SharedBesselTable(ls []int, xmax float64, par func(n int, body func(i int))) *BesselTable {
+	ls = sortedUniqueLs(ls)
+	lmax := 0
+	if len(ls) > 0 {
+		lmax = ls[len(ls)-1]
+	}
+	// Bucket the multipole cap too, so requests differing only in their
+	// largest l share an entry (the table then simply grows rows).
+	lb := 64 * int(math.Ceil(float64(lmax+1)/64.0))
+	xb := besselXBucket(xmax)
+	key := besselCacheKey{lmax: lb, nodes: int(math.Ceil(xb / DefaultBesselH))}
+
+	besselCache.Lock()
+	defer besselCache.Unlock()
+	if t, ok := besselCache.m[key]; ok {
+		missing := false
+		for _, l := range ls {
+			if !t.Has(l) {
+				missing = true
+				break
+			}
+		}
+		if !missing {
+			return t
+		}
+		// Extend: rebuild with the union of the tabulated and requested
+		// multipoles. Builds are cheap next to evaluation, and readers of
+		// the old table are unaffected (tables are immutable).
+		ls = sortedUniqueLs(append(t.Ls(), ls...))
+	}
+	t := NewBesselTable(lmax, ls, xb, DefaultBesselH, par)
+	besselCache.m[key] = t
+	return t
+}

@@ -1,0 +1,151 @@
+package specfunc
+
+import (
+	"math"
+	"testing"
+)
+
+// exactKernels evaluates (j_l, j_l', q_l) by the same recurrences the
+// reference LOS path uses, for cross-checking the table.
+func exactKernels(l int, x float64) (j, jp, q float64) {
+	jl := SphericalBesselJArray(l+1, x, nil)
+	j, jp, jpp := besselKernels(jl, l, x)
+	return j, jp, 0.5 * (3.0*jpp + j)
+}
+
+// TestBesselTableMatchesDirect sweeps each tabulated multipole across the
+// full argument range — through the turning point x ~ l where the upward
+// and backward recurrences hand over — and checks the interpolated kernels
+// against the direct evaluation. j_l is bounded by 1, so absolute
+// tolerances are meaningful; the cubic interpolation error budget is ~1e-6.
+func TestBesselTableMatchesDirect(t *testing.T) {
+	ls := []int{0, 1, 2, 5, 10, 25, 60, 100, 150}
+	tbl := NewBesselTable(150, ls, 400, 0, nil)
+	for _, l := range ls {
+		row, ok := tbl.Row(l)
+		if !ok {
+			t.Fatalf("l=%d missing", l)
+		}
+		fl := float64(l)
+		// Dense probes around the turning point, plus a coarse sweep of
+		// the oscillatory region; offsets avoid landing on table nodes.
+		var xs []float64
+		for dx := -8.0; dx <= 8.0; dx += 0.317 {
+			if x := fl + dx; x > 0 {
+				xs = append(xs, x)
+			}
+		}
+		for x := 0.0137; x < 400; x += 3.713 {
+			xs = append(xs, x)
+		}
+		for _, x := range xs {
+			j, jp, q := row.Eval(x)
+			ej, ejp, eq := exactKernels(l, x)
+			if math.Abs(j-ej) > 2e-5 || math.Abs(jp-ejp) > 2e-5 || math.Abs(q-eq) > 1e-4 {
+				t.Fatalf("l=%d x=%g: table (%g, %g, %g) vs exact (%g, %g, %g)",
+					l, x, j, jp, q, ej, ejp, eq)
+			}
+		}
+	}
+}
+
+// TestBesselTableSmallArgumentLimits pins the x -> 0 limit branches that
+// the LOS integrand depends on: j_0(0) = 1, j_1'(0) = 1/3, and the
+// quadrupole kernel q_2(0) = (3 * 2/15 + 0)/2 = 1/5.
+func TestBesselTableSmallArgumentLimits(t *testing.T) {
+	tbl := NewBesselTable(4, nil, 50, 0, nil)
+	cases := []struct {
+		l          int
+		j, jp, q   float64
+		name       string
+		absJ, absD float64
+	}{
+		{l: 0, j: 1, jp: 0, q: 0, name: "monopole"},
+		{l: 1, j: 0, jp: 1.0 / 3.0, q: 0, name: "dipole"},
+		{l: 2, j: 0, jp: 0, q: 0.2, name: "quadrupole"},
+	}
+	for _, c := range cases {
+		row, _ := tbl.Row(c.l)
+		for _, x := range []float64{0, 1e-10, 1e-6} {
+			j, jp, q := row.Eval(x)
+			if math.Abs(j-c.j) > 1e-5 || math.Abs(jp-c.jp) > 1e-5 || math.Abs(q-c.q) > 1e-5 {
+				t.Fatalf("%s at x=%g: (%g, %g, %g), want (%g, %g, %g)",
+					c.name, x, j, jp, q, c.j, c.jp, c.q)
+			}
+		}
+	}
+}
+
+// TestBesselTableXLow checks the truncation threshold: below XLow every
+// kernel really is negligible, and XLow is meaningfully positive for large
+// l (that is what pays for the per-multipole loop truncation).
+func TestBesselTableXLow(t *testing.T) {
+	tbl := NewBesselTable(150, []int{2, 60, 150}, 400, 0, nil)
+	for _, l := range []int{60, 150} {
+		row, _ := tbl.Row(l)
+		if row.XLow < float64(l)/2 {
+			t.Fatalf("l=%d: XLow=%g suspiciously small", l, row.XLow)
+		}
+		if row.XLow > float64(l) {
+			t.Fatalf("l=%d: XLow=%g beyond the turning point", l, row.XLow)
+		}
+		for _, x := range []float64{row.XLow / 2, row.XLow * 0.9} {
+			if j := SphericalBesselJ(l, x); math.Abs(j) > 1e-8 {
+				t.Fatalf("l=%d: j(%g)=%g not negligible below XLow=%g", l, x, j, row.XLow)
+			}
+		}
+	}
+	if row, _ := tbl.Row(2); row.XLow != 0 {
+		t.Fatalf("l=2 must be live from the origin, XLow=%g", row.XLow)
+	}
+}
+
+// TestSharedBesselTableCache checks the process cache: same request, same
+// table; widened multipole set, a rebuilt superset table under the same
+// key.
+func TestSharedBesselTableCache(t *testing.T) {
+	a := SharedBesselTable([]int{2, 10, 30}, 333, nil)
+	b := SharedBesselTable([]int{10, 2}, 330, nil)
+	if a != b {
+		t.Fatal("subset request rebuilt the table")
+	}
+	c := SharedBesselTable([]int{2, 10, 17, 30}, 333, nil)
+	if c == a {
+		t.Fatal("extension did not rebuild")
+	}
+	for _, l := range []int{2, 10, 17, 30} {
+		if !c.Has(l) {
+			t.Fatalf("extended table missing l=%d", l)
+		}
+	}
+	if d := SharedBesselTable([]int{2, 17}, 331, nil); d != c {
+		t.Fatal("extended table not cached")
+	}
+}
+
+// TestBesselTableParallelBuild: the dispatch-style fan-out and the serial
+// build must produce identical tables.
+func TestBesselTableParallelBuild(t *testing.T) {
+	par := func(n int, body func(int)) {
+		done := make(chan struct{})
+		for i := 0; i < n; i++ {
+			go func(i int) { body(i); done <- struct{}{} }(i)
+		}
+		for i := 0; i < n; i++ {
+			<-done
+		}
+	}
+	ser := NewBesselTable(80, []int{3, 40, 80}, 900, 0, nil)
+	con := NewBesselTable(80, []int{3, 40, 80}, 900, 0, par)
+	for _, l := range []int{3, 40, 80} {
+		rs, _ := ser.Row(l)
+		rc, _ := con.Row(l)
+		for _, x := range []float64{0.1, 7.7, 39.9, 80.3, 555.5} {
+			js, jps, qs := rs.Eval(x)
+			jc, jpc, qc := rc.Eval(x)
+			if js != jc || jps != jpc || qs != qc {
+				t.Fatalf("l=%d x=%g: parallel build differs", l, x)
+			}
+		}
+	}
+}

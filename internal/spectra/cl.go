@@ -42,6 +42,19 @@ func (p Primordial) At(k float64) float64 {
 	return amp * math.Pow(k/pivot, n-1.0)
 }
 
+// DefaultLs returns the default multipole ladder for a C_l run up to
+// lmaxCl: every l at the bottom, logarithmically thinning steps above.
+// The facade and the command-line drivers share this so their spectra,
+// ablations and Bessel-table cache entries line up.
+func DefaultLs(lmaxCl int) []int {
+	var ls []int
+	for l := 2; l <= lmaxCl; {
+		ls = append(ls, l)
+		l += 1 + l/8
+	}
+	return ls
+}
+
 // ClSpectrum is an angular power spectrum with its normalization state.
 type ClSpectrum struct {
 	L  []int

@@ -1,0 +1,240 @@
+package spectra
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"plinger/internal/core"
+)
+
+// TestThetaLOSFastMatchesReference: on one mode, the table-driven
+// projection must reproduce the exact-recurrence reference multipole by
+// multipole. The two paths share grid and sources, so the only differences
+// are the cubic kernel interpolation (~1e-6) and the turning-point
+// truncation (~1e-9) — far below the 1e-3 engine budget this pins.
+func TestThetaLOSFastMatchesReference(t *testing.T) {
+	m := model(t)
+	tau0 := m.BG.Tau0()
+	r, err := m.Evolve(core.Params{K: 0.03, LMax: 24, Gauge: core.ConformalNewtonian, KeepSources: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := []int{2, 5, 10, 20, 40, 60}
+	ref, err := ThetaLOS(r, 60, tau0, m.TH.TauRec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := ThetaLOSFast(r, ls, tau0, m.TH.TauRec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scale float64
+	for _, l := range ls {
+		if a := math.Abs(ref[l]); a > scale {
+			scale = a
+		}
+	}
+	for j, l := range ls {
+		if diff := math.Abs(fast[j] - ref[l]); diff > 1e-4*scale {
+			t.Fatalf("l=%d: fast %g vs reference %g (scale %g)", l, fast[j], ref[l], scale)
+		}
+	}
+}
+
+// TestClLOSFastMatchesReference: the golden equivalence of the fast engine
+// on a common sweep — identical quadrature, tabulated vs exact kernels.
+func TestClLOSFastMatchesReference(t *testing.T) {
+	m := model(t)
+	ks := ClGrid(60, m.BG.Tau0(), 40)
+	sw, err := RunSweep(m, core.Params{LMax: 24, Gauge: core.ConformalNewtonian, KeepSources: true}, ks, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := []int{2, 4, 8, 15, 30, 60}
+	ref, err := sw.ClLOS(ls, DefaultPrimordial(1.0), m.BG.P.TCMB, m.TH.TauRec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := sw.ClLOSFast(ls, DefaultPrimordial(1.0), m.BG.P.TCMB, m.TH.TauRec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range ls {
+		rel := math.Abs(fast.Cl[i]-ref.Cl[i]) / ref.Cl[i]
+		if rel > 1e-3 {
+			t.Fatalf("C_%d: fast %g vs reference %g (rel %g)", l, fast.Cl[i], ref.Cl[i], rel)
+		}
+	}
+}
+
+// TestRefineKMatchesFullGrid is the golden check of the coarse-to-fine
+// pipeline: evolving every 4th wavenumber and splining the sources in k
+// must reproduce the fully evolved fine-grid spectrum to < 1e-3 — the
+// CMBFAST premise that sources vary slowly in k.
+func TestRefineKMatchesFullGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two C_l sweeps are expensive")
+	}
+	m := model(t)
+	tau0 := m.BG.Tau0()
+	tauRec := m.TH.TauRec()
+	nkFine := 57
+	mode := core.Params{LMax: 24, Gauge: core.ConformalNewtonian, KeepSources: true}
+
+	fineKs := ClGrid(60, tau0, nkFine)
+	full, err := RunSweep(m, mode, fineKs, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := RunSweep(m, mode, RefineCoarseGrid(fineKs, 4), 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := coarse.RefineK(nkFine, tauRec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refined.KValues) != nkFine {
+		t.Fatalf("refined to %d modes, want %d", len(refined.KValues), nkFine)
+	}
+	for i, k := range refined.KValues {
+		if math.Abs(k-full.KValues[i]) > 1e-12 {
+			t.Fatalf("fine grid mismatch at %d: %g vs %g", i, k, full.KValues[i])
+		}
+	}
+
+	ls := []int{2, 4, 8, 15, 30, 60}
+	prim := DefaultPrimordial(1.0)
+	want, err := full.ClLOS(ls, prim, m.BG.P.TCMB, tauRec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The refined sweep feeds the reference projection (the pure RefineK
+	// error) and the fast projection (the production pipeline).
+	gotRef, err := refined.ClLOS(ls, prim, m.BG.P.TCMB, tauRec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotFast, err := refined.ClLOSFast(ls, prim, m.BG.P.TCMB, tauRec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range ls {
+		relR := math.Abs(gotRef.Cl[i]-want.Cl[i]) / want.Cl[i]
+		relF := math.Abs(gotFast.Cl[i]-want.Cl[i]) / want.Cl[i]
+		if relR > 1e-3 || relF > 1e-3 {
+			t.Fatalf("C_%d: full %g, refined ref %g (rel %g), refined fast %g (rel %g)",
+				l, want.Cl[i], gotRef.Cl[i], relR, gotFast.Cl[i], relF)
+		}
+	}
+}
+
+func TestRefineKValidation(t *testing.T) {
+	m := model(t)
+	sw, err := RunSweep(m, core.Params{LMax: 12, Gauge: core.ConformalNewtonian, KeepSources: true},
+		[]float64{0.01, 0.02, 0.03, 0.04, 0.05}, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.RefineK(3, m.TH.TauRec()); err == nil {
+		t.Fatal("coarser-than-input refinement accepted")
+	}
+	syncSw, err := RunSweep(m, core.Params{LMax: 12, Gauge: core.Synchronous, KeepSources: true},
+		[]float64{0.01, 0.02, 0.03, 0.04}, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := syncSw.RefineK(16, m.TH.TauRec()); err == nil {
+		t.Fatal("synchronous sweep accepted")
+	}
+	short := &Sweep{KValues: []float64{1, 2}, Results: sw.Results[:2], Tau0: sw.Tau0}
+	if _, err := short.RefineK(9, m.TH.TauRec()); err == nil {
+		t.Fatal("too-few coarse modes accepted")
+	}
+}
+
+// TestSampleSeriesCursor: the monotone-cursor lookup must agree with plain
+// bisection for monotone sweeps, repeated queries, and random access.
+func TestSampleSeriesCursor(t *testing.T) {
+	src := make([]core.Sample, 64)
+	tau := 10.0
+	rng := rand.New(rand.NewSource(7))
+	for i := range src {
+		src[i] = core.Sample{Tau: tau, Theta0: math.Sin(tau), Psi: math.Cos(tau)}
+		tau += 0.5 + 10.0*rng.Float64()
+	}
+	ss := newSampleSeries(src)
+	bisect := func(q float64) core.Sample {
+		n := len(src)
+		if q <= src[0].Tau {
+			return src[0]
+		}
+		if q >= src[n-1].Tau {
+			return src[n-1]
+		}
+		lo, hi := 0, n-1
+		for hi-lo > 1 {
+			mid := (lo + hi) / 2
+			if src[mid].Tau <= q {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		f := (q - src[lo].Tau) / (src[hi].Tau - src[lo].Tau)
+		return core.Sample{
+			Tau:    q,
+			Theta0: src[lo].Theta0*(1-f) + src[hi].Theta0*f,
+			Psi:    src[lo].Psi*(1-f) + src[hi].Psi*f,
+		}
+	}
+	check := func(q float64) {
+		got := ss.at(q)
+		want := bisect(q)
+		if got.Theta0 != want.Theta0 || got.Psi != want.Psi {
+			t.Fatalf("at(%g): got (%g, %g), want (%g, %g)", q, got.Theta0, got.Psi, want.Theta0, want.Psi)
+		}
+	}
+	// Monotone sweep (the hot-loop pattern), including exact knots.
+	for q := 0.0; q < tau+5; q += 0.37 {
+		check(q)
+	}
+	for i := range src {
+		check(src[i].Tau)
+	}
+	// Random access must still be exact (cursor rewinds by bisection).
+	for i := 0; i < 500; i++ {
+		check(tau * rng.Float64())
+	}
+}
+
+func TestRefineCoarseGrid(t *testing.T) {
+	fine := ClGrid(150, 11500, 130)
+	coarse := RefineCoarseGrid(fine, 6)
+	if len(coarse) >= len(fine)/2 {
+		t.Fatalf("coarse grid too big: %d of %d", len(coarse), len(fine))
+	}
+	if coarse[0] != fine[0] || coarse[len(coarse)-1] != fine[len(fine)-1] {
+		t.Fatal("endpoints must be preserved")
+	}
+	for i := 1; i < len(coarse); i++ {
+		if coarse[i] <= coarse[i-1] {
+			t.Fatalf("coarse grid not increasing at %d", i)
+		}
+	}
+	// The log head must put several wavenumbers inside the first fine
+	// coarse interval (where mode entry sweeps through recombination).
+	nHead := 0
+	for _, k := range coarse {
+		if k > fine[0] && k < fine[6] {
+			nHead++
+		}
+	}
+	if nHead < 8 {
+		t.Fatalf("log head too sparse: %d points", nHead)
+	}
+	if got := RefineCoarseGrid(fine, 1); len(got) != len(fine) {
+		t.Fatal("kRefine 1 must return the fine grid")
+	}
+}

@@ -24,45 +24,112 @@ import (
 // v_b = theta_b/k. It needs only a short hierarchy, so it serves both as an
 // independent cross-check of the brute-force method and as the cheap engine
 // for the shape tests.
+//
+// Two code paths share the source assembly below. ThetaLOS/ClLOS evaluate
+// the kernels exactly (recurrences at every quadrature point) and are the
+// reference implementation; the fast engine in fastlos.go consumes the
+// shared specfunc.BesselTable instead and, combined with Sweep.RefineK,
+// reproduces the reference C_l to < 1e-3 at a fraction of the cost.
 
-// losGrid builds the integration grid in conformal time: dense through the
-// (narrow) visibility peak, and elsewhere fine enough to resolve both the
-// Bessel oscillation 2 pi/k and the integrated Sachs-Wolfe evolution.
-func losGrid(tauStart, tauRec, tau0, k float64) []float64 {
-	seg := func(grid []float64, lo, hi, dt float64) []float64 {
-		if hi <= lo {
-			return grid
-		}
-		n := int((hi-lo)/dt) + 1
-		for i := 0; i < n; i++ {
-			grid = append(grid, lo+(hi-lo)*float64(i)/float64(n))
-		}
+// The conformal-time windows and spacings shared by the LOS quadrature
+// grid and RefineK's source-representation grid: the visibility peak is
+// sampled densely over [tauRec - losVisBefore, tauRec + losVisAfter], the
+// opaque pre-recombination era and the free-streaming/ISW era coarsely.
+const (
+	losVisBefore = 120.0
+	losVisAfter  = 180.0
+	losDtPre     = 10.0
+	losDtVis     = 0.6
+	losDtFree    = 12.0
+)
+
+// losSeg appends an evenly spaced segment covering [lo, hi) with spacing
+// at most dt.
+func losSeg(grid []float64, lo, hi, dt float64) []float64 {
+	if hi <= lo {
 		return grid
 	}
+	n := int((hi-lo)/dt) + 1
+	for i := 0; i < n; i++ {
+		grid = append(grid, lo+(hi-lo)*float64(i)/float64(n))
+	}
+	return grid
+}
+
+// losGrid appends the integration grid in conformal time to dst: dense
+// through the (narrow) visibility peak, and elsewhere fine enough to
+// resolve both the Bessel oscillation 2 pi/k and the integrated Sachs-Wolfe
+// evolution.
+func losGrid(dst []float64, tauStart, tauRec, tau0, k float64) []float64 {
 	// Spacing that resolves j_l(k(tau0-tau)) comfortably.
 	hOsc := 2.0 * math.Pi / k / 24.0
-	var grid []float64
-	t1 := math.Max(tauStart, tauRec-120.0)
-	t2 := math.Min(tauRec+180.0, tau0)
-	grid = seg(grid, tauStart, t1, math.Min(10.0, hOsc)) // pre-recombination
-	grid = seg(grid, t1, t2, math.Min(0.6, hOsc))        // visibility peak
-	grid = seg(grid, t2, tau0, math.Min(12.0, hOsc))     // free streaming + ISW
+	grid := dst[:0]
+	t1 := math.Max(tauStart, tauRec-losVisBefore)
+	t2 := math.Min(tauRec+losVisAfter, tau0)
+	grid = losSeg(grid, tauStart, t1, math.Min(losDtPre, hOsc)) // pre-recombination
+	grid = losSeg(grid, t1, t2, math.Min(losDtVis, hOsc))       // visibility peak
+	grid = losSeg(grid, t2, tau0, math.Min(losDtFree, hOsc))    // free streaming + ISW
 	grid = append(grid, tau0)
 	return grid
 }
 
-// sampleSeries linearly interpolates the recorded source samples.
+// sampleSeries linearly interpolates the recorded source samples. Lookups
+// carry a monotone cursor: the LOS resampling sweeps tau strictly forward,
+// so the bracket for each query is almost always the cached one or its
+// right neighbour, and the per-sample binary search of the original
+// implementation disappears from the hot loop (non-monotone queries still
+// fall back to bisection).
 type sampleSeries struct {
-	tau []float64
-	src []core.Sample
+	tau    []float64
+	src    []core.Sample
+	cursor int
+}
+
+// init readies the series over src, reusing tauBuf for the abscissae.
+func (ss *sampleSeries) init(src []core.Sample, tauBuf []float64) {
+	tau := tauBuf[:0]
+	for i := range src {
+		tau = append(tau, src[i].Tau)
+	}
+	ss.tau = tau
+	ss.src = src
+	ss.cursor = 0
 }
 
 func newSampleSeries(src []core.Sample) *sampleSeries {
-	tau := make([]float64, len(src))
-	for i := range src {
-		tau[i] = src[i].Tau
+	ss := &sampleSeries{}
+	ss.init(src, nil)
+	return ss
+}
+
+// locate returns i such that tau[i] <= tau < tau[i+1] (rightmost bracket,
+// matching the original bisection), starting from the cursor.
+func (ss *sampleSeries) locate(tau float64) int {
+	n := len(ss.tau)
+	i := ss.cursor
+	if i > n-2 {
+		i = n - 2
 	}
-	return &sampleSeries{tau: tau, src: src}
+	if tau >= ss.tau[i] {
+		// Walk forward; monotone callers advance O(1) per query.
+		for i < n-2 && tau >= ss.tau[i+1] {
+			i++
+		}
+	} else {
+		// Cursor overshot: bisect [0, i].
+		lo, hi := 0, i
+		for hi-lo > 1 {
+			mid := (lo + hi) / 2
+			if ss.tau[mid] <= tau {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		i = lo
+	}
+	ss.cursor = i
+	return i
 }
 
 func (ss *sampleSeries) at(tau float64) core.Sample {
@@ -73,15 +140,8 @@ func (ss *sampleSeries) at(tau float64) core.Sample {
 	if tau >= ss.tau[n-1] {
 		return ss.src[n-1]
 	}
-	lo, hi := 0, n-1
-	for hi-lo > 1 {
-		mid := (lo + hi) / 2
-		if ss.tau[mid] <= tau {
-			lo = mid
-		} else {
-			hi = mid
-		}
-	}
+	lo := ss.locate(tau)
+	hi := lo + 1
 	f := (tau - ss.tau[lo]) / (ss.tau[hi] - ss.tau[lo])
 	a, b := ss.src[lo], ss.src[hi]
 	mix := func(x, y float64) float64 { return x*(1-f) + y*f }
@@ -99,50 +159,137 @@ func (ss *sampleSeries) at(tau float64) core.Sample {
 	}
 }
 
-// ThetaLOS computes Theta_l(k) for l = 0..lmax by the line-of-sight
-// integral from the recorded sources of one mode (conformal Newtonian
-// gauge required).
-func ThetaLOS(r *core.Result, lmax int, tau0, tauRec float64) ([]float64, error) {
+// losScratch carries every buffer the LOS engine needs for one mode, so
+// sweeps over hundreds of modes reuse a single allocation set instead of
+// re-making per call (the benchmarks report allocs/op to keep it that way).
+type losScratch struct {
+	ss               sampleSeries
+	tauBuf           []float64
+	grid             []float64
+	srcA, srcB, srcC []float64
+	psiT, eKap, dPsi []float64
+	w                []float64
+	jl               []float64
+	theta            []float64
+	// Fast-projection state: the Bessel arguments, the trapezoid-folded
+	// sources and the shared interpolation stencil.
+	ys, wA, wB, wC []float64
+	stencil        specfunc.BesselStencil
+	// Active ranges for the fast projection (the exact reference path
+	// always integrates the full grid): iFirst is the first index where
+	// any source is non-negligible (before it e^-kappa underflows), and
+	// iVisEnd ends the visibility-coupled region — beyond it the dipole
+	// and quadrupole sources vanish and only the ISW monopole term
+	// survives.
+	iFirst, iVisEnd int
+}
+
+func grow(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// losAssemble validates a mode, builds its integration grid and fills the
+// three source arrays (monopole, dipole, quadrupole) plus the trapezoid
+// weights into the scratch. The returned slices alias the scratch.
+func losAssemble(r *core.Result, tau0, tauRec float64, sc *losScratch) error {
 	if r.Gauge != core.ConformalNewtonian {
-		return nil, fmt.Errorf("spectra: line of sight requires the conformal Newtonian gauge, got %v", r.Gauge)
+		return fmt.Errorf("spectra: line of sight requires the conformal Newtonian gauge, got %v", r.Gauge)
 	}
 	if len(r.Sources) < 10 {
-		return nil, fmt.Errorf("spectra: mode k=%g has no recorded sources (set KeepSources)", r.K)
+		return fmt.Errorf("spectra: mode k=%g has no recorded sources (set KeepSources)", r.K)
 	}
 	k := r.K
-	ss := newSampleSeries(r.Sources)
-	grid := losGrid(r.Sources[0].Tau, tauRec, tau0, k)
+	sc.ss.init(r.Sources, sc.tauBuf)
+	sc.tauBuf = sc.ss.tau
+	sc.grid = losGrid(sc.grid, r.Sources[0].Tau, tauRec, tau0, k)
+	grid := sc.grid
 
 	n := len(grid)
-	srcA := make([]float64, n) // monopole kernel j_l
-	srcB := make([]float64, n) // dipole kernel j_l'
-	srcC := make([]float64, n) // quadrupole kernel (3 j_l'' + j_l)/2
-	psiT := make([]float64, n)
-	eKap := make([]float64, n)
+	sc.srcA = grow(sc.srcA, n) // monopole kernel j_l
+	sc.srcB = grow(sc.srcB, n) // dipole kernel j_l'
+	sc.srcC = grow(sc.srcC, n) // quadrupole kernel (3 j_l'' + j_l)/2
+	sc.psiT = grow(sc.psiT, n)
+	sc.eKap = grow(sc.eKap, n)
 	for i, tau := range grid {
-		s := ss.at(tau)
-		g := s.Kdot * math.Exp(-s.Kappa)
-		eKap[i] = math.Exp(-s.Kappa)
-		psiT[i] = s.Psi
-		srcA[i] = g*(s.Theta0+s.Psi) + eKap[i]*s.PhiDot
-		srcB[i] = g * s.VB
-		srcC[i] = g * s.Pi / 4.0 // Pi in Theta units; kernel carries the 1/2
+		s := sc.ss.at(tau)
+		eKap := math.Exp(-s.Kappa)
+		g := s.Kdot * eKap
+		sc.eKap[i] = eKap
+		sc.psiT[i] = s.Psi
+		sc.srcA[i] = g*(s.Theta0+s.Psi) + eKap*s.PhiDot
+		sc.srcB[i] = g * s.VB
+		sc.srcC[i] = g * s.Pi / 4.0 // Pi in Theta units; kernel carries the 1/2
 	}
 	// psi-dot from the resampled series completes the ISW term.
-	psiDot := deriv(grid, psiT)
+	sc.dPsi = grow(sc.dPsi, n)
+	derivInto(grid, sc.psiT, sc.dPsi)
 	for i := range grid {
-		srcA[i] += eKap[i] * psiDot[i]
+		sc.srcA[i] += sc.eKap[i] * sc.dPsi[i]
+	}
+	sc.w = grow(sc.w, n)
+	for i := range grid {
+		sc.w[i] = trapWeight(grid, i)
 	}
 
-	theta := make([]float64, lmax+1)
-	jl := make([]float64, lmax+2)
+	// Active ranges (see the losScratch comment). Thresholds are relative,
+	// 1e-12 of the per-source peak, so dropped terms are far below the
+	// 1e-3 C_l budget.
+	var maxA, maxBC float64
+	for i := range grid {
+		if a := math.Abs(sc.srcA[i]); a > maxA {
+			maxA = a
+		}
+		if v := math.Abs(sc.srcB[i]); v > maxBC {
+			maxBC = v
+		}
+		if v := math.Abs(sc.srcC[i]); v > maxBC {
+			maxBC = v
+		}
+	}
+	thrA, thrBC := 1e-12*maxA, 1e-12*maxBC
+	sc.iFirst = 0
+	for sc.iFirst < n-1 &&
+		math.Abs(sc.srcA[sc.iFirst]) <= thrA &&
+		math.Abs(sc.srcB[sc.iFirst]) <= thrBC &&
+		math.Abs(sc.srcC[sc.iFirst]) <= thrBC {
+		sc.iFirst++
+	}
+	sc.iVisEnd = n
+	for sc.iVisEnd > sc.iFirst &&
+		math.Abs(sc.srcB[sc.iVisEnd-1]) <= thrBC &&
+		math.Abs(sc.srcC[sc.iVisEnd-1]) <= thrBC {
+		sc.iVisEnd--
+	}
+	return nil
+}
+
+// thetaLOSInto is the exact-kernel reference projection: Theta_l for
+// l = 0..lmax from the assembled sources, with the spherical Bessel
+// recurrences evaluated at every quadrature point.
+func thetaLOSInto(r *core.Result, lmax int, tau0, tauRec float64, sc *losScratch) ([]float64, error) {
+	if err := losAssemble(r, tau0, tauRec, sc); err != nil {
+		return nil, err
+	}
+	k := r.K
+	grid, srcA, srcB, srcC := sc.grid, sc.srcA, sc.srcB, sc.srcC
+
+	sc.theta = grow(sc.theta, lmax+1)
+	theta := sc.theta
+	for l := range theta {
+		theta[l] = 0
+	}
+	sc.jl = grow(sc.jl, lmax+2)
+	jl := sc.jl
 	for i, tau := range grid {
 		y := k * (tau0 - tau)
 		if y < 0 {
 			y = 0
 		}
 		jl = specfunc.SphericalBesselJArray(lmax+1, y, jl)
-		w := trapWeight(grid, i)
+		w := sc.w[i]
 		for l := 0; l <= lmax; l++ {
 			j := jl[l]
 			// j_l'(y) = j_{l-1}(y) - (l+1)/y j_l(y); at y=0 only l=1 has
@@ -179,10 +326,23 @@ func ThetaLOS(r *core.Result, lmax int, tau0, tauRec float64) ([]float64, error)
 	return theta, nil
 }
 
-// deriv returns the centered finite-difference derivative of y on grid x.
-func deriv(x, y []float64) []float64 {
+// ThetaLOS computes Theta_l(k) for l = 0..lmax by the line-of-sight
+// integral from the recorded sources of one mode (conformal Newtonian
+// gauge required). This is the exact reference path; the table-driven fast
+// path is ThetaLOSFast.
+func ThetaLOS(r *core.Result, lmax int, tau0, tauRec float64) ([]float64, error) {
+	var sc losScratch
+	theta, err := thetaLOSInto(r, lmax, tau0, tauRec, &sc)
+	if err != nil {
+		return nil, err
+	}
+	return append([]float64(nil), theta...), nil
+}
+
+// derivInto writes the centered finite-difference derivative of y on grid x
+// into d (len(d) == len(x)).
+func derivInto(x, y, d []float64) {
 	n := len(x)
-	d := make([]float64, n)
 	for i := range x {
 		switch i {
 		case 0:
@@ -193,11 +353,12 @@ func deriv(x, y []float64) []float64 {
 			d[i] = (y[i+1] - y[i-1]) / (x[i+1] - x[i-1])
 		}
 	}
-	return d
 }
 
 // ClLOS computes the angular power spectrum with the line-of-sight method
-// from a sweep whose modes kept their sources.
+// from a sweep whose modes kept their sources, using the exact reference
+// projection (one scratch set shared across the whole sweep). The fast
+// table-driven variant is ClLOSFast.
 func (s *Sweep) ClLOS(ls []int, prim Primordial, tcmb, tauRec float64) (*ClSpectrum, error) {
 	lmax := 0
 	for _, l := range ls {
@@ -206,9 +367,10 @@ func (s *Sweep) ClLOS(ls []int, prim Primordial, tcmb, tauRec float64) (*ClSpect
 		}
 	}
 	out := &ClSpectrum{L: append([]int(nil), ls...), Cl: make([]float64, len(ls)), TCMB: tcmb}
+	var sc losScratch
 	for i := range s.KValues {
 		k := s.KValues[i]
-		theta, err := ThetaLOS(s.Results[i], lmax, s.Tau0, tauRec)
+		theta, err := thetaLOSInto(s.Results[i], lmax, s.Tau0, tauRec, &sc)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,288 @@
+package spectra
+
+import (
+	"fmt"
+	"math"
+
+	"plinger/internal/core"
+	"plinger/internal/spline"
+)
+
+// RefineK is the CMBFAST-style coarse-to-fine wavenumber pipeline: the
+// expensive ODE evolutions are done only on this sweep's (coarse) k grid,
+// and the recorded line-of-sight sources — which, unlike Theta_l(k), vary
+// slowly with k — are resampled onto a shared conformal-time grid and
+// cubic-splined in k onto a uniform grid of nkFine wavenumbers spanning the
+// same range. The result is a synthetic Sweep whose modes carry
+// interpolated sources: both the reference ClLOS and the fast ClLOSFast
+// consume it unchanged, so a Figure-2-quality spectrum costs ~nkFine/nk
+// fewer evolutions. tauRec (the visibility peak) shapes the shared grid
+// exactly as it shapes the per-mode LOS quadrature grid.
+//
+// Modes enter the evolution at k tau = const, so each wavenumber's sources
+// begin at tau_start(k) = C/k: the shared grid starts at the earliest
+// coarse start, every synthetic mode is truncated to its own tau_start,
+// and each time sample is splined only across the coarse modes that have
+// begun by then — exactly mirroring what a full fine-grid evolution would
+// record.
+//
+// Only source-level fields are interpolated (the final-time hierarchy
+// read-off Theta_l is not, since it oscillates rapidly in k); the synthetic
+// results are for line-of-sight use.
+func (s *Sweep) RefineK(nkFine int, tauRec float64) (*Sweep, error) {
+	nc := len(s.KValues)
+	if nc < 4 {
+		return nil, fmt.Errorf("spectra: RefineK needs at least 4 coarse modes, got %d", nc)
+	}
+	if nkFine <= nc {
+		return nil, fmt.Errorf("spectra: RefineK target %d not finer than the %d-mode sweep", nkFine, nc)
+	}
+	for i := 1; i < nc; i++ {
+		if s.KValues[i] <= s.KValues[i-1] {
+			return nil, fmt.Errorf("spectra: RefineK needs a strictly increasing k grid")
+		}
+	}
+	starts := make([]float64, nc)
+	base := 0
+	for i, r := range s.Results {
+		if r == nil || r.Gauge != core.ConformalNewtonian {
+			return nil, fmt.Errorf("spectra: RefineK requires conformal Newtonian modes with sources")
+		}
+		if len(r.Sources) < 10 {
+			return nil, fmt.Errorf("spectra: mode k=%g has no recorded sources (set KeepSources)", s.KValues[i])
+		}
+		starts[i] = r.Sources[0].Tau
+		if starts[i] < starts[base] {
+			base = i
+		}
+	}
+
+	// Shared conformal-time grid, from the earliest coarse start (the
+	// largest k enters first). Unlike the per-mode LOS quadrature grid it
+	// only has to represent the sources — dense through the visibility
+	// peak, moderate elsewhere — because every consumer rebuilds its own
+	// oscillation-resolving quadrature grid from these samples.
+	tau0 := s.Tau0
+	grid := sourceGrid(starts[base], tauRec, tau0)
+	nt := len(grid)
+	eps := 1e-9 * tau0
+
+	// The interpolated source fields, resampled per coarse mode onto the
+	// shared grid (flat [t*nc + c] matrices, so each fixed-time k column
+	// is contiguous for the spline pass; entries before a mode's start are
+	// clamped to its first sample and never used by the splines). Only the
+	// fields the line-of-sight integrand consumes are interpolated. The
+	// opacity history (Kdot, Kappa) is physically k-independent, but each
+	// mode records it at its own adaptive step times and the reference
+	// projection integrates exactly that per-mode piecewise resampling —
+	// so it is interpolated in k like the perturbations, which keeps the
+	// refined sweep consistent with a true full fine-grid run.
+	fields := []struct {
+		get func(s *core.Sample) float64
+		set func(s *core.Sample, v float64)
+	}{
+		{func(s *core.Sample) float64 { return s.Kdot }, func(s *core.Sample, v float64) { s.Kdot = v }},
+		{func(s *core.Sample) float64 { return s.Kappa }, func(s *core.Sample, v float64) { s.Kappa = v }},
+		{func(s *core.Sample) float64 { return s.Theta0 }, func(s *core.Sample, v float64) { s.Theta0 = v }},
+		{func(s *core.Sample) float64 { return s.Psi }, func(s *core.Sample, v float64) { s.Psi = v }},
+		{func(s *core.Sample) float64 { return s.PhiDot }, func(s *core.Sample, v float64) { s.PhiDot = v }},
+		{func(s *core.Sample) float64 { return s.VB }, func(s *core.Sample, v float64) { s.VB = v }},
+		{func(s *core.Sample) float64 { return s.Pi }, func(s *core.Sample, v float64) { s.Pi = v }},
+	}
+	nf := len(fields)
+	coarse := make([][]float64, nf)
+	for f := range coarse {
+		coarse[f] = make([]float64, nc*nt)
+	}
+	bgA := make([]float64, nt) // scale factor: metadata, k-independent
+	var ss sampleSeries
+	for c := 0; c < nc; c++ {
+		ss.init(s.Results[c].Sources, ss.tau)
+		for t, tau := range grid {
+			smp := ss.at(tau)
+			for f := range fields {
+				coarse[f][t*nc+c] = fields[f].get(&smp)
+			}
+			if c == base {
+				bgA[t] = smp.A
+			}
+		}
+	}
+
+	// Uniform fine grid over the same span; each fine mode starts where a
+	// real evolution would: at k tau = C (from the earliest-starting
+	// coarse mode, which is never capped), but no later than the
+	// radiation-era cap that every small-k coarse mode exhibits.
+	ksFine := make([]float64, nkFine)
+	k0, k1 := s.KValues[0], s.KValues[nc-1]
+	for i := range ksFine {
+		ksFine[i] = k0 + (k1-k0)*float64(i)/float64(nkFine-1)
+	}
+	cStart := s.KValues[base] * starts[base]
+	tCap := starts[0]
+	for _, st := range starts {
+		if st > tCap {
+			tCap = st
+		}
+	}
+	fineT0 := make([]int, nkFine) // first shared-grid index of mode i
+	results := make([]*core.Result, nkFine)
+	for i := range results {
+		tStart := cStart / ksFine[i]
+		if tStart > tCap {
+			tStart = tCap
+		}
+		t0 := 0
+		for t0 < nt-1 && grid[t0] < tStart-eps {
+			t0++
+		}
+		fineT0[i] = t0
+		src := make([]core.Sample, nt-t0)
+		for t := range src {
+			src[t].Tau = grid[t0+t]
+			src[t].A = bgA[t0+t]
+		}
+		results[i] = &core.Result{
+			K:       ksFine[i],
+			Tau:     grid[nt-1],
+			A:       bgA[nt-1],
+			Gauge:   core.ConformalNewtonian,
+			LMax:    s.Results[base].LMax,
+			Sources: src,
+		}
+	}
+
+	// Spline each field across k at every time sample, over the coarse
+	// modes that have begun by then (a suffix of the k grid: start falls
+	// with k). The fine grid is swept monotonically, so spline lookups
+	// reduce to cursor steps.
+	sp := make([]*spline.Spline, nf)
+	for f := range sp {
+		sp[f] = &spline.Spline{}
+	}
+	hints := make([]int, nf)
+	c0 := nc - 1 // earliest-started suffix; grows downward as tau advances
+	i0 := nkFine - 1
+	for t := 0; t < nt; t++ {
+		tau := grid[t]
+		for c0 > 0 && starts[c0-1] <= tau+eps {
+			c0--
+		}
+		for i0 > 0 && fineT0[i0-1] <= t {
+			i0--
+		}
+		nv := nc - c0
+		for f := range fields {
+			if nv >= 2 {
+				if err := sp[f].Fit(s.KValues[c0:], coarse[f][t*nc+c0:(t+1)*nc]); err != nil {
+					return nil, err
+				}
+			}
+			hints[f] = 0
+		}
+		for i := i0; i < nkFine; i++ {
+			smp := &results[i].Sources[t-fineT0[i]]
+			for f := range fields {
+				if nv >= 2 {
+					fields[f].set(smp, sp[f].EvalHint(ksFine[i], &hints[f]))
+				} else {
+					fields[f].set(smp, coarse[f][t*nc+c0])
+				}
+			}
+		}
+	}
+	return &Sweep{KValues: ksFine, Results: results, Tau0: tau0}, nil
+}
+
+// sourceGrid is the shared conformal-time sampling of RefineK: the same
+// visibility window and dense-peak spacing as the LOS quadrature grid
+// (losGrid's constants), but a doubled free-streaming stride — it only has
+// to represent the slowly varying sources, not resolve the Bessel
+// oscillation, which is the per-mode quadrature grid's job when it is
+// rebuilt from these samples.
+func sourceGrid(tauStart, tauRec, tau0 float64) []float64 {
+	var grid []float64
+	t1 := math.Max(tauStart, tauRec-losVisBefore)
+	t2 := math.Min(tauRec+losVisAfter, tau0)
+	grid = losSeg(grid, tauStart, t1, losDtPre)
+	grid = losSeg(grid, t1, t2, losDtVis)
+	grid = losSeg(grid, t2, tau0, 2.0*losDtFree)
+	grid = append(grid, tau0)
+	return grid
+}
+
+// SafeKRefine caps a requested refinement factor so the coarse grid still
+// resolves the acoustic oscillation of the sources in k: at fixed tau the
+// sources oscillate with period ~ 2 pi sqrt(3)/tauRec (the inverse sound
+// horizon at recombination), and the cubic k splines need ~16 points per
+// period. Requests beyond that cap would push interpolation errors past
+// the 1e-3 engine budget, so they are clamped rather than honoured.
+func SafeKRefine(kRefine, nk int, kmin, kmax, tauRec float64) int {
+	if kRefine <= 1 || nk < 2 || tauRec <= 0 || kmax <= kmin {
+		return kRefine
+	}
+	maxSpacing := 2.0 * math.Pi * math.Sqrt(3.0) / 16.0 / tauRec
+	span := kmax - kmin
+	if spacing := span * float64(kRefine) / float64(nk); spacing > maxSpacing {
+		kRefine = int(maxSpacing * float64(nk) / span)
+		if kRefine < 1 {
+			kRefine = 1
+		}
+	}
+	return kRefine
+}
+
+// RefineCoarseGrid builds the coarse evolution grid for a RefineK run
+// targeting the fine grid ks: every kRefine-th fine wavenumber (endpoints
+// always included), densified logarithmically across the lowest coarse
+// interval. The densification matters because modes enter the evolution at
+// k tau = const: across the lowest decade of k the entry time sweeps
+// through recombination, the sources' k-validity boundary moves, and a
+// single wide interval there would force the k splines to extrapolate.
+// The extra wavenumbers are the cheapest in the sweep (slow dynamics,
+// few integrator steps), so they cost almost nothing next to the
+// (nkFine/kRefine)x evolution saving.
+func RefineCoarseGrid(ks []float64, kRefine int) []float64 {
+	n := len(ks)
+	if kRefine <= 1 || n < 2 {
+		return append([]float64(nil), ks...)
+	}
+	idx := map[int]bool{0: true, n - 1: true}
+	for i := 0; i < n; i += kRefine {
+		idx[i] = true
+	}
+	// Half-spacing through the first two uniform intervals above the log
+	// head: the lowest multipoles peak exactly there (k ~ l/tau0 just past
+	// the head) and their C_l budget needs the extra source resolution.
+	for _, i := range []int{kRefine + (kRefine+1)/2, 2*kRefine + (kRefine+1)/2} {
+		if i < n {
+			idx[i] = true
+		}
+	}
+	coarse := make([]float64, 0, len(idx))
+	for i := 0; i < n; i++ {
+		if idx[i] {
+			coarse = append(coarse, ks[i])
+		}
+	}
+	// Log-spaced head across the first coarse interval.
+	lo := ks[0]
+	hi := ks[min(kRefine, n-1)]
+	if lo > 0 && hi > lo*1.5 {
+		const nLog = 22
+		ratio := hi / lo
+		head := make([]float64, 0, nLog-1)
+		for j := 1; j < nLog; j++ {
+			v := lo * math.Pow(ratio, float64(j)/nLog)
+			if v > lo*1.0000001 && v < hi*0.9999999 {
+				head = append(head, v)
+			}
+		}
+		merged := make([]float64, 0, len(coarse)+len(head))
+		merged = append(merged, coarse[0])
+		merged = append(merged, head...)
+		merged = append(merged, coarse[1:]...)
+		coarse = merged
+	}
+	return coarse
+}

@@ -14,31 +14,45 @@ import (
 // Spline is a natural cubic spline y(x) through a fixed set of knots.
 type Spline struct {
 	x, y, y2 []float64
+	u        []float64 // tridiagonal-solve scratch, kept for Fit reuse
 }
 
 // New constructs a natural cubic spline through the points (x[i], y[i]).
 // x must be strictly increasing and len(x) == len(y) >= 2.
 func New(x, y []float64) (*Spline, error) {
+	s := &Spline{}
+	if err := s.Fit(x, y); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Fit refits the spline through new knots, reusing the receiver's storage.
+// Hot loops that build many short-lived splines (the fast C_l engine refits
+// one per source component per time sample when interpolating across k)
+// call Fit on a scratch Spline instead of paying New's allocations.
+func (s *Spline) Fit(x, y []float64) error {
 	n := len(x)
 	if n < 2 {
-		return nil, errors.New("spline: need at least two knots")
+		return errors.New("spline: need at least two knots")
 	}
 	if len(y) != n {
-		return nil, fmt.Errorf("spline: len(x)=%d != len(y)=%d", n, len(y))
+		return fmt.Errorf("spline: len(x)=%d != len(y)=%d", n, len(y))
 	}
 	for i := 1; i < n; i++ {
 		if x[i] <= x[i-1] {
-			return nil, fmt.Errorf("spline: x not strictly increasing at index %d (%g <= %g)", i, x[i], x[i-1])
+			return fmt.Errorf("spline: x not strictly increasing at index %d (%g <= %g)", i, x[i], x[i-1])
 		}
 	}
-	s := &Spline{
-		x:  append([]float64(nil), x...),
-		y:  append([]float64(nil), y...),
-		y2: make([]float64, n),
-	}
+	s.x = append(s.x[:0], x...)
+	s.y = append(s.y[:0], y...)
+	s.y2 = growTo(s.y2, n)
+	s.u = growTo(s.u, n)
 	// Solve the tridiagonal system for second derivatives with natural
 	// boundary conditions y2[0] = y2[n-1] = 0.
-	u := make([]float64, n)
+	u := s.u
+	s.y2[0], u[0] = 0, 0
+	s.y2[n-1] = 0
 	for i := 1; i < n-1; i++ {
 		sig := (x[i] - x[i-1]) / (x[i+1] - x[i-1])
 		p := sig*s.y2[i-1] + 2.0
@@ -49,7 +63,16 @@ func New(x, y []float64) (*Spline, error) {
 	for i := n - 2; i >= 0; i-- {
 		s.y2[i] = s.y2[i]*s.y2[i+1] + u[i]
 	}
-	return s, nil
+	return nil
+}
+
+// growTo returns s resized to length n, reallocating only when capacity is
+// short.
+func growTo(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // MustNew is New but panics on error; for static tables known to be valid.
@@ -74,10 +97,56 @@ func (s *Spline) locate(v float64) int {
 	return i
 }
 
+// locateHint is locate with a cached interval: when *hint already brackets
+// v the binary search is skipped entirely, and a miss by one interval (the
+// common case for monotone argument streams) costs a single step. The
+// returned index is written back to *hint. A nil hint falls back to locate.
+// Hints are caller-owned state, so one Spline may serve concurrent readers
+// as long as each holds its own hint.
+func (s *Spline) locateHint(v float64, hint *int) int {
+	if hint == nil {
+		return s.locate(v)
+	}
+	i := *hint
+	if i < 0 || i > len(s.x)-2 {
+		i = s.locate(v)
+	} else if v < s.x[i] {
+		if i == 0 || v >= s.x[i-1] {
+			if i > 0 {
+				i--
+			}
+		} else {
+			i = s.locate(v)
+		}
+	} else if v >= s.x[i+1] {
+		if i+2 > len(s.x)-2 || v < s.x[i+2] {
+			if i+1 <= len(s.x)-2 {
+				i++
+			}
+		} else {
+			i = s.locate(v)
+		}
+	}
+	*hint = i
+	return i
+}
+
 // Eval evaluates the spline at v. Values outside the knot range are
 // extrapolated with the boundary cubic.
 func (s *Spline) Eval(v float64) float64 {
 	i := s.locate(v)
+	h := s.x[i+1] - s.x[i]
+	a := (s.x[i+1] - v) / h
+	b := (v - s.x[i]) / h
+	return a*s.y[i] + b*s.y[i+1] +
+		((a*a*a-a)*s.y2[i]+(b*b*b-b)*s.y2[i+1])*(h*h)/6.0
+}
+
+// EvalHint is Eval with a caller-owned interval cache: pass the same *hint
+// across a monotone (or nearly monotone) argument stream and the O(log n)
+// locate collapses to O(1). Start with *hint = 0; any stale value is safe.
+func (s *Spline) EvalHint(v float64, hint *int) float64 {
+	i := s.locateHint(v, hint)
 	h := s.x[i+1] - s.x[i]
 	a := (s.x[i+1] - v) / h
 	b := (v - s.x[i]) / h

@@ -116,3 +116,72 @@ func TestQuickKnotReproduction(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEvalHint: the cached-interval lookup must agree with Eval exactly for
+// monotone sweeps (the hot-loop pattern), repeated values, reversals and a
+// stale or out-of-range hint.
+func TestEvalHint(t *testing.T) {
+	x := []float64{0, 0.5, 1.3, 2.0, 4.5, 4.6, 9.0, 12.0}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = math.Sin(v) + 0.1*v*v
+	}
+	s, err := New(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hint := 0
+	for v := -1.0; v < 14.0; v += 0.0137 {
+		if got, want := s.EvalHint(v, &hint), s.Eval(v); got != want {
+			t.Fatalf("monotone EvalHint(%g) = %g, want %g", v, got, want)
+		}
+	}
+	// Reversed sweep with the hint left at the top.
+	for v := 14.0; v > -1.0; v -= 0.0213 {
+		if got, want := s.EvalHint(v, &hint), s.Eval(v); got != want {
+			t.Fatalf("reverse EvalHint(%g) = %g, want %g", v, got, want)
+		}
+	}
+	// Stale and out-of-range hints.
+	for _, h := range []int{-5, 0, 3, 99} {
+		hint = h
+		for _, v := range []float64{-2, 0, 0.5, 2.2, 4.55, 11.9, 13} {
+			if got, want := s.EvalHint(v, &hint), s.Eval(v); got != want {
+				t.Fatalf("hint %d: EvalHint(%g) = %g, want %g", h, v, got, want)
+			}
+		}
+	}
+	// Nil hint falls back to the plain lookup.
+	if got, want := s.EvalHint(3.3, nil), s.Eval(3.3); got != want {
+		t.Fatalf("nil hint: %g vs %g", got, want)
+	}
+}
+
+// TestFitReuse: refitting a scratch spline must match a fresh New and leave
+// no trace of the previous knots.
+func TestFitReuse(t *testing.T) {
+	var s Spline
+	if err := s.Fit([]float64{0, 1, 2, 3, 4, 5, 6, 7}, []float64{5, 3, 8, 1, 9, 2, 7, 4}); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0, 2, 3.5, 7}
+	y := []float64{1, -4, 2, 0.5}
+	if err := s.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := New(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := -0.5; v < 7.5; v += 0.09 {
+		if got, want := s.Eval(v), fresh.Eval(v); got != want {
+			t.Fatalf("Fit-reused Eval(%g) = %g, fresh %g", v, got, want)
+		}
+	}
+	if err := s.Fit([]float64{1, 0}, []float64{1, 2}); err == nil {
+		t.Fatal("non-increasing x accepted")
+	}
+	if err := s.Fit([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single knot accepted")
+	}
+}

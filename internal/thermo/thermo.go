@@ -26,6 +26,8 @@ type Thermo struct {
 	cs2   *spline.Spline // baryon sound speed squared vs ln a
 
 	lnAMin, lnAMax float64
+	// lnADepthMax ends the depth spline where kappa underflows (see build).
+	lnADepthMax float64
 
 	tauRec float64 // conformal time of peak visibility
 	aRec   float64 // scale factor of peak visibility
@@ -103,11 +105,25 @@ func (th *Thermo) build() error {
 		dl := h.LnA[i+1] - h.LnA[i]
 		depth[i] = depth[i+1] + 0.5*dl*(f[i]+f[i+1])
 	}
-	lnDepth := make([]float64, n)
-	for i := 0; i < n; i++ {
-		lnDepth[i] = math.Log(math.Max(depth[i], 1e-300))
+	// The depth spline works in ln kappa, and kappa -> 0 at the last knot:
+	// a raw ln would put a ~ -700 cliff there and the cubic would
+	// oscillate by tens of e-folds across the final intervals (optical
+	// depths of 1e+13 where the truth is 1e-8). End the spline at the last
+	// knot with kappa > 1e-30 instead — beyond it e^-kappa is 1 to machine
+	// precision for every consumer, so clamping the lookup there is exact.
+	m := n - 1
+	for m > 0 && depth[m] <= 1e-30 {
+		m--
 	}
-	th.depth, err = spline.New(h.LnA, lnDepth)
+	if m < 2 {
+		return fmt.Errorf("thermo: optical depth table collapsed (%d usable knots)", m+1)
+	}
+	lnDepth := make([]float64, m+1)
+	for i := 0; i <= m; i++ {
+		lnDepth[i] = math.Log(depth[i])
+	}
+	th.lnADepthMax = h.LnA[m]
+	th.depth, err = spline.New(h.LnA[:m+1], lnDepth)
 	if err != nil {
 		return err
 	}
@@ -136,7 +152,7 @@ func (th *Thermo) Opacity(a float64) float64 {
 
 // OpticalDepth returns the Thomson optical depth from a to the present.
 func (th *Thermo) OpticalDepth(a float64) float64 {
-	l := clamp(math.Log(a), th.lnAMin, th.lnAMax)
+	l := clamp(math.Log(a), th.lnAMin, th.lnADepthMax)
 	return math.Exp(th.depth.Eval(l))
 }
 

@@ -167,6 +167,43 @@ func TestSpectrumTransportEquivalence(t *testing.T) {
 	}
 }
 
+// TestFastSpectrumMatchesReference is the facade-level acceptance check of
+// the fast C_l engine: table-driven projection plus coarse-to-fine k
+// refinement must track the exact reference pipeline to < 1e-3 relative at
+// every requested multipole, at equal LMaxCl/NK settings.
+func TestFastSpectrumMatchesReference(t *testing.T) {
+	m := scdmModel(t)
+	opts := SpectrumOptions{LMaxCl: 60, NK: 60}
+	if !testing.Short() {
+		opts = SpectrumOptions{LMaxCl: 150, NK: 130} // the benchmark settings
+	}
+	ref, err := m.ComputeSpectrum(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := opts
+	fast.FastLOS = true
+	fast.KRefine = 10
+	got, err := m.ComputeSpectrum(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cl) != len(ref.Cl) {
+		t.Fatalf("multipole sets differ: %d vs %d", len(got.Cl), len(ref.Cl))
+	}
+	worst := 0.0
+	for i := range ref.Cl {
+		rel := math.Abs(got.Cl[i]-ref.Cl[i]) / ref.Cl[i]
+		if rel > worst {
+			worst = rel
+		}
+		if rel > 1e-3 {
+			t.Errorf("C_%d: fast %g vs reference %g (rel %g)", ref.L[i], got.Cl[i], ref.Cl[i], rel)
+		}
+	}
+	t.Logf("worst relative C_l deviation: %.3g", worst)
+}
+
 func TestMatterPowerThroughFacade(t *testing.T) {
 	m := scdmModel(t)
 	res, err := m.MatterPower(MatterPowerOptions{KMin: 3e-4, KMax: 0.3, NK: 18})
