@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check vet build test-short test bench bench-json
+.PHONY: check fmt-check vet build test-short test test-race bench bench-json
 
 check: fmt-check vet build test-short
 
@@ -20,11 +20,18 @@ test-short:
 test:
 	$(GO) test ./...
 
+# test-race runs the concurrency-sensitive packages (and everything else in
+# short mode) under the race detector: the serving layer, the dispatcher
+# backends, and the facade's parallel-request contract test.
+test-race:
+	$(GO) test -race -short ./internal/serve/... ./...
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# bench-json regenerates BENCH_PR2.json: the fast-vs-reference C_l pipeline
-# speedup, the projection/kernel microbenchmarks, and the measured accuracy
-# of the fast path.
+# bench-json regenerates BENCH_PR3.json: the fast-vs-reference C_l pipeline
+# speedup, the projection/kernel microbenchmarks, the measured accuracy of
+# the fast path, and the spectrum service's serving numbers (cache-hit and
+# cold-miss latency, sustained req/s at 32 concurrent clients).
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR2.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR3.json

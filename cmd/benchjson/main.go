@@ -1,22 +1,29 @@
 // Command benchjson runs the key performance benchmarks of the repository
 // and writes a machine-readable JSON report (ns/op, bytes/op, allocs/op,
-// and the fast-vs-reference pipeline speedup plus its measured accuracy),
-// seeding the performance trajectory that later PRs extend:
+// the fast-vs-reference pipeline speedup plus its measured accuracy, and
+// the spectrum service's serving benchmark), extending the performance
+// trajectory started in BENCH_PR2.json:
 //
-//	benchjson [-out BENCH_PR2.json] [-quick]
+//	benchjson [-out BENCH_PR3.json] [-quick]
 //
 // The headline numbers are the Figure-2 C_l pipeline with the fast
 // line-of-sight engine (shared spherical-Bessel tables + coarse-to-fine k
 // refinement) against the exact reference pipeline at identical
-// LMaxCl/NK settings, and the kernel-level microbenchmarks behind them.
+// LMaxCl/NK settings, the kernel-level microbenchmarks behind them, and —
+// new in PR 3 — the daemon's serving numbers: cold-miss latency, cache-hit
+// latency, and sustained requests/sec at 32 concurrent clients against an
+// in-process plingerd service.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"testing"
@@ -26,6 +33,7 @@ import (
 	"plinger/internal/core"
 	"plinger/internal/cosmology"
 	"plinger/internal/recomb"
+	"plinger/internal/serve"
 	"plinger/internal/specfunc"
 	"plinger/internal/spectra"
 	"plinger/internal/thermo"
@@ -38,6 +46,22 @@ type Entry struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	Iterations  int     `json:"iterations"`
+}
+
+// ServiceBench is the daemon benchmark: what one plingerd process delivers
+// at the report's default product settings.
+type ServiceBench struct {
+	// ColdMissMS is the client-observed latency of a cold request (full
+	// sweep; the first one also builds the model).
+	ColdMissMS float64 `json:"cold_miss_ms"`
+	// FirstRequestMS isolates that first request (model build + sweep).
+	FirstRequestMS float64 `json:"first_request_ms"`
+	// HitUnloaded is a single-client run against a hot cache; Sustained32
+	// is the 32-concurrent-client throughput run.
+	HitUnloaded *serve.LoadReport `json:"hit_unloaded"`
+	Sustained32 *serve.LoadReport `json:"sustained_32_clients"`
+	// Stats is the daemon's own view after the runs.
+	Stats serve.Stats `json:"stats"`
 }
 
 // Report is the written document.
@@ -53,6 +77,12 @@ type Report struct {
 	SpeedupTheta  float64 `json:"speedup_theta_projection"`
 	SpeedupBessel float64 `json:"speedup_bessel_kernel"`
 	MaxRelClErr   float64 `json:"max_rel_cl_err_fast_vs_reference"`
+
+	// The PR 3 serving numbers.
+	ServiceHitMS     float64       `json:"service_hit_ms"`
+	ServiceMissMS    float64       `json:"service_miss_ms"`
+	ServiceReqPerSec float64       `json:"service_req_per_sec_32_clients"`
+	Service          *ServiceBench `json:"service"`
 }
 
 func run(name string, f func(b *testing.B)) Entry {
@@ -73,7 +103,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	var (
-		out   = flag.String("out", "BENCH_PR2.json", "output file")
+		out   = flag.String("out", "BENCH_PR3.json", "output file")
 		quick = flag.Bool("quick", false, "smaller pipeline settings (for smoke runs)")
 	)
 	flag.Parse()
@@ -200,6 +230,23 @@ func main() {
 
 	rep.Entries = []Entry{eFast, eRef, eThetaRef, eThetaFast, eBesselRef, eBesselTab}
 
+	// The serving benchmark: an in-process plingerd (real HTTP stack via
+	// httptest) at the same product settings. Cold misses are timed on
+	// distinct fresh keys, then a single-client run measures unloaded hit
+	// latency and a 32-client run the sustained throughput.
+	svcDur := 5 * time.Second
+	if *quick {
+		svcDur = 2 * time.Second
+	}
+	sb, err := runServiceBench(lmaxCl, nk, kRefine, svcDur)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.Service = sb
+	rep.ServiceHitMS = sb.HitUnloaded.HitMeanMS
+	rep.ServiceMissMS = sb.ColdMissMS
+	rep.ServiceReqPerSec = sb.Sustained32.RequestsSec
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -211,5 +258,69 @@ func main() {
 	fmt.Printf("\npipeline speedup %.2fx, projection speedup %.2fx, kernel speedup %.2fx\n",
 		rep.SpeedupLOS, rep.SpeedupTheta, rep.SpeedupBessel)
 	fmt.Printf("max relative C_l deviation fast vs reference: %.3g\n", rep.MaxRelClErr)
+	fmt.Printf("service: hit %.3g ms, cold miss %.3g ms, %.0f req/s at %d clients\n",
+		rep.ServiceHitMS, rep.ServiceMissMS, rep.ServiceReqPerSec, sb.Sustained32.Clients)
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// runServiceBench measures one in-process daemon: cold-miss latency on
+// fresh keys, unloaded cache-hit latency, and sustained throughput at 32
+// concurrent clients.
+func runServiceBench(lmaxCl, nk, kRefine int, dur time.Duration) (*ServiceBench, error) {
+	svc := serve.New(serve.Options{
+		Defaults: serve.Defaults{LMaxCl: lmaxCl, NK: nk, KRefine: kRefine, PkNK: 40},
+	})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	post := func(body string) (float64, error) {
+		t0 := time.Now()
+		resp, err := client.Post(srv.URL+"/v1/cl", "application/json", bytes.NewReader([]byte(body)))
+		ms := float64(time.Since(t0).Nanoseconds()) / 1e6
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("service benchmark: status %d for %s", resp.StatusCode, body)
+		}
+		return ms, nil
+	}
+
+	sb := &ServiceBench{}
+	// Cold misses: the default key plus two perturbed-resolution keys.
+	// The first request also pays the one-time model build.
+	colds := []string{"{}",
+		fmt.Sprintf(`{"nk": %d}`, nk+1),
+		fmt.Sprintf(`{"nk": %d}`, nk+2)}
+	var missSum float64
+	for i, body := range colds {
+		ms, err := post(body)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			sb.FirstRequestMS = ms
+		}
+		missSum += ms
+	}
+	sb.ColdMissMS = missSum / float64(len(colds))
+
+	// Unloaded hit latency: one client against the now-hot default key.
+	hit, err := serve.RunLoadgen(srv.URL, 1, dur/2, "{}")
+	if err != nil {
+		return nil, err
+	}
+	sb.HitUnloaded = hit
+
+	// Sustained throughput: the acceptance-criterion 32-client run.
+	sustained, err := serve.RunLoadgen(srv.URL, 32, dur, "{}")
+	if err != nil {
+		return nil, err
+	}
+	sb.Sustained32 = sustained
+	sb.Stats = svc.Stats()
+	return sb, nil
 }

@@ -1,0 +1,118 @@
+// Command plingerd is the spectrum daemon: a long-running HTTP service
+// that keeps models, dispatch pools and Bessel tables warm and serves
+// cached, request-coalesced C_l and P(k) over JSON (the serving layer of
+// internal/serve).
+//
+// Serve (with startup precompute so default requests are instant hits):
+//
+//	plingerd -addr :8787 -warm
+//
+// Ask it for spectra:
+//
+//	curl -s -X POST localhost:8787/v1/cl -d '{}'
+//	curl -s -X POST localhost:8787/v1/cl -d '{"lmax_cl": 200, "qcobe_uk": 18}'
+//	curl -s -X POST localhost:8787/v1/pk -d '{"kmax": 0.3, "nk": 40}'
+//	curl -s localhost:8787/v1/stats
+//
+// Load-generate against a running daemon (the benchmark client):
+//
+//	plingerd -loadgen -url http://localhost:8787 -clients 32 -duration 10s
+//
+// The load generator reports sustained requests/sec and the latency
+// distribution, split by cache hits and misses.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"plinger/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("plingerd: ")
+	var (
+		addr    = flag.String("addr", ":8787", "listen address")
+		workers = flag.Int("workers", 0, "shared dispatch pool size per model (0: GOMAXPROCS)")
+		cache   = flag.Int("cache", 256, "response cache entries")
+		models  = flag.Int("models", 4, "model registry entries")
+		conc    = flag.Int("concurrent", 2, "max concurrently computing sweeps")
+		queue   = flag.Int("queue", 64, "max requests waiting for a compute slot")
+		lmaxCl  = flag.Int("lmaxcl", 150, "default C_l multipole cap")
+		nk      = flag.Int("nk", 130, "default C_l wavenumber grid")
+		krefine = flag.Int("krefine", 6, "default coarse-to-fine refinement factor")
+		pknk    = flag.Int("pknk", 40, "default P(k) grid size")
+		warm    = flag.Bool("warm", false, "precompute the default products before listening")
+
+		loadgen  = flag.Bool("loadgen", false, "run as a load-generating client instead of a server")
+		url      = flag.String("url", "http://localhost:8787", "loadgen: daemon base URL")
+		clients  = flag.Int("clients", 32, "loadgen: concurrent clients")
+		duration = flag.Duration("duration", 10*time.Second, "loadgen: run length")
+		body     = flag.String("body", "{}", "loadgen: JSON request body for /v1/cl")
+	)
+	flag.Parse()
+
+	if *loadgen {
+		rep, err := serve.RunLoadgen(*url, *clients, *duration, *body)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printLoadReport(os.Stdout, rep)
+		return
+	}
+
+	svc := serve.New(serve.Options{
+		Defaults:       serve.Defaults{LMaxCl: *lmaxCl, NK: *nk, KRefine: *krefine, PkNK: *pknk},
+		Workers:        *workers,
+		CacheSize:      *cache,
+		ModelCacheSize: *models,
+		MaxConcurrent:  *conc,
+		MaxQueue:       *queue,
+	})
+	defer svc.Close()
+	log.Printf("starting %v", svc)
+
+	if *warm {
+		cls, pks := serve.DefaultWarmGrid(svc.Defaults())
+		rep, err := svc.Warm(context.Background(), cls, pks)
+		if err != nil {
+			log.Fatalf("warmup: %v", err)
+		}
+		log.Printf("warm: %d requests precomputed in %.2fs (%d sweeps)",
+			rep.Requests, rep.ElapsedS, rep.Sweeps)
+	}
+
+	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.ListenAndServe() }()
+	log.Printf("listening on %s", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case s := <-sig:
+		log.Printf("%v: shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = server.Shutdown(ctx)
+	}
+}
+
+func printLoadReport(w *os.File, rep *serve.LoadReport) {
+	buf, _ := json.MarshalIndent(rep, "", "  ")
+	fmt.Fprintln(w, string(buf))
+	fmt.Fprintf(w, "%.0f req/s over %.1fs with %d clients (p50 %.2f ms, p99 %.2f ms; %d hits, %d misses, %d coalesced, %d errors)\n",
+		rep.RequestsSec, rep.Seconds, rep.Clients, rep.P50MS, rep.P99MS,
+		rep.Hits, rep.Misses, rep.Coalesced, rep.Errors)
+}

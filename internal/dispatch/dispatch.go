@@ -61,6 +61,12 @@ func PerKLMax(k, tau0 float64, lmaxGlobal int) int {
 	return l
 }
 
+// StartPrebuild launches a precomputation concurrently with whatever the
+// caller does next and returns the wait function to defer — the caller-side
+// equivalent of the Pool/MP Prebuild hook, for dispatchers (like the shared
+// pool) whose hooks cannot be set per run.
+func StartPrebuild(fn func()) func() { return runPrebuild(fn) }
+
 // runPrebuild launches a backend's prebuild hook concurrently with the
 // sweep and returns the wait function the backend defers: whichever of the
 // sweep and the precomputation finishes first, Run returns only when both

@@ -1,0 +1,225 @@
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"plinger/internal/core"
+)
+
+// SharedPool is the long-lived variant of Pool for serving workloads: the
+// worker goroutines start once and then serve every Run call for the life
+// of the pool, so a daemon handling many spectrum requests pays the pool
+// spin-up once per process instead of once per request, and concurrent
+// sweeps interleave their wavenumbers onto the same workers (a natural
+// admission batcher — two half-idle sweeps fill each other's gaps instead
+// of oversubscribing the machine with two full pools).
+//
+// Run is safe for concurrent callers; each call gets its own results and
+// telemetry. Close drains the workers; Run after Close returns an error.
+type SharedPool struct {
+	model   *core.Model
+	workers int
+	// Schedule is the per-run hand-out order (zero value: largest-first).
+	// Set it before the pool is shared between goroutines.
+	Schedule Schedule
+	// AdaptLMax reduces the hierarchy cutoff per wavenumber via PerKLMax.
+	AdaptLMax bool
+
+	jobs chan sharedJob
+	quit chan struct{}
+
+	closeOnce sync.Once
+}
+
+// sharedJob is one wavenumber assignment: the run it belongs to and the
+// index of its slot.
+type sharedJob struct {
+	run *sharedRun
+	idx int
+}
+
+// sharedRun is the per-Run state the workers report into.
+type sharedRun struct {
+	ks      []float64
+	mode    core.Params
+	perk    []int
+	results []*core.Result
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	err     error
+	timings map[int]*WorkerTiming // keyed by worker rank
+	wg      sync.WaitGroup
+}
+
+// fail records the first error and cancels the rest of the run.
+func (r *sharedRun) fail(err error) {
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.mu.Unlock()
+	r.cancel()
+}
+
+// record books one completed mode against the worker that ran it.
+func (r *sharedRun) record(rank int, res *core.Result) {
+	r.mu.Lock()
+	t := r.timings[rank]
+	if t == nil {
+		t = &WorkerTiming{Rank: rank}
+		r.timings[rank] = t
+	}
+	t.Modes++
+	t.Seconds += res.Seconds
+	t.Flops += res.Flops
+	r.mu.Unlock()
+}
+
+// NewSharedPool starts a persistent pool of workers (<= 0: GOMAXPROCS)
+// evolving modes of the given model.
+func NewSharedPool(model *core.Model, workers int) *SharedPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &SharedPool{
+		model:   model,
+		workers: workers,
+		jobs:    make(chan sharedJob),
+		quit:    make(chan struct{}),
+	}
+	for w := 0; w < workers; w++ {
+		go p.worker(w + 1)
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *SharedPool) Workers() int { return p.workers }
+
+func (p *SharedPool) worker(rank int) {
+	for {
+		var job sharedJob
+		select {
+		case job = <-p.jobs:
+		case <-p.quit:
+			return
+		}
+		run := job.run
+		if run.ctx.Err() != nil {
+			run.wg.Done()
+			continue
+		}
+		pm := run.mode
+		pm.K = run.ks[job.idx]
+		if run.perk != nil {
+			pm.LMax = run.perk[job.idx]
+		}
+		res, err := p.model.Evolve(pm)
+		if err != nil {
+			run.fail(fmt.Errorf("dispatch: k=%g: %w", pm.K, err))
+		} else {
+			run.results[job.idx] = res
+			run.record(rank, res)
+		}
+		run.wg.Done()
+	}
+}
+
+// Run implements Dispatcher: it enqueues every wavenumber onto the shared
+// workers (in Schedule order) and waits for the sweep to finish. Multiple
+// concurrent Run calls interleave fairly at mode granularity.
+func (p *SharedPool) Run(ctx context.Context, ks []float64, mode core.Params) (*Sweep, *RunStats, error) {
+	if p.model == nil {
+		return nil, nil, fmt.Errorf("dispatch: shared pool has no model")
+	}
+	if len(ks) == 0 {
+		return nil, nil, fmt.Errorf("dispatch: empty wavenumber grid")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-p.quit:
+		return nil, nil, fmt.Errorf("dispatch: shared pool is closed")
+	default:
+	}
+
+	tau0 := sweepTau0(p.model, mode)
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	run := &sharedRun{
+		ks:      ks,
+		mode:    mode,
+		perk:    perKLMaxTable(ks, tau0, mode.LMax, p.AdaptLMax),
+		results: make([]*core.Result, len(ks)),
+		ctx:     rctx,
+		cancel:  cancel,
+		timings: make(map[int]*WorkerTiming),
+	}
+	order := p.Schedule.Order(ks)
+
+	start := time.Now()
+	run.wg.Add(len(order))
+	enqueued, closed := 0, false
+	for _, i := range order {
+		select {
+		case p.jobs <- sharedJob{run: run, idx: i}:
+			enqueued++
+		case <-rctx.Done():
+		case <-p.quit:
+			closed = true
+		}
+		if closed || rctx.Err() != nil {
+			break
+		}
+	}
+	// Balance the Add for jobs never handed to a worker.
+	for n := enqueued; n < len(order); n++ {
+		run.wg.Done()
+	}
+	run.wg.Wait()
+
+	run.mu.Lock()
+	err := run.err
+	run.mu.Unlock()
+	if err != nil {
+		return nil, nil, err
+	}
+	if closed {
+		return nil, nil, fmt.Errorf("dispatch: shared pool closed during run")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+
+	st := &RunStats{
+		Backend:   "pool/shared",
+		Schedule:  p.Schedule,
+		NWorkers:  p.workers,
+		NProc:     p.workers,
+		Wallclock: time.Since(start).Seconds(),
+	}
+	for _, t := range run.timings {
+		st.Workers = append(st.Workers, *t)
+	}
+	st.finalize()
+	sw := &Sweep{
+		KValues: append([]float64(nil), ks...),
+		Results: run.results,
+		Tau0:    tau0,
+	}
+	return sw, st, nil
+}
+
+// Close stops the workers. In-flight Run calls finish modes already handed
+// to a worker and then return an error; Close does not wait for them.
+func (p *SharedPool) Close() {
+	p.closeOnce.Do(func() { close(p.quit) })
+}

@@ -1,0 +1,96 @@
+package dispatch
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestSharedPoolMatchesPool asserts the long-lived pool reproduces the
+// per-run Pool bitwise (the Dispatcher determinism contract), across two
+// consecutive sweeps on the same workers.
+func TestSharedPoolMatchesPool(t *testing.T) {
+	m := model(t)
+	ks := testKs()
+	mode := smallMode()
+
+	ref, _, err := (&Pool{Model: m, Workers: 2}).Run(context.Background(), ks, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := NewSharedPool(m, 2)
+	defer p.Close()
+	for pass := 0; pass < 2; pass++ {
+		sw, st, err := p.Run(context.Background(), ks, mode)
+		if err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		if st.Backend != "pool/shared" || st.Modes != len(ks) {
+			t.Fatalf("pass %d: bad stats %+v", pass, st)
+		}
+		for i := range ks {
+			sameResult(t, "shared vs pool", sw.Results[i], ref.Results[i])
+		}
+	}
+}
+
+// TestSharedPoolConcurrentRuns interleaves several sweeps on one pool and
+// checks each gets its own correct, complete result set.
+func TestSharedPoolConcurrentRuns(t *testing.T) {
+	m := model(t)
+	ks := testKs()
+	mode := smallMode()
+
+	ref, _, err := (&Pool{Model: m, Workers: 2}).Run(context.Background(), ks, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := NewSharedPool(m, 2)
+	defer p.Close()
+	const runs = 4
+	var wg sync.WaitGroup
+	errs := make([]error, runs)
+	sweeps := make([]*Sweep, runs)
+	for r := 0; r < runs; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sweeps[r], _, errs[r] = p.Run(context.Background(), ks, mode)
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < runs; r++ {
+		if errs[r] != nil {
+			t.Fatalf("run %d: %v", r, errs[r])
+		}
+		for i := range ks {
+			sameResult(t, "concurrent shared run", sweeps[r].Results[i], ref.Results[i])
+		}
+	}
+}
+
+func TestSharedPoolClose(t *testing.T) {
+	m := model(t)
+	p := NewSharedPool(m, 1)
+	p.Close()
+	p.Close() // idempotent
+	if _, _, err := p.Run(context.Background(), testKs(), smallMode()); err == nil {
+		t.Fatal("Run on a closed pool succeeded")
+	}
+}
+
+func TestSharedPoolPropagatesErrors(t *testing.T) {
+	m := model(t)
+	p := NewSharedPool(m, 2)
+	defer p.Close()
+	ks := []float64{0.01, -1.0, 0.02} // negative k fails validation in Evolve
+	if _, _, err := p.Run(context.Background(), ks, smallMode()); err == nil {
+		t.Fatal("bad wavenumber did not fail the run")
+	}
+	// The pool must still be usable afterwards.
+	if _, _, err := p.Run(context.Background(), testKs(), smallMode()); err != nil {
+		t.Fatalf("pool unusable after failed run: %v", err)
+	}
+}

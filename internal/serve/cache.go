@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a small mutex-guarded LRU over computed responses. Values are
+// treated as immutable once inserted (handlers serialize them concurrently),
+// and the counters feed /v1/stats.
+type lru struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recent
+	m         map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+func newLRU(capacity int) *lru {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lru{capacity: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// Get returns the cached value and promotes it.
+func (c *lru) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[key]; ok {
+		c.ll.MoveToFront(e)
+		c.hits++
+		return e.Value.(*lruEntry).val, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Add inserts (or refreshes) a value, evicting the least recent entry when
+// over capacity.
+func (c *lru) Add(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[key]; ok {
+		e.Value.(*lruEntry).val = val
+		c.ll.MoveToFront(e)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*lruEntry).key)
+		c.evictions++
+	}
+}
+
+// CacheStats is the /v1/stats view of one cache.
+type CacheStats struct {
+	Size      int    `json:"size"`
+	Capacity  int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+func (c *lru) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Size: c.ll.Len(), Capacity: c.capacity,
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+	}
+}

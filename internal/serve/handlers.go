@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /v1/cl    {"config": {...}, "lmax_cl": 150, ...}  -> C_l JSON
+//	POST /v1/pk    {"config": {...}, "nk": 40, ...}        -> P(k) JSON
+//	GET  /v1/stats                                         -> serving counters
+//	GET  /healthz                                          -> 200 ok
+//
+// Responses carry the cache key, the source (cache/compute/coalesced) and
+// the serving latency alongside the science payload; the same metadata is
+// mirrored in the X-Plinger-Source header. Overload returns 503, bad
+// requests 400 with the facade's validation message.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/cl", func(w http.ResponseWriter, r *http.Request) {
+		var req ClRequest
+		if !decodeRequest(w, r, &req) {
+			return
+		}
+		resp, meta, err := s.ComputeCl(r.Context(), req)
+		writeResponse(w, resp, meta, err)
+	})
+	mux.HandleFunc("/v1/pk", func(w http.ResponseWriter, r *http.Request) {
+		var req PkRequest
+		if !decodeRequest(w, r, &req) {
+			return
+		}
+		resp, meta, err := s.ComputePk(r.Context(), req)
+		writeResponse(w, resp, meta, err)
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// decodeRequest parses the JSON body into req; an empty body is the zero
+// request (the service defaults). Returns false after writing an error.
+func decodeRequest(w http.ResponseWriter, r *http.Request, req any) bool {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a JSON request body")
+		return false
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return false
+	}
+	if len(body) == 0 {
+		return true
+	}
+	if err := json.Unmarshal(body, req); err != nil {
+		httpError(w, http.StatusBadRequest, "parsing request: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// envelope is the wire form: the science payload plus serving metadata.
+type envelope struct {
+	Key       string  `json:"key"`
+	Source    Source  `json:"source"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Result    any     `json:"result"`
+}
+
+func writeResponse(w http.ResponseWriter, result any, meta Meta, err error) {
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrBusy):
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		case isBadRequest(err):
+			httpError(w, http.StatusBadRequest, err.Error())
+		default:
+			httpError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	w.Header().Set("X-Plinger-Source", string(meta.Source))
+	w.Header().Set("X-Plinger-Key", meta.Key)
+	writeJSON(w, http.StatusOK, envelope{
+		Key:       meta.Key,
+		Source:    meta.Source,
+		ElapsedMS: float64(meta.Elapsed.Nanoseconds()) / 1e6,
+		Result:    result,
+	})
+}
+
+// isBadRequest classifies validation failures: the serving layer's own
+// wire checks ("serve:"), the facade's option validators ("plinger:") and
+// config construction ("cosmology:").
+func isBadRequest(err error) bool {
+	for e := err; e != nil; e = errors.Unwrap(e) {
+		msg := e.Error()
+		for _, prefix := range []string{"serve:", "plinger:", "cosmology:"} {
+			if len(msg) >= len(prefix) && msg[:len(prefix)] == prefix {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]any{"error": msg, "status": status})
+}

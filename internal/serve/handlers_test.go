@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+type wireEnvelope struct {
+	Key       string          `json:"key"`
+	Source    Source          `json:"source"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+	Result    json.RawMessage `json:"result"`
+}
+
+func postJSON(t *testing.T, client *http.Client, url, body string) (*http.Response, wireEnvelope) {
+	t.Helper()
+	resp, err := client.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env wireEnvelope
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, env
+}
+
+// TestHTTPEndToEnd drives the daemon's handler the way a client would:
+// cold /v1/cl miss, then a hot repeat that must be a sub-10ms cache hit,
+// /v1/pk, /v1/stats, and the error paths.
+func TestHTTPEndToEnd(t *testing.T) {
+	s := testService()
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	// Cold request: computed.
+	resp, env := postJSON(t, client, srv.URL+"/v1/cl", `{}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold cl: status %d", resp.StatusCode)
+	}
+	if env.Source != SourceCompute {
+		t.Fatalf("cold cl source %q", env.Source)
+	}
+	var cl ClResponse
+	if err := json.Unmarshal(env.Result, &cl); err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.L) == 0 || len(cl.Cl) != len(cl.L) {
+		t.Fatalf("bad payload: %+v", cl)
+	}
+
+	// Hot repeat: cache hit, served fast. Take the best of a few tries so
+	// a scheduler hiccup cannot flake the bound; the acceptance criterion
+	// is < 10 ms.
+	best := time.Hour
+	for i := 0; i < 5; i++ {
+		start := time.Now()
+		resp, env = postJSON(t, client, srv.URL+"/v1/cl", `{}`)
+		if el := time.Since(start); el < best {
+			best = el
+		}
+		if resp.StatusCode != http.StatusOK || env.Source != SourceCache {
+			t.Fatalf("hot cl: status %d source %q", resp.StatusCode, env.Source)
+		}
+	}
+	if best >= 10*time.Millisecond {
+		t.Fatalf("cache hit took %v, want < 10ms", best)
+	}
+	if resp.Header.Get("X-Plinger-Source") != string(SourceCache) {
+		t.Fatal("missing X-Plinger-Source header")
+	}
+
+	// Equal physics spelled differently: same key, still a hit.
+	_, env2 := postJSON(t, client, srv.URL+"/v1/cl", `{"lmax_cl": 24, "nk": 36, "krefine": 4}`)
+	if env2.Key != env.Key || env2.Source != SourceCache {
+		t.Fatalf("explicit-defaults request missed: key %s vs %s, source %s", env2.Key, env.Key, env2.Source)
+	}
+
+	// P(k).
+	resp, env = postJSON(t, client, srv.URL+"/v1/pk", `{"nk": 8}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pk: status %d", resp.StatusCode)
+	}
+	var pk PkResponse
+	if err := json.Unmarshal(env.Result, &pk); err != nil {
+		t.Fatal(err)
+	}
+	if pk.Sigma8 <= 0 {
+		t.Fatalf("pk payload: %+v", pk)
+	}
+
+	// Stats.
+	sresp, err := client.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if st.Requests < 8 || st.Hits < 6 || st.Sweeps != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	// Error paths: bad JSON, bad option values, wrong method.
+	resp, _ = postJSON(t, client, srv.URL+"/v1/cl", `{"lmax_cl": `)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated JSON: status %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, client, srv.URL+"/v1/cl", `{"nk": 2}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad NK: status %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, client, srv.URL+"/v1/pk", `{"kmin": 0.5, "kmax": 0.1}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("inverted range: status %d", resp.StatusCode)
+	}
+	getResp, err := client.Get(srv.URL + "/v1/cl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/cl: status %d", getResp.StatusCode)
+	}
+	hresp, err := client.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", hresp.StatusCode)
+	}
+}
+
+// TestHTTPConcurrentIdenticalRequests is the end-to-end coalescing check:
+// concurrent identical cold HTTP requests produce one sweep.
+func TestHTTPConcurrentIdenticalRequests(t *testing.T) {
+	s := testService()
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	const n = 8
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	status := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			resp, _ := postJSON(t, srv.Client(), srv.URL+"/v1/cl", `{}`)
+			status[i] = resp.StatusCode
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i, code := range status {
+		if code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+	}
+	if got := s.Sweeps(); got != 1 {
+		t.Fatalf("%d concurrent identical requests ran %d sweeps", n, got)
+	}
+}
+
+func TestWarm(t *testing.T) {
+	s := testService()
+	defer s.Close()
+	d := s.Defaults()
+	cls, pks := DefaultWarmGrid(d)
+	rep, err := s.Warm(context.Background(), cls, pks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != len(cls)+len(pks) {
+		t.Fatalf("warm report %+v", rep)
+	}
+	// The raw and COBE-normalized defaults share a sweep only in spirit
+	// (separate cache keys, separate sweeps); what matters is that the
+	// default request is now a sub-10ms hit.
+	_, meta, err := s.ComputeCl(context.Background(), ClRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Source != SourceCache {
+		t.Fatalf("default request after warm: source %s", meta.Source)
+	}
+	if _, meta, _ = s.ComputePk(context.Background(), PkRequest{}); meta.Source != SourceCache {
+		t.Fatalf("default pk after warm: source %s", meta.Source)
+	}
+}

@@ -1,0 +1,312 @@
+// Package serve is the serving subsystem: a long-running spectrum service
+// that amortizes everything the one-shot pipeline rebuilds per call — the
+// background/thermodynamics model, the dispatch worker pool, the warm
+// spherical-Bessel kernel tables, and the computed spectra themselves —
+// across many requests. The paper made one C_l computation fast; this layer
+// makes the millionth request nearly free.
+//
+// The pieces:
+//
+//   - keys.go — canonical parameter quantization: physically equal requests
+//     map to one stable cache key, across processes and restarts;
+//   - cache.go — a small LRU over computed responses;
+//   - coalesce.go — singleflight request coalescing, so N concurrent
+//     identical cold requests cost one sweep;
+//   - queue.go — bounded admission, so overload degrades to fast 503s
+//     instead of an unbounded pile-up of sweeps;
+//   - models.go — a refcounted registry of built models, each with a
+//     long-lived shared dispatch pool;
+//   - service.go / handlers.go — the compute paths and the HTTP JSON API
+//     (/v1/cl, /v1/pk, /v1/stats) that cmd/plingerd exposes;
+//   - warmup.go — startup precomputation so the hot path begins warm.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"plinger"
+)
+
+// Physical quantization steps: two requests whose parameters agree to
+// better than these are the same physics at far below the pipeline's own
+// accuracy (the fast path tracks the reference to ~1e-3 in C_l), so they
+// share a cache entry. The steps are part of the wire-stable key format —
+// changing any of them is a cache-schema change and must bump keyVersion.
+const (
+	keyVersion = "v1"
+
+	stepH     = 1e-4 // Hubble constant, units of 100 km/s/Mpc
+	stepOmega = 1e-5 // density parameters
+	stepTCMB  = 1e-4 // kelvin
+	stepYHe   = 1e-4 // helium mass fraction
+	stepNNu   = 1e-3 // massless neutrino count
+	stepMNu   = 1e-4 // eV
+	stepIndex = 1e-4 // spectral index
+	stepQCOBE = 1e-3 // COBE quadrupole, microkelvin
+	stepLnK   = 1e-4 // ln of wavenumbers and amplitudes
+)
+
+// qfix quantizes x onto multiples of step, returning the integer count —
+// the canonical representation, immune to float formatting differences.
+func qfix(x, step float64) int64 {
+	return int64(math.Round(x / step))
+}
+
+// qln canonicalizes a positive scale-free quantity (wavenumber, amplitude)
+// by quantizing its natural log; zero stays zero (the "use the default"
+// marker).
+func qln(x float64) int64 {
+	if x == 0 {
+		return 0
+	}
+	return qfix(math.Log(x), stepLnK)
+}
+
+// canonicalConfig renders the quantized cosmology, one field per token.
+func canonicalConfig(c plinger.Config) string {
+	flat := 0
+	if c.Flatten {
+		flat = 1
+	}
+	return fmt.Sprintf("h=%d,oc=%d,ob=%d,ol=%d,t=%d,y=%d,nnl=%d,nnm=%d,mnu=%d,n=%d,flat=%d",
+		qfix(c.H, stepH),
+		qfix(c.OmegaC, stepOmega),
+		qfix(c.OmegaB, stepOmega),
+		qfix(c.OmegaLambda, stepOmega),
+		qfix(c.TCMB, stepTCMB),
+		qfix(c.YHe, stepYHe),
+		qfix(c.NNuMassless, stepNNu),
+		int64(c.NNuMassive),
+		qfix(c.MNuEV, stepMNu),
+		qfix(c.SpectralIndex, stepIndex),
+		flat)
+}
+
+// hashKey turns a canonical string into the served key: a short prefix
+// naming the product plus a truncated SHA-256 of the canonical form. The
+// hash input is wire-stable, so keys survive process restarts (the golden
+// tests pin them).
+func hashKey(kind, canon string) string {
+	sum := sha256.Sum256([]byte(canon))
+	return kind + "-" + hex.EncodeToString(sum[:8])
+}
+
+// defaultConfig fills zero-valued cosmology fields with the paper's SCDM
+// values, mirroring the zero-means-default convention of the product
+// fields: a partial config like {"H": 0.55, "Flatten": true} is a valid
+// request. (A literal zero for a physical field — e.g. a baryonless model —
+// is not expressible over the wire; vary the explicit fields instead.)
+func defaultConfig(c plinger.Config) plinger.Config {
+	d := plinger.SCDM()
+	if c.H == 0 {
+		c.H = d.H
+	}
+	if c.OmegaC == 0 {
+		c.OmegaC = d.OmegaC
+	}
+	if c.OmegaB == 0 {
+		c.OmegaB = d.OmegaB
+	}
+	if c.TCMB == 0 {
+		c.TCMB = d.TCMB
+	}
+	if c.YHe == 0 {
+		c.YHe = d.YHe
+	}
+	if c.NNuMassless == 0 {
+		c.NNuMassless = d.NNuMassless
+	}
+	if c.SpectralIndex == 0 {
+		c.SpectralIndex = d.SpectralIndex
+	}
+	return c
+}
+
+// ClRequest is one angular-power-spectrum request. The zero value asks for
+// the service defaults: the SCDM cosmology of the paper and the daemon's
+// configured resolution, computed by the fast line-of-sight engine.
+type ClRequest struct {
+	// Config selects the cosmology; nil means plinger.SCDM(), and
+	// zero-valued fields of a partial config take their SCDM defaults.
+	Config *plinger.Config `json:"config,omitempty"`
+	// LMaxCl and NK set the resolution (0: service defaults).
+	LMaxCl int `json:"lmax_cl,omitempty"`
+	NK     int `json:"nk,omitempty"`
+	// Exact disables the fast engine (FastLOS + KRefine) and runs the
+	// reference line-of-sight pipeline.
+	Exact bool `json:"exact,omitempty"`
+	// KRefine overrides the coarse-to-fine refinement factor (0: service
+	// default; ignored when Exact).
+	KRefine int `json:"krefine,omitempty"`
+	// QCOBEMicroK, when positive, normalizes the spectrum to the COBE
+	// quadrupole (microkelvin). Part of the cache key.
+	QCOBEMicroK float64 `json:"qcobe_uk,omitempty"`
+}
+
+// Validate rejects wire values the resolve step would otherwise silently
+// clamp to defaults: negatives everywhere, and a positive COBE quadrupole
+// too small for the key quantum (it would key like "no normalization"
+// while normalizing). The facade validates the resolved options again;
+// this layer only guards the zero-means-default wire convention.
+func (r ClRequest) Validate() error {
+	if r.LMaxCl < 0 {
+		return fmt.Errorf("serve: lmax_cl = %d is negative (0 or omitted selects the default)", r.LMaxCl)
+	}
+	if r.NK < 0 {
+		return fmt.Errorf("serve: nk = %d is negative (0 or omitted selects the default)", r.NK)
+	}
+	if r.KRefine < 0 {
+		return fmt.Errorf("serve: krefine = %d is negative (0 or omitted selects the default)", r.KRefine)
+	}
+	if r.QCOBEMicroK < 0 {
+		return fmt.Errorf("serve: qcobe_uk = %g is negative (0 or omitted skips normalization)", r.QCOBEMicroK)
+	}
+	if r.QCOBEMicroK > 0 && r.QCOBEMicroK < stepQCOBE {
+		return fmt.Errorf("serve: qcobe_uk = %g is below the %g microkelvin key quantum", r.QCOBEMicroK, stepQCOBE)
+	}
+	return nil
+}
+
+// resolve fills service defaults into a copy of the request, so physically
+// identical requests — spelled with zeros or with explicit defaults —
+// canonicalize identically.
+func (r ClRequest) resolve(d Defaults) ClRequest {
+	if r.Config == nil {
+		cfg := plinger.SCDM()
+		r.Config = &cfg
+	} else {
+		cfg := defaultConfig(*r.Config)
+		r.Config = &cfg
+	}
+	if r.LMaxCl <= 0 {
+		r.LMaxCl = d.LMaxCl
+	}
+	if r.NK <= 0 {
+		r.NK = d.NK
+	}
+	if r.KRefine <= 0 {
+		r.KRefine = d.KRefine
+	}
+	if r.Exact {
+		r.KRefine = 1
+	}
+	return r
+}
+
+// canonical renders the resolved request. Only physics and product
+// parameters enter — execution knobs (workers, transport, schedule) are
+// excluded by construction, since the dispatch determinism contract makes
+// the result independent of them.
+func (r ClRequest) canonical(d Defaults) string {
+	rr := r.resolve(d)
+	exact := 0
+	if rr.Exact {
+		exact = 1
+	}
+	var b strings.Builder
+	b.WriteString(keyVersion)
+	b.WriteString("|cl|")
+	b.WriteString(canonicalConfig(*rr.Config))
+	b.WriteString("|lmax_cl=")
+	b.WriteString(strconv.Itoa(rr.LMaxCl))
+	b.WriteString(",nk=")
+	b.WriteString(strconv.Itoa(rr.NK))
+	b.WriteString(",exact=")
+	b.WriteString(strconv.Itoa(exact))
+	b.WriteString(",krefine=")
+	b.WriteString(strconv.Itoa(rr.KRefine))
+	b.WriteString(",qcobe=")
+	b.WriteString(strconv.FormatInt(qfix(rr.QCOBEMicroK, stepQCOBE), 10))
+	return b.String()
+}
+
+// Key returns the stable cache key of the request under the given service
+// defaults.
+func (r ClRequest) Key(d Defaults) string {
+	return hashKey("cl", r.canonical(d))
+}
+
+// PkRequest is one matter-power-spectrum request. The zero value asks for
+// the SCDM cosmology on the default logarithmic k grid.
+type PkRequest struct {
+	// Config selects the cosmology; nil means plinger.SCDM(), and
+	// zero-valued fields of a partial config take their SCDM defaults.
+	Config *plinger.Config `json:"config,omitempty"`
+	// KMin, KMax and NK set the logarithmic grid (0: library defaults).
+	KMin float64 `json:"kmin,omitempty"`
+	KMax float64 `json:"kmax,omitempty"`
+	NK   int     `json:"nk,omitempty"`
+	// Amp is the primordial amplitude (0: unit amplitude).
+	Amp float64 `json:"amp,omitempty"`
+}
+
+// Validate is the PkRequest analogue of ClRequest.Validate.
+func (r PkRequest) Validate() error {
+	if r.KMin < 0 {
+		return fmt.Errorf("serve: kmin = %g is negative (0 or omitted selects the default)", r.KMin)
+	}
+	if r.KMax < 0 {
+		return fmt.Errorf("serve: kmax = %g is negative (0 or omitted selects the default)", r.KMax)
+	}
+	if r.NK < 0 {
+		return fmt.Errorf("serve: nk = %d is negative (0 or omitted selects the default)", r.NK)
+	}
+	if r.Amp < 0 {
+		return fmt.Errorf("serve: amp = %g is negative (0 or omitted means unit amplitude)", r.Amp)
+	}
+	return nil
+}
+
+func (r PkRequest) resolve(d Defaults) PkRequest {
+	if r.Config == nil {
+		cfg := plinger.SCDM()
+		r.Config = &cfg
+	} else {
+		cfg := defaultConfig(*r.Config)
+		r.Config = &cfg
+	}
+	if r.KMin <= 0 {
+		r.KMin = 2e-4
+	}
+	if r.KMax <= 0 {
+		r.KMax = 0.5
+	}
+	if r.NK <= 0 {
+		r.NK = d.PkNK
+	}
+	return r
+}
+
+func (r PkRequest) canonical(d Defaults) string {
+	rr := r.resolve(d)
+	var b strings.Builder
+	b.WriteString(keyVersion)
+	b.WriteString("|pk|")
+	b.WriteString(canonicalConfig(*rr.Config))
+	b.WriteString("|kmin=")
+	b.WriteString(strconv.FormatInt(qln(rr.KMin), 10))
+	b.WriteString(",kmax=")
+	b.WriteString(strconv.FormatInt(qln(rr.KMax), 10))
+	b.WriteString(",nk=")
+	b.WriteString(strconv.Itoa(rr.NK))
+	b.WriteString(",amp=")
+	b.WriteString(strconv.FormatInt(qln(rr.Amp), 10))
+	return b.String()
+}
+
+// Key returns the stable cache key of the request under the given service
+// defaults.
+func (r PkRequest) Key(d Defaults) string {
+	return hashKey("pk", r.canonical(d))
+}
+
+// modelKey is the cosmology part alone — the model-registry key, shared by
+// every product of one cosmology.
+func modelKey(c plinger.Config) string {
+	return hashKey("mdl", keyVersion+"|"+canonicalConfig(c))
+}

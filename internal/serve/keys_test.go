@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"testing"
+
+	"plinger"
+)
+
+// TestGoldenKeys pins the wire-stable cache keys: equal physics must map to
+// the same key in every process and across restarts. If this test fails
+// because the key format deliberately changed, bump keyVersion and repin.
+func TestGoldenKeys(t *testing.T) {
+	d := DefaultDefaults()
+	cfg := plinger.SCDM()
+	golden := []struct {
+		name string
+		key  string
+		want string
+	}{
+		{"cl zero request", ClRequest{}.Key(d), "cl-7b28a5a5e6d909d2"},
+		{"cl explicit defaults", ClRequest{Config: &cfg, LMaxCl: 150, NK: 130, KRefine: 6}.Key(d), "cl-7b28a5a5e6d909d2"},
+		{"cl qcobe", ClRequest{QCOBEMicroK: 18}.Key(d), "cl-387a016fd9f7a6e1"},
+		{"pk zero request", PkRequest{}.Key(d), "pk-982b56d139f2fce6"},
+		{"pk explicit defaults", PkRequest{Config: &cfg, KMin: 2e-4, KMax: 0.5, NK: 40}.Key(d), "pk-982b56d139f2fce6"},
+	}
+	for _, g := range golden {
+		if g.key != g.want {
+			t.Errorf("%s: key %s, want %s", g.name, g.key, g.want)
+		}
+	}
+}
+
+// TestKeyEqualPhysics checks quantization: parameter differences far below
+// the pipeline accuracy collapse onto one key.
+func TestKeyEqualPhysics(t *testing.T) {
+	d := DefaultDefaults()
+	base := ClRequest{}.Key(d)
+
+	cfg := plinger.SCDM()
+	cfg.H += 1e-9
+	cfg.OmegaB += 1e-10
+	cfg.TCMB += 1e-8
+	if got := (ClRequest{Config: &cfg}).Key(d); got != base {
+		t.Errorf("sub-quantum perturbation changed the key: %s vs %s", got, base)
+	}
+
+	// Zero-valued and explicitly spelled-out defaults are the same request.
+	if got := (ClRequest{LMaxCl: d.LMaxCl, NK: d.NK, KRefine: d.KRefine}).Key(d); got != base {
+		t.Errorf("explicit defaults keyed differently: %s vs %s", got, base)
+	}
+
+	// A partial config resolves its zero fields to SCDM: spelling out only
+	// the (default) Hubble constant is still the default cosmology.
+	partial := plinger.Config{H: 0.5}
+	if got := (ClRequest{Config: &partial}).Key(d); got != base {
+		t.Errorf("partial SCDM config keyed differently: %s vs %s", got, base)
+	}
+}
+
+// TestKeyDistinctPhysics checks that physically meaningful changes key
+// separately — in the cosmology, the product parameters, and the product
+// kind.
+func TestKeyDistinctPhysics(t *testing.T) {
+	d := DefaultDefaults()
+	base := ClRequest{}.Key(d)
+	seen := map[string]string{base: "base"}
+	distinct := func(name string, key string) {
+		t.Helper()
+		if prev, ok := seen[key]; ok {
+			t.Errorf("%s collides with %s: %s", name, prev, key)
+		}
+		seen[key] = name
+	}
+
+	h := plinger.SCDM()
+	h.H = 0.51
+	distinct("H=0.51", ClRequest{Config: &h}.Key(d))
+	ob := plinger.SCDM()
+	ob.OmegaB = 0.06
+	distinct("OmegaB=0.06", ClRequest{Config: &ob}.Key(d))
+	n := plinger.SCDM()
+	n.SpectralIndex = 0.95
+	distinct("n=0.95", ClRequest{Config: &n}.Key(d))
+	mdm := plinger.MDM(7)
+	distinct("MDM", ClRequest{Config: &mdm}.Key(d))
+
+	distinct("lmax 60", ClRequest{LMaxCl: 60}.Key(d))
+	distinct("nk 99", ClRequest{NK: 99}.Key(d))
+	distinct("exact", ClRequest{Exact: true}.Key(d))
+	distinct("krefine 3", ClRequest{KRefine: 3}.Key(d))
+	distinct("qcobe", ClRequest{QCOBEMicroK: 18}.Key(d))
+
+	distinct("pk", PkRequest{}.Key(d))
+	distinct("pk kmax", PkRequest{KMax: 0.3}.Key(d))
+	distinct("pk amp", PkRequest{Amp: 2e-9}.Key(d))
+}
+
+// TestKeyIndependentOfDefaultsWhenExplicit ensures a fully spelled-out
+// request keys identically under different service defaults (only
+// zero-valued fields depend on them).
+func TestKeyIndependentOfDefaultsWhenExplicit(t *testing.T) {
+	cfg := plinger.SCDM()
+	r := ClRequest{Config: &cfg, LMaxCl: 80, NK: 90, KRefine: 2}
+	d1 := DefaultDefaults()
+	d2 := Defaults{LMaxCl: 40, NK: 50, KRefine: 9, PkNK: 10}
+	if r.Key(d1) != r.Key(d2) {
+		t.Error("explicit request key depends on service defaults")
+	}
+	if (ClRequest{}).Key(d1) == (ClRequest{}).Key(d2) {
+		t.Error("zero request should follow the service defaults")
+	}
+}

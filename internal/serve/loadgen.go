@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadReport is the load generator's summary: sustained throughput and the
+// client-side latency distribution, split by how the daemon served each
+// request (cache hit / computed miss / coalesced). cmd/plingerd -loadgen
+// prints it; cmd/benchjson embeds it into BENCH_PR3.json.
+type LoadReport struct {
+	Clients     int     `json:"clients"`
+	Seconds     float64 `json:"seconds"`
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	RequestsSec float64 `json:"requests_per_sec"`
+	Hits        int64   `json:"hits"`
+	Misses      int64   `json:"misses"`
+	Coalesced   int64   `json:"coalesced"`
+	P50MS       float64 `json:"p50_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	HitMeanMS   float64 `json:"hit_mean_ms"`
+	MissMeanMS  float64 `json:"miss_mean_ms"`
+}
+
+// RunLoadgen hammers POST {base}/v1/cl with identical `body` requests from
+// `clients` concurrent goroutines for the duration and aggregates
+// client-side latency. The daemon classifies each response via the
+// X-Plinger-Source header, so the report separates hot-path and cold-path
+// behaviour without server cooperation.
+func RunLoadgen(base string, clients int, d time.Duration, body string) (*LoadReport, error) {
+	type obs struct {
+		ns     int64
+		source string
+	}
+	var (
+		mu      sync.Mutex
+		all     []obs
+		errs    atomic.Int64
+		stop    = make(chan struct{})
+		wg      sync.WaitGroup
+		payload = []byte(body)
+	)
+	client := &http.Client{Timeout: 30 * time.Second}
+	// Fail fast on an unreachable daemon before spawning the fleet.
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return nil, fmt.Errorf("daemon unreachable: %w", err)
+	}
+	resp.Body.Close()
+
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local []obs
+			for {
+				select {
+				case <-stop:
+					mu.Lock()
+					all = append(all, local...)
+					mu.Unlock()
+					return
+				default:
+				}
+				t0 := time.Now()
+				resp, err := client.Post(base+"/v1/cl", "application/json", bytes.NewReader(payload))
+				ns := time.Since(t0).Nanoseconds()
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				source := resp.Header.Get("X-Plinger-Source")
+				_ = resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					// Rejections and failures are errors, not latency
+					// samples — a 503 must not masquerade as a
+					// sub-millisecond "miss" in the report.
+					errs.Add(1)
+					continue
+				}
+				local = append(local, obs{ns: ns, source: source})
+			}
+		}()
+	}
+	time.Sleep(d)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	rep := &LoadReport{Clients: clients, Seconds: elapsed, Errors: errs.Load()}
+	if len(all) == 0 {
+		return rep, fmt.Errorf("no requests completed")
+	}
+	lat := make([]float64, 0, len(all))
+	var hitNs, missNs, hitN, missN int64
+	for _, o := range all {
+		lat = append(lat, float64(o.ns)/1e6)
+		switch o.source {
+		case string(SourceCache):
+			rep.Hits++
+			hitNs += o.ns
+			hitN++
+		case string(SourceCoalesced):
+			rep.Coalesced++
+		default:
+			rep.Misses++
+			missNs += o.ns
+			missN++
+		}
+	}
+	sort.Float64s(lat)
+	rep.Requests = int64(len(all))
+	rep.RequestsSec = float64(len(all)) / elapsed
+	rep.P50MS = percentile(lat, 0.50)
+	rep.P99MS = percentile(lat, 0.99)
+	if hitN > 0 {
+		rep.HitMeanMS = float64(hitNs) / 1e6 / float64(hitN)
+	}
+	if missN > 0 {
+		rep.MissMeanMS = float64(missNs) / 1e6 / float64(missN)
+	}
+	return rep, nil
+}
+
+// percentile reads the p-quantile off an ascending latency slice.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

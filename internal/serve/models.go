@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"plinger"
+)
+
+// modelCache is the refcounted registry of built models. Building a model
+// (background integrals + recombination + opacity tables) costs tens of
+// milliseconds and each model carries a long-lived shared dispatch pool, so
+// the daemon keeps a bounded LRU of them keyed by quantized cosmology.
+// Builds are coalesced like spectrum requests. Eviction is refcounted: a
+// model's pool is only closed once the last in-flight request using it has
+// released it, so eviction can never yank a pool out from under a sweep.
+type modelCache struct {
+	capacity int
+	workers  int // shared-pool size per model
+
+	mu sync.Mutex
+	m  map[string]*modelEntry
+	ll *list.List // front = most recent; holds *modelEntry
+
+	builds    uint64
+	evictions uint64
+}
+
+type modelEntry struct {
+	key   string
+	elem  *list.Element
+	ready chan struct{} // closed when built (or failed)
+
+	model *plinger.Model
+	err   error
+
+	refs    int
+	evicted bool
+}
+
+func newModelCache(capacity, workers int) *modelCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &modelCache{
+		capacity: capacity,
+		workers:  workers,
+		m:        make(map[string]*modelEntry),
+		ll:       list.New(),
+	}
+}
+
+// acquire returns the model for cfg (building it on first use) and a
+// release function the caller must invoke when done with it.
+func (c *modelCache) acquire(cfg plinger.Config) (*plinger.Model, func(), error) {
+	key := modelKey(cfg)
+
+	c.mu.Lock()
+	if e, ok := c.m[key]; ok {
+		e.refs++
+		c.ll.MoveToFront(e.elem)
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			c.release(e)
+			return nil, nil, e.err
+		}
+		return e.model, func() { c.release(e) }, nil
+	}
+	e := &modelEntry{key: key, ready: make(chan struct{}), refs: 1}
+	e.elem = c.ll.PushFront(e)
+	c.m[key] = e
+	c.builds++
+	c.evictOverflowLocked()
+	c.mu.Unlock()
+
+	m, err := plinger.New(cfg)
+	if err == nil {
+		m.EnableSharedPool(c.workers)
+	}
+	e.model, e.err = m, err
+	close(e.ready)
+	if err != nil {
+		c.mu.Lock()
+		c.dropLocked(e)
+		c.mu.Unlock()
+		c.release(e)
+		return nil, nil, err
+	}
+	return m, func() { c.release(e) }, nil
+}
+
+// release decrements the refcount and closes the pool of an evicted entry
+// once nobody is using it.
+func (c *modelCache) release(e *modelEntry) {
+	c.mu.Lock()
+	e.refs--
+	closeNow := e.evicted && e.refs == 0 && e.model != nil
+	c.mu.Unlock()
+	if closeNow {
+		e.model.CloseSharedPool()
+	}
+}
+
+// dropLocked removes a (failed) entry from the index so the next request
+// retries the build.
+func (c *modelCache) dropLocked(e *modelEntry) {
+	if !e.evicted {
+		e.evicted = true
+		c.ll.Remove(e.elem)
+		delete(c.m, e.key)
+	}
+}
+
+// evictOverflowLocked trims the LRU tail beyond capacity.
+func (c *modelCache) evictOverflowLocked() {
+	for c.ll.Len() > c.capacity {
+		last := c.ll.Back()
+		e := last.Value.(*modelEntry)
+		e.evicted = true
+		c.ll.Remove(last)
+		delete(c.m, e.key)
+		c.evictions++
+		if e.refs == 0 && e.model != nil {
+			e.model.CloseSharedPool()
+		}
+	}
+}
+
+// close evicts everything; called on service shutdown.
+func (c *modelCache) close() {
+	c.mu.Lock()
+	var idle []*plinger.Model
+	for _, e := range c.m {
+		e.evicted = true
+		if e.refs == 0 && e.model != nil {
+			idle = append(idle, e.model)
+		}
+	}
+	c.m = make(map[string]*modelEntry)
+	c.ll.Init()
+	c.mu.Unlock()
+	for _, m := range idle {
+		m.CloseSharedPool()
+	}
+}
+
+// ModelStats is the /v1/stats view of the model registry.
+type ModelStats struct {
+	Size      int    `json:"size"`
+	Capacity  int    `json:"capacity"`
+	Builds    uint64 `json:"builds"`
+	Evictions uint64 `json:"evictions"`
+}
+
+func (c *modelCache) Stats() ModelStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ModelStats{Size: c.ll.Len(), Capacity: c.capacity, Builds: c.builds, Evictions: c.evictions}
+}

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrBusy is returned when the admission queue is full: the service is
+// already computing its maximum of concurrent sweeps and the waiting line
+// has reached its bound. Handlers map it to 503 so overload degrades to
+// fast rejections instead of an unbounded pile-up.
+var ErrBusy = errors.New("serve: compute queue full")
+
+// admission is the bounded queue in front of the compute path: at most
+// `slots` sweeps run concurrently (they share the dispatch pool, so this
+// bounds memory and latency, not just CPU), and at most maxWait further
+// requests may block waiting for a slot. Cache hits and coalesced followers
+// never enter the queue.
+type admission struct {
+	slots   chan struct{}
+	waiting atomic.Int64
+	maxWait int64
+}
+
+func newAdmission(concurrent, maxWait int) *admission {
+	if concurrent < 1 {
+		concurrent = 1
+	}
+	if maxWait < 0 {
+		maxWait = 0
+	}
+	return &admission{slots: make(chan struct{}, concurrent), maxWait: int64(maxWait)}
+}
+
+// acquire takes a compute slot, waiting in the bounded line if necessary.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}: // free slot, no waiting
+		return nil
+	default:
+	}
+	if a.waiting.Add(1) > a.maxWait {
+		a.waiting.Add(-1)
+		return ErrBusy
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// QueueStats is the /v1/stats view of the admission queue.
+type QueueStats struct {
+	MaxConcurrent int   `json:"max_concurrent"`
+	MaxWaiting    int   `json:"max_waiting"`
+	Computing     int   `json:"computing"`
+	Waiting       int64 `json:"waiting"`
+}
+
+func (a *admission) Stats() QueueStats {
+	return QueueStats{
+		MaxConcurrent: cap(a.slots),
+		MaxWaiting:    int(a.maxWait),
+		Computing:     len(a.slots),
+		Waiting:       a.waiting.Load(),
+	}
+}

@@ -1,0 +1,354 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"plinger"
+)
+
+// Defaults are the per-request fallbacks the daemon resolves zero-valued
+// request fields against. They are part of key resolution: a request
+// spelled with zeros and one spelled with the explicit defaults share a
+// cache entry.
+type Defaults struct {
+	// LMaxCl, NK and KRefine configure the default C_l product.
+	LMaxCl  int `json:"lmax_cl"`
+	NK      int `json:"nk"`
+	KRefine int `json:"krefine"`
+	// PkNK is the default matter-power grid size.
+	PkNK int `json:"pk_nk"`
+}
+
+// DefaultDefaults is the daemon's stock configuration: the PR 2 benchmark
+// resolution served by the fast engine.
+func DefaultDefaults() Defaults {
+	return Defaults{LMaxCl: 150, NK: 130, KRefine: 6, PkNK: 40}
+}
+
+// Options configures a Service.
+type Options struct {
+	// Defaults resolves zero-valued request fields (zero: DefaultDefaults).
+	Defaults Defaults
+	// Workers sizes each model's shared dispatch pool (<= 0: GOMAXPROCS).
+	Workers int
+	// CacheSize bounds the response LRU in entries (<= 0: 256).
+	CacheSize int
+	// ModelCacheSize bounds the model registry (<= 0: 4).
+	ModelCacheSize int
+	// MaxConcurrent bounds simultaneously computing sweeps (<= 0: 2).
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for a compute slot; beyond it the
+	// service answers ErrBusy/503 (< 0: 0; 0 picks 64).
+	MaxQueue int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Defaults == (Defaults{}) {
+		o.Defaults = DefaultDefaults()
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = 256
+	}
+	if o.ModelCacheSize <= 0 {
+		o.ModelCacheSize = 4
+	}
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 2
+	}
+	if o.MaxQueue == 0 {
+		o.MaxQueue = 64
+	}
+	return o
+}
+
+// Service is the spectrum server: cached, coalesced, admission-bounded
+// C_l and P(k) computation over long-lived models and dispatch pools.
+// Safe for concurrent use; create with New and Close when done.
+type Service struct {
+	opts    Options
+	cache   *lru
+	models  *modelCache
+	flights flightGroup
+	adm     *admission
+	started time.Time
+
+	requests  atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	coalesced atomic.Uint64
+	rejected  atomic.Uint64
+	errors    atomic.Uint64
+	sweeps    atomic.Uint64
+
+	hitNs  atomic.Int64
+	missNs atomic.Int64
+}
+
+// New builds a Service.
+func New(opts Options) *Service {
+	o := opts.withDefaults()
+	return &Service{
+		opts:    o,
+		cache:   newLRU(o.CacheSize),
+		models:  newModelCache(o.ModelCacheSize, o.Workers),
+		adm:     newAdmission(o.MaxConcurrent, o.MaxQueue),
+		started: time.Now(),
+	}
+}
+
+// Close releases the model registry and its dispatch pools.
+func (s *Service) Close() { s.models.close() }
+
+// Defaults returns the resolved request fallbacks.
+func (s *Service) Defaults() Defaults { return s.opts.Defaults }
+
+// Source describes how a response was produced.
+type Source string
+
+const (
+	SourceCache     Source = "cache"     // LRU hit, no computation
+	SourceCompute   Source = "compute"   // this request ran the sweep
+	SourceCoalesced Source = "coalesced" // attached to another request's sweep
+)
+
+// Meta is the per-request serving telemetry.
+type Meta struct {
+	Key     string        `json:"key"`
+	Source  Source        `json:"source"`
+	Elapsed time.Duration `json:"-"`
+}
+
+// ClResponse is the cached C_l product. Immutable once computed.
+type ClResponse struct {
+	L           []int     `json:"l"`
+	Cl          []float64 `json:"cl"`
+	BandPowerUK []float64 `json:"band_power_uk"`
+	// AmpScale is the primordial amplitude applied by COBE normalization
+	// (0 when the request did not normalize).
+	AmpScale float64 `json:"amp_scale,omitempty"`
+}
+
+// PkResponse is the cached P(k) product. Immutable once computed.
+type PkResponse struct {
+	K      []float64 `json:"k"`
+	T      []float64 `json:"t"`
+	P      []float64 `json:"p"`
+	Sigma8 float64   `json:"sigma8"`
+}
+
+// lookup is the shared serve path: cache, then coalesced + admitted compute.
+func (s *Service) lookup(ctx context.Context, key string, compute func() (any, error)) (any, Meta, error) {
+	s.requests.Add(1)
+	start := time.Now()
+	meta := Meta{Key: key}
+	if v, ok := s.cache.Get(key); ok {
+		s.hits.Add(1)
+		meta.Source = SourceCache
+		meta.Elapsed = time.Since(start)
+		s.hitNs.Add(meta.Elapsed.Nanoseconds())
+		return v, meta, nil
+	}
+	leaderCacheHit := false
+	v, err, coalesced := s.flights.Do(key, func() (any, error) {
+		// The flight leader re-checks the cache: an earlier flight for the
+		// same key may have completed between our miss and this call.
+		if v, ok := s.cache.Get(key); ok {
+			leaderCacheHit = true
+			return v, nil
+		}
+		// The leader computes on behalf of every follower that coalesces
+		// onto this flight, so its own request's cancellation must not
+		// abort the shared work (one disconnecting client would fail N
+		// healthy ones). Only the values of ctx are kept; the admission
+		// queue and the sweep run to completion regardless.
+		if err := s.adm.acquire(context.WithoutCancel(ctx)); err != nil {
+			return nil, err
+		}
+		defer s.adm.release()
+		v, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		s.sweeps.Add(1)
+		s.cache.Add(key, v)
+		return v, nil
+	})
+	meta.Elapsed = time.Since(start)
+	switch {
+	case err == ErrBusy:
+		s.rejected.Add(1)
+		meta.Source = SourceCompute
+	case err != nil:
+		s.errors.Add(1)
+		meta.Source = SourceCompute
+	case coalesced:
+		s.coalesced.Add(1)
+		meta.Source = SourceCoalesced
+	case leaderCacheHit:
+		s.hits.Add(1)
+		meta.Source = SourceCache
+		s.hitNs.Add(meta.Elapsed.Nanoseconds())
+	default:
+		s.misses.Add(1)
+		meta.Source = SourceCompute
+		s.missNs.Add(meta.Elapsed.Nanoseconds())
+	}
+	return v, meta, err
+}
+
+// ComputeCl serves one C_l request.
+func (s *Service) ComputeCl(ctx context.Context, req ClRequest) (*ClResponse, Meta, error) {
+	// Wire-level validation first: negatives must 400, not resolve to
+	// defaults (resolve treats only zero as "use the default").
+	if err := req.Validate(); err != nil {
+		s.requests.Add(1)
+		s.errors.Add(1)
+		return nil, Meta{Source: SourceCompute}, err
+	}
+	d := s.opts.Defaults
+	rr := req.resolve(d)
+	opts := plinger.SpectrumOptions{
+		LMaxCl:  rr.LMaxCl,
+		NK:      rr.NK,
+		FastLOS: !rr.Exact,
+		KRefine: rr.KRefine,
+	}
+	key := req.Key(d)
+	// Fast-fail before the request touches the flight group or the
+	// admission queue: garbage must not occupy compute slots.
+	if err := opts.Validate(); err != nil {
+		s.requests.Add(1)
+		s.errors.Add(1)
+		return nil, Meta{Key: key, Source: SourceCompute}, err
+	}
+	v, meta, err := s.lookup(ctx, key, func() (any, error) {
+		m, release, err := s.models.acquire(*rr.Config)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		spec, err := m.ComputeSpectrum(opts)
+		if err != nil {
+			return nil, err
+		}
+		out := &ClResponse{L: spec.L, Cl: spec.Cl}
+		if rr.QCOBEMicroK > 0 {
+			scale, err := spec.NormalizeCOBE(rr.QCOBEMicroK)
+			if err != nil {
+				return nil, err
+			}
+			out.Cl = spec.Cl
+			out.AmpScale = scale
+		}
+		out.BandPowerUK = make([]float64, len(spec.L))
+		for i := range spec.L {
+			out.BandPowerUK[i] = spec.BandPower(i)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, meta, err
+	}
+	return v.(*ClResponse), meta, nil
+}
+
+// ComputePk serves one P(k) request.
+func (s *Service) ComputePk(ctx context.Context, req PkRequest) (*PkResponse, Meta, error) {
+	if err := req.Validate(); err != nil {
+		s.requests.Add(1)
+		s.errors.Add(1)
+		return nil, Meta{Source: SourceCompute}, err
+	}
+	d := s.opts.Defaults
+	rr := req.resolve(d)
+	opts := plinger.MatterPowerOptions{
+		KMin: rr.KMin, KMax: rr.KMax, NK: rr.NK, Amp: rr.Amp,
+	}
+	key := req.Key(d)
+	if err := opts.Validate(); err != nil {
+		s.requests.Add(1)
+		s.errors.Add(1)
+		return nil, Meta{Key: key, Source: SourceCompute}, err
+	}
+	v, meta, err := s.lookup(ctx, key, func() (any, error) {
+		m, release, err := s.models.acquire(*rr.Config)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		mp, err := m.MatterPower(opts)
+		if err != nil {
+			return nil, err
+		}
+		return &PkResponse{K: mp.K, T: mp.T, P: mp.P, Sigma8: mp.Sigma8}, nil
+	})
+	if err != nil {
+		return nil, meta, err
+	}
+	return v.(*PkResponse), meta, nil
+}
+
+// Stats is the /v1/stats document.
+type Stats struct {
+	UptimeSeconds float64    `json:"uptime_seconds"`
+	Requests      uint64     `json:"requests"`
+	Hits          uint64     `json:"hits"`
+	Misses        uint64     `json:"misses"`
+	Coalesced     uint64     `json:"coalesced"`
+	Rejected      uint64     `json:"rejected"`
+	Errors        uint64     `json:"errors"`
+	Sweeps        uint64     `json:"sweeps"`
+	AvgHitMS      float64    `json:"avg_hit_ms"`
+	AvgMissMS     float64    `json:"avg_miss_ms"`
+	InFlightKeys  int        `json:"in_flight_keys"`
+	Cache         CacheStats `json:"cache"`
+	Models        ModelStats `json:"models"`
+	Queue         QueueStats `json:"queue"`
+	Defaults      Defaults   `json:"defaults"`
+	Workers       int        `json:"workers"`
+}
+
+// Stats snapshots the serving counters.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Requests:      s.requests.Load(),
+		Hits:          s.hits.Load(),
+		Misses:        s.misses.Load(),
+		Coalesced:     s.coalesced.Load(),
+		Rejected:      s.rejected.Load(),
+		Errors:        s.errors.Load(),
+		Sweeps:        s.sweeps.Load(),
+		InFlightKeys:  s.flights.InFlight(),
+		Cache:         s.cache.Stats(),
+		Models:        s.models.Stats(),
+		Queue:         s.adm.Stats(),
+		Defaults:      s.opts.Defaults,
+		Workers:       s.opts.Workers,
+	}
+	if st.Hits > 0 {
+		st.AvgHitMS = float64(s.hitNs.Load()) / 1e6 / float64(st.Hits)
+	}
+	if st.Misses > 0 {
+		st.AvgMissMS = float64(s.missNs.Load()) / 1e6 / float64(st.Misses)
+	}
+	return st
+}
+
+// Sweeps returns the number of spectrum computations completed
+// successfully — the coalescing tests' witness (failed computations and
+// rejected requests never count).
+func (s *Service) Sweeps() uint64 { return s.sweeps.Load() }
+
+// String identifies the service configuration in logs.
+func (s *Service) String() string {
+	return fmt.Sprintf("serve.Service{workers=%d cache=%d models=%d concurrent=%d queue=%d}",
+		s.opts.Workers, s.opts.CacheSize, s.opts.ModelCacheSize, s.opts.MaxConcurrent, s.opts.MaxQueue)
+}

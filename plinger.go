@@ -18,11 +18,13 @@
 //	run, err := m.RunParallel(plinger.ParallelOptions{Workers: 8, ...})
 //
 // The heavy lifting lives in the internal packages (core, cosmology,
-// recomb, thermo, spectra, dispatch, mp, plinger, sky); this facade
+// recomb, thermo, spectra, dispatch, mp, plinger, sky, serve); this facade
 // re-exposes the stable subset an application needs. All parallel
 // execution — shared-memory pool or master/worker message passing —
-// routes through the dispatch subsystem. Command-line tools under cmd/
-// and runnable examples under examples/ exercise every part of it.
+// routes through the dispatch subsystem. Model is safe for concurrent use
+// (see its doc comment for the exact contract), which the serving daemon
+// cmd/plingerd builds on. Command-line tools under cmd/ and runnable
+// examples under examples/ exercise every part of it.
 package plinger
 
 import (
@@ -106,11 +108,26 @@ func (g Gauge) internal() (core.Gauge, error) {
 }
 
 // Model holds the precomputed background cosmology and thermodynamic
-// history; it is safe for concurrent use by many workers.
+// history.
+//
+// Concurrency contract: a Model is immutable after New, and every compute
+// method — EvolveMode, ComputeSpectrum, MatterPower, RunParallel — may be
+// called concurrently from any number of goroutines. Each call builds its
+// own per-mode integration state; the shared substrate (background and
+// thermodynamic spline tables, the process-wide spherical-Bessel kernel
+// cache) is either read-only or internally synchronized. The only
+// configuration calls excluded from the contract are EnableSharedPool and
+// CloseSharedPool, which install/tear down the long-lived dispatcher and
+// must not race with in-flight compute calls. Results are deterministic:
+// concurrent and sequential calls with equal options return bitwise-equal
+// spectra (the dispatch subsystem's determinism contract).
 type Model struct {
 	cfg  Config
 	prim spectra.Primordial
 	core *core.Model
+	// shared, when non-nil, is the long-lived pool every pool-transport
+	// sweep routes through (see EnableSharedPool).
+	shared *dispatch.SharedPool
 }
 
 // New builds a model: Friedmann background (with massive-neutrino momentum
@@ -142,6 +159,32 @@ func New(cfg Config) (*Model, error) {
 		n = 1
 	}
 	return &Model{cfg: cfg, prim: spectra.DefaultPrimordial(n), core: core.NewModel(bg, th)}, nil
+}
+
+// EnableSharedPool routes every subsequent pool-transport sweep (the
+// default Transport) through one long-lived dispatch.SharedPool instead of
+// spinning up a fresh worker pool per call: a long-running process serving
+// many spectrum requests pays the pool start-up once, and concurrent sweeps
+// interleave their wavenumbers onto the same workers instead of
+// oversubscribing the machine. workers <= 0 uses GOMAXPROCS. While the
+// shared pool is attached, the per-call Workers and Schedule options are
+// ignored for pool-transport runs (message-passing transports are
+// unaffected). Call it before the Model is shared between goroutines; it
+// is not safe to race with in-flight compute calls.
+func (m *Model) EnableSharedPool(workers int) {
+	if m.shared == nil {
+		m.shared = dispatch.NewSharedPool(m.core, workers)
+	}
+}
+
+// CloseSharedPool stops the shared pool (if attached) and reverts to
+// per-call pools. Like EnableSharedPool it must not race with in-flight
+// compute calls.
+func (m *Model) CloseSharedPool() {
+	if m.shared != nil {
+		m.shared.Close()
+		m.shared = nil
+	}
 }
 
 // Tau0 returns the conformal age of the model in Mpc.
@@ -300,6 +343,116 @@ type SpectrumOptions struct {
 	KRefine int
 }
 
+// validTransport checks the execution-backend name shared by
+// SpectrumOptions, MatterPowerOptions and ParallelOptions.
+func validTransport(transport string) error {
+	switch transport {
+	case "", "pool", "chan", "fifo", "tcp":
+		return nil
+	default:
+		return fmt.Errorf("plinger: unknown transport %q (want pool, chan, fifo or tcp)", transport)
+	}
+}
+
+// Validate reports the first option that would request a meaningless
+// computation. Zero values always validate (they select documented
+// defaults); genuinely bad values — negative sizes, grids too small for the
+// quadrature, unknown method/transport/schedule names, inconsistent method
+// combinations — return errors instead of being silently clamped.
+// ComputeSpectrum calls it first, so callers only need it to fail early.
+func (o SpectrumOptions) Validate() error {
+	if o.LMaxCl < 0 {
+		return fmt.Errorf("plinger: LMaxCl = %d is negative (0 selects the default)", o.LMaxCl)
+	}
+	if o.NK < 0 {
+		return fmt.Errorf("plinger: NK = %d is negative (0 selects the default)", o.NK)
+	}
+	if o.NK > 0 && o.NK < 3 {
+		return fmt.Errorf("plinger: NK = %d is too small: the k quadrature needs at least 3 points", o.NK)
+	}
+	if o.LMax < 0 {
+		return fmt.Errorf("plinger: LMax = %d is negative (0 selects the default)", o.LMax)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("plinger: Workers = %d is negative (0 uses GOMAXPROCS)", o.Workers)
+	}
+	if o.KRefine < 0 {
+		return fmt.Errorf("plinger: KRefine = %d is negative (0 or 1 disables refinement)", o.KRefine)
+	}
+	for _, l := range o.Ls {
+		if l < 2 {
+			return fmt.Errorf("plinger: requested multipole l = %d (C_l starts at the quadrupole, l = 2)", l)
+		}
+	}
+	if o.LMaxCl > 0 {
+		for _, l := range o.Ls {
+			if l > o.LMaxCl {
+				return fmt.Errorf("plinger: requested multipole l = %d exceeds LMaxCl = %d", l, o.LMaxCl)
+			}
+		}
+	}
+	method := o.Method
+	if method == "" {
+		method = "los"
+	}
+	switch method {
+	case "los":
+		if o.Polarization {
+			return fmt.Errorf("plinger: polarization requires Method \"brute\"")
+		}
+	case "brute":
+		if o.FastLOS {
+			return fmt.Errorf("plinger: FastLOS applies to Method \"los\" only")
+		}
+		if o.KRefine > 1 {
+			return fmt.Errorf("plinger: KRefine applies to Method \"los\" only")
+		}
+	default:
+		return fmt.Errorf("plinger: unknown method %q (want los or brute)", o.Method)
+	}
+	if err := validTransport(o.Transport); err != nil {
+		return err
+	}
+	if _, err := dispatch.ParseSchedule(o.Schedule); err != nil {
+		return fmt.Errorf("plinger: unknown schedule %q", o.Schedule)
+	}
+	return nil
+}
+
+// Validate is the MatterPowerOptions analogue of SpectrumOptions.Validate:
+// zero values select defaults, bad values return errors. MatterPower calls
+// it first.
+func (o MatterPowerOptions) Validate() error {
+	if o.KMin < 0 {
+		return fmt.Errorf("plinger: KMin = %g is negative (0 selects the default)", o.KMin)
+	}
+	if o.KMax < 0 {
+		return fmt.Errorf("plinger: KMax = %g is negative (0 selects the default)", o.KMax)
+	}
+	if o.KMin > 0 && o.KMax > 0 && o.KMax <= o.KMin {
+		return fmt.Errorf("plinger: KMax = %g does not exceed KMin = %g", o.KMax, o.KMin)
+	}
+	if o.NK < 0 {
+		return fmt.Errorf("plinger: NK = %d is negative (0 selects the default)", o.NK)
+	}
+	if o.NK > 0 && o.NK < 3 {
+		return fmt.Errorf("plinger: NK = %d is too small: the k grid needs at least 3 points", o.NK)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("plinger: Workers = %d is negative (0 uses GOMAXPROCS)", o.Workers)
+	}
+	if o.Amp < 0 {
+		return fmt.Errorf("plinger: Amp = %g is negative (0 means unit amplitude)", o.Amp)
+	}
+	if err := validTransport(o.Transport); err != nil {
+		return err
+	}
+	if _, err := dispatch.ParseSchedule(o.Schedule); err != nil {
+		return fmt.Errorf("plinger: unknown schedule %q", o.Schedule)
+	}
+	return nil
+}
+
 // newDispatcher builds the execution backend for a sweep. The returned
 // cleanup must be called after the run.
 func (m *Model) newDispatcher(transport, schedule string, workers int, adaptLMax bool) (dispatch.Dispatcher, func(), error) {
@@ -309,6 +462,9 @@ func (m *Model) newDispatcher(transport, schedule string, workers int, adaptLMax
 	}
 	switch transport {
 	case "", "pool":
+		if m.shared != nil && !adaptLMax {
+			return m.shared, func() {}, nil
+		}
 		return &dispatch.Pool{
 			Model: m.core, Workers: workers, Schedule: sched, AdaptLMax: adaptLMax,
 		}, func() {}, nil
@@ -328,8 +484,12 @@ func (m *Model) newDispatcher(transport, schedule string, workers int, adaptLMax
 	}
 }
 
-// ComputeSpectrum runs the k sweep and assembles C_l.
+// ComputeSpectrum runs the k sweep and assembles C_l. It validates o first
+// (see SpectrumOptions.Validate) and is safe for concurrent callers.
 func (m *Model) ComputeSpectrum(o SpectrumOptions) (*Spectrum, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	if o.LMaxCl <= 0 {
 		o.LMaxCl = 300
 	}
@@ -349,9 +509,6 @@ func (m *Model) ComputeSpectrum(o SpectrumOptions) (*Spectrum, error) {
 	}
 	switch method {
 	case "los":
-		if o.Polarization {
-			return nil, fmt.Errorf("plinger: polarization requires Method \"brute\"")
-		}
 		lmax := o.LMax
 		if lmax == 0 {
 			lmax = 24
@@ -384,13 +541,17 @@ func (m *Model) ComputeSpectrum(o SpectrumOptions) (*Spectrum, error) {
 		defer cleanup()
 		if o.FastLOS {
 			// Warm the shared Bessel kernel table concurrently with the
-			// sweep via the dispatcher's prebuild hook.
+			// sweep, via the dispatcher's prebuild hook when it has one.
+			// The shared pool serves concurrent runs, so its hooks cannot
+			// be set per run; the facade warms caller-side instead.
 			warm := func() { spectra.PrewarmBesselTable(ls, ks[len(ks)-1], tau0) }
 			switch dd := d.(type) {
 			case *dispatch.Pool:
 				dd.Prebuild = warm
 			case *dispatch.MP:
 				dd.Prebuild = warm
+			default:
+				defer dispatch.StartPrebuild(warm)()
 			}
 		}
 		sw, _, err := spectra.RunSweepWith(d, ksRun, core.Params{
@@ -472,8 +633,12 @@ type MatterPowerOptions struct {
 }
 
 // MatterPower computes the matter transfer function, power spectrum and
-// sigma_8 on a logarithmic k grid.
+// sigma_8 on a logarithmic k grid. It validates o first (see
+// MatterPowerOptions.Validate) and is safe for concurrent callers.
 func (m *Model) MatterPower(o MatterPowerOptions) (*MatterPowerResult, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	if o.KMin <= 0 {
 		o.KMin = 2e-4
 	}
