@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check vet build test-short test test-race bench bench-json
+.PHONY: check fmt-check vet build test-short test test-race bench bench-json bench-smoke
 
 check: fmt-check vet build test-short
 
@@ -29,9 +29,16 @@ test-race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# bench-json regenerates BENCH_PR3.json: the fast-vs-reference C_l pipeline
-# speedup, the projection/kernel microbenchmarks, the measured accuracy of
-# the fast path, and the spectrum service's serving numbers (cache-hit and
-# cold-miss latency, sustained req/s at 32 concurrent clients).
+# bench-json regenerates BENCH_PR4.json: the fast-vs-reference C_l pipeline
+# and single-mode evolution speedups, the projection/kernel
+# microbenchmarks, the measured accuracy of the full fast path, and the
+# spectrum service's serving numbers (cache-hit and cold-miss latency,
+# sustained req/s at 32 concurrent clients).
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR3.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR4.json
+
+# bench-smoke runs the whole benchjson path at tiny settings (small
+# LMaxCl/NK, short service runs) and writes outside the repo — the CI guard
+# that keeps the report pipeline from rotting between real bench-json runs.
+bench-smoke:
+	$(GO) run ./cmd/benchjson -smoke -out /tmp/bench-smoke.json

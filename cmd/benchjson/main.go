@@ -4,15 +4,21 @@
 // the spectrum service's serving benchmark), extending the performance
 // trajectory started in BENCH_PR2.json:
 //
-//	benchjson [-out BENCH_PR3.json] [-quick]
+//	benchjson [-out BENCH_PR4.json] [-quick] [-smoke]
 //
-// The headline numbers are the Figure-2 C_l pipeline with the fast
-// line-of-sight engine (shared spherical-Bessel tables + coarse-to-fine k
-// refinement) against the exact reference pipeline at identical
-// LMaxCl/NK settings, the kernel-level microbenchmarks behind them, and —
-// new in PR 3 — the daemon's serving numbers: cold-miss latency, cache-hit
-// latency, and sustained requests/sec at 32 concurrent clients against an
-// in-process plingerd service.
+// The headline numbers are the Figure-2 C_l pipeline with the full fast
+// engine (fast evolution + shared spherical-Bessel tables + coarse-to-fine
+// k refinement) against the exact reference pipeline at identical
+// LMaxCl/NK settings, the single-mode evolution speedup of the fast
+// evolution engine — on the paper's own unit of work, one full-hierarchy
+// brute mode, and on a line-of-sight production mode — the kernel-level
+// microbenchmarks behind them, and the daemon's serving numbers:
+// cold-miss latency, cache-hit latency, and sustained requests/sec at 32
+// concurrent clients against an in-process plingerd service.
+//
+// -quick shrinks the pipeline settings; -smoke shrinks everything to a
+// few seconds of total runtime and is wired into CI (make bench-smoke) so
+// the report path cannot rot between real bench-json runs.
 package main
 
 import (
@@ -51,10 +57,14 @@ type Entry struct {
 // ServiceBench is the daemon benchmark: what one plingerd process delivers
 // at the report's default product settings.
 type ServiceBench struct {
-	// ColdMissMS is the client-observed latency of a cold request (full
-	// sweep; the first one also builds the model).
+	// ColdMissMS is the client-observed latency of a cold request against
+	// a warm model: a full sweep on a fresh cache key, the daemon's
+	// steady-state cold path (the model registry amortizes the per-
+	// cosmology build over its lifetime; FirstRequestMS reports it).
 	ColdMissMS float64 `json:"cold_miss_ms"`
-	// FirstRequestMS isolates that first request (model build + sweep).
+	// FirstRequestMS is the very first request of the process: the
+	// one-time model build (background, recombination, flattened tables)
+	// plus the sweep.
 	FirstRequestMS float64 `json:"first_request_ms"`
 	// HitUnloaded is a single-client run against a hot cache; Sustained32
 	// is the 32-concurrent-client throughput run.
@@ -77,6 +87,12 @@ type Report struct {
 	SpeedupTheta  float64 `json:"speedup_theta_projection"`
 	SpeedupBessel float64 `json:"speedup_bessel_kernel"`
 	MaxRelClErr   float64 `json:"max_rel_cl_err_fast_vs_reference"`
+
+	// The PR 4 fast-evolution numbers: FastEvolve vs reference at equal
+	// RTol on one brute-style full-hierarchy mode (the paper's unit of
+	// work) and on one line-of-sight production mode.
+	SpeedupEvolve    float64 `json:"speedup_evolve_single_mode"`
+	SpeedupEvolveLOS float64 `json:"speedup_evolve_los_mode"`
 
 	// The PR 3 serving numbers.
 	ServiceHitMS     float64       `json:"service_hit_ms"`
@@ -103,14 +119,18 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	var (
-		out   = flag.String("out", "BENCH_PR3.json", "output file")
+		out   = flag.String("out", "BENCH_PR4.json", "output file")
 		quick = flag.Bool("quick", false, "smaller pipeline settings (for smoke runs)")
+		smoke = flag.Bool("smoke", false, "tiny settings and short service runs: the CI exercise of the whole report path")
 	)
 	flag.Parse()
 
 	lmaxCl, nk, kRefine := 150, 130, 10
 	if *quick {
 		lmaxCl, nk = 60, 60
+	}
+	if *smoke {
+		lmaxCl, nk = 40, 40
 	}
 
 	m, err := plinger.New(plinger.SCDM())
@@ -140,10 +160,12 @@ func main() {
 	}
 
 	// The two pipelines at identical settings, plus the accuracy of the
-	// fast one against the reference.
+	// full fast path (FastEvolve + FastLOS + KRefine) against the
+	// reference.
 	refOpts := plinger.SpectrumOptions{LMaxCl: lmaxCl, NK: nk}
 	fastOpts := refOpts
 	fastOpts.FastLOS = true
+	fastOpts.FastEvolve = true
 	fastOpts.KRefine = kRefine
 	refSpec, err := m.ComputeSpectrum(refOpts)
 	if err != nil {
@@ -183,6 +205,39 @@ func main() {
 	}
 	tau0, tauRec := bg.Tau0(), th.TauRec()
 	ls := spectra.DefaultLs(lmaxCl)
+
+	// The fast evolution engine on single modes at equal RTol: the paper's
+	// own unit of work (one brute-style mode carrying the full per-k
+	// adaptive hierarchy) and the line-of-sight production mode the C_l
+	// pipeline evolves. Warm the flattened tables first so the one-time
+	// build does not land inside an iteration.
+	kEv := 0.02
+	if *smoke {
+		kEv = 0.01
+	}
+	bruteMode := core.Params{K: kEv, LMax: spectra.PerKLMax(kEv, tau0, 1<<20), Gauge: core.Synchronous}
+	losMode := core.Params{K: kEv, LMax: 24, Gauge: core.ConformalNewtonian, KeepSources: true}
+	evolveBench := func(name string, p core.Params) Entry {
+		return run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cm.Evolve(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	fastBrute, fastLos := bruteMode, losMode
+	fastBrute.FastEvolve = true
+	fastLos.FastEvolve = true
+	if _, err := cm.Evolve(fastLos); err != nil {
+		log.Fatal(err)
+	}
+	eEvRef := evolveBench("evolve_brute_reference", bruteMode)
+	eEvFast := evolveBench("evolve_brute_fast", fastBrute)
+	rep.SpeedupEvolve = eEvRef.NsPerOp / eEvFast.NsPerOp
+	eEvLosRef := evolveBench("evolve_los_reference", losMode)
+	eEvLosFast := evolveBench("evolve_los_fast", fastLos)
+	rep.SpeedupEvolveLOS = eEvLosRef.NsPerOp / eEvLosFast.NsPerOp
 	eThetaRef := run("theta_los_reference", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := spectra.ThetaLOS(mode, lmaxCl, tau0, tauRec); err != nil {
@@ -228,7 +283,8 @@ func main() {
 	})
 	rep.SpeedupBessel = eBesselRef.NsPerOp / eBesselTab.NsPerOp
 
-	rep.Entries = []Entry{eFast, eRef, eThetaRef, eThetaFast, eBesselRef, eBesselTab}
+	rep.Entries = []Entry{eFast, eRef, eEvRef, eEvFast, eEvLosRef, eEvLosFast,
+		eThetaRef, eThetaFast, eBesselRef, eBesselTab}
 
 	// The serving benchmark: an in-process plingerd (real HTTP stack via
 	// httptest) at the same product settings. Cold misses are timed on
@@ -237,6 +293,9 @@ func main() {
 	svcDur := 5 * time.Second
 	if *quick {
 		svcDur = 2 * time.Second
+	}
+	if *smoke {
+		svcDur = time.Second
 	}
 	sb, err := runServiceBench(lmaxCl, nk, kRefine, svcDur)
 	if err != nil {
@@ -257,6 +316,8 @@ func main() {
 	}
 	fmt.Printf("\npipeline speedup %.2fx, projection speedup %.2fx, kernel speedup %.2fx\n",
 		rep.SpeedupLOS, rep.SpeedupTheta, rep.SpeedupBessel)
+	fmt.Printf("evolution speedup: %.2fx single brute mode, %.2fx los mode\n",
+		rep.SpeedupEvolve, rep.SpeedupEvolveLOS)
 	fmt.Printf("max relative C_l deviation fast vs reference: %.3g\n", rep.MaxRelClErr)
 	fmt.Printf("service: hit %.3g ms, cold miss %.3g ms, %.0f req/s at %d clients\n",
 		rep.ServiceHitMS, rep.ServiceMissMS, rep.ServiceReqPerSec, sb.Sustained32.Clients)
@@ -290,19 +351,23 @@ func runServiceBench(lmaxCl, nk, kRefine int, dur time.Duration) (*ServiceBench,
 	}
 
 	sb := &ServiceBench{}
-	// Cold misses: the default key plus two perturbed-resolution keys.
-	// The first request also pays the one-time model build.
-	colds := []string{"{}",
+	// The very first request pays the one-time model build on top of its
+	// sweep; report it separately, then measure the steady-state cold path
+	// on three fresh perturbed-resolution keys against the warm model.
+	first, err := post("{}")
+	if err != nil {
+		return nil, err
+	}
+	sb.FirstRequestMS = first
+	colds := []string{
 		fmt.Sprintf(`{"nk": %d}`, nk+1),
-		fmt.Sprintf(`{"nk": %d}`, nk+2)}
+		fmt.Sprintf(`{"nk": %d}`, nk+2),
+		fmt.Sprintf(`{"nk": %d}`, nk+3)}
 	var missSum float64
-	for i, body := range colds {
+	for _, body := range colds {
 		ms, err := post(body)
 		if err != nil {
 			return nil, err
-		}
-		if i == 0 {
-			sb.FirstRequestMS = ms
 		}
 		missSum += ms
 	}

@@ -21,6 +21,11 @@
 // wavenumber grid first (the CMBFAST-style refinement):
 //
 //	plinger -np 4 -nk 40 -lmaxcl 150 -cl -fastcl -krefine 6
+//
+// -fastevolve switches the per-mode integration itself to the fast
+// evolution engine (growing hierarchy truncation, flattened background and
+// thermodynamics tables, PI step control); it composes with -cl/-fastcl
+// and with the plain sweep.
 package main
 
 import (
@@ -63,6 +68,7 @@ func main() {
 		cl        = flag.Bool("cl", false, "assemble C_l from the sweep afterwards (forces newtonian gauge + sources)")
 		fastcl    = flag.Bool("fastcl", false, "with -cl: table-driven fast projection instead of the exact reference")
 		krefine   = flag.Int("krefine", 1, "with -cl: spline sources onto a krefine-times finer k grid before the quadrature")
+		fastev    = flag.Bool("fastevolve", false, "fast evolution engine: growing hierarchy truncation + flattened tau-tables + PI step control")
 	)
 	flag.Parse()
 
@@ -93,7 +99,7 @@ func main() {
 	if *gaugeName == "newtonian" {
 		gauge = core.ConformalNewtonian
 	}
-	mode := core.Params{LMax: gl, Gauge: gauge}
+	mode := core.Params{LMax: gl, Gauge: gauge, FastEvolve: *fastev}
 	if *cl {
 		// The line-of-sight assembly needs Newtonian sources; a short
 		// hierarchy suffices (the projection supplies the multipoles).

@@ -9,11 +9,14 @@
 //
 // Usage:
 //
-//	scaling [-np 1,2,4,8] [-nk 24] [-lmax 120] [-schedules] [-backends] [-fastcl]
+//	scaling [-np 1,2,4,8] [-nk 24] [-lmax 120] [-schedules] [-backends]
+//	        [-fastcl] [-fastevolve]
 //
 // -fastcl adds the fast C_l pipeline ablation: the exact reference
 // line-of-sight pipeline against the table-driven engine with
-// coarse-to-fine k refinement, at equal settings.
+// coarse-to-fine k refinement, at equal settings. -fastevolve ablates the
+// fast evolution engine (growing hierarchy truncation + flattened
+// tau-tables + PI step control) on the fixed workload at equal tolerance.
 package main
 
 import (
@@ -44,6 +47,7 @@ func main() {
 		schedules = flag.Bool("schedules", false, "also sweep scheduling policies")
 		backends  = flag.Bool("backends", false, "also sweep execution backends")
 		fastcl    = flag.Bool("fastcl", false, "also compare the reference and fast C_l pipelines")
+		fastev    = flag.Bool("fastevolve", false, "also ablate the fast evolution engine on the fixed workload")
 	)
 	flag.Parse()
 
@@ -98,9 +102,62 @@ func main() {
 		}
 	}
 
+	if *fastev {
+		fastEvolveAblation(model, ks, mode)
+	}
+
 	if *fastcl {
 		fastClAblation(model, th, *nk)
 	}
+}
+
+// fastEvolveAblation times the fixed Figure-1 workload with the reference
+// per-mode integration against the fast evolution engine (growing
+// hierarchy truncation + flattened tau-tables + PI step control) at equal
+// tolerance, single-worker so the per-mode speedup is not masked by load
+// balance, and reports the worst relative transfer-function deviation.
+func fastEvolveAblation(model *core.Model, ks []float64, mode core.Params) {
+	fast := mode
+	fast.FastEvolve = true
+
+	start := time.Now()
+	ref, err := spectra.RunSweep(model, mode, ks, 1, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tRef := time.Since(start).Seconds()
+	start = time.Now()
+	fsw, err := spectra.RunSweep(model, fast, ks, 1, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tFast := time.Since(start).Seconds()
+
+	worst := 0.0
+	var evalsRef, evalsFast int
+	for i := range ref.Results {
+		r, f := ref.Results[i], fsw.Results[i]
+		evalsRef += r.Stats.Evals
+		evalsFast += f.Stats.Evals
+		scale := 0.0
+		for _, v := range r.ThetaL {
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		if scale == 0 {
+			continue
+		}
+		for l := range r.ThetaL {
+			if rel := math.Abs(f.ThetaL[l]-r.ThetaL[l]) / scale; rel > worst {
+				worst = rel
+			}
+		}
+	}
+	fmt.Printf("\nfast evolution engine (1 worker, %d modes, equal RTol):\n", len(ks))
+	fmt.Printf("%12s %12s %10s %14s %22s\n", "ref [s]", "fast [s]", "speedup", "RHS evals", "worst rel Theta_l")
+	fmt.Printf("%12.3f %12.3f %9.2fx %6d->%6d %22.2e\n",
+		tRef, tFast, tRef/tFast, evalsRef, evalsFast, worst)
 }
 
 // fastClAblation times the reference Figure-2 C_l pipeline (every mode

@@ -80,10 +80,29 @@ type Params struct {
 	TCAFactor float64
 	// KeepSources records the line-of-sight source samples at every
 	// accepted step (used by the CMBFAST-style comparator and the psi
-	// movie).
+	// movie). It requires an integrator implementing ode.StepObserver.
 	KeepSources bool
 	// Integrator overrides the time integrator (default: DVERK).
 	Integrator ode.Integrator
+	// FastEvolve enables the fast evolution engine: the photon,
+	// polarization and massless-neutrino hierarchies start at a few
+	// moments and grow with k*tau (moments are copied across each growth
+	// event, newly activated ones seeded at zero, with the usual
+	// last-moment free-streaming closure at the moving boundary); the
+	// background and thermodynamic history come from the model's flattened
+	// uniform-in-ln-a tables instead of per-call spline searches; and the
+	// integrator runs PI step-size control (the controller step is carried
+	// across segment boundaries on every default-integrator run). Default
+	// off: the exact path is the reference. The fast path tracks it to
+	// well below the 1e-3 relative C_l engine budget (see the golden
+	// tests).
+	FastEvolve bool
+
+	// Ablation switches for the fast engine, used by the property tests to
+	// exercise one ingredient at a time (all false: the full fast engine).
+	noGrowLMax bool // fixed full-size hierarchy from the start
+	noTables   bool // exact spline lookups instead of flattened tables
+	noPI       bool // elementary step controller instead of PI
 }
 
 func (p *Params) setDefaults() {
@@ -174,16 +193,20 @@ type Result struct {
 }
 
 // Model bundles the precomputed substrate shared by all k modes: the
-// background cosmology and thermodynamic history. It is read-only during
-// evolution and safe for concurrent use by many workers.
+// background cosmology, the thermodynamic history, and (built lazily on
+// first fast-engine use) the flattened evaluation tables. It is read-only
+// during evolution and safe for concurrent use by many workers.
 type Model struct {
 	BG *cosmology.Background
 	TH *thermo.Thermo
+
+	// tables caches the flattened evaluation tables (see EnsureEvalTables).
+	tables *tablesState
 }
 
 // NewModel builds the shared substrate for a cosmology.
 func NewModel(bg *cosmology.Background, th *thermo.Thermo) *Model {
-	return &Model{BG: bg, TH: th}
+	return &Model{BG: bg, TH: th, tables: &tablesState{}}
 }
 
 // FlopsPerRHS is the operation-count model for one right-hand-side

@@ -1,0 +1,259 @@
+package core
+
+// Property tests of the fast evolution engine: growth hand-off integrity,
+// bitwise equivalence of the driver when every fast ingredient is switched
+// off, accuracy of the full engine against the reference path, and the
+// work ablation at equal tolerance.
+
+import (
+	"math"
+	"testing"
+
+	"plinger/internal/cosmology"
+	"plinger/internal/ode"
+	"plinger/internal/recomb"
+	"plinger/internal/thermo"
+)
+
+// TestFastEvolveDisabledBitwise: with growth, tables and PI all switched
+// off, the fast-engine flag must be a pure no-op — the segmented driver
+// takes exactly the reference path, bitwise.
+func TestFastEvolveDisabledBitwise(t *testing.T) {
+	m := model(t)
+	for _, gauge := range []Gauge{Synchronous, ConformalNewtonian} {
+		ref := Params{K: 0.04, LMax: 16, Gauge: gauge, KeepSources: true}
+		off := ref
+		off.FastEvolve = true
+		off.noGrowLMax, off.noTables, off.noPI = true, true, true
+		a, err := m.Evolve(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := m.Evolve(off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Stats != b.Stats {
+			t.Fatalf("%v: stats differ: %+v vs %+v", gauge, a.Stats, b.Stats)
+		}
+		for l := range a.ThetaL {
+			if a.ThetaL[l] != b.ThetaL[l] || a.ThetaPL[l] != b.ThetaPL[l] {
+				t.Fatalf("%v: moment l=%d differs bitwise: %g vs %g", gauge, l, a.ThetaL[l], b.ThetaL[l])
+			}
+		}
+		if a.DeltaC != b.DeltaC || a.DeltaB != b.DeltaB || a.Eta != b.Eta || a.Phi != b.Phi {
+			t.Fatalf("%v: fluid/metric state differs bitwise", gauge)
+		}
+		if len(a.Sources) != len(b.Sources) {
+			t.Fatalf("%v: %d vs %d source samples", gauge, len(a.Sources), len(b.Sources))
+		}
+		for i := range a.Sources {
+			if a.Sources[i] != b.Sources[i] {
+				t.Fatalf("%v: source sample %d differs bitwise", gauge, i)
+			}
+		}
+	}
+}
+
+// TestGrowHierarchyHandOff exercises the state-vector re-layout directly:
+// every evolved moment must land at its new index unchanged, newly
+// activated moments must be zero, and the pre-hierarchy block must be
+// untouched.
+func TestGrowHierarchyHandOff(t *testing.T) {
+	mdl := model(t)
+	p := Params{K: 0.1, LMax: 24, Gauge: Synchronous}
+	p.setDefaults()
+	m := &mode{Model: mdl, p: p, k: p.K, k2: p.K * p.K}
+	m.lmax = 8
+	m.layout()
+	y := make([]float64, m.nvar)
+	for i := range y {
+		y[i] = float64(i + 1) // distinct, nonzero
+	}
+	oldIfg, oldIgg, oldIfn := m.ifg, m.igg, m.ifn
+	old := append([]float64(nil), y...)
+
+	ny := m.resize(13, y)
+	if m.lmax != 13 {
+		t.Fatalf("lmax = %d after resize, want 13", m.lmax)
+	}
+	if m.nvar != len(ny) {
+		t.Fatalf("nvar %d != len %d", m.nvar, len(ny))
+	}
+	for i := 0; i < oldIfg; i++ {
+		if ny[i] != old[i] {
+			t.Fatalf("fluid/metric entry %d changed: %g vs %g", i, ny[i], old[i])
+		}
+	}
+	blocks := [][2]int{{oldIfg, m.ifg}, {oldIgg, m.igg}, {oldIfn, m.ifn}}
+	for b, idx := range blocks {
+		for l := 0; l <= 8; l++ {
+			if ny[idx[1]+l] != old[idx[0]+l] {
+				t.Fatalf("block %d moment l=%d not copied", b, l)
+			}
+		}
+		for l := 9; l <= 13; l++ {
+			if ny[idx[1]+l] != 0 {
+				t.Fatalf("block %d new moment l=%d = %g, want 0", b, l, ny[idx[1]+l])
+			}
+		}
+	}
+
+	// Shrinking back must keep the surviving moments and the fluid block.
+	sy := m.resize(shrinkLMax, ny)
+	for i := 0; i < oldIfg; i++ {
+		if sy[i] != old[i] {
+			t.Fatalf("fluid/metric entry %d changed by shrink", i)
+		}
+	}
+	for l := 0; l <= shrinkLMax; l++ {
+		if sy[m.ifg+l] != old[oldIfg+l] {
+			t.Fatalf("shrunk moment l=%d not preserved", l)
+		}
+	}
+}
+
+// TestFastEvolveMatchesReference: the full fast engine must track the
+// reference path closely on the quantities the spectra consume — the
+// final-time multipoles of a brute-style run and the matter perturbations
+// — at equal tolerance.
+func TestFastEvolveMatchesReference(t *testing.T) {
+	m := model(t)
+	for _, tc := range []struct {
+		k    float64
+		lmax int
+	}{{0.02, 24}, {0.08, 60}} {
+		ref := Params{K: tc.k, LMax: tc.lmax, Gauge: Synchronous}
+		fast := ref
+		fast.FastEvolve = true
+		a, err := m.Evolve(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := m.Evolve(fast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scale := 0.0
+		for _, v := range a.ThetaL {
+			if x := math.Abs(v); x > scale {
+				scale = x
+			}
+		}
+		for l := range a.ThetaL {
+			if d := math.Abs(a.ThetaL[l] - b.ThetaL[l]); d > 1e-4*scale {
+				t.Fatalf("k=%g l=%d: fast %g vs ref %g (scale %g)", tc.k, l, b.ThetaL[l], a.ThetaL[l], scale)
+			}
+		}
+		if d := math.Abs(a.DeltaC-b.DeltaC) / math.Abs(a.DeltaC); d > 1e-4 {
+			t.Fatalf("k=%g: DeltaC rel diff %g", tc.k, d)
+		}
+	}
+}
+
+// TestFastEvolveWorkAblation: at equal tolerance the fast engine must do
+// materially less right-hand-side work than the fixed-hierarchy run. The
+// raw evaluation count stays comparable (steps are limited by the
+// free-streaming oscillation, not the state width), so the honest metrics
+// are the modeled flop count — billed per segment at the active hierarchy
+// size — and the rejected-step fraction the PI controller is there to cut.
+func TestFastEvolveWorkAblation(t *testing.T) {
+	m := model(t)
+	ref := Params{K: 0.08, LMax: 60, Gauge: ConformalNewtonian, KeepSources: true}
+	fast := ref
+	fast.FastEvolve = true
+	a, err := m.Evolve(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Evolve(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Flops >= 0.6*a.Flops {
+		t.Fatalf("fast engine flops %g not below 0.6x reference %g", b.Flops, a.Flops)
+	}
+	if a.Stats.Rejected > 10 && b.Stats.Rejected > a.Stats.Rejected/2 {
+		t.Fatalf("PI controller rejected %d of %d steps, reference %d of %d",
+			b.Stats.Rejected, b.Stats.Steps, a.Stats.Rejected, a.Stats.Steps)
+	}
+}
+
+// TestFastEvolveMDM: the fast engine composes with massive neutrinos (the
+// momentum-dependent hierarchy stays at full resolution; tables carry the
+// massive-neutrino background factors).
+func TestFastEvolveMDM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MDM substrate build is slow")
+	}
+	bg, err := cosmology.NewFlattened(cosmology.MDM(4.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := thermo.New(bg, recomb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(bg, th)
+	ref := Params{K: 0.03, LMax: 20, Gauge: Synchronous}
+	fast := ref
+	fast.FastEvolve = true
+	a, err := m.Evolve(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Evolve(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(a.DeltaHNu-b.DeltaHNu) / math.Abs(a.DeltaHNu); d > 1e-3 {
+		t.Fatalf("massive-neutrino density contrast rel diff %g", d)
+	}
+	if d := math.Abs(a.DeltaC-b.DeltaC) / math.Abs(a.DeltaC); d > 1e-4 {
+		t.Fatalf("DeltaC rel diff %g", d)
+	}
+}
+
+// TestKeepSourcesRequiresObserver: an integrator that cannot report steps
+// must be rejected when sources are requested (it would silently record
+// nothing), and accepted otherwise.
+func TestKeepSourcesRequiresObserver(t *testing.T) {
+	m := model(t)
+	p := Params{K: 0.05, LMax: 8, KeepSources: true, Integrator: blindIntegrator{}}
+	if _, err := m.Evolve(p); err == nil {
+		t.Fatal("KeepSources with a non-observing integrator must error")
+	}
+	// RK4 implements StepObserver, so sources flow even from the
+	// fixed-step comparator.
+	p.Integrator = ode.NewRK4(400)
+	r, err := m.Evolve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Sources) == 0 {
+		t.Fatal("RK4 run recorded no sources")
+	}
+}
+
+// TestSourceCapRestoresMaxStep: the visibility-window step cap must not
+// leak into a caller-supplied integrator after the run.
+func TestSourceCapRestoresMaxStep(t *testing.T) {
+	m := model(t)
+	ad := ode.NewDVERK(1e-6, 1e-12)
+	ad.MaxStep = 777.0
+	_, err := m.Evolve(Params{K: 0.05, LMax: 8, Gauge: ConformalNewtonian, KeepSources: true, Integrator: ad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad.MaxStep != 777.0 {
+		t.Fatalf("caller MaxStep polluted: %g", ad.MaxStep)
+	}
+}
+
+// blindIntegrator satisfies ode.Integrator but not ode.StepObserver.
+type blindIntegrator struct{}
+
+func (blindIntegrator) Integrate(f ode.Func, t0, t1 float64, y []float64) (ode.Stats, error) {
+	return ode.Stats{}, nil
+}
+func (blindIntegrator) Name() string { return "blind" }

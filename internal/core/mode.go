@@ -11,10 +11,25 @@ import (
 
 // mode is the in-flight state of one k evolution.
 type mode struct {
-	Model
+	*Model
 	p  Params
 	k  float64
 	k2 float64
+
+	// lmax is the active photon/polarization/massless-neutrino hierarchy
+	// cutoff. The reference path fixes it at p.LMax; the fast engine
+	// starts it small and grows it with k*tau (see growHierarchy).
+	lmax int
+	// grow marks growth as enabled and not yet complete.
+	grow bool
+	// shrinkAt, when positive, is the conformal time at which the
+	// hierarchies collapse to shrinkLMax (see shrinkHierarchy).
+	shrinkAt float64
+	// tab, when non-nil, replaces the spline lookups in gatherSums with
+	// the model's flattened evaluation tables; tt receives the
+	// thermodynamic fields of the latest lookup.
+	tab *EvalTables
+	tt  tabThermo
 
 	// state layout
 	nvar int
@@ -35,13 +50,76 @@ type mode struct {
 	nq  int
 	lnu int
 
+	// rA[l] = l/(2l+1), rB[l] = (l+1)/(2l+1): the free-streaming
+	// recurrence ratios, precomputed so the hierarchy loops run without
+	// per-moment divisions.
+	rA, rB []float64
+
+	// srcCap, when h > 0, caps the integrator step inside [lo, hi] — the
+	// visibility window of a source-recording run (see Evolve); base is
+	// the integrator's own MaxStep, restored outside the window.
+	srcCap struct{ lo, hi, h, base float64 }
+	// ad is the adaptive integrator when one is driving the run (the step
+	// cap needs to adjust its MaxStep across segments).
+	ad *ode.Adaptive
+
 	tca bool // current right-hand-side regime
+
+	// flops accumulates the operation-count model per integration segment,
+	// so a growing/shrinking run is billed for the hierarchy it actually
+	// carried (see FlopsPerRHS).
+	flops float64
 
 	maxResidual float64
 	sources     []Sample
 
 	scratch cosmology.Grho
 }
+
+// Growth schedule of the fast engine's hierarchy truncation. Moments above
+// l ~ k*tau carry no power yet (the free-streaming solution is j_l(k*tau),
+// negligible until its turning point), so the active cutoff tracks k*tau
+// with a safety margin: growRate sets the slope, growBuffer how many
+// moments beyond the causally filled ones stay active (absorbing the
+// truncation-closure reflection before it reaches the sourced low l), and
+// growFloor the smallest hierarchy ever evolved. Growth happens in chunks
+// (growHierarchy) so a mode pays O(log LMax) re-layouts, not O(LMax).
+const (
+	growRate   = 1.4
+	growBuffer = 10
+	growFloor  = 8
+)
+
+// Late-time hierarchy shrink (fast engine, source-recording runs only).
+// Once the photon + massless-neutrino share of the background drops below
+// radShrinkEps, the radiation hierarchies can only move the metric — and
+// hence the surviving ISW source — at that fractional level times their
+// own truncation error, far below the 1e-3 engine budget; shrinkLMax
+// moments under the free-streaming closure keep the low moments (which
+// feed the Einstein sums) to the accuracy that still matters.
+const (
+	radShrinkEps = 1e-2
+	shrinkLMax   = 6
+)
+
+// Source-recording step cap. The line-of-sight sources are linearly
+// interpolated from the accepted steps, and through the narrow visibility
+// peak the error controller would happily take steps far wider than the
+// peak itself: on slow superhorizon modes the recorded g(tau)-weighted
+// sources then carry percent-level resampling error, several orders above
+// the integrator tolerance, and any change of step policy moves C_l at low
+// l by that amount. A KeepSources run therefore caps the step inside the
+// visibility window (matching the dense segment of the LOS quadrature
+// grid) so the sampling density is set by the physics, not the controller.
+const (
+	srcCapBefore = 120.0 // window start: tauRec - srcCapBefore
+	srcCapAfter  = 180.0 // window end: tauRec + srcCapAfter
+	srcCapStep   = 3.0   // max step inside the window (Mpc)
+	// srcCapLate bounds the step over the free-streaming/ISW era as a
+	// fraction of the remaining range, keeping the slowly varying late
+	// sources resolved without affecting oscillation-limited modes.
+	srcCapLate = 1.0 / 40.0
+)
 
 // Evolve integrates one k mode to completion.
 func (mdl *Model) Evolve(p Params) (*Result, error) {
@@ -56,33 +134,87 @@ func (mdl *Model) Evolve(p Params) (*Result, error) {
 		return nil, fmt.Errorf("core: TauEnd = %g beyond the present %g", p.TauEnd, mdl.BG.Tau0())
 	}
 
-	m := &mode{Model: *mdl, p: p, k: p.K, k2: p.K * p.K}
-	m.layout()
+	m := &mode{Model: mdl, p: p, k: p.K, k2: p.K * p.K}
+	if p.FastEvolve && !p.noTables {
+		// Shared per-model tables; sweeps prebuild them in parallel via
+		// the dispatcher, a cold single mode builds serially here.
+		m.tab = mdl.EnsureEvalTables(nil)
+	}
 
 	tauStart := m.startTime()
 	if tauStart >= p.TauEnd {
 		return nil, fmt.Errorf("core: start time %g is not before end time %g (k=%g)", tauStart, p.TauEnd, p.K)
 	}
+	m.lmax = p.LMax
+	if p.FastEvolve && !p.noGrowLMax {
+		m.grow = true
+		m.lmax = m.initialLMax(tauStart)
+	}
+	m.layout()
 	y := make([]float64, m.nvar)
 	m.initialConditions(tauStart, y)
+	if p.KeepSources {
+		// A typical source-recording run accepts several hundred steps;
+		// start the slice large enough that append doubles at most once.
+		m.sources = make([]Sample, 0, 1024)
+	}
 
 	integ := p.Integrator
 	if integ == nil {
 		dv := ode.NewDVERK(p.RTol, p.ATol)
 		dv.InitialStep = tauStart * 1e-3
+		// The driver integrates in segments (tight-coupling switch,
+		// visibility window, hierarchy growth); carrying the controller
+		// step across them avoids a fresh ramp-up from the tiny initial
+		// step at every boundary.
+		dv.CarryStep = true
+		if p.FastEvolve && !p.noPI {
+			dv.PI = true
+		}
 		integ = dv
 	}
-	if ad, ok := integ.(*ode.Adaptive); ok && p.KeepSources {
-		ad.OnStep = func(t float64, yy []float64) { m.record(t, yy) }
-	} else if ad, ok := integ.(*ode.Adaptive); ok {
-		// Still monitor the constraint without storing samples.
-		ad.OnStep = func(t float64, yy []float64) { m.monitor(t, yy) }
+	if p.KeepSources {
+		// Source fidelity: cap the step through the visibility window (and
+		// loosely beyond it) so the recorded samples resolve the peak. The
+		// integrator's own MaxStep is restored on every exit path — a
+		// caller-supplied Adaptive must not come back polluted with the
+		// window cap.
+		if ad, ok := integ.(*ode.Adaptive); ok {
+			m.ad = ad
+			tauRec := mdl.TH.TauRec()
+			m.srcCap.lo = tauRec - srcCapBefore
+			m.srcCap.hi = tauRec + srcCapAfter
+			m.srcCap.h = srcCapStep
+			m.srcCap.base = ad.MaxStep
+			defer func() { ad.MaxStep = m.srcCap.base }()
+		}
+	}
+	if p.FastEvolve && p.KeepSources && !p.noGrowLMax {
+		// Late-time collapse: a source-recording run stops carrying the
+		// full hierarchies once radiation is dynamically negligible. A
+		// brute run (no KeepSources) keeps them — its product IS the
+		// final-time moments.
+		if t := m.shrinkTime(); t < p.TauEnd {
+			m.shrinkAt = t
+		}
+	}
+	if obs, ok := integ.(ode.StepObserver); ok {
+		if p.KeepSources {
+			obs.SetOnStep(m.record)
+		} else {
+			// Still monitor the constraint without storing samples.
+			obs.SetOnStep(m.monitor)
+		}
+	} else if p.KeepSources {
+		// Without the observer the sources would silently stay empty.
+		return nil, fmt.Errorf("core: KeepSources requires an integrator implementing ode.StepObserver (%s does not)", integ.Name())
 	}
 
 	res := &Result{K: p.K, Gauge: p.Gauge, LMax: p.LMax}
 	start := time.Now()
 
 	var stats ode.Stats
+	var err error
 
 	// Phase 1: tight coupling, if applicable.
 	m.tca = !p.DisableTightCoupling && m.tcaHolds(m.BG.AofTau(tauStart))
@@ -90,12 +222,10 @@ func (mdl *Model) Evolve(p Params) (*Result, error) {
 	if m.tca {
 		tauSwitch := m.findTCASwitch(tauStart, p.TauEnd)
 		if tauSwitch > tauStart {
-			st, err := integ.Integrate(m.rhs, tau, tauSwitch, y)
-			stats.Add(st)
+			tau, y, err = m.integrateSpan(integ, tau, tauSwitch, y, &stats)
 			if err != nil {
 				return nil, fmt.Errorf("core: tight-coupling phase (k=%g): %w", p.K, err)
 			}
-			tau = tauSwitch
 			res.TauSwitch = tauSwitch
 		}
 		m.releaseTightCoupling(tau, y)
@@ -103,28 +233,210 @@ func (mdl *Model) Evolve(p Params) (*Result, error) {
 	}
 
 	// Phase 2: full equations to the end.
-	st, err := integ.Integrate(m.rhs, tau, p.TauEnd, y)
-	stats.Add(st)
+	_, y, err = m.integrateSpan(integ, tau, p.TauEnd, y, &stats)
 	if err != nil {
 		return nil, fmt.Errorf("core: full phase (k=%g): %w", p.K, err)
 	}
 
 	res.Seconds = time.Since(start).Seconds()
 	res.Stats = stats
-	res.Flops = float64(stats.Evals) * FlopsPerRHS(p.LMax, m.lnu, m.nq, p.Gauge)
+	// Billed per segment at the active hierarchy size, so the fast
+	// engine's growing/shrinking runs report the work they actually did.
+	res.Flops = m.flops
 	m.pack(p.TauEnd, y, res)
 	res.MaxConstraintResidual = m.maxResidual
 	res.Sources = m.sources
 	return res, nil
 }
 
-// layout assigns state-vector indices.
+// integrateSpan advances the state from tau to tEnd, stopping at every
+// planned hierarchy-resize time (growth with k*tau; the late-time shrink)
+// to re-layout the state vector, and at the visibility-window edges to
+// switch the source-sampling step cap. With resizing and source capping
+// disabled it is a single Integrate call.
+func (m *mode) integrateSpan(integ ode.Integrator, tau, tEnd float64, y []float64, stats *ode.Stats) (float64, []float64, error) {
+	const (
+		actNone = iota
+		actGrow
+		actShrink
+	)
+	for {
+		next := tEnd
+		action := actNone
+		if m.grow {
+			if tg := m.nextGrowTau(); tg < next {
+				if tg < tau {
+					tg = tau
+				}
+				next = tg
+				action = actGrow
+			}
+		}
+		if m.shrinkAt > 0 && tau < m.shrinkAt && m.shrinkAt < next {
+			next = m.shrinkAt
+			action = actShrink
+		}
+		if m.srcCap.h > 0 {
+			cap := func(h float64) float64 {
+				if m.srcCap.base > 0 && m.srcCap.base < h {
+					return m.srcCap.base
+				}
+				return h
+			}
+			switch {
+			case tau < m.srcCap.lo:
+				m.ad.MaxStep = m.srcCap.base
+				if m.srcCap.lo < next {
+					next = m.srcCap.lo
+					action = actNone
+				}
+			case tau < m.srcCap.hi:
+				m.ad.MaxStep = cap(m.srcCap.h)
+				if m.srcCap.hi < next {
+					next = m.srcCap.hi
+					action = actNone
+				}
+			default:
+				m.ad.MaxStep = cap((m.p.TauEnd - m.srcCap.hi) * srcCapLate)
+			}
+		}
+		st, err := integ.Integrate(m.rhs, tau, next, y)
+		stats.Add(st)
+		m.flops += float64(st.Evals) * FlopsPerRHS(m.lmax, m.lnu, m.nq, m.p.Gauge)
+		if err != nil {
+			return tau, y, err
+		}
+		tau = next
+		if tau >= tEnd {
+			return tau, y, nil
+		}
+		switch action {
+		case actGrow:
+			y = m.growHierarchy(tau, y)
+		case actShrink:
+			y = m.shrinkHierarchy(y)
+		}
+	}
+}
+
+// neededLMax is the smallest safe active cutoff at conformal time tau.
+func (m *mode) neededLMax(tau float64) int {
+	n := int(growRate*m.k*tau) + growBuffer
+	if n > m.p.LMax {
+		n = m.p.LMax
+	}
+	return n
+}
+
+// initialLMax picks the starting hierarchy size of a growing run.
+func (m *mode) initialLMax(tau float64) int {
+	l := m.neededLMax(tau)
+	if l < growFloor {
+		l = growFloor
+	}
+	if l > m.p.LMax {
+		l = m.p.LMax
+	}
+	return l
+}
+
+// nextGrowTau returns the conformal time at which the active cutoff stops
+// being safe (+Inf effectively once growth has completed).
+func (m *mode) nextGrowTau() float64 {
+	if m.lmax >= m.p.LMax {
+		m.grow = false
+		return math.Inf(1)
+	}
+	return float64(m.lmax-growBuffer+1) / (growRate * m.k)
+}
+
+// growHierarchy re-layouts the state vector for a larger active cutoff:
+// evolved moments are copied over, newly activated moments seeded at zero
+// (they carry no power yet — that is the premise of the truncation), and
+// the truncation-boundary closure continues at the new last moment.
+func (m *mode) growHierarchy(tau float64, y []float64) []float64 {
+	lNew := m.neededLMax(tau) + max(8, m.lmax/3)
+	if lNew > m.p.LMax {
+		lNew = m.p.LMax
+	}
+	if lNew <= m.lmax {
+		lNew = m.lmax + 1 // cannot happen: growth times precede need
+	}
+	return m.resize(lNew, y)
+}
+
+// shrinkHierarchy is the late-time counterpart of growHierarchy: once
+// radiation is dynamically negligible and the visibility window is over,
+// a source-recording run only needs the metric (for the integrated
+// Sachs-Wolfe term), which the radiation hierarchies influence at the
+// level of the tiny radiation fraction itself. The hierarchies collapse to
+// shrinkLMax moments under the usual free-streaming closure — exact for
+// the post-recombination streaming solution — so the bulk of the state
+// vector disappears from every remaining step. The moments above the cut
+// are dropped for good (growth stays off); pack zero-fills them, which
+// only a KeepSources consumer never reads.
+func (m *mode) shrinkHierarchy(y []float64) []float64 {
+	m.shrinkAt = 0
+	m.grow = false
+	if m.lmax <= shrinkLMax {
+		return y
+	}
+	return m.resize(shrinkLMax, y)
+}
+
+// resize re-layouts the state vector for a new active cutoff, copying the
+// surviving moments (growth seeds new moments at zero; shrinking drops the
+// tail).
+func (m *mode) resize(lNew int, y []float64) []float64 {
+	keep := min(lNew, m.lmax) + 1
+	oldIfg, oldIgg, oldIfn, oldIpsn := m.ifg, m.igg, m.ifn, m.ipsn
+	m.lmax = lNew
+	m.layout()
+	ny := make([]float64, m.nvar)
+	copy(ny[:oldIfg], y[:oldIfg]) // fluid + metric block: indices unchanged
+	copy(ny[m.ifg:m.ifg+keep], y[oldIfg:oldIfg+keep])
+	copy(ny[m.igg:m.igg+keep], y[oldIgg:oldIgg+keep])
+	copy(ny[m.ifn:m.ifn+keep], y[oldIfn:oldIfn+keep])
+	copy(ny[m.ipsn:m.ipsn+m.nq*(m.lnu+1)], y[oldIpsn:oldIpsn+m.nq*(m.lnu+1)])
+	return ny
+}
+
+// shrinkTime returns the conformal time after which the hierarchies may
+// collapse: the photon + massless-neutrino share of the background falls
+// below radShrinkEps (bisected on the tabulated background), and the
+// visibility window of a recording run is over.
+func (m *mode) shrinkTime() float64 {
+	var g cosmology.Grho
+	frac := func(a float64) float64 {
+		m.BG.Eval(a, &g)
+		return (g.G + g.Nu) / g.Total
+	}
+	if frac(1.0) > radShrinkEps {
+		return math.Inf(1) // radiation never negligible (toy cosmologies)
+	}
+	lo, hi := 1e-6, 1.0
+	for i := 0; i < 60 && hi-lo > 1e-9; i++ {
+		mid := math.Sqrt(lo * hi)
+		if frac(mid) > radShrinkEps {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	t := m.BG.Tau(hi)
+	if m.srcCap.h > 0 && t < m.srcCap.hi {
+		t = m.srcCap.hi
+	}
+	return t
+}
+
+// layout assigns state-vector indices for the active cutoff m.lmax.
 func (m *mode) layout() {
 	if m.BG.P.NNuMassive > 0 {
 		m.nq = len(m.BG.Q)
 		m.lnu = m.p.LMaxNu
 	}
-	L := m.p.LMax + 1
+	L := m.lmax + 1
 	i := 0
 	alloc := func(n int) int { j := i; i += n; return j }
 	m.ia = alloc(1)
@@ -150,6 +462,20 @@ func (m *mode) layout() {
 	m.ifn = alloc(L)
 	m.ipsn = alloc(m.nq * (m.lnu + 1))
 	m.nvar = i
+
+	nr := m.lmax + 1
+	if m.lnu+1 > nr {
+		nr = m.lnu + 1
+	}
+	if len(m.rA) < nr {
+		m.rA = make([]float64, nr)
+		m.rB = make([]float64, nr)
+		for l := 0; l < nr; l++ {
+			fl := float64(l)
+			m.rA[l] = fl / (2.0*fl + 1.0)
+			m.rB[l] = (fl + 1.0) / (2.0*fl + 1.0)
+		}
+	}
 }
 
 // startTime picks the initial conformal time: superhorizon (k tau small),
@@ -327,7 +653,10 @@ func (m *mode) pack(tau float64, y []float64, res *Result) {
 	res.A = y[m.ia]
 	res.ThetaL = make([]float64, L)
 	res.ThetaPL = make([]float64, L)
-	for l := 0; l < L; l++ {
+	// A growing run may finish with m.lmax < p.LMax when k tau0 never
+	// reached the requested cutoff; the moments beyond the active cutoff
+	// are exactly the ones with no power, and stay zero.
+	for l := 0; l <= m.lmax; l++ {
 		res.ThetaL[l] = 0.25 * y[m.ifg+l]
 		res.ThetaPL[l] = 0.25 * y[m.igg+l]
 	}

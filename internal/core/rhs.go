@@ -24,15 +24,24 @@ type sums struct {
 }
 
 // gatherSums evaluates background quantities and the stress-energy sums for
-// the current state.
+// the current state. The fast engine resolves the background and
+// thermodynamics through the model's flattened tables (one log + one fused
+// direct-indexed interpolation); the reference path keeps the exact spline
+// lookups.
 func (m *mode) gatherSums(tau float64, y []float64, s *sums) {
 	g := &m.scratch
 	a := y[m.ia]
-	m.BG.Eval(a, g)
+	if m.tab != nil {
+		m.tab.Eval(a, g, &m.tt)
+		s.kd = m.tt.Kd
+		s.cs2 = m.tt.Cs2
+	} else {
+		m.BG.Eval(a, g)
+		s.kd = m.TH.Opacity(a)
+		s.cs2 = m.TH.Cs2(a)
+	}
 	s.a = a
 	s.hconf = g.HConf
-	s.kd = m.TH.Opacity(a)
-	s.cs2 = m.TH.Cs2(a)
 
 	k := m.k
 	dc, db := y[m.idc], y[m.idb]
@@ -96,7 +105,7 @@ func (m *mode) rhs(tau float64, y, dy []float64) {
 	m.gatherSums(tau, y, &s)
 	k, k2 := m.k, m.k2
 	a, hc, kd := s.a, s.hconf, s.kd
-	lmax := m.p.LMax
+	lmax := m.lmax
 
 	dy[m.ia] = a * hc
 
@@ -172,68 +181,78 @@ func (m *mode) rhs(tau float64, y, dy []float64) {
 		dy[m.ifg+1] = 4.0 / (3.0 * k) * thetaGDot
 		// Higher photon moments and polarization are algebraically slaved;
 		// hold their stored values frozen (they remain ~0 until release).
-		for l := 2; l <= lmax; l++ {
-			dy[m.ifg+l] = 0
-			dy[m.igg+l] = 0
-		}
-		dy[m.igg] = 0
-		dy[m.igg+1] = 0
+		clear(dy[m.ifg+2 : m.ifg+lmax+1])
+		clear(dy[m.igg : m.igg+lmax+1])
 	} else {
+		// The free-streaming hierarchies run on subslice views with the
+		// l/(2l+1) ratios precomputed (see mode.rA/rB): per-moment index
+		// arithmetic and divisions stay out of the hottest loops.
+		fg := y[m.ifg : m.ifg+lmax+1]
+		dfg := dy[m.ifg : m.ifg+lmax+1]
+		gg := y[m.igg : m.igg+lmax+1]
+		dgg := dy[m.igg : m.igg+lmax+1]
+		rA, rB := m.rA, m.rB
+		trunc := (float64(lmax) + 1.0) / tau
+
 		dy[m.itb] = -hc*tb + s.cs2*k2*db + kpsi + r*kd*(s.thetaG-tb)
 		thetaGDot := photonAccel + kpsi + kd*(tb-s.thetaG)
-		dy[m.ifg+1] = 4.0 / (3.0 * k) * thetaGDot
+		dfg[1] = 4.0 / (3.0 * k) * thetaGDot
 
-		pi := y[m.ifg+2] + y[m.igg] + y[m.igg+2]
+		pi := fg[2] + gg[0] + gg[2]
 		// Temperature quadrupole and higher. MB95 eq. (63): the Thomson
 		// term is -kd [ (9/10) F_2 - (1/10)(G_0 + G_2) ], equivalently
 		// -kd (F_2 - Pi/10) with Pi = F_2 + G_0 + G_2.
-		dy[m.ifg+2] = k/5.0*(2.0*y[m.ifg+1]-3.0*y[m.ifg+3]) + src2 -
-			kd*(y[m.ifg+2]-0.1*pi)
+		dfg[2] = k/5.0*(2.0*fg[1]-3.0*fg[3]) + src2 - kd*(fg[2]-0.1*pi)
 		for l := 3; l < lmax; l++ {
-			fl := float64(l)
-			dy[m.ifg+l] = k/(2.0*fl+1.0)*(fl*y[m.ifg+l-1]-(fl+1.0)*y[m.ifg+l+1]) - kd*y[m.ifg+l]
+			dfg[l] = k*(rA[l]*fg[l-1]-rB[l]*fg[l+1]) - kd*fg[l]
 		}
 		// Free-streaming truncation (MB95 eq. 65).
-		dy[m.ifg+lmax] = k*y[m.ifg+lmax-1] - (float64(lmax)+1.0)/tau*y[m.ifg+lmax] - kd*y[m.ifg+lmax]
+		dfg[lmax] = k*fg[lmax-1] - trunc*fg[lmax] - kd*fg[lmax]
 
 		// Polarization hierarchy.
-		dy[m.igg] = -k*y[m.igg+1] + kd*(0.5*pi-y[m.igg])
-		dy[m.igg+1] = k/3.0*(y[m.igg]-2.0*y[m.igg+2]) - kd*y[m.igg+1]
+		dgg[0] = -k*gg[1] + kd*(0.5*pi-gg[0])
+		dgg[1] = k/3.0*(gg[0]-2.0*gg[2]) - kd*gg[1]
 		if lmax >= 3 {
-			dy[m.igg+2] = k/5.0*(2.0*y[m.igg+1]-3.0*y[m.igg+3]) + kd*(0.1*pi-y[m.igg+2])
+			dgg[2] = k/5.0*(2.0*gg[1]-3.0*gg[3]) + kd*(0.1*pi-gg[2])
 		} else {
-			dy[m.igg+2] = k/5.0*(2.0*y[m.igg+1]) + kd*(0.1*pi-y[m.igg+2])
+			dgg[2] = k/5.0*(2.0*gg[1]) + kd*(0.1*pi-gg[2])
 		}
 		for l := 3; l < lmax; l++ {
-			fl := float64(l)
-			dy[m.igg+l] = k/(2.0*fl+1.0)*(fl*y[m.igg+l-1]-(fl+1.0)*y[m.igg+l+1]) - kd*y[m.igg+l]
+			dgg[l] = k*(rA[l]*gg[l-1]-rB[l]*gg[l+1]) - kd*gg[l]
 		}
-		dy[m.igg+lmax] = k*y[m.igg+lmax-1] - (float64(lmax)+1.0)/tau*y[m.igg+lmax] - kd*y[m.igg+lmax]
+		dgg[lmax] = k*gg[lmax-1] - trunc*gg[lmax] - kd*gg[lmax]
 	}
 
 	// Massless neutrinos.
-	dy[m.ifn] = -k*y[m.ifn+1] + src0
-	dy[m.ifn+1] = k/3.0*(y[m.ifn]-2.0*y[m.ifn+2]) + src1
+	fn := y[m.ifn : m.ifn+lmax+1]
+	dfn := dy[m.ifn : m.ifn+lmax+1]
+	dfn[0] = -k*fn[1] + src0
+	dfn[1] = k/3.0*(fn[0]-2.0*fn[2]) + src1
 	if lmax >= 3 {
-		dy[m.ifn+2] = k/5.0*(2.0*y[m.ifn+1]-3.0*y[m.ifn+3]) + src2
+		dfn[2] = k/5.0*(2.0*fn[1]-3.0*fn[3]) + src2
 	} else {
-		dy[m.ifn+2] = k / 5.0 * (2.0 * y[m.ifn+1])
+		dfn[2] = k / 5.0 * (2.0 * fn[1])
 	}
-	for l := 3; l < lmax; l++ {
-		fl := float64(l)
-		dy[m.ifn+l] = k / (2.0*fl + 1.0) * (fl*y[m.ifn+l-1] - (fl+1.0)*y[m.ifn+l+1])
+	{
+		rA, rB := m.rA, m.rB
+		for l := 3; l < lmax; l++ {
+			dfn[l] = k * (rA[l]*fn[l-1] - rB[l]*fn[l+1])
+		}
 	}
-	dy[m.ifn+lmax] = k*y[m.ifn+lmax-1] - (float64(lmax)+1.0)/tau*y[m.ifn+lmax]
+	dfn[lmax] = k*fn[lmax-1] - (float64(lmax)+1.0)/tau*fn[lmax]
 
 	// Massive neutrinos: full momentum dependence.
 	if m.nq > 0 {
 		am := a * m.BG.MassQ
+		rA, rB := m.rA, m.rB
 		for iq := 0; iq < m.nq; iq++ {
 			q := m.BG.Q[iq]
 			df := m.BG.DlnF0DlnQ[iq]
 			eps := math.Sqrt(q*q + am*am)
 			qke := q * k / eps
 			base := m.ipsn + iq*(m.lnu+1)
+			ps := y[base : base+m.lnu+1]
+			dps := dy[base : base+m.lnu+1]
 			var s0, s1, s2nu float64
 			if m.p.Gauge == ConformalNewtonian {
 				s0 = -phiDot * df
@@ -242,18 +261,17 @@ func (m *mode) rhs(tau float64, y, dy []float64) {
 				s0 = hdot / 6.0 * df
 				s2nu = -2.0 / 15.0 * (0.5*hdot + 3.0*eDot) * df
 			}
-			dy[base] = -qke*y[base+1] + s0
-			dy[base+1] = qke/3.0*(y[base]-2.0*y[base+2]) + s1
+			dps[0] = -qke*ps[1] + s0
+			dps[1] = qke/3.0*(ps[0]-2.0*ps[2]) + s1
 			if m.lnu >= 3 {
-				dy[base+2] = qke/5.0*(2.0*y[base+1]-3.0*y[base+3]) + s2nu
+				dps[2] = qke/5.0*(2.0*ps[1]-3.0*ps[3]) + s2nu
 			} else {
-				dy[base+2] = qke/5.0*(2.0*y[base+1]) + s2nu
+				dps[2] = qke/5.0*(2.0*ps[1]) + s2nu
 			}
 			for l := 3; l < m.lnu; l++ {
-				fl := float64(l)
-				dy[base+l] = qke / (2.0*fl + 1.0) * (fl*y[base+l-1] - (fl+1.0)*y[base+l+1])
+				dps[l] = qke * (rA[l]*ps[l-1] - rB[l]*ps[l+1])
 			}
-			dy[base+m.lnu] = qke*y[base+m.lnu-1] - (float64(m.lnu)+1.0)/tau*y[base+m.lnu]
+			dps[m.lnu] = qke*ps[m.lnu-1] - (float64(m.lnu)+1.0)/tau*ps[m.lnu]
 		}
 	}
 }
@@ -263,6 +281,13 @@ func (m *mode) rhs(tau float64, y, dy []float64) {
 func (m *mode) constraintResidual(tau float64, y []float64) float64 {
 	var s sums
 	m.gatherSums(tau, y, &s)
+	return m.residualFrom(y, &s)
+}
+
+// residualFrom is constraintResidual on sums already gathered for this
+// state, so callers that need both the sums and the residual (record) pay
+// one gatherSums instead of two.
+func (m *mode) residualFrom(y []float64, s *sums) float64 {
 	k2 := m.k2
 	if m.p.Gauge == ConformalNewtonian {
 		phi := y[m.iphi]
@@ -295,13 +320,21 @@ func (m *mode) monitor(tau float64, y []float64) {
 }
 
 // record stores a line-of-sight source sample (and monitors constraints).
+// The sums are gathered once and shared between the constraint residual
+// and the sample fields.
 func (m *mode) record(tau float64, y []float64) {
-	resid := m.constraintResidual(tau, y)
+	var s sums
+	m.gatherSums(tau, y, &s)
+	resid := m.residualFrom(y, &s)
 	if resid > m.maxResidual {
 		m.maxResidual = resid
 	}
-	var s sums
-	m.gatherSums(tau, y, &s)
+	kappa := 0.0
+	if m.tab != nil {
+		kappa = m.tab.OpticalDepth(s.a)
+	} else {
+		kappa = m.TH.OpticalDepth(s.a)
+	}
 	smp := Sample{
 		Residual: resid,
 		Tau:      tau,
@@ -309,7 +342,7 @@ func (m *mode) record(tau float64, y []float64) {
 		Theta0:   0.25 * y[m.ifg],
 		VB:       y[m.itb] / m.k,
 		Kdot:     s.kd,
-		Kappa:    m.TH.OpticalDepth(s.a),
+		Kappa:    kappa,
 		DeltaC:   y[m.idc],
 		DeltaB:   y[m.idb],
 	}

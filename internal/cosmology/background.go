@@ -243,11 +243,25 @@ func (bg *Background) Eval(a float64, g *Grho) {
 	g.HConf = math.Sqrt(g.Total / 3.0)
 }
 
-// HConf returns the conformal Hubble rate a'/a in Mpc^-1.
+// HConf returns the conformal Hubble rate a'/a in Mpc^-1. It is the
+// single-field fast path of Eval: the total density is accumulated in the
+// same order (so the value is bitwise identical), but the per-species
+// struct fills and — decisively — the massive-neutrino pressure spline are
+// skipped. The tau-table and thermodynamic-history builders evaluate it
+// thousands of times per model.
 func (bg *Background) HConf(a float64) float64 {
-	var g Grho
-	bg.Eval(a, &g)
-	return g.HConf
+	p := bg.P
+	a2 := a * a
+	var hnu float64
+	if p.NNuMassive > 0 {
+		hnu = bg.Grhor1 * float64(p.NNuMassive) * bg.rhoNuFactor(a*bg.MassQ) / a2
+	}
+	total := bg.Grhom*p.OmegaC/a + bg.Grhom*p.OmegaB/a
+	total += bg.Grhog / a2
+	total += bg.Grhor1 * p.NNuMassless / a2
+	total += hnu
+	total += bg.Grhom * p.OmegaLambda * a2
+	return math.Sqrt(total / 3.0)
 }
 
 // buildTauTable integrates dtau = dln a / (aH) on a dense logarithmic grid.

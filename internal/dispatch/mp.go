@@ -71,6 +71,7 @@ func (d *MP) Run(ctx context.Context, ks []float64, mode core.Params) (*Sweep, *
 		BinaryOut: d.BinaryOut,
 	}
 
+	prebuildEvalTables(d.Model, mode)
 	defer runPrebuild(d.Prebuild)()
 
 	// Cancellation: blocking probes cannot watch a context, so closing

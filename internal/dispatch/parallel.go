@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"plinger/internal/core"
 )
 
 // ParallelFor runs body(i) for every i in [0, n) across up to workers
@@ -13,6 +15,18 @@ import (
 // fan-out for CPU-bound precomputations that are not k-mode evolutions —
 // e.g. the spherical-Bessel table build of the fast C_l engine — keeping
 // every parallel loop in the repository inside the dispatch subsystem.
+// prebuildEvalTables builds the model's flattened evaluation tables across
+// the pool's workers before a fast-engine sweep hands out its first mode
+// (a no-op when the mode is not FastEvolve or the tables are already
+// cached). Every dispatcher backend calls it, so the per-model table build
+// is always a single parallel pass rather than a serial build inside
+// whichever worker happens to evolve the first mode.
+func prebuildEvalTables(m *core.Model, mode core.Params) {
+	if mode.FastEvolve {
+		m.EnsureEvalTables(ParallelFor)
+	}
+}
+
 func ParallelFor(workers, n int, body func(i int)) {
 	if n <= 0 {
 		return

@@ -56,6 +56,7 @@ func (p *Pool) Run(ctx context.Context, ks []float64, mode core.Params) (*Sweep,
 	perk := perKLMaxTable(ks, tau0, mode.LMax, p.AdaptLMax)
 	order := p.Schedule.Order(ks)
 
+	prebuildEvalTables(p.Model, mode)
 	defer runPrebuild(p.Prebuild)()
 
 	start := time.Now()

@@ -152,6 +152,7 @@ func (p *SharedPool) Run(ctx context.Context, ks []float64, mode core.Params) (*
 	}
 
 	tau0 := sweepTau0(p.model, mode)
+	prebuildEvalTables(p.model, mode)
 	rctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	run := &sharedRun{

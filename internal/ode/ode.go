@@ -45,6 +45,18 @@ type Integrator interface {
 	Name() string
 }
 
+// StepObserver is the optional step-callback contract: an integrator that
+// can report every accepted step (time and state) implements it. Callers
+// that must see the trajectory — core.Evolve recording line-of-sight
+// sources, the constraint monitor — require this interface and reject
+// integrators that silently drop the callback. Both integrators in this
+// package implement it.
+type StepObserver interface {
+	// SetOnStep installs fn to be called after every accepted step with
+	// the new time and state; nil removes the callback.
+	SetOnStep(fn func(t float64, y []float64))
+}
+
 // ErrMaxSteps is returned when the step budget is exhausted before reaching
 // the requested end time (typically a sign of unresolved stiffness).
 var ErrMaxSteps = errors.New("ode: maximum number of steps exceeded")
@@ -62,6 +74,114 @@ type tableau struct {
 	a      [][]float64 // a[i] has i entries (strictly lower triangular)
 	b      []float64   // high-order weights (propagated)
 	bhat   []float64   // embedded lower-order weights (error estimate)
+
+	// derived coefficient lists, see derive: the non-zero entries of each
+	// a row, of b, and of b - bhat (the error-estimate weights).
+	anz  [][]nzc
+	bnz  []nzc
+	dbnz []nzc
+}
+
+// nzc is one non-zero tableau coefficient and the stage it weights.
+type nzc struct {
+	j int
+	c float64
+}
+
+func nonzeros(w []float64) []nzc {
+	var nz []nzc
+	for j, c := range w {
+		if c != 0 {
+			nz = append(nz, nzc{j, c})
+		}
+	}
+	return nz
+}
+
+// derive fills the non-zero coefficient lists on first use (each Adaptive
+// carries its own tableau copy, so the cache is per-integrator). The step
+// kernel iterates these instead of testing every coefficient of every
+// stage against zero in its inner loops.
+func (tab *tableau) derive() {
+	if tab.anz != nil {
+		return
+	}
+	tab.anz = make([][]nzc, tab.stages)
+	for s := 1; s < tab.stages; s++ {
+		tab.anz[s] = nonzeros(tab.a[s])
+	}
+	tab.bnz = nonzeros(tab.b)
+	db := make([]float64, tab.stages)
+	for s := range db {
+		db[s] = tab.b[s] - tab.bhat[s]
+	}
+	tab.dbnz = nonzeros(db)
+}
+
+// accum computes dst = base + h * sum_j c_j k_j as a single fused pass for
+// the small stage counts of embedded RK pairs (dst == base is allowed and
+// accumulates in place). One pass with all stage slices held in locals is
+// substantially faster than a saxpy sweep per stage: the state vectors of
+// the Einstein-Boltzmann hierarchies are wide, and every avoided pass over
+// them is bandwidth saved.
+func accum(dst, base []float64, h float64, nz []nzc, k [][]float64) {
+	n := len(dst)
+	base = base[:n]
+	switch len(nz) {
+	case 1:
+		c0 := h * nz[0].c
+		k0 := k[nz[0].j][:n]
+		for i := range dst {
+			dst[i] = base[i] + c0*k0[i]
+		}
+	case 2:
+		c0, c1 := h*nz[0].c, h*nz[1].c
+		k0, k1 := k[nz[0].j][:n], k[nz[1].j][:n]
+		for i := range dst {
+			dst[i] = base[i] + c0*k0[i] + c1*k1[i]
+		}
+	case 3:
+		c0, c1, c2 := h*nz[0].c, h*nz[1].c, h*nz[2].c
+		k0, k1, k2 := k[nz[0].j][:n], k[nz[1].j][:n], k[nz[2].j][:n]
+		for i := range dst {
+			dst[i] = base[i] + c0*k0[i] + c1*k1[i] + c2*k2[i]
+		}
+	case 4:
+		c0, c1, c2, c3 := h*nz[0].c, h*nz[1].c, h*nz[2].c, h*nz[3].c
+		k0, k1, k2, k3 := k[nz[0].j][:n], k[nz[1].j][:n], k[nz[2].j][:n], k[nz[3].j][:n]
+		for i := range dst {
+			dst[i] = base[i] + c0*k0[i] + c1*k1[i] + c2*k2[i] + c3*k3[i]
+		}
+	case 5:
+		c0, c1, c2, c3, c4 := h*nz[0].c, h*nz[1].c, h*nz[2].c, h*nz[3].c, h*nz[4].c
+		k0, k1, k2, k3, k4 := k[nz[0].j][:n], k[nz[1].j][:n], k[nz[2].j][:n], k[nz[3].j][:n], k[nz[4].j][:n]
+		for i := range dst {
+			dst[i] = base[i] + c0*k0[i] + c1*k1[i] + c2*k2[i] + c3*k3[i] + c4*k4[i]
+		}
+	case 6:
+		c0, c1, c2, c3, c4, c5 := h*nz[0].c, h*nz[1].c, h*nz[2].c, h*nz[3].c, h*nz[4].c, h*nz[5].c
+		k0, k1, k2, k3, k4, k5 := k[nz[0].j][:n], k[nz[1].j][:n], k[nz[2].j][:n], k[nz[3].j][:n], k[nz[4].j][:n], k[nz[5].j][:n]
+		for i := range dst {
+			dst[i] = base[i] + c0*k0[i] + c1*k1[i] + c2*k2[i] + c3*k3[i] + c4*k4[i] + c5*k5[i]
+		}
+	case 7:
+		c0, c1, c2, c3, c4, c5, c6 := h*nz[0].c, h*nz[1].c, h*nz[2].c, h*nz[3].c, h*nz[4].c, h*nz[5].c, h*nz[6].c
+		k0, k1, k2, k3, k4, k5, k6 := k[nz[0].j][:n], k[nz[1].j][:n], k[nz[2].j][:n], k[nz[3].j][:n], k[nz[4].j][:n], k[nz[5].j][:n], k[nz[6].j][:n]
+		for i := range dst {
+			dst[i] = base[i] + c0*k0[i] + c1*k1[i] + c2*k2[i] + c3*k3[i] + c4*k4[i] + c5*k5[i] + c6*k6[i]
+		}
+	default:
+		if &dst[0] != &base[0] {
+			copy(dst, base)
+		}
+		for _, t := range nz {
+			c := h * t.c
+			kj := k[t.j][:n]
+			for i, v := range kj {
+				dst[i] += c * v
+			}
+		}
+	}
 }
 
 // verner65 is the 8-stage 6(5) pair of J.H. Verner used by the netlib DVERK
@@ -122,6 +242,23 @@ type Adaptive struct {
 	// OnStep, if non-nil, is called after every accepted step with the new
 	// time and state; used to capture line-of-sight sources.
 	OnStep func(t float64, y []float64)
+	// PI enables proportional-integral (Gustafsson) step-size control on
+	// accepted steps: the next step size uses both the current and the
+	// previous error norm, damping the accept/reject oscillation of the
+	// elementary controller and cutting the rejected-step fraction. Off by
+	// default (the elementary controller is the reference behaviour).
+	PI bool
+	// CarryStep makes each Integrate call resume from the final controller
+	// step size of the previous call instead of restarting from
+	// InitialStep. The fast evolution engine integrates one mode as many
+	// short segments (hierarchy-growth events, the tight-coupling switch),
+	// and without carrying the step every segment would pay a fresh
+	// ramp-up from the tiny initial step. Off by default.
+	CarryStep bool
+
+	// controller state carried across calls when CarryStep is set
+	lastH   float64
+	prevErr float64
 
 	// scratch buffers reused across calls
 	k     [][]float64
@@ -144,6 +281,9 @@ func NewRKF45(rtol, atol float64) *Adaptive {
 
 // Name implements Integrator.
 func (ad *Adaptive) Name() string { return ad.tab.name }
+
+// SetOnStep implements StepObserver.
+func (ad *Adaptive) SetOnStep(fn func(t float64, y []float64)) { ad.OnStep = fn }
 
 func (ad *Adaptive) ensure(n int) {
 	if ad.dimsz == n && ad.k != nil {
@@ -182,6 +322,11 @@ func (ad *Adaptive) Integrate(f Func, t0, t1 float64, y []float64) (Stats, error
 		maxSteps = 10000000
 	}
 	h := ad.InitialStep
+	if ad.CarryStep && ad.lastH > 0 {
+		h = ad.lastH
+	} else {
+		ad.prevErr = 0
+	}
 	if h <= 0 {
 		h = (t1 - t0) * 1e-4
 	}
@@ -195,23 +340,27 @@ func (ad *Adaptive) Integrate(f Func, t0, t1 float64, y []float64) (Stats, error
 			return st, fmt.Errorf("%w (t=%g of [%g,%g], %d steps)", ErrMaxSteps, t, t0, t1, iter)
 		}
 		if t >= t1 {
+			ad.lastH = h
 			return st, nil
 		}
+		// hTry is the trial step actually taken; h stays the controller's
+		// step so a clamped final segment does not shrink the carried step.
+		hTry := h
 		last := false
-		if t+h >= t1 {
-			h = t1 - t
+		if t+hTry >= t1 {
+			hTry = t1 - t
 			last = true
 		}
 		minStep := ad.MinStep
 		if minStep <= 0 {
 			minStep = 16.0 * 2.220446049250313e-16 * math.Max(math.Abs(t), math.Abs(t1))
 		}
-		// One embedded RK step of size h.
-		errNorm := ad.step(f, t, h, y, &st)
+		// One embedded RK step of size hTry.
+		errNorm := ad.step(f, t, hTry, y, &st)
 		if math.IsNaN(errNorm) || math.IsInf(errNorm, 0) {
 			// Retry with a much smaller step.
 			st.Rejected++
-			h *= 0.1
+			h = hTry * 0.1
 			if h < minStep {
 				return st, fmt.Errorf("%w at t=%g (NaN in error estimate)", ErrStepUnderflow, t)
 			}
@@ -220,19 +369,43 @@ func (ad *Adaptive) Integrate(f Func, t0, t1 float64, y []float64) (Stats, error
 		if errNorm <= 1.0 {
 			// Accept.
 			copy(y, ad.ynew)
-			t += h
+			t += hTry
 			st.Steps++
 			if ad.OnStep != nil {
 				ad.OnStep(t, y)
 			}
 			if last && t >= t1 {
+				ad.lastH = h
 				return st, nil
 			}
-			fac := 0.9 * math.Pow(errNorm+1e-300, -1.0/order)
+			var fac float64
+			if ad.PI && ad.prevErr > 0 {
+				// PI controller (Hairer's dopri convention): damp the next
+				// step with the previous error norm as well, so a
+				// near-threshold accept is not followed by an overconfident
+				// growth and reject. The exponents split 1/order into a
+				// proportional and an integral part; the raised safety
+				// factor compensates the controller's lower steady-state
+				// error norm (0.9 here would settle at err ~ 0.9^20 = 0.12
+				// and take ~20% more steps than the elementary controller).
+				e := errNorm
+				if e < 1e-12 {
+					e = 1e-12
+				}
+				fac = 0.97 * math.Pow(e, -0.7/order) * math.Pow(ad.prevErr, 0.4/order)
+			} else {
+				fac = 0.9 * math.Pow(errNorm+1e-300, -1.0/order)
+			}
 			if fac > 5.0 {
 				fac = 5.0
 			}
-			h *= fac
+			if ad.PI {
+				ad.prevErr = errNorm
+				if ad.prevErr < 1e-12 {
+					ad.prevErr = 1e-12
+				}
+			}
+			h = hTry * fac
 			if ad.MaxStep > 0 && h > ad.MaxStep {
 				h = ad.MaxStep
 			}
@@ -242,7 +415,7 @@ func (ad *Adaptive) Integrate(f Func, t0, t1 float64, y []float64) (Stats, error
 			if fac < 0.1 {
 				fac = 0.1
 			}
-			h *= fac
+			h = hTry * fac
 			if h < minStep {
 				return st, fmt.Errorf("%w at t=%g (h=%g)", ErrStepUnderflow, t, h)
 			}
@@ -252,26 +425,34 @@ func (ad *Adaptive) Integrate(f Func, t0, t1 float64, y []float64) (Stats, error
 
 // step performs a single trial step of size h from (t, y), leaving the
 // candidate solution in ad.ynew and returning the scaled error norm.
+//
+// Each stage state and the final combination are produced by one fused
+// accumulation pass over the non-zero tableau coefficients (see accum),
+// rather than a per-component dot product with zero tests over all stages:
+// for the wide Einstein-Boltzmann systems this combination work is where
+// most of an evolution's time outside the right-hand side itself goes.
 func (ad *Adaptive) step(f Func, t, h float64, y []float64, st *Stats) float64 {
 	tab := &ad.tab
+	tab.derive()
 	n := len(y)
 	k := ad.k
 	// Stage 0.
 	f(t, y, k[0])
 	st.Evals++
 	for s := 1; s < tab.stages; s++ {
-		arow := tab.a[s]
-		for i := 0; i < n; i++ {
-			sum := 0.0
-			for j := range arow {
-				sum += arow[j] * k[j][i]
-			}
-			ad.ytmp[i] = y[i] + h*sum
-		}
-		f(t+tab.c[s]*h, ad.ytmp, k[s])
+		yt := ad.ytmp[:n]
+		accum(yt, y, h, tab.anz[s], k)
+		f(t+tab.c[s]*h, yt, k[s])
 		st.Evals++
 	}
-	// Combine.
+	// Combine: ynew = y + h sum b_s k_s, yerr = h sum (b-bhat)_s k_s.
+	yn := ad.ynew[:n]
+	accum(yn, y, h, tab.bnz, k)
+	ye := ad.yerr[:n]
+	for i := range ye {
+		ye[i] = 0
+	}
+	accum(ye, ye, h, tab.dbnz, k)
 	rtol, atol := ad.RTol, ad.ATol
 	if rtol <= 0 {
 		rtol = 1e-6
@@ -281,19 +462,11 @@ func (ad *Adaptive) step(f Func, t, h float64, y []float64, st *Stats) float64 {
 	}
 	var errSum float64
 	for i := 0; i < n; i++ {
-		hi, lo := 0.0, 0.0
-		for s := 0; s < tab.stages; s++ {
-			if tab.b[s] != 0 {
-				hi += tab.b[s] * k[s][i]
-			}
-			if tab.bhat[s] != 0 {
-				lo += tab.bhat[s] * k[s][i]
-			}
+		ay := math.Abs(y[i])
+		if an := math.Abs(yn[i]); an > ay {
+			ay = an
 		}
-		ad.ynew[i] = y[i] + h*hi
-		e := h * (hi - lo)
-		sc := atol + rtol*math.Max(math.Abs(y[i]), math.Abs(ad.ynew[i]))
-		r := e / sc
+		r := ye[i] / (atol + rtol*ay)
 		errSum += r * r
 	}
 	return math.Sqrt(errSum / float64(n))
@@ -304,6 +477,9 @@ func (ad *Adaptive) step(f Func, t, h float64, y []float64, st *Stats) float64 {
 type RK4 struct {
 	// Steps is the number of equal steps used across the interval.
 	Steps int
+	// OnStep, if non-nil, is called after every step with the new time and
+	// state (see StepObserver).
+	OnStep func(t float64, y []float64)
 
 	k1, k2, k3, k4, ytmp []float64
 }
@@ -313,6 +489,9 @@ func NewRK4(n int) *RK4 { return &RK4{Steps: n} }
 
 // Name implements Integrator.
 func (r *RK4) Name() string { return "RK4 (fixed step)" }
+
+// SetOnStep implements StepObserver.
+func (r *RK4) SetOnStep(fn func(t float64, y []float64)) { r.OnStep = fn }
 
 // Integrate implements Integrator.
 func (r *RK4) Integrate(f Func, t0, t1 float64, y []float64) (Stats, error) {
@@ -351,6 +530,9 @@ func (r *RK4) Integrate(f Func, t0, t1 float64, y []float64) (Stats, error) {
 		t += h
 		st.Steps++
 		st.Evals += 4
+		if r.OnStep != nil {
+			r.OnStep(t, y)
+		}
 	}
 	return st, nil
 }

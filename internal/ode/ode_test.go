@@ -257,3 +257,87 @@ func TestTableauConsistency(t *testing.T) {
 		}
 	}
 }
+
+// TestPIControllerCutsRejections: on a problem with a sharply varying
+// right-hand side the elementary controller oscillates between optimistic
+// growth and rejection; the PI controller must cut the rejected fraction
+// without losing accuracy.
+func TestPIControllerCutsRejections(t *testing.T) {
+	// y' = -lambda (y - sin t) + cos t with a stiff-ish pull toward sin t.
+	f := func(tt float64, y, dy []float64) {
+		dy[0] = -40.0*(y[0]-math.Sin(tt)) + math.Cos(tt)
+	}
+	run := func(pi bool) (Stats, float64) {
+		ad := NewDVERK(1e-7, 1e-12)
+		ad.PI = pi
+		y := []float64{0}
+		st, err := ad.Integrate(f, 0, 20, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, y[0]
+	}
+	plain, yPlain := run(false)
+	pi, yPI := run(true)
+	if plain.Rejected > 5 && pi.Rejected >= plain.Rejected {
+		t.Fatalf("PI rejected %d steps, elementary %d", pi.Rejected, plain.Rejected)
+	}
+	want := math.Sin(20.0)
+	if math.Abs(yPI-want) > 1e-5 || math.Abs(yPlain-want) > 1e-5 {
+		t.Fatalf("solutions drifted: plain %g, PI %g, want %g", yPlain, yPI, want)
+	}
+}
+
+// TestCarryStepResumes: with CarryStep a follow-on Integrate call must not
+// ramp up from InitialStep again — the second leg of a split interval
+// should cost about as many steps as the same leg of an unsplit run.
+func TestCarryStepResumes(t *testing.T) {
+	f := func(tt float64, y, dy []float64) { dy[0] = -y[0] }
+	count := func(carry bool) int {
+		ad := NewDVERK(1e-8, 1e-12)
+		ad.InitialStep = 1e-6
+		ad.CarryStep = carry
+		y := []float64{1}
+		st1, err := ad.Integrate(f, 0, 5, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st2, err := ad.Integrate(f, 5, 10, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = st1
+		return st2.Steps
+	}
+	carried := count(true)
+	restarted := count(false)
+	if carried >= restarted {
+		t.Fatalf("carried second leg took %d steps, restart took %d", carried, restarted)
+	}
+}
+
+// TestStepObserverContract: both integrators implement StepObserver and
+// deliver every accepted step through SetOnStep.
+func TestStepObserverContract(t *testing.T) {
+	f := func(tt float64, y, dy []float64) { dy[0] = 1 }
+	for _, integ := range []Integrator{NewDVERK(1e-6, 1e-12), NewRK4(32)} {
+		obs, ok := integ.(StepObserver)
+		if !ok {
+			t.Fatalf("%s does not implement StepObserver", integ.Name())
+		}
+		var n int
+		last := 0.0
+		obs.SetOnStep(func(tt float64, y []float64) { n++; last = tt })
+		y := []float64{0}
+		st, err := integ.Integrate(f, 0, 1, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != st.Steps {
+			t.Fatalf("%s: observer saw %d steps, stats say %d", integ.Name(), n, st.Steps)
+		}
+		if last != 1.0 {
+			t.Fatalf("%s: last observed time %g, want 1", integ.Name(), last)
+		}
+	}
+}

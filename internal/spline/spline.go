@@ -107,24 +107,42 @@ func (s *Spline) locateHint(v float64, hint *int) int {
 	if hint == nil {
 		return s.locate(v)
 	}
+	return locateIn(s.x, v, hint)
+}
+
+// locateIn is the hint-cached interval lookup shared by Spline.locateHint
+// and Multi.EvalHint: bracket hits are free, a miss by one interval costs
+// a single step, anything else falls back to binary search; the result is
+// clamped to the valid interior range and written back to *hint.
+func locateIn(x []float64, v float64, hint *int) int {
+	bisect := func() int {
+		i := sort.SearchFloat64s(x, v) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i > len(x)-2 {
+			i = len(x) - 2
+		}
+		return i
+	}
 	i := *hint
-	if i < 0 || i > len(s.x)-2 {
-		i = s.locate(v)
-	} else if v < s.x[i] {
-		if i == 0 || v >= s.x[i-1] {
+	if i < 0 || i > len(x)-2 {
+		i = bisect()
+	} else if v < x[i] {
+		if i == 0 || v >= x[i-1] {
 			if i > 0 {
 				i--
 			}
 		} else {
-			i = s.locate(v)
+			i = bisect()
 		}
-	} else if v >= s.x[i+1] {
-		if i+2 > len(s.x)-2 || v < s.x[i+2] {
-			if i+1 <= len(s.x)-2 {
+	} else if v >= x[i+1] {
+		if i+2 > len(x)-2 || v < x[i+2] {
+			if i+1 <= len(x)-2 {
 				i++
 			}
 		} else {
-			i = s.locate(v)
+			i = bisect()
 		}
 	}
 	*hint = i
@@ -152,6 +170,95 @@ func (s *Spline) EvalHint(v float64, hint *int) float64 {
 	b := (v - s.x[i]) / h
 	return a*s.y[i] + b*s.y[i+1] +
 		((a*a*a-a)*s.y2[i]+(b*b*b-b)*s.y2[i+1])*(h*h)/6.0
+}
+
+// Multi is a bundle of natural cubic splines sharing one abscissa grid,
+// stored knot-major: values[i*NF+f] is field f at knot i. Fitting solves
+// the shared tridiagonal decomposition once for all fields (its
+// coefficients depend only on the abscissae), and evaluation applies one
+// bracket and one weight set to NF contiguous values — the k-refinement
+// engine splines seven source fields over the same coarse wavenumber grid
+// at every time sample, and the per-field slice walks of separate Spline
+// objects were its single largest cost.
+type Multi struct {
+	nf    int
+	x     []float64
+	y, y2 []float64 // knot-major, len n*nf
+	u     []float64 // tridiagonal scratch, len n*nf
+	sig   []float64
+}
+
+// NewMulti returns a Multi for nf fields per knot.
+func NewMulti(nf int) *Multi { return &Multi{nf: nf} }
+
+// Fit refits the bundle through knots x with knot-major values y
+// (len(x)*nf entries), reusing the receiver's storage. x and y are
+// retained, not copied.
+func (m *Multi) Fit(x, y []float64) error {
+	n := len(x)
+	nf := m.nf
+	if n < 2 {
+		return errors.New("spline: need at least two knots")
+	}
+	if len(y) != n*nf {
+		return fmt.Errorf("spline: len(y)=%d, want %d knots x %d fields", len(y), n, nf)
+	}
+	for i := 1; i < n; i++ {
+		if x[i] <= x[i-1] {
+			return fmt.Errorf("spline: x not strictly increasing at index %d (%g <= %g)", i, x[i], x[i-1])
+		}
+	}
+	m.x = x
+	m.y = y
+	m.y2 = growTo(m.y2, n*nf)
+	m.u = growTo(m.u, n*nf)
+	m.sig = growTo(m.sig, n)
+	y2, u := m.y2, m.u
+	for f := 0; f < nf; f++ {
+		y2[f], u[f] = 0, 0
+		y2[(n-1)*nf+f] = 0
+	}
+	for i := 1; i < n-1; i++ {
+		sig := (x[i] - x[i-1]) / (x[i+1] - x[i-1])
+		invH1 := 1.0 / (x[i+1] - x[i])
+		invH0 := 1.0 / (x[i] - x[i-1])
+		inv01 := 6.0 / (x[i+1] - x[i-1])
+		row, prev, next := i*nf, (i-1)*nf, (i+1)*nf
+		for f := 0; f < nf; f++ {
+			p := sig*y2[prev+f] + 2.0
+			y2[row+f] = (sig - 1.0) / p
+			d := (y[next+f]-y[row+f])*invH1 - (y[row+f]-y[prev+f])*invH0
+			u[row+f] = (d*inv01 - sig*u[prev+f]) / p
+		}
+	}
+	for i := n - 2; i >= 0; i-- {
+		row, next := i*nf, (i+1)*nf
+		for f := 0; f < nf; f++ {
+			y2[row+f] = y2[row+f]*y2[next+f] + u[row+f]
+		}
+	}
+	return nil
+}
+
+// EvalHint evaluates every field at v into out (len nf), sharing one
+// interval lookup and one cubic weight set. The hint contract matches
+// Spline.EvalHint.
+func (m *Multi) EvalHint(v float64, hint *int, out []float64) {
+	i := locateIn(m.x, v, hint)
+	h := m.x[i+1] - m.x[i]
+	a := (m.x[i+1] - v) / h
+	b := (v - m.x[i]) / h
+	w2a := (a*a*a - a) * (h * h) / 6.0
+	w2b := (b*b*b - b) * (h * h) / 6.0
+	nf := m.nf
+	y0 := m.y[i*nf : (i+1)*nf]
+	y1 := m.y[(i+1)*nf : (i+2)*nf]
+	z0 := m.y2[i*nf : (i+1)*nf]
+	z1 := m.y2[(i+1)*nf : (i+2)*nf]
+	out = out[:nf]
+	for f := range out {
+		out[f] = a*y0[f] + b*y1[f] + w2a*z0[f] + w2b*z1[f]
+	}
 }
 
 // Deriv evaluates dy/dx at v.

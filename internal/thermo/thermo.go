@@ -157,8 +157,37 @@ func (th *Thermo) OpticalDepth(a float64) float64 {
 }
 
 // Visibility returns g(a) = kappa-dot e^-kappa (per unit conformal time).
+// The log/clamp of the abscissa is shared between the two spline lookups
+// and the product is fused into a single exponential of
+// ln(kappa-dot) - kappa, instead of the three transcendental round-trips
+// of calling Opacity and OpticalDepth separately.
 func (th *Thermo) Visibility(a float64) float64 {
-	return th.Opacity(a) * math.Exp(-th.OpticalDepth(a))
+	l := math.Log(a)
+	_, _, _, vis := th.AtLnA(l)
+	return vis
+}
+
+// AtLnA is the fused single-lookup fast path of the thermodynamic history:
+// for one (unclamped) ln a it returns the opacity kappa-dot, the baryon
+// sound speed squared, the optical depth kappa and the visibility
+// kappa-dot e^-kappa, sharing the clamped abscissa across the spline
+// evaluations and the exponentials across the outputs. The flattened
+// evolution tables are built from it.
+func (th *Thermo) AtLnA(lnA float64) (kd, cs2, kappa, vis float64) {
+	l := clamp(lnA, th.lnAMin, th.lnAMax)
+	lnOp := th.opac.Eval(l)
+	kd = math.Exp(lnOp)
+	cs2 = th.cs2.Eval(l)
+	if cs2 < 0 {
+		cs2 = 0
+	}
+	ld := l
+	if ld > th.lnADepthMax {
+		ld = th.lnADepthMax
+	}
+	kappa = math.Exp(th.depth.Eval(ld))
+	vis = math.Exp(lnOp - kappa)
+	return kd, cs2, kappa, vis
 }
 
 // Cs2 returns the baryon sound speed squared (c=1 units) at scale factor a.

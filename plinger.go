@@ -207,6 +207,11 @@ type ModeOptions struct {
 	KeepSources bool
 	// TauEnd stops the evolution early (default: the present).
 	TauEnd float64
+	// FastEvolve runs the fast evolution engine: the moment hierarchies
+	// start small and grow with k*tau, the background and thermodynamics
+	// come from flattened per-model tables, and the integrator uses PI
+	// step control. Same accuracy contract as SpectrumOptions.FastEvolve.
+	FastEvolve bool
 }
 
 func (o ModeOptions) internal() (core.Params, error) {
@@ -221,6 +226,7 @@ func (o ModeOptions) internal() (core.Params, error) {
 	return core.Params{
 		K: o.K, LMax: lmax, Gauge: g, RTol: o.RTol,
 		KeepSources: o.KeepSources, TauEnd: o.TauEnd,
+		FastEvolve: o.FastEvolve,
 	}, nil
 }
 
@@ -267,6 +273,10 @@ func (m *Model) EvolveMode(o ModeOptions) (*ModeResult, error) {
 	p, err := o.internal()
 	if err != nil {
 		return nil, err
+	}
+	if p.FastEvolve {
+		// Build the shared flattened tables in parallel on first use.
+		m.core.EnsureEvalTables(dispatch.ParallelFor)
 	}
 	r, err := m.core.Evolve(p)
 	if err != nil {
@@ -341,6 +351,16 @@ type SpectrumOptions struct {
 	// KRefine 6 cuts the evolution cost ~6x at < 1e-3 relative error in
 	// C_l. 0 or 1 disables refinement. los method only.
 	KRefine int
+	// FastEvolve switches the per-mode Einstein-Boltzmann integration to
+	// the fast evolution engine: the photon/polarization/neutrino moment
+	// hierarchies start at a few moments and grow with k*tau, the
+	// background and thermodynamic history come from flattened per-model
+	// lookup tables, and the integrator runs PI step-size control. Like
+	// FastLOS and KRefine it stays within the engine's 1e-3 relative C_l
+	// budget (the measured full fast path deviates by a few 1e-4; the
+	// golden tests enforce the bound) and is off by default: the exact
+	// path remains the reference implementation. los method only.
+	FastEvolve bool
 }
 
 // validTransport checks the execution-backend name shared by
@@ -406,6 +426,9 @@ func (o SpectrumOptions) Validate() error {
 		}
 		if o.KRefine > 1 {
 			return fmt.Errorf("plinger: KRefine applies to Method \"los\" only")
+		}
+		if o.FastEvolve {
+			return fmt.Errorf("plinger: FastEvolve applies to Method \"los\" only")
 		}
 	default:
 		return fmt.Errorf("plinger: unknown method %q (want los or brute)", o.Method)
@@ -556,6 +579,7 @@ func (m *Model) ComputeSpectrum(o SpectrumOptions) (*Spectrum, error) {
 		}
 		sw, _, err := spectra.RunSweepWith(d, ksRun, core.Params{
 			LMax: lmax, Gauge: core.ConformalNewtonian, KeepSources: true,
+			FastEvolve: o.FastEvolve,
 		})
 		if err != nil {
 			return nil, err

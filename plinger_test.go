@@ -168,9 +168,11 @@ func TestSpectrumTransportEquivalence(t *testing.T) {
 }
 
 // TestFastSpectrumMatchesReference is the facade-level acceptance check of
-// the fast C_l engine: table-driven projection plus coarse-to-fine k
-// refinement must track the exact reference pipeline to < 1e-3 relative at
-// every requested multipole, at equal LMaxCl/NK settings.
+// the fast C_l engine: the full fast path — fast evolution engine,
+// table-driven projection, coarse-to-fine k refinement — must track the
+// exact reference pipeline to < 1e-3 relative at every requested
+// multipole, at equal LMaxCl/NK settings. The partial combination without
+// FastEvolve is held to the same bound.
 func TestFastSpectrumMatchesReference(t *testing.T) {
 	m := scdmModel(t)
 	opts := SpectrumOptions{LMaxCl: 60, NK: 60}
@@ -181,27 +183,32 @@ func TestFastSpectrumMatchesReference(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	check := func(name string, fast SpectrumOptions) {
+		got, err := m.ComputeSpectrum(fast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Cl) != len(ref.Cl) {
+			t.Fatalf("%s: multipole sets differ: %d vs %d", name, len(got.Cl), len(ref.Cl))
+		}
+		worst := 0.0
+		for i := range ref.Cl {
+			rel := math.Abs(got.Cl[i]-ref.Cl[i]) / ref.Cl[i]
+			if rel > worst {
+				worst = rel
+			}
+			if rel > 1e-3 {
+				t.Errorf("%s: C_%d: fast %g vs reference %g (rel %g)", name, ref.L[i], got.Cl[i], ref.Cl[i], rel)
+			}
+		}
+		t.Logf("%s: worst relative C_l deviation: %.3g", name, worst)
+	}
 	fast := opts
 	fast.FastLOS = true
 	fast.KRefine = 10
-	got, err := m.ComputeSpectrum(fast)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(got.Cl) != len(ref.Cl) {
-		t.Fatalf("multipole sets differ: %d vs %d", len(got.Cl), len(ref.Cl))
-	}
-	worst := 0.0
-	for i := range ref.Cl {
-		rel := math.Abs(got.Cl[i]-ref.Cl[i]) / ref.Cl[i]
-		if rel > worst {
-			worst = rel
-		}
-		if rel > 1e-3 {
-			t.Errorf("C_%d: fast %g vs reference %g (rel %g)", ref.L[i], got.Cl[i], ref.Cl[i], rel)
-		}
-	}
-	t.Logf("worst relative C_l deviation: %.3g", worst)
+	check("fastlos+krefine", fast)
+	fast.FastEvolve = true
+	check("full fast path", fast)
 }
 
 func TestMatterPowerThroughFacade(t *testing.T) {

@@ -28,6 +28,8 @@ func TestSpectrumOptionsValidate(t *testing.T) {
 		{"los polarization", SpectrumOptions{Polarization: true}, "polarization"},
 		{"brute fastlos", SpectrumOptions{Method: "brute", FastLOS: true}, "FastLOS"},
 		{"brute krefine", SpectrumOptions{Method: "brute", KRefine: 4}, "KRefine"},
+		{"brute fastevolve", SpectrumOptions{Method: "brute", FastEvolve: true}, "FastEvolve"},
+		{"los fastevolve", SpectrumOptions{FastEvolve: true, FastLOS: true, KRefine: 6}, ""},
 		{"unknown transport", SpectrumOptions{Transport: "telegraph"}, "transport"},
 		{"unknown schedule", SpectrumOptions{Schedule: "alphabetical"}, "schedule"},
 	}
