@@ -29,16 +29,20 @@ test-race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# bench-json regenerates BENCH_PR4.json: the fast-vs-reference C_l pipeline
-# and single-mode evolution speedups, the projection/kernel
-# microbenchmarks, the measured accuracy of the full fast path, and the
-# spectrum service's serving numbers (cache-hit and cold-miss latency,
-# sustained req/s at 32 concurrent clients).
+# bench-json regenerates BENCH_PR5.json: the fast-vs-reference C_l pipeline
+# and single-mode evolution speedups, the GOMAXPROCS scaling sweep of the
+# fast pipeline (wallclock/speedup/parallel efficiency per processor count,
+# spectra bitwise-checked across counts), the projection/kernel
+# microbenchmarks with their allocs/op columns, the measured accuracy of
+# the full fast path, and the spectrum service's serving numbers (cache-hit
+# and cold-miss latency, sustained req/s at 32 concurrent clients).
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR4.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR5.json
 
 # bench-smoke runs the whole benchjson path at tiny settings (small
 # LMaxCl/NK, short service runs) and writes outside the repo — the CI guard
 # that keeps the report pipeline from rotting between real bench-json runs.
+# It also runs the scaling sweep at GOMAXPROCS 1 and 2 and, on multi-core
+# hosts, fails unless the 2-processor run beats the 1-processor run.
 bench-smoke:
 	$(GO) run ./cmd/benchjson -smoke -out /tmp/bench-smoke.json

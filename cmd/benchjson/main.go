@@ -1,24 +1,29 @@
 // Command benchjson runs the key performance benchmarks of the repository
 // and writes a machine-readable JSON report (ns/op, bytes/op, allocs/op,
-// the fast-vs-reference pipeline speedup plus its measured accuracy, and
-// the spectrum service's serving benchmark), extending the performance
-// trajectory started in BENCH_PR2.json:
+// the fast-vs-reference pipeline speedup plus its measured accuracy, the
+// multi-core scaling sweep, and the spectrum service's serving benchmark),
+// extending the performance trajectory started in BENCH_PR2.json:
 //
-//	benchjson [-out BENCH_PR4.json] [-quick] [-smoke]
+//	benchjson [-out BENCH_PR5.json] [-quick] [-smoke] [-procs 1,2,4,all]
 //
 // The headline numbers are the Figure-2 C_l pipeline with the full fast
 // engine (fast evolution + shared spherical-Bessel tables + coarse-to-fine
 // k refinement) against the exact reference pipeline at identical
-// LMaxCl/NK settings, the single-mode evolution speedup of the fast
-// evolution engine — on the paper's own unit of work, one full-hierarchy
-// brute mode, and on a line-of-sight production mode — the kernel-level
+// LMaxCl/NK settings, the GOMAXPROCS scaling sweep of that pipeline — the
+// repo's analogue of the paper's Figure-1 scaling curve: wallclock,
+// speedup and parallel efficiency per processor count, with the spectra
+// checked bitwise-identical across counts — the single-mode evolution
+// speedup of the fast evolution engine, the per-mode steady-state
+// allocation counts the worker arenas are budgeted for, the kernel-level
 // microbenchmarks behind them, and the daemon's serving numbers:
 // cold-miss latency, cache-hit latency, and sustained requests/sec at 32
 // concurrent clients against an in-process plingerd service.
 //
 // -quick shrinks the pipeline settings; -smoke shrinks everything to a
-// few seconds of total runtime and is wired into CI (make bench-smoke) so
-// the report path cannot rot between real bench-json runs.
+// few seconds of total runtime, runs the scaling sweep at GOMAXPROCS 1
+// and 2, asserts speedup > 1 on multi-core hosts, and is wired into CI
+// (make bench-smoke) so the report path cannot rot between real
+// bench-json runs.
 package main
 
 import (
@@ -32,6 +37,9 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -74,11 +82,24 @@ type ServiceBench struct {
 	Stats serve.Stats `json:"stats"`
 }
 
+// ScalingPoint is one row of the multi-core sweep — the repo's analogue
+// of a point on the paper's Figure-1 curve: the full fast C_l pipeline at
+// a given GOMAXPROCS (and equal worker count), best-of-N wallclock,
+// speedup over the first swept count (1 unless -procs overrides it) and
+// the resulting parallel efficiency, corrected for the baseline count.
+type ScalingPoint struct {
+	Procs      int     `json:"procs"`
+	WallMS     float64 `json:"wall_ms"`
+	Speedup    float64 `json:"speedup_vs_base"`
+	Efficiency float64 `json:"parallel_efficiency"`
+}
+
 // Report is the written document.
 type Report struct {
 	Date          string  `json:"date"`
 	GoVersion     string  `json:"go_version"`
 	GOMAXPROCS    int     `json:"gomaxprocs"`
+	NumCPU        int     `json:"num_cpu"`
 	LMaxCl        int     `json:"lmax_cl"`
 	NK            int     `json:"nk"`
 	KRefine       int     `json:"krefine"`
@@ -93,6 +114,15 @@ type Report struct {
 	// work) and on one line-of-sight production mode.
 	SpeedupEvolve    float64 `json:"speedup_evolve_single_mode"`
 	SpeedupEvolveLOS float64 `json:"speedup_evolve_los_mode"`
+
+	// The PR 5 scaling numbers: the full fast pipeline per processor
+	// count, with the spectra verified bitwise-identical across counts
+	// (the dispatch determinism contract — the curve compares runs whose
+	// outputs are exactly equal). ClBitwiseAcrossProcs is omitted when
+	// the sweep covered a single count and the cross-count comparison
+	// was therefore vacuous (e.g. a single-core host).
+	Scaling              []ScalingPoint `json:"scaling_sweep"`
+	ClBitwiseAcrossProcs *bool          `json:"cl_bitwise_across_procs,omitempty"`
 
 	// The PR 3 serving numbers.
 	ServiceHitMS     float64       `json:"service_hit_ms"`
@@ -119,9 +149,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	var (
-		out   = flag.String("out", "BENCH_PR4.json", "output file")
+		out   = flag.String("out", "BENCH_PR5.json", "output file")
 		quick = flag.Bool("quick", false, "smaller pipeline settings (for smoke runs)")
 		smoke = flag.Bool("smoke", false, "tiny settings and short service runs: the CI exercise of the whole report path")
+		procs = flag.String("procs", "", "comma-separated GOMAXPROCS values for the scaling sweep ('all' = every core; default 1,2,4,all clamped to the machine)")
 	)
 	flag.Parse()
 
@@ -156,6 +187,7 @@ func main() {
 		Date:       time.Now().UTC().Format("2006-01-02"),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		LMaxCl:     lmaxCl, NK: nk, KRefine: kRefine,
 	}
 
@@ -179,6 +211,32 @@ func main() {
 		rel := math.Abs(fastSpec.Cl[i]-refSpec.Cl[i]) / refSpec.Cl[i]
 		if rel > rep.MaxRelClErr {
 			rep.MaxRelClErr = rel
+		}
+	}
+
+	// The scaling sweep: the same fast pipeline across processor counts.
+	// On a multi-core smoke run the GOMAXPROCS=2 point must beat the
+	// single-processor one — the CI guard on the parallel path itself.
+	procsList, err := parseProcs(*procs, *smoke)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.Scaling, rep.ClBitwiseAcrossProcs, err = runScalingSweep(m, fastOpts, procsList)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%6s %12s %10s %12s\n", "procs", "wall [ms]", "speedup", "efficiency")
+	for _, p := range rep.Scaling {
+		fmt.Printf("%6d %12.1f %9.2fx %11.1f%%\n", p.Procs, p.WallMS, p.Speedup, 100*p.Efficiency)
+	}
+	if b := rep.ClBitwiseAcrossProcs; b != nil && !*b {
+		log.Fatal("C_l not bitwise-identical across processor counts (dispatch determinism contract broken)")
+	}
+	if *smoke {
+		if runtime.NumCPU() < 2 {
+			fmt.Println("smoke speedup assertion skipped: single-core host")
+		} else if n := len(rep.Scaling); n < 2 || rep.Scaling[n-1].Speedup <= 1.0 {
+			log.Fatalf("smoke: GOMAXPROCS=2 speedup %.2fx not > 1.0", rep.Scaling[n-1].Speedup)
 		}
 	}
 
@@ -209,18 +267,25 @@ func main() {
 	// The fast evolution engine on single modes at equal RTol: the paper's
 	// own unit of work (one brute-style mode carrying the full per-k
 	// adaptive hierarchy) and the line-of-sight production mode the C_l
-	// pipeline evolves. Warm the flattened tables first so the one-time
-	// build does not land inside an iteration.
+	// pipeline evolves. Measured the way a sweep worker runs them — one
+	// warm core.Scratch arena threaded through every call — so the
+	// allocs/op columns are the steady-state per-mode numbers the arena
+	// budget tests enforce (the warm-up call also builds the flattened
+	// tables outside the timed loop).
 	kEv := 0.02
 	if *smoke {
 		kEv = 0.01
 	}
 	bruteMode := core.Params{K: kEv, LMax: spectra.PerKLMax(kEv, tau0, 1<<20), Gauge: core.Synchronous}
 	losMode := core.Params{K: kEv, LMax: 24, Gauge: core.ConformalNewtonian, KeepSources: true}
+	evolveScratch := core.NewScratch()
 	evolveBench := func(name string, p core.Params) Entry {
+		if _, err := cm.EvolveWith(p, evolveScratch); err != nil {
+			log.Fatal(err)
+		}
 		return run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := cm.Evolve(p); err != nil {
+				if _, err := cm.EvolveWith(p, evolveScratch); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -229,9 +294,6 @@ func main() {
 	fastBrute, fastLos := bruteMode, losMode
 	fastBrute.FastEvolve = true
 	fastLos.FastEvolve = true
-	if _, err := cm.Evolve(fastLos); err != nil {
-		log.Fatal(err)
-	}
 	eEvRef := evolveBench("evolve_brute_reference", bruteMode)
 	eEvFast := evolveBench("evolve_brute_fast", fastBrute)
 	rep.SpeedupEvolve = eEvRef.NsPerOp / eEvFast.NsPerOp
@@ -322,6 +384,99 @@ func main() {
 	fmt.Printf("service: hit %.3g ms, cold miss %.3g ms, %.0f req/s at %d clients\n",
 		rep.ServiceHitMS, rep.ServiceMissMS, rep.ServiceReqPerSec, sb.Sustained32.Clients)
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// parseProcs resolves the -procs flag: an explicit comma list ("all" or 0
+// meaning every core), or the default 1,2,4,all clamped to the machine —
+// so the report never claims parallel speedup the hardware cannot deliver.
+// Smoke runs default to {1,2} regardless of core count: the point there is
+// exercising the parallel path, not measuring the full curve.
+func parseProcs(spec string, smoke bool) ([]int, error) {
+	ncpu := runtime.NumCPU()
+	var list []int
+	if spec == "" {
+		if smoke {
+			list = []int{1, 2}
+		} else {
+			for _, np := range []int{1, 2, 4, ncpu} {
+				if np <= ncpu {
+					list = append(list, np)
+				}
+			}
+		}
+	} else {
+		for _, s := range strings.Split(spec, ",") {
+			s = strings.TrimSpace(s)
+			if s == "all" || s == "0" {
+				list = append(list, ncpu)
+				continue
+			}
+			np, err := strconv.Atoi(s)
+			if err != nil || np < 1 {
+				return nil, fmt.Errorf("bad procs value %q", s)
+			}
+			list = append(list, np)
+		}
+	}
+	sort.Ints(list)
+	out := list[:0]
+	for i, np := range list {
+		if i == 0 || np != list[i-1] {
+			out = append(out, np)
+		}
+	}
+	return out, nil
+}
+
+// runScalingSweep times the fast C_l pipeline at each processor count
+// (GOMAXPROCS and the sweep worker count move together), reporting
+// best-of-3 wallclock and checking the spectra bitwise-identical across
+// counts; the returned flag is nil when only one count ran and the check
+// was vacuous. Speedup is relative to the first count, and efficiency
+// corrects for a baseline that is not one processor. The caller's
+// GOMAXPROCS is restored on return.
+func runScalingSweep(m *plinger.Model, opts plinger.SpectrumOptions, procsList []int) ([]ScalingPoint, *bool, error) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	identical := true
+	var ref *plinger.Spectrum
+	var out []ScalingPoint
+	for _, np := range procsList {
+		runtime.GOMAXPROCS(np)
+		o := opts
+		o.Workers = np
+		best := math.Inf(1)
+		var spec *plinger.Spectrum
+		for rep := 0; rep < 3; rep++ {
+			t0 := time.Now()
+			s, err := m.ComputeSpectrum(o)
+			if err != nil {
+				return nil, nil, err
+			}
+			if d := float64(time.Since(t0).Nanoseconds()) / 1e6; d < best {
+				best = d
+			}
+			spec = s
+		}
+		if ref == nil {
+			ref = spec
+		} else {
+			for i := range ref.Cl {
+				if spec.Cl[i] != ref.Cl[i] {
+					identical = false
+				}
+			}
+		}
+		out = append(out, ScalingPoint{Procs: np, WallMS: best})
+	}
+	base := out[0]
+	for i := range out {
+		out[i].Speedup = base.WallMS / out[i].WallMS
+		out[i].Efficiency = out[i].Speedup * float64(base.Procs) / float64(out[i].Procs)
+	}
+	if len(out) < 2 {
+		return out, nil, nil
+	}
+	return out, &identical, nil
 }
 
 // runServiceBench measures one in-process daemon: cold-miss latency on

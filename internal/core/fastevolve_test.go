@@ -63,7 +63,7 @@ func TestGrowHierarchyHandOff(t *testing.T) {
 	mdl := model(t)
 	p := Params{K: 0.1, LMax: 24, Gauge: Synchronous}
 	p.setDefaults()
-	m := &mode{Model: mdl, p: p, k: p.K, k2: p.K * p.K}
+	m := &mode{Model: mdl, p: p, k: p.K, k2: p.K * p.K, sc: NewScratch()}
 	m.lmax = 8
 	m.layout()
 	y := make([]float64, m.nvar)

@@ -74,6 +74,11 @@ type mode struct {
 	sources     []Sample
 
 	scratch cosmology.Grho
+
+	// sc is the owning evolution arena: the state vector, resize buffers
+	// and ratio tables are borrowed from it (Evolve makes a private one
+	// when the caller supplies none).
+	sc *Scratch
 }
 
 // Growth schedule of the fast engine's hierarchy truncation. Moments above
@@ -121,8 +126,19 @@ const (
 	srcCapLate = 1.0 / 40.0
 )
 
-// Evolve integrates one k mode to completion.
+// Evolve integrates one k mode to completion with a private arena; sweep
+// workers that evolve many modes should hold a Scratch and call EvolveWith
+// instead, which reuses every per-mode buffer across calls.
 func (mdl *Model) Evolve(p Params) (*Result, error) {
+	return mdl.EvolveWith(p, nil)
+}
+
+// EvolveWith integrates one k mode to completion using the caller's arena
+// (nil: a private one). Results are bitwise-independent of the scratch —
+// a reused arena produces exactly the trajectory a fresh one does — and
+// never alias it, so they stay valid after the arena's next mode. The
+// scratch must not be used concurrently.
+func (mdl *Model) EvolveWith(p Params, sc *Scratch) (*Result, error) {
 	p.setDefaults()
 	if p.K <= 0 {
 		return nil, fmt.Errorf("core: k = %g must be positive", p.K)
@@ -133,8 +149,17 @@ func (mdl *Model) Evolve(p Params) (*Result, error) {
 	if p.TauEnd > mdl.BG.Tau0()*1.0000001 {
 		return nil, fmt.Errorf("core: TauEnd = %g beyond the present %g", p.TauEnd, mdl.BG.Tau0())
 	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
 
-	m := &mode{Model: mdl, p: p, k: p.K, k2: p.K * p.K}
+	m := &sc.m
+	*m = mode{Model: mdl, p: p, k: p.K, k2: p.K * p.K, sc: sc, rA: sc.rA, rB: sc.rB}
+	if sc.rhsf == nil {
+		sc.rhsf = m.rhs
+		sc.onRecord = m.record
+		sc.onMonitor = m.monitor
+	}
 	if p.FastEvolve && !p.noTables {
 		// Shared per-model tables; sweeps prebuild them in parallel via
 		// the dispatcher, a cold single mode builds serially here.
@@ -151,17 +176,19 @@ func (mdl *Model) Evolve(p Params) (*Result, error) {
 		m.lmax = m.initialLMax(tauStart)
 	}
 	m.layout()
-	y := make([]float64, m.nvar)
+	y := sc.stateBuf(m.nvar, m.maxNvar())
 	m.initialConditions(tauStart, y)
 	if p.KeepSources {
 		// A typical source-recording run accepts several hundred steps;
 		// start the slice large enough that append doubles at most once.
+		// The samples are the mode's product — they outlive the arena's
+		// next mode, so they are allocated fresh rather than pooled.
 		m.sources = make([]Sample, 0, 1024)
 	}
 
 	integ := p.Integrator
 	if integ == nil {
-		dv := ode.NewDVERK(p.RTol, p.ATol)
+		dv := sc.integrator(p.RTol, p.ATol)
 		dv.InitialStep = tauStart * 1e-3
 		// The driver integrates in segments (tight-coupling switch,
 		// visibility window, hierarchy growth); carrying the controller
@@ -200,10 +227,10 @@ func (mdl *Model) Evolve(p Params) (*Result, error) {
 	}
 	if obs, ok := integ.(ode.StepObserver); ok {
 		if p.KeepSources {
-			obs.SetOnStep(m.record)
+			obs.SetOnStep(sc.onRecord)
 		} else {
 			// Still monitor the constraint without storing samples.
-			obs.SetOnStep(m.monitor)
+			obs.SetOnStep(sc.onMonitor)
 		}
 	} else if p.KeepSources {
 		// Without the observer the sources would silently stay empty.
@@ -300,7 +327,7 @@ func (m *mode) integrateSpan(integ ode.Integrator, tau, tEnd float64, y []float6
 				m.ad.MaxStep = cap((m.p.TauEnd - m.srcCap.hi) * srcCapLate)
 			}
 		}
-		st, err := integ.Integrate(m.rhs, tau, next, y)
+		st, err := integ.Integrate(m.sc.rhsf, tau, next, y)
 		stats.Add(st)
 		m.flops += float64(st.Evals) * FlopsPerRHS(m.lmax, m.lnu, m.nq, m.p.Gauge)
 		if err != nil {
@@ -384,15 +411,24 @@ func (m *mode) shrinkHierarchy(y []float64) []float64 {
 	return m.resize(shrinkLMax, y)
 }
 
+// maxNvar is the state-vector size the mode would have at the full
+// hierarchy cutoff p.LMax — the capacity hint that lets the arena reserve
+// one buffer covering every future growth event.
+func (m *mode) maxNvar() int {
+	return m.nvar + 3*(m.p.LMax-m.lmax)
+}
+
 // resize re-layouts the state vector for a new active cutoff, copying the
 // surviving moments (growth seeds new moments at zero; shrinking drops the
-// tail).
+// tail). The target buffer comes from the arena's alternate slot, so the
+// old state stays readable during the copy-over and no resize allocates
+// once the arena is warm.
 func (m *mode) resize(lNew int, y []float64) []float64 {
 	keep := min(lNew, m.lmax) + 1
 	oldIfg, oldIgg, oldIfn, oldIpsn := m.ifg, m.igg, m.ifn, m.ipsn
 	m.lmax = lNew
 	m.layout()
-	ny := make([]float64, m.nvar)
+	ny := m.sc.resizeBuf(m.nvar, m.maxNvar())
 	copy(ny[:oldIfg], y[:oldIfg]) // fluid + metric block: indices unchanged
 	copy(ny[m.ifg:m.ifg+keep], y[oldIfg:oldIfg+keep])
 	copy(ny[m.igg:m.igg+keep], y[oldIgg:oldIgg+keep])
@@ -475,6 +511,9 @@ func (m *mode) layout() {
 			m.rA[l] = fl / (2.0*fl + 1.0)
 			m.rB[l] = (fl + 1.0) / (2.0*fl + 1.0)
 		}
+		// The ratios depend only on l: hand the grown tables back to the
+		// arena so every later mode (and growth event) reuses them.
+		m.sc.rA, m.sc.rB = m.rA, m.rB
 	}
 }
 

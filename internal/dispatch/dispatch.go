@@ -91,6 +91,40 @@ func sweepTau0(model *core.Model, mode core.Params) float64 {
 	return model.BG.Tau0()
 }
 
+// Chunked hand-out: on fine wavenumber grids the per-mode channel
+// rendezvous between the feeder and the workers becomes measurable next to
+// the (cheap, arena-backed) mode evolutions, so both pool backends hand out
+// contiguous runs of the schedule order instead of single indices. The
+// chunk size splits every worker's fair share chunkDivisor ways — small
+// enough that the largest-first end-of-run tail still balances, large
+// enough that a 5000-mode sweep does ~400 channel operations instead of
+// 5000 — and is capped so pathological grids cannot serialize a worker.
+// Chunking is pure hand-out mechanics: the schedule order, the results and
+// the telemetry are identical to per-mode hand-out.
+const (
+	chunkDivisor = 8
+	maxChunk     = 16
+)
+
+// handOutChunks splits a schedule order into the contiguous chunks the
+// feeder sends; every chunk is a subslice, so no copying happens.
+func handOutChunks(order []int, workers int) [][]int {
+	n := len(order)
+	size := n / (workers * chunkDivisor)
+	if size < 1 {
+		size = 1
+	}
+	if size > maxChunk {
+		size = maxChunk
+	}
+	chunks := make([][]int, 0, (n+size-1)/size)
+	for lo := 0; lo < n; lo += size {
+		hi := min(lo+size, n)
+		chunks = append(chunks, order[lo:hi:hi])
+	}
+	return chunks
+}
+
 // perKLMaxTable precomputes the per-index hierarchy cutoffs for a run, or
 // returns nil when the global cutoff applies to every mode.
 func perKLMaxTable(ks []float64, tau0 float64, lmaxGlobal int, adapt bool) []int {

@@ -148,6 +148,77 @@ func TestDispatcherEquivalence(t *testing.T) {
 	}
 }
 
+// TestArenaSweepEquivalence: every backend worker now threads a persistent
+// core.Scratch arena through its evolutions, so this is the guard against
+// scratch state leaking between modes or between workers (run it under
+// -race via make test-race). The workload deliberately stresses the arena:
+// FastEvolve grows and shrinks the hierarchies (resize ping-pong buffers),
+// KeepSources records samples (which must outlive the arena's next mode),
+// and per-k adaptive cutoffs vary the layout mode to mode. Results —
+// sources included — must be bitwise-equal to scratch-free sequential
+// evolution across Pool, SharedPool and MP, under both schedule families.
+func TestArenaSweepEquivalence(t *testing.T) {
+	m := model(t)
+	ks := testKs()
+	mode := core.Params{LMax: 40, Gauge: core.ConformalNewtonian, TauEnd: 400,
+		KeepSources: true, FastEvolve: true}
+
+	// Scratch-free reference: one private arena per mode.
+	ref := make([]*core.Result, len(ks))
+	for i, k := range ks {
+		pm := mode
+		pm.K = k
+		pm.LMax = PerKLMax(k, 400, mode.LMax)
+		r, err := m.Evolve(pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[i] = r
+	}
+
+	check := func(label string, sw *Sweep) {
+		t.Helper()
+		for i := range ks {
+			sameResult(t, label, ref[i], sw.Results[i])
+			if !reflect.DeepEqual(ref[i].Sources, sw.Results[i].Sources) {
+				t.Fatalf("%s: sources of mode %d differ from the scratch-free reference", label, i)
+			}
+		}
+	}
+
+	for _, sched := range []Schedule{LargestFirst, InputOrder} {
+		pool := &Pool{Model: m, Workers: 3, Schedule: sched, AdaptLMax: true}
+		sw, _, err := pool.Run(context.Background(), ks, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("pool/"+sched.String(), sw)
+
+		shared := NewSharedPool(m, 3)
+		shared.Schedule = sched
+		shared.AdaptLMax = true
+		sw, _, err = shared.Run(context.Background(), ks, mode)
+		shared.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("shared/"+sched.String(), sw)
+
+		d, cleanup, err := NewMP(m, "chan", 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Schedule = sched
+		d.AdaptLMax = true
+		sw, _, err = d.Run(context.Background(), ks, mode)
+		cleanup()
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("mp/"+sched.String(), sw)
+	}
+}
+
 // The per-k adaptive hierarchy must be applied identically by both
 // backends: the pool trims LMax locally, the MP master ships the override
 // in the assignment message.

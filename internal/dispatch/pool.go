@@ -61,48 +61,53 @@ func (p *Pool) Run(ctx context.Context, ks []float64, mode core.Params) (*Sweep,
 
 	start := time.Now()
 	results := make([]*core.Result, len(ks))
-	timings := make([]WorkerTiming, workers)
-	idx := make(chan int)
+	timings := make([]paddedTiming, workers)
+	chunks := make(chan []int)
 	errs := make(chan error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			t := &timings[w]
+			// The worker's arena: every mode this goroutine evolves
+			// reuses one set of state buffers and one integrator.
+			sc := core.NewScratch()
+			t := &timings[w].WorkerTiming
 			t.Rank = w + 1
-			for i := range idx {
-				pm := mode
-				pm.K = ks[i]
-				if perk != nil {
-					pm.LMax = perk[i]
+			for chunk := range chunks {
+				for _, i := range chunk {
+					pm := mode
+					pm.K = ks[i]
+					if perk != nil {
+						pm.LMax = perk[i]
+					}
+					r, err := p.Model.EvolveWith(pm, sc)
+					if err != nil {
+						errs <- fmt.Errorf("dispatch: k=%g: %w", ks[i], err)
+						return
+					}
+					results[i] = r
+					t.Modes++
+					t.Seconds += r.Seconds
+					t.Flops += r.Flops
 				}
-				r, err := p.Model.Evolve(pm)
-				if err != nil {
-					errs <- fmt.Errorf("dispatch: k=%g: %w", ks[i], err)
-					return
-				}
-				results[i] = r
-				t.Modes++
-				t.Seconds += r.Seconds
-				t.Flops += r.Flops
 			}
 		}(w)
 	}
-	for _, i := range order {
+	for _, c := range handOutChunks(order, workers) {
 		select {
 		case err := <-errs:
-			close(idx)
+			close(chunks)
 			wg.Wait()
 			return nil, nil, err
 		case <-ctx.Done():
-			close(idx)
+			close(chunks)
 			wg.Wait()
 			return nil, nil, ctx.Err()
-		case idx <- i:
+		case chunks <- c:
 		}
 	}
-	close(idx)
+	close(chunks)
 	wg.Wait()
 	select {
 	case err := <-errs:
@@ -121,7 +126,7 @@ func (p *Pool) Run(ctx context.Context, ks []float64, mode core.Params) (*Sweep,
 		NWorkers:  workers,
 		NProc:     workers,
 		Wallclock: time.Since(start).Seconds(),
-		Workers:   timings,
+		Workers:   unpadTimings(timings),
 	}
 	st.finalize()
 	sw := &Sweep{

@@ -35,14 +35,16 @@ type SharedPool struct {
 	closeOnce sync.Once
 }
 
-// sharedJob is one wavenumber assignment: the run it belongs to and the
-// index of its slot.
+// sharedJob is one assignment: the run it belongs to and a contiguous
+// chunk of schedule-order indices into its grid (see handOutChunks).
 type sharedJob struct {
-	run *sharedRun
-	idx int
+	run  *sharedRun
+	idxs []int
 }
 
-// sharedRun is the per-Run state the workers report into.
+// sharedRun is the per-Run state the workers report into. Timings live in
+// one padded slot per worker rank, so workers book completed modes without
+// a lock and without false sharing; only the first error takes the mutex.
 type sharedRun struct {
 	ks      []float64
 	mode    core.Params
@@ -52,10 +54,11 @@ type sharedRun struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu      sync.Mutex
-	err     error
-	timings map[int]*WorkerTiming // keyed by worker rank
-	wg      sync.WaitGroup
+	timings []paddedTiming // indexed by rank-1
+
+	mu  sync.Mutex
+	err error
+	wg  sync.WaitGroup
 }
 
 // fail records the first error and cancels the rest of the run.
@@ -70,16 +73,11 @@ func (r *sharedRun) fail(err error) {
 
 // record books one completed mode against the worker that ran it.
 func (r *sharedRun) record(rank int, res *core.Result) {
-	r.mu.Lock()
-	t := r.timings[rank]
-	if t == nil {
-		t = &WorkerTiming{Rank: rank}
-		r.timings[rank] = t
-	}
+	t := &r.timings[rank-1].WorkerTiming
+	t.Rank = rank
 	t.Modes++
 	t.Seconds += res.Seconds
 	t.Flops += res.Flops
-	r.mu.Unlock()
 }
 
 // NewSharedPool starts a persistent pool of workers (<= 0: GOMAXPROCS)
@@ -104,6 +102,9 @@ func NewSharedPool(model *core.Model, workers int) *SharedPool {
 func (p *SharedPool) Workers() int { return p.workers }
 
 func (p *SharedPool) worker(rank int) {
+	// The worker's arena lives as long as the pool: every mode of every
+	// run this goroutine serves reuses one set of evolution buffers.
+	sc := core.NewScratch()
 	for {
 		var job sharedJob
 		select {
@@ -112,29 +113,31 @@ func (p *SharedPool) worker(rank int) {
 			return
 		}
 		run := job.run
-		if run.ctx.Err() != nil {
-			run.wg.Done()
-			continue
-		}
-		pm := run.mode
-		pm.K = run.ks[job.idx]
-		if run.perk != nil {
-			pm.LMax = run.perk[job.idx]
-		}
-		res, err := p.model.Evolve(pm)
-		if err != nil {
-			run.fail(fmt.Errorf("dispatch: k=%g: %w", pm.K, err))
-		} else {
-			run.results[job.idx] = res
+		for _, idx := range job.idxs {
+			if run.ctx.Err() != nil {
+				break
+			}
+			pm := run.mode
+			pm.K = run.ks[idx]
+			if run.perk != nil {
+				pm.LMax = run.perk[idx]
+			}
+			res, err := p.model.EvolveWith(pm, sc)
+			if err != nil {
+				run.fail(fmt.Errorf("dispatch: k=%g: %w", pm.K, err))
+				break
+			}
+			run.results[idx] = res
 			run.record(rank, res)
 		}
 		run.wg.Done()
 	}
 }
 
-// Run implements Dispatcher: it enqueues every wavenumber onto the shared
-// workers (in Schedule order) and waits for the sweep to finish. Multiple
-// concurrent Run calls interleave fairly at mode granularity.
+// Run implements Dispatcher: it enqueues the wavenumbers onto the shared
+// workers (in Schedule order, batched into contiguous chunks — see
+// handOutChunks) and waits for the sweep to finish. Multiple concurrent
+// Run calls interleave fairly at chunk granularity.
 func (p *SharedPool) Run(ctx context.Context, ks []float64, mode core.Params) (*Sweep, *RunStats, error) {
 	if p.model == nil {
 		return nil, nil, fmt.Errorf("dispatch: shared pool has no model")
@@ -162,16 +165,17 @@ func (p *SharedPool) Run(ctx context.Context, ks []float64, mode core.Params) (*
 		results: make([]*core.Result, len(ks)),
 		ctx:     rctx,
 		cancel:  cancel,
-		timings: make(map[int]*WorkerTiming),
+		timings: make([]paddedTiming, p.workers),
 	}
 	order := p.Schedule.Order(ks)
+	chunks := handOutChunks(order, p.workers)
 
 	start := time.Now()
-	run.wg.Add(len(order))
+	run.wg.Add(len(chunks))
 	enqueued, closed := 0, false
-	for _, i := range order {
+	for _, c := range chunks {
 		select {
-		case p.jobs <- sharedJob{run: run, idx: i}:
+		case p.jobs <- sharedJob{run: run, idxs: c}:
 			enqueued++
 		case <-rctx.Done():
 		case <-p.quit:
@@ -181,8 +185,8 @@ func (p *SharedPool) Run(ctx context.Context, ks []float64, mode core.Params) (*
 			break
 		}
 	}
-	// Balance the Add for jobs never handed to a worker.
-	for n := enqueued; n < len(order); n++ {
+	// Balance the Add for chunks never handed to a worker.
+	for n := enqueued; n < len(chunks); n++ {
 		run.wg.Done()
 	}
 	run.wg.Wait()
@@ -207,8 +211,10 @@ func (p *SharedPool) Run(ctx context.Context, ks []float64, mode core.Params) (*
 		NProc:     p.workers,
 		Wallclock: time.Since(start).Seconds(),
 	}
-	for _, t := range run.timings {
-		st.Workers = append(st.Workers, *t)
+	for i := range run.timings {
+		if t := run.timings[i].WorkerTiming; t.Modes > 0 {
+			st.Workers = append(st.Workers, t)
+		}
 	}
 	st.finalize()
 	sw := &Sweep{

@@ -12,6 +12,27 @@ type WorkerTiming struct {
 	Flops   float64 // model flop count
 }
 
+// paddedTiming is the in-flight per-worker accounting slot: WorkerTiming is
+// 32 bytes, so four adjacent slots would share a cache line and every
+// per-mode counter update by one worker would invalidate the line under
+// three others' feet (false sharing). The pad spreads the slots to 128
+// bytes — two lines, covering the adjacent-line prefetcher — which keeps
+// each worker's counters core-local; the slots collapse to plain
+// WorkerTiming values when the run finishes.
+type paddedTiming struct {
+	WorkerTiming
+	_ [96]byte
+}
+
+// unpadTimings copies the in-flight slots into the final RunStats form.
+func unpadTimings(padded []paddedTiming) []WorkerTiming {
+	out := make([]WorkerTiming, len(padded))
+	for i := range padded {
+		out[i] = padded[i].WorkerTiming
+	}
+	return out
+}
+
 // RunStats is the unified run telemetry, reproducing the quantities plotted
 // in Figure 1 and tabulated in Section 5. Both backends populate every
 // field with the same semantics, so schedules and transports can be

@@ -260,12 +260,14 @@ type Adaptive struct {
 	lastH   float64
 	prevErr float64
 
-	// scratch buffers reused across calls
-	k     [][]float64
-	ytmp  []float64
-	yerr  []float64
-	ynew  []float64
-	dimsz int
+	// scratch buffers reused across calls; ensure grows them monotonically
+	// and re-slices, so an integrator pooled across systems of varying
+	// dimension (the arena of a sweep worker, or one mode's hierarchy
+	// resize events) stops allocating once it has seen its largest system.
+	k    [][]float64
+	ytmp []float64
+	yerr []float64
+	ynew []float64
 }
 
 // NewDVERK returns the paper's integrator: Verner's 6(5) pair with the
@@ -285,18 +287,45 @@ func (ad *Adaptive) Name() string { return ad.tab.name }
 // SetOnStep implements StepObserver.
 func (ad *Adaptive) SetOnStep(fn func(t float64, y []float64)) { ad.OnStep = fn }
 
+// Reset clears every run-specific control setting — carried step size, PI
+// history, step caps, budgets, tolerances and the step callback — returning
+// the integrator to its freshly constructed state while keeping the scratch
+// buffers. A pooled integrator Reset between modes produces bitwise the
+// same trajectory as a newly constructed one: the buffers are fully
+// overwritten before being read on every step, so only the control state
+// carries history.
+func (ad *Adaptive) Reset() {
+	ad.RTol, ad.ATol = 0, 0
+	ad.InitialStep = 0
+	ad.MaxStep = 0
+	ad.MinStep = 0
+	ad.MaxSteps = 0
+	ad.OnStep = nil
+	ad.PI = false
+	ad.CarryStep = false
+	ad.lastH = 0
+	ad.prevErr = 0
+}
+
 func (ad *Adaptive) ensure(n int) {
-	if ad.dimsz == n && ad.k != nil {
+	if ad.k == nil {
+		ad.k = make([][]float64, ad.tab.stages)
+	}
+	if cap(ad.ytmp) < n {
+		for i := range ad.k {
+			ad.k[i] = make([]float64, n)
+		}
+		ad.ytmp = make([]float64, n)
+		ad.yerr = make([]float64, n)
+		ad.ynew = make([]float64, n)
 		return
 	}
-	ad.k = make([][]float64, ad.tab.stages)
 	for i := range ad.k {
-		ad.k[i] = make([]float64, n)
+		ad.k[i] = ad.k[i][:n]
 	}
-	ad.ytmp = make([]float64, n)
-	ad.yerr = make([]float64, n)
-	ad.ynew = make([]float64, n)
-	ad.dimsz = n
+	ad.ytmp = ad.ytmp[:n]
+	ad.yerr = ad.yerr[:n]
+	ad.ynew = ad.ynew[:n]
 }
 
 // Integrate advances y from t0 to t1 (t1 > t0) in place.
@@ -501,12 +530,15 @@ func (r *RK4) Integrate(f Func, t0, t1 float64, y []float64) (Stats, error) {
 		steps = 100
 	}
 	n := len(y)
-	if len(r.k1) != n {
+	if cap(r.k1) < n {
 		r.k1 = make([]float64, n)
 		r.k2 = make([]float64, n)
 		r.k3 = make([]float64, n)
 		r.k4 = make([]float64, n)
 		r.ytmp = make([]float64, n)
+	} else {
+		r.k1, r.k2, r.k3 = r.k1[:n], r.k2[:n], r.k3[:n]
+		r.k4, r.ytmp = r.k4[:n], r.ytmp[:n]
 	}
 	h := (t1 - t0) / float64(steps)
 	t := t0

@@ -341,3 +341,61 @@ func TestStepObserverContract(t *testing.T) {
 		}
 	}
 }
+
+// TestResetAndBufferReuse: a pooled integrator — Reset between runs and
+// driven through systems of different dimension (a sweep worker's arena
+// reuses one Adaptive across modes whose hierarchies grow, shrink and vary
+// with k) — must produce bitwise the trajectories of freshly constructed
+// integrators, and must stop allocating once it has seen its largest
+// system.
+func TestResetAndBufferReuse(t *testing.T) {
+	runs := []struct {
+		f    Func
+		n    int
+		t1   float64
+		last float64
+	}{
+		{expDecay, 1, 2.0, 0},
+		{harmonic(3.0), 2, 5.0, 0},
+		{expDecay, 1, 1.0, 0},
+	}
+	// Fresh integrator per run: the reference trajectories.
+	for i := range runs {
+		ad := NewDVERK(1e-8, 1e-12)
+		ad.PI = true
+		y := make([]float64, runs[i].n)
+		y[0] = 1
+		if _, err := ad.Integrate(runs[i].f, 0, runs[i].t1, y); err != nil {
+			t.Fatal(err)
+		}
+		runs[i].last = y[0]
+	}
+	// One pooled integrator, Reset between runs.
+	pooled := NewDVERK(0, 0)
+	for i, r := range runs {
+		pooled.Reset()
+		pooled.RTol, pooled.ATol = 1e-8, 1e-12
+		pooled.PI = true
+		y := make([]float64, r.n)
+		y[0] = 1
+		if _, err := pooled.Integrate(r.f, 0, r.t1, y); err != nil {
+			t.Fatal(err)
+		}
+		if y[0] != r.last {
+			t.Fatalf("run %d: pooled integrator differs bitwise: %g vs %g", i, y[0], r.last)
+		}
+	}
+	// Once warm at the largest dimension, re-runs must not allocate.
+	y := make([]float64, 2)
+	h := harmonic(3.0)
+	if n := testing.AllocsPerRun(10, func() {
+		pooled.Reset()
+		pooled.RTol, pooled.ATol = 1e-8, 1e-12
+		y[0], y[1] = 1, 0
+		if _, err := pooled.Integrate(h, 0, 5.0, y); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 0 {
+		t.Fatalf("warm pooled integrator allocates %.0f/run, want 0", n)
+	}
+}

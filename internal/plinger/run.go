@@ -320,6 +320,9 @@ func Worker(ep mp.Endpoint, model *core.Model, kValues []float64, mode core.Para
 	if err := ep.Send(master, TagRequest, []float64{0}); err != nil {
 		return err
 	}
+	// One evolution arena for the worker's whole life: every assigned mode
+	// reuses the same state buffers and integrator.
+	scratch := core.NewScratch()
 	for {
 		// Receive next assignment or stop (mychecktid pattern: any tag
 		// from the master).
@@ -346,7 +349,7 @@ func Worker(ep mp.Endpoint, model *core.Model, kValues []float64, mode core.Para
 		if len(m.Data) > 1 && m.Data[1] > 0 {
 			p.LMax = int(m.Data[1])
 		}
-		r, err := model.Evolve(p)
+		r, err := model.EvolveWith(p, scratch)
 		if err != nil {
 			return fmt.Errorf("plinger: worker evolve (ik=%d, k=%g): %w", ik1, p.K, err)
 		}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"plinger"
+	"plinger/internal/specfunc"
 )
 
 // Defaults are the per-request fallbacks the daemon resolves zero-valued
@@ -314,6 +315,11 @@ type Stats struct {
 	Queue         QueueStats `json:"queue"`
 	Defaults      Defaults   `json:"defaults"`
 	Workers       int        `json:"workers"`
+	// BesselTables is the current size of the process-wide spherical-
+	// Bessel kernel cache — bounded by the same LRU discipline as the
+	// model registry, so a daemon churning through resolutions can watch
+	// that it stays capped.
+	BesselTables int `json:"bessel_tables"`
 }
 
 // Stats snapshots the serving counters.
@@ -333,6 +339,7 @@ func (s *Service) Stats() Stats {
 		Queue:         s.adm.Stats(),
 		Defaults:      s.opts.Defaults,
 		Workers:       s.opts.Workers,
+		BesselTables:  specfunc.BesselCacheLen(),
 	}
 	if st.Hits > 0 {
 		st.AvgHitMS = float64(s.hitNs.Load()) / 1e6 / float64(st.Hits)

@@ -350,10 +350,71 @@ func sortedUniqueLs(ls []int) []int {
 // built once behind a mutex and shared. Keys are bucketed so nearby
 // requests (xmax differing by the start-time offset, say) hit the same
 // entry.
+//
+// The cache is bounded: entries carry a last-use stamp and the map is
+// pruned to DefaultBesselCacheLimit least-recently-used-first, the same
+// bounded-LRU discipline as the serving layer's model registry. Without
+// the cap a daemon whose clients churn through resolutions (every distinct
+// LMaxCl bucket and k-range bucket is a fresh key, each worth several MB)
+// would leak tables for the life of the process. Evicted tables stay valid
+// for any reader still holding them — they are immutable; eviction only
+// drops the cache's reference.
 var besselCache = struct {
 	sync.Mutex
-	m map[besselCacheKey]*BesselTable
-}{m: map[besselCacheKey]*BesselTable{}}
+	m     map[besselCacheKey]*besselCacheEntry
+	tick  uint64
+	limit int
+}{m: map[besselCacheKey]*besselCacheEntry{}, limit: DefaultBesselCacheLimit}
+
+// besselCacheEntry pairs a cached table with its recency stamp.
+type besselCacheEntry struct {
+	t       *BesselTable
+	lastUse uint64
+}
+
+// DefaultBesselCacheLimit bounds the shared table cache. Eight buckets
+// cover every distinct (multipole cap, argument range) combination a
+// realistic serving mix requests; at ~3 MB per production table the cache
+// stays under ~25 MB where it previously grew without bound.
+const DefaultBesselCacheLimit = 8
+
+// SetBesselCacheLimit changes the shared-cache bound (n < 1 is treated as
+// 1), pruning immediately, and returns the previous limit. It exists for
+// tests and for daemons that want a different memory/raciness trade-off.
+func SetBesselCacheLimit(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	besselCache.Lock()
+	defer besselCache.Unlock()
+	old := besselCache.limit
+	besselCache.limit = n
+	pruneBesselCacheLocked()
+	return old
+}
+
+// BesselCacheLen reports the number of cached tables (for tests and
+// telemetry).
+func BesselCacheLen() int {
+	besselCache.Lock()
+	defer besselCache.Unlock()
+	return len(besselCache.m)
+}
+
+// pruneBesselCacheLocked evicts least-recently-used entries until the
+// cache respects its limit. Caller holds the lock.
+func pruneBesselCacheLocked() {
+	for len(besselCache.m) > besselCache.limit {
+		var oldest besselCacheKey
+		first := true
+		for k, e := range besselCache.m {
+			if first || e.lastUse < besselCache.m[oldest].lastUse {
+				oldest, first = k, false
+			}
+		}
+		delete(besselCache.m, oldest)
+	}
+}
 
 type besselCacheKey struct {
 	lmax  int
@@ -387,23 +448,26 @@ func SharedBesselTable(ls []int, xmax float64, par func(n int, body func(i int))
 
 	besselCache.Lock()
 	defer besselCache.Unlock()
-	if t, ok := besselCache.m[key]; ok {
+	besselCache.tick++
+	if e, ok := besselCache.m[key]; ok {
+		e.lastUse = besselCache.tick
 		missing := false
 		for _, l := range ls {
-			if !t.Has(l) {
+			if !e.t.Has(l) {
 				missing = true
 				break
 			}
 		}
 		if !missing {
-			return t
+			return e.t
 		}
 		// Extend: rebuild with the union of the tabulated and requested
 		// multipoles. Builds are cheap next to evaluation, and readers of
 		// the old table are unaffected (tables are immutable).
-		ls = sortedUniqueLs(append(t.Ls(), ls...))
+		ls = sortedUniqueLs(append(e.t.Ls(), ls...))
 	}
 	t := NewBesselTable(lmax, ls, xb, DefaultBesselH, par)
-	besselCache.m[key] = t
+	besselCache.m[key] = &besselCacheEntry{t: t, lastUse: besselCache.tick}
+	pruneBesselCacheLocked()
 	return t
 }

@@ -123,6 +123,52 @@ func TestSharedBesselTableCache(t *testing.T) {
 	}
 }
 
+// TestBesselCachePrune: the shared cache is a bounded LRU — churning
+// through distinct keys must never grow it past the limit, eviction must
+// hit the least-recently-used entry first, and surviving entries must
+// still be served from cache.
+func TestBesselCachePrune(t *testing.T) {
+	defer SetBesselCacheLimit(SetBesselCacheLimit(2))
+
+	// Distinct lmax buckets (64 apart) give distinct keys at equal xmax.
+	t10 := SharedBesselTable([]int{10}, 200, nil)
+	t100 := SharedBesselTable([]int{100}, 200, nil)
+	if n := BesselCacheLen(); n > 2 {
+		t.Fatalf("cache holds %d entries with limit 2", n)
+	}
+	// Touch the first so the second becomes LRU, then insert a third.
+	if tt := SharedBesselTable([]int{10}, 200, nil); tt != t10 {
+		t.Fatal("cached table rebuilt on hit")
+	}
+	t200 := SharedBesselTable([]int{200}, 200, nil)
+	if n := BesselCacheLen(); n != 2 {
+		t.Fatalf("cache holds %d entries after pruning, want 2", n)
+	}
+	// The recently used and the new entry survive; the LRU one was evicted.
+	if tt := SharedBesselTable([]int{10}, 200, nil); tt != t10 {
+		t.Fatal("recently used entry was evicted")
+	}
+	if tt := SharedBesselTable([]int{200}, 200, nil); tt != t200 {
+		t.Fatal("newest entry was evicted")
+	}
+	if tt := SharedBesselTable([]int{100}, 200, nil); tt == t100 {
+		t.Fatal("least-recently-used entry survived past the limit")
+	}
+	// Evicted tables must remain readable (immutability contract).
+	if row, ok := t100.Row(100); !ok {
+		t.Fatal("evicted table lost its rows")
+	} else if j, _, _ := row.Eval(120.0); j == 0 {
+		t.Fatal("evicted table row unreadable")
+	}
+	// Limits below 1 clamp to 1.
+	SetBesselCacheLimit(0)
+	SharedBesselTable([]int{10}, 200, nil)
+	SharedBesselTable([]int{100}, 200, nil)
+	if n := BesselCacheLen(); n != 1 {
+		t.Fatalf("cache holds %d entries with limit 1", n)
+	}
+}
+
 // TestBesselTableParallelBuild: the dispatch-style fan-out and the serial
 // build must produce identical tables.
 func TestBesselTableParallelBuild(t *testing.T) {

@@ -1,0 +1,64 @@
+package spectra
+
+import (
+	"testing"
+
+	"plinger/internal/core"
+	"plinger/internal/specfunc"
+)
+
+// TestLOSProjectionAllocBudget pins the fast projection hot path at zero
+// steady-state allocations: with a warm losScratch, assembling a mode's
+// sources and projecting them against the shared kernel table must reuse
+// every buffer (this is what lets ClLOSFast sweep hundreds of modes per
+// request without feeding the garbage collector).
+func TestLOSProjectionAllocBudget(t *testing.T) {
+	m := model(t)
+	tau0, tauRec := m.BG.Tau0(), m.TH.TauRec()
+	r, err := m.Evolve(core.Params{K: 0.03, LMax: 24, Gauge: core.ConformalNewtonian, KeepSources: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := []int{2, 5, 10, 20, 40, 60}
+	tbl := specfunc.SharedBesselTable(ls, r.K*(tau0-r.Sources[0].Tau), nil)
+	var sc losScratch
+	out := make([]float64, len(ls))
+	n := testing.AllocsPerRun(10, func() {
+		if err := losAssemble(r, tau0, tauRec, &sc); err != nil {
+			t.Fatal(err)
+		}
+		if err := projectThetaTable(r.K, tau0, &sc, ls, tbl, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n > 0 {
+		t.Errorf("fast LOS assembly+projection: %.0f allocs/op with a warm scratch, want 0", n)
+	}
+}
+
+// TestRefineKAllocBudget bounds the coarse-to-fine refinement: its output
+// (one synthetic Result per fine wavenumber plus one shared sample backing
+// array) is allocated by design, but the per-time-sample spline loop must
+// stay allocation-free, so the total is pinned at nkFine plus a fixed
+// overhead rather than growing with the time grid.
+func TestRefineKAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs a real coarse sweep")
+	}
+	m := model(t)
+	tauRec := m.TH.TauRec()
+	ks := ClGrid(60, m.BG.Tau0(), 12)
+	sw, err := RunSweep(m, core.Params{LMax: 12, Gauge: core.ConformalNewtonian, KeepSources: true}, ks, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nkFine = 40
+	n := testing.AllocsPerRun(3, func() {
+		if _, err := sw.RefineK(nkFine, tauRec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if budget := float64(nkFine + 64); n > budget {
+		t.Errorf("RefineK(%d): %.0f allocs/op, budget %.0f (output + fixed overhead)", nkFine, n, budget)
+	}
+}

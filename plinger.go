@@ -112,10 +112,12 @@ func (g Gauge) internal() (core.Gauge, error) {
 //
 // Concurrency contract: a Model is immutable after New, and every compute
 // method — EvolveMode, ComputeSpectrum, MatterPower, RunParallel — may be
-// called concurrently from any number of goroutines. Each call builds its
-// own per-mode integration state; the shared substrate (background and
-// thermodynamic spline tables, the process-wide spherical-Bessel kernel
-// cache) is either read-only or internally synchronized. The only
+// called concurrently from any number of goroutines. Sweep workers keep
+// their per-mode integration state in worker-owned arenas inside the
+// dispatch subsystem (never shared across goroutines); the shared
+// substrate (background and thermodynamic spline tables, the process-wide
+// bounded spherical-Bessel kernel cache) is either read-only or
+// internally synchronized. The only
 // configuration calls excluded from the contract are EnableSharedPool and
 // CloseSharedPool, which install/tear down the long-lived dispatcher and
 // must not race with in-flight compute calls. Results are deterministic:
