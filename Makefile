@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check fmt-check vet build test-short test test-race bench bench-json bench-smoke
+.PHONY: check fmt-check vet staticcheck build test-short test test-race bench bench-json bench-smoke
 
-check: fmt-check vet build test-short
+check: fmt-check vet staticcheck build test-short
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -10,6 +10,16 @@ fmt-check:
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs when the binary is on PATH and is skipped (with a note)
+# when it is not, so `make check` works on boxes without it while CI and
+# developer machines that have it get the full lint.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -29,20 +39,25 @@ test-race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# bench-json regenerates BENCH_PR5.json: the fast-vs-reference C_l pipeline
-# and single-mode evolution speedups, the GOMAXPROCS scaling sweep of the
-# fast pipeline (wallclock/speedup/parallel efficiency per processor count,
-# spectra bitwise-checked across counts), the projection/kernel
-# microbenchmarks with their allocs/op columns, the measured accuracy of
-# the full fast path, and the spectrum service's serving numbers (cache-hit
-# and cold-miss latency, sustained req/s at 32 concurrent clients).
+# bench-json regenerates BENCH_PR6.json: the fast-vs-reference C_l pipeline
+# and single-mode evolution speedups, the PR 6 ablation grid on the dense
+# multipole request (lspline on/off x kbatch 1/4/8 plus each fast
+# ingredient individually toggled off, with per-column wall/speedup and
+# accuracy), the GOMAXPROCS scaling sweep of the fast pipeline
+# (wallclock/speedup/parallel efficiency per processor count, spectra
+# bitwise-checked across counts), the projection/kernel microbenchmarks
+# with their allocs/op columns, the measured accuracy of the full fast
+# path, and the spectrum service's serving numbers (cache-hit and
+# cold-miss latency, sustained req/s at 32 concurrent clients).
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR5.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR6.json
 
 # bench-smoke runs the whole benchjson path at tiny settings (small
 # LMaxCl/NK, short service runs) and writes outside the repo — the CI guard
 # that keeps the report pipeline from rotting between real bench-json runs.
-# It also runs the scaling sweep at GOMAXPROCS 1 and 2 and, on multi-core
-# hosts, fails unless the 2-processor run beats the 1-processor run.
+# That path includes the PR 6 ablation grid, so every LSpline/KBatch
+# combination is exercised end-to-end on each CI run. It also runs the
+# scaling sweep at GOMAXPROCS 1 and 2 and, on multi-core hosts, fails
+# unless the 2-processor run beats the 1-processor run.
 bench-smoke:
 	$(GO) run ./cmd/benchjson -smoke -out /tmp/bench-smoke.json

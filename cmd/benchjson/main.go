@@ -4,12 +4,16 @@
 // multi-core scaling sweep, and the spectrum service's serving benchmark),
 // extending the performance trajectory started in BENCH_PR2.json:
 //
-//	benchjson [-out BENCH_PR5.json] [-quick] [-smoke] [-procs 1,2,4,all]
+//	benchjson [-out BENCH_PR6.json] [-quick] [-smoke] [-procs 1,2,4,all]
 //
 // The headline numbers are the Figure-2 C_l pipeline with the full fast
 // engine (fast evolution + shared spherical-Bessel tables + coarse-to-fine
 // k refinement) against the exact reference pipeline at identical
-// LMaxCl/NK settings, the GOMAXPROCS scaling sweep of that pipeline — the
+// LMaxCl/NK settings, the PR 6 ablation grid on the dense multipole
+// request — spline-in-l projection on/off crossed with lockstep k-mode
+// batch sizes 1/4/8, plus each established fast ingredient individually
+// toggled off, with per-column wallclock, speedup and accuracy — the
+// GOMAXPROCS scaling sweep of that pipeline — the
 // repo's analogue of the paper's Figure-1 scaling curve: wallclock,
 // speedup and parallel efficiency per processor count, with the spectra
 // checked bitwise-identical across counts — the single-mode evolution
@@ -94,6 +98,31 @@ type ScalingPoint struct {
 	Efficiency float64 `json:"parallel_efficiency"`
 }
 
+// AblationRow is one column of the PR 6 ablation grid: the fast C_l
+// pipeline on the dense multipole request with one combination of the
+// fast ingredients, timed best-of-3 on a warm model.
+type AblationRow struct {
+	Name       string  `json:"name"`
+	FastLOS    bool    `json:"fastlos"`
+	KRefine    int     `json:"krefine"`
+	FastEvolve bool    `json:"fastevolve"`
+	LSpline    bool    `json:"lspline"`
+	KBatch     int     `json:"kbatch"`
+	WallMS     float64 `json:"wall_ms"`
+	// Speedup is relative to the grid's PR 5 fast baseline — FastLOS +
+	// KRefine + FastEvolve with LSpline off and KBatch 1 — on the same
+	// request.
+	Speedup float64 `json:"speedup_vs_pr5_fast"`
+	// MaxRelCl is the column's worst relative C_l deviation from that
+	// same baseline. The k quadrature (NK, KRefine) is held fixed across
+	// the lspline/kbatch rows, so those expose pure projection and
+	// batching error at this resolution; the sub-1e-3 projection
+	// contract itself is pinned on a converged k grid by the golden
+	// tests (at production NK the exact spectrum carries percent-level
+	// quadrature aliasing that no projection scheme can see).
+	MaxRelCl float64 `json:"max_rel_cl_vs_pr5_fast"`
+}
+
 // Report is the written document.
 type Report struct {
 	Date          string  `json:"date"`
@@ -124,6 +153,14 @@ type Report struct {
 	Scaling              []ScalingPoint `json:"scaling_sweep"`
 	ClBitwiseAcrossProcs *bool          `json:"cl_bitwise_across_procs,omitempty"`
 
+	// The PR 6 numbers: spline-in-l projection and lockstep k-mode
+	// batching, ablated on the dense C_l request (every multipole from 2
+	// to LMaxCl — the full curve of the paper's Figure 2, the request
+	// the spline-in-l cut is built for). SpeedupFullFast is the full
+	// fast pipeline (all five ingredients) over the PR 5 fast path.
+	Ablation        []AblationRow `json:"ablation"`
+	SpeedupFullFast float64       `json:"speedup_full_fast_vs_pr5_fast"`
+
 	// The PR 3 serving numbers.
 	ServiceHitMS     float64       `json:"service_hit_ms"`
 	ServiceMissMS    float64       `json:"service_miss_ms"`
@@ -149,7 +186,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	var (
-		out   = flag.String("out", "BENCH_PR5.json", "output file")
+		out   = flag.String("out", "BENCH_PR6.json", "output file")
 		quick = flag.Bool("quick", false, "smaller pipeline settings (for smoke runs)")
 		smoke = flag.Bool("smoke", false, "tiny settings and short service runs: the CI exercise of the whole report path")
 		procs = flag.String("procs", "", "comma-separated GOMAXPROCS values for the scaling sweep ('all' = every core; default 1,2,4,all clamped to the machine)")
@@ -348,6 +385,16 @@ func main() {
 	rep.Entries = []Entry{eFast, eRef, eEvRef, eEvFast, eEvLosRef, eEvLosFast,
 		eThetaRef, eThetaFast, eBesselRef, eBesselTab}
 
+	// The PR 6 ablation grid on the dense request.
+	rep.Ablation, rep.SpeedupFullFast, err = runAblation(m, lmaxCl, nk, kRefine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%-24s %10s %9s %13s\n", "ablation", "wall [ms]", "speedup", "max rel C_l")
+	for _, r := range rep.Ablation {
+		fmt.Printf("%-24s %10.1f %8.2fx %13.3g\n", r.Name, r.WallMS, r.Speedup, r.MaxRelCl)
+	}
+
 	// The serving benchmark: an in-process plingerd (real HTTP stack via
 	// httptest) at the same product settings. Cold misses are timed on
 	// distinct fresh keys, then a single-client run measures unloaded hit
@@ -381,6 +428,7 @@ func main() {
 	fmt.Printf("evolution speedup: %.2fx single brute mode, %.2fx los mode\n",
 		rep.SpeedupEvolve, rep.SpeedupEvolveLOS)
 	fmt.Printf("max relative C_l deviation fast vs reference: %.3g\n", rep.MaxRelClErr)
+	fmt.Printf("full fast pipeline vs PR 5 fast path (dense request): %.2fx\n", rep.SpeedupFullFast)
 	fmt.Printf("service: hit %.3g ms, cold miss %.3g ms, %.0f req/s at %d clients\n",
 		rep.ServiceHitMS, rep.ServiceMissMS, rep.ServiceReqPerSec, sb.Sustained32.Clients)
 	fmt.Printf("wrote %s\n", *out)
@@ -479,12 +527,88 @@ func runScalingSweep(m *plinger.Model, opts plinger.SpectrumOptions, procsList [
 	return out, &identical, nil
 }
 
+// runAblation times the PR 6 ablation grid on the dense C_l request:
+// the lspline {off,on} x kbatch {1,4,8} cross on top of the PR 5 fast
+// path, plus each established fast ingredient individually toggled off
+// the full configuration (LSpline rides on FastLOS, so the no-FastLOS
+// column necessarily drops both). Returns the rows and the full-fast
+// over PR 5-fast speedup.
+func runAblation(m *plinger.Model, lmaxCl, nk, kRefine int) ([]AblationRow, float64, error) {
+	ls := make([]int, 0, lmaxCl-1)
+	for l := 2; l <= lmaxCl; l++ {
+		ls = append(ls, l)
+	}
+	base := plinger.SpectrumOptions{LMaxCl: lmaxCl, NK: nk, Ls: ls}
+	pr5 := base
+	pr5.FastLOS, pr5.FastEvolve, pr5.KRefine = true, true, kRefine
+
+	grid := []struct {
+		name string
+		mod  func(*plinger.SpectrumOptions)
+	}{
+		{"pr5_fast", func(o *plinger.SpectrumOptions) {}},
+		{"kbatch4", func(o *plinger.SpectrumOptions) { o.KBatch = 4 }},
+		{"kbatch8", func(o *plinger.SpectrumOptions) { o.KBatch = 8 }},
+		{"lspline", func(o *plinger.SpectrumOptions) { o.LSpline = true }},
+		{"lspline_kbatch4", func(o *plinger.SpectrumOptions) { o.LSpline = true; o.KBatch = 4 }},
+		{"full_fast", func(o *plinger.SpectrumOptions) { o.LSpline = true; o.KBatch = 8 }},
+		{"full_minus_fastlos", func(o *plinger.SpectrumOptions) { o.FastLOS = false; o.KBatch = 8 }},
+		{"full_minus_krefine", func(o *plinger.SpectrumOptions) { o.KRefine = 1; o.LSpline = true; o.KBatch = 8 }},
+		{"full_minus_fastevolve", func(o *plinger.SpectrumOptions) { o.FastEvolve = false; o.LSpline = true; o.KBatch = 8 }},
+	}
+	var rows []AblationRow
+	var refSpec *plinger.Spectrum
+	for _, g := range grid {
+		o := pr5
+		g.mod(&o)
+		// Warm run outside the timed loop: flattened tables, Bessel rows,
+		// worker arenas. Its spectrum feeds the accuracy column.
+		spec, err := m.ComputeSpectrum(o)
+		if err != nil {
+			return nil, 0, fmt.Errorf("ablation %s: %w", g.name, err)
+		}
+		best := math.Inf(1)
+		for rep := 0; rep < 3; rep++ {
+			t0 := time.Now()
+			if _, err := m.ComputeSpectrum(o); err != nil {
+				return nil, 0, fmt.Errorf("ablation %s: %w", g.name, err)
+			}
+			if d := float64(time.Since(t0).Nanoseconds()) / 1e6; d < best {
+				best = d
+			}
+		}
+		row := AblationRow{Name: g.name, FastLOS: o.FastLOS, KRefine: o.KRefine,
+			FastEvolve: o.FastEvolve, LSpline: o.LSpline, KBatch: o.KBatch, WallMS: best}
+		if refSpec == nil {
+			refSpec = spec
+		}
+		for i := range refSpec.Cl {
+			rel := math.Abs(spec.Cl[i]-refSpec.Cl[i]) / refSpec.Cl[i]
+			if rel > row.MaxRelCl {
+				row.MaxRelCl = rel
+			}
+		}
+		rows = append(rows, row)
+	}
+	baseMS := rows[0].WallMS
+	var full float64
+	for i := range rows {
+		rows[i].Speedup = baseMS / rows[i].WallMS
+		if rows[i].Name == "full_fast" {
+			full = rows[i].Speedup
+		}
+	}
+	return rows, full, nil
+}
+
 // runServiceBench measures one in-process daemon: cold-miss latency on
 // fresh keys, unloaded cache-hit latency, and sustained throughput at 32
-// concurrent clients.
+// concurrent clients. The defaults carry the PR 6 execution knobs the
+// production daemon ships with (excluded from cache keys).
 func runServiceBench(lmaxCl, nk, kRefine int, dur time.Duration) (*ServiceBench, error) {
 	svc := serve.New(serve.Options{
-		Defaults: serve.Defaults{LMaxCl: lmaxCl, NK: nk, KRefine: kRefine, PkNK: 40},
+		Defaults: serve.Defaults{LMaxCl: lmaxCl, NK: nk, KRefine: kRefine, PkNK: 40,
+			LSpline: true, KBatch: 4},
 	})
 	defer svc.Close()
 	srv := httptest.NewServer(svc.Handler())

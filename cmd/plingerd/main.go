@@ -51,6 +51,8 @@ func main() {
 		nk      = flag.Int("nk", 130, "default C_l wavenumber grid")
 		krefine = flag.Int("krefine", 6, "default coarse-to-fine refinement factor")
 		pknk    = flag.Int("pknk", 40, "default P(k) grid size")
+		lspline = flag.Bool("lspline", true, "spline-in-l projection for non-exact C_l requests")
+		kbatch  = flag.Int("kbatch", 4, "lockstep k-mode batch size for non-exact C_l requests (0/1: scalar)")
 		warm    = flag.Bool("warm", false, "precompute the default products before listening")
 
 		loadgen  = flag.Bool("loadgen", false, "run as a load-generating client instead of a server")
@@ -71,7 +73,8 @@ func main() {
 	}
 
 	svc := serve.New(serve.Options{
-		Defaults:       serve.Defaults{LMaxCl: *lmaxCl, NK: *nk, KRefine: *krefine, PkNK: *pknk},
+		Defaults: serve.Defaults{LMaxCl: *lmaxCl, NK: *nk, KRefine: *krefine, PkNK: *pknk,
+			LSpline: *lspline, KBatch: *kbatch},
 		Workers:        *workers,
 		CacheSize:      *cache,
 		ModelCacheSize: *models,

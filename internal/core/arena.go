@@ -40,6 +40,16 @@ type Scratch struct {
 	rhsf      ode.Func
 	onRecord  func(t float64, y []float64)
 	onMonitor func(t float64, y []float64)
+
+	// bat is the lockstep multi-k driver of EvolveBatchWith; its member
+	// mode slots and closures live here for the same reuse reasons as the
+	// scalar slot above. The state ping-pong, the ratio tables and the
+	// pooled integrator are shared with the scalar path — an arena runs
+	// either one mode or one batch at a time, never both.
+	bat        batch
+	brhsf      ode.Func
+	bOnRecord  func(t float64, y []float64)
+	bOnMonitor func(t float64, y []float64)
 }
 
 // NewScratch returns an empty arena; buffers grow on first use.

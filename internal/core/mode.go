@@ -30,6 +30,10 @@ type mode struct {
 	// thermodynamic fields of the latest lookup.
 	tab *EvalTables
 	tt  tabThermo
+	// bgCache, when non-nil, is the lockstep batch's shared background
+	// point: gatherSums uses it instead of its own lookup whenever the
+	// cached scale factor matches the state's bitwise (see batch.fillBG).
+	bgCache *bgPoint
 
 	// state layout
 	nvar int

@@ -23,6 +23,7 @@ import (
 	"context"
 
 	"plinger/internal/core"
+	runner "plinger/internal/plinger"
 )
 
 // Dispatcher evolves every wavenumber in ks with the template parameters
@@ -123,6 +124,36 @@ func handOutChunks(order []int, workers int) [][]int {
 		chunks = append(chunks, order[lo:hi:hi])
 	}
 	return chunks
+}
+
+// Batched hand-out: when mode.KBatch > 1 the unit of work is no longer a
+// single wavenumber but a lockstep block of KBatch neighbouring grid
+// indices (core.EvolveBatchWith). The decomposition is the one canonical
+// one — runner.BatchBlocks — shared with the message-passing master, so
+// every backend evolves bitwise-identical batches and the results depend
+// only on (ks, mode), exactly as the Dispatcher contract demands.
+
+// batchBlocks splits an nk-point grid into consecutive [lo, hi) index
+// blocks of size b (the last possibly short).
+func batchBlocks(nk, b int) [][2]int { return runner.BatchBlocks(nk, b) }
+
+// blockOrder schedules blocks the way Schedule schedules wavenumbers, by
+// representing each block with its largest member: largest-first then
+// still retires the most expensive batches first (the block's cost is set
+// by its largest k, which drives the unified hierarchy cutoff and the
+// tight-coupling window).
+func blockOrder(s Schedule, ks []float64, blocks [][2]int) []int {
+	reps := make([]float64, len(blocks))
+	for j, blk := range blocks {
+		rep := ks[blk[0]]
+		for _, k := range ks[blk[0]+1 : blk[1]] {
+			if k > rep {
+				rep = k
+			}
+		}
+		reps[j] = rep
+	}
+	return s.Order(reps)
 }
 
 // perKLMaxTable precomputes the per-index hierarchy cutoffs for a run, or

@@ -2,6 +2,7 @@ package dispatch
 
 import (
 	"context"
+	"fmt"
 	"reflect"
 	"sync"
 	"testing"
@@ -384,3 +385,101 @@ func TestContextCancellation(t *testing.T) {
 		t.Fatalf("mp under canceled context: %v", err)
 	}
 }
+
+// TestBatchedSweepEquivalence: with mode.KBatch > 1 every backend hands out
+// the same canonical grid-index blocks (runner.BatchBlocks) and evolves
+// them in lockstep through EvolveBatchWith, so — at a fixed KBatch — the
+// results must stay bitwise-identical across Pool, SharedPool and MP and
+// across schedules, sources included, exactly like the scalar sweep. The
+// reference is a sequential mirror of the worker body with fresh arenas;
+// KBatch accuracy against the scalar path itself is a core/spectra
+// contract (TestBatchAgreesWithScalar, the <1e-3 C_l golden), not a
+// dispatch one. Run under -race via make test-race.
+func TestBatchedSweepEquivalence(t *testing.T) {
+	m := model(t)
+	ks := testKs()
+	for _, b := range []int{1, 4, 8} {
+		mode := core.Params{LMax: 40, Gauge: core.ConformalNewtonian, TauEnd: 400,
+			KeepSources: true, FastEvolve: true, KBatch: b}
+		perk := perKLMaxTable(ks, 400, mode.LMax, true)
+
+		ref := make([]*core.Result, len(ks))
+		if b > 1 {
+			for _, blk := range batchBlocks(len(ks), b) {
+				lo, hi := blk[0], blk[1]
+				rs, err := m.EvolveBatchWith(ks[lo:hi], mode, perk[lo:hi], nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				copy(ref[lo:hi], rs)
+			}
+		} else {
+			for i, k := range ks {
+				pm := mode
+				pm.K = k
+				pm.LMax = perk[i]
+				r, err := m.Evolve(pm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref[i] = r
+			}
+		}
+
+		check := func(label string, sw *Sweep) {
+			t.Helper()
+			for i := range ks {
+				sameResult(t, label, ref[i], sw.Results[i])
+				if !reflect.DeepEqual(ref[i].Sources, sw.Results[i].Sources) {
+					t.Fatalf("%s: sources of mode %d differ from the sequential reference", label, i)
+				}
+			}
+		}
+
+		for _, sched := range []Schedule{LargestFirst, InputOrder} {
+			label := func(backend string) string {
+				return backend + "/" + sched.String() + "/b=" + itoa(b)
+			}
+			pool := &Pool{Model: m, Workers: 3, Schedule: sched, AdaptLMax: true}
+			sw, st, err := pool.Run(context.Background(), ks, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Modes != len(ks) {
+				t.Fatalf("%s: %d modes in stats, want %d", label("pool"), st.Modes, len(ks))
+			}
+			check(label("pool"), sw)
+
+			shared := NewSharedPool(m, 3)
+			shared.Schedule = sched
+			shared.AdaptLMax = true
+			sw, st, err = shared.Run(context.Background(), ks, mode)
+			shared.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Modes != len(ks) {
+				t.Fatalf("%s: %d modes in stats, want %d", label("shared"), st.Modes, len(ks))
+			}
+			check(label("shared"), sw)
+
+			d, cleanup, err := NewMP(m, "chan", 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.Schedule = sched
+			d.AdaptLMax = true
+			sw, st, err = d.Run(context.Background(), ks, mode)
+			cleanup()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Modes != len(ks) {
+				t.Fatalf("%s: %d modes in stats, want %d", label("mp"), st.Modes, len(ks))
+			}
+			check(label("mp"), sw)
+		}
+	}
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }

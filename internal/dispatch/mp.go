@@ -62,10 +62,16 @@ func (d *MP) Run(ctx context.Context, ks []float64, mode core.Params) (*Sweep, *
 		return nil, nil, err
 	}
 	tau0 := sweepTau0(d.Model, mode)
+	// Batched hand-out: the master decomposes the grid with the same
+	// runner.BatchBlocks, so the order must enumerate blocks, not modes.
+	order := d.Schedule.Order(ks)
+	if mode.KBatch > 1 && len(ks) > 1 {
+		order = blockOrder(d.Schedule, ks, batchBlocks(len(ks), mode.KBatch))
+	}
 	cfg := runner.Config{
 		KValues:   ks,
 		Mode:      mode,
-		Order:     d.Schedule.Order(ks),
+		Order:     order,
 		PerKLMax:  perKLMaxTable(ks, tau0, mode.LMax, d.AdaptLMax),
 		ASCIIOut:  d.ASCIIOut,
 		BinaryOut: d.BinaryOut,

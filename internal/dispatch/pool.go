@@ -55,6 +55,13 @@ func (p *Pool) Run(ctx context.Context, ks []float64, mode core.Params) (*Sweep,
 	tau0 := sweepTau0(p.Model, mode)
 	perk := perKLMaxTable(ks, tau0, mode.LMax, p.AdaptLMax)
 	order := p.Schedule.Order(ks)
+	// Batched hand-out: the schedule orders blocks instead of single
+	// modes, and every queue index below names a block.
+	var blocks [][2]int
+	if mode.KBatch > 1 && len(ks) > 1 {
+		blocks = batchBlocks(len(ks), mode.KBatch)
+		order = blockOrder(p.Schedule, ks, blocks)
+	}
 
 	prebuildEvalTables(p.Model, mode)
 	defer runPrebuild(p.Prebuild)()
@@ -76,6 +83,25 @@ func (p *Pool) Run(ctx context.Context, ks []float64, mode core.Params) (*Sweep,
 			t.Rank = w + 1
 			for chunk := range chunks {
 				for _, i := range chunk {
+					if blocks != nil {
+						lo, hi := blocks[i][0], blocks[i][1]
+						var perkSub []int
+						if perk != nil {
+							perkSub = perk[lo:hi]
+						}
+						rs, err := p.Model.EvolveBatchWith(ks[lo:hi], mode, perkSub, sc)
+						if err != nil {
+							errs <- fmt.Errorf("dispatch: batch k=%g..%g: %w", ks[lo], ks[hi-1], err)
+							return
+						}
+						for j, r := range rs {
+							results[lo+j] = r
+							t.Modes++
+							t.Seconds += r.Seconds
+							t.Flops += r.Flops
+						}
+						continue
+					}
 					pm := mode
 					pm.K = ks[i]
 					if perk != nil {

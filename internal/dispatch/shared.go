@@ -50,6 +50,9 @@ type sharedRun struct {
 	mode    core.Params
 	perk    []int
 	results []*core.Result
+	// blocks, when non-nil, switches the run to batched hand-out: job
+	// indices name [lo, hi) grid-index blocks instead of single modes.
+	blocks [][2]int
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -117,6 +120,23 @@ func (p *SharedPool) worker(rank int) {
 			if run.ctx.Err() != nil {
 				break
 			}
+			if run.blocks != nil {
+				lo, hi := run.blocks[idx][0], run.blocks[idx][1]
+				var perkSub []int
+				if run.perk != nil {
+					perkSub = run.perk[lo:hi]
+				}
+				rs, err := p.model.EvolveBatchWith(run.ks[lo:hi], run.mode, perkSub, sc)
+				if err != nil {
+					run.fail(fmt.Errorf("dispatch: batch k=%g..%g: %w", run.ks[lo], run.ks[hi-1], err))
+					break
+				}
+				for j, r := range rs {
+					run.results[lo+j] = r
+					run.record(rank, r)
+				}
+				continue
+			}
 			pm := run.mode
 			pm.K = run.ks[idx]
 			if run.perk != nil {
@@ -168,6 +188,10 @@ func (p *SharedPool) Run(ctx context.Context, ks []float64, mode core.Params) (*
 		timings: make([]paddedTiming, p.workers),
 	}
 	order := p.Schedule.Order(ks)
+	if mode.KBatch > 1 && len(ks) > 1 {
+		run.blocks = batchBlocks(len(ks), mode.KBatch)
+		order = blockOrder(p.Schedule, ks, run.blocks)
+	}
 	chunks := handOutChunks(order, p.workers)
 
 	start := time.Now()

@@ -20,7 +20,9 @@ type Config struct {
 	// Mode holds the per-k evolution parameters (K is overwritten).
 	Mode core.Params
 	// Order is the hand-out order as a permutation of indices into
-	// KValues (nil: input order).
+	// KValues (nil: input order). When Mode.KBatch > 1 it is instead a
+	// permutation of indices into BatchBlocks(len(KValues), Mode.KBatch):
+	// the unit of hand-out becomes one consecutive index block.
 	Order []int
 	// PerKLMax optionally overrides the hierarchy cutoff per wavenumber
 	// (entries <= 0 fall back to the broadcast Mode.LMax); the override
@@ -58,6 +60,25 @@ type Results struct {
 	Workers []WorkerTiming
 }
 
+// BatchBlocks splits nk grid indices into consecutive [lo, hi) blocks of up
+// to b members each — the unit of hand-out for lockstep batched evolution.
+// Blocks follow the input order of the grid (block j covers indices
+// [j*b, min((j+1)*b, nk))), so the decomposition — and with it every
+// batched trajectory — depends only on (nk, b), never on schedule or
+// transport. b <= 1 yields one block per index. The single definition here
+// serves both the dispatch backends and the wire protocol's master, which
+// must agree on it exactly.
+func BatchBlocks(nk, b int) [][2]int {
+	if b < 1 {
+		b = 1
+	}
+	blocks := make([][2]int, 0, (nk+b-1)/b)
+	for lo := 0; lo < nk; lo += b {
+		blocks = append(blocks, [2]int{lo, min(lo+b, nk)})
+	}
+	return blocks
+}
+
 // handOutOrder validates cfg.Order (or builds the identity order) as a
 // permutation of 0..nk-1.
 func handOutOrder(cfg Config, nk int) ([]int, error) {
@@ -88,7 +109,8 @@ func Master(ep mp.Endpoint, model *core.Model, cfg Config) (*Results, error) {
 	if nk == 0 {
 		return nil, fmt.Errorf("plinger: no wavenumbers to distribute")
 	}
-	order, err := handOutOrder(cfg, nk)
+	blocks := BatchBlocks(nk, cfg.Mode.KBatch)
+	order, err := handOutOrder(cfg, len(blocks))
 	if err != nil {
 		return nil, err
 	}
@@ -126,18 +148,34 @@ func Master(ep mp.Endpoint, model *core.Model, cfg Config) (*Results, error) {
 	next := 0 // position in order
 	done := 0
 	stopped := map[int]bool{}
+	// left counts a worker's outstanding members of its current block, so a
+	// batched assignment triggers exactly one follow-up hand-out — after its
+	// last member completes, not after every one.
+	left := map[int]int{}
 
 	assign := func(dst int) error {
-		if next < nk {
-			ik := order[next]
+		if next < len(order) {
+			lo, hi := blocks[order[next]][0], blocks[order[next]][1]
 			next++
 			lmax := 0.0
-			if cfg.PerKLMax != nil && cfg.PerKLMax[ik] > 0 {
-				lmax = float64(cfg.PerKLMax[ik])
+			if cfg.PerKLMax != nil {
+				// The block runs at the largest cutoff among its members
+				// (the lockstep batch unifies the hierarchy anyway).
+				for ik := lo; ik < hi; ik++ {
+					if l := cfg.PerKLMax[ik]; l > 0 && float64(l) > lmax {
+						lmax = float64(l)
+					}
+				}
 			}
-			// The Fortran sends the 1-based wavenumber index; the
-			// optional second value is the per-k hierarchy cutoff.
-			return ep.Send(dst, TagAssign, []float64{float64(ik + 1), lmax})
+			left[dst] = hi - lo
+			if hi-lo == 1 {
+				// The Fortran sends the 1-based wavenumber index; the
+				// optional second value is the per-k hierarchy cutoff.
+				return ep.Send(dst, TagAssign, []float64{float64(lo + 1), lmax})
+			}
+			// Batched assignment: 1-based first index, unified cutoff, and
+			// the block size as the third value.
+			return ep.Send(dst, TagAssign, []float64{float64(lo + 1), lmax, float64(hi - lo)})
 		}
 		if !stopped[dst] {
 			stopped[dst] = true
@@ -197,6 +235,10 @@ func Master(ep mp.Endpoint, model *core.Model, cfg Config) (*Results, error) {
 			if err := writeBinaryRecord(cfg.BinaryOut, fl.mom); err != nil {
 				return err
 			}
+		}
+		left[src]--
+		if left[src] > 0 {
+			return nil // more members of this worker's block are in flight
 		}
 		return assign(src)
 	}
@@ -341,27 +383,36 @@ func Worker(ep mp.Endpoint, model *core.Model, kValues []float64, mode core.Para
 			return fmt.Errorf("plinger: worker got unexpected tag %d", tag)
 		}
 		ik1 := int(m.Data[0])
-		if ik1 < 1 || ik1 > len(kValues) {
-			return fmt.Errorf("plinger: assigned index %d out of range", ik1)
+		bsize := 1
+		if len(m.Data) > 2 && m.Data[2] > 1 {
+			bsize = int(m.Data[2])
+		}
+		if ik1 < 1 || ik1+bsize-1 > len(kValues) {
+			return fmt.Errorf("plinger: assigned index block %d+%d out of range", ik1, bsize)
 		}
 		p := mode
 		p.K = kValues[ik1-1]
 		if len(m.Data) > 1 && m.Data[1] > 0 {
 			p.LMax = int(m.Data[1])
 		}
-		r, err := model.EvolveWith(p, scratch)
+		// The worker is batch-agnostic: the block size rides in each
+		// assignment, a one-mode block is the scalar path bitwise, and the
+		// per-member result triplets go back in member order.
+		rs, err := model.EvolveBatchWith(kValues[ik1-1:ik1-1+bsize], p, nil, scratch)
 		if err != nil {
-			return fmt.Errorf("plinger: worker evolve (ik=%d, k=%g): %w", ik1, p.K, err)
+			return fmt.Errorf("plinger: worker evolve (ik=%d+%d, k=%g): %w", ik1, bsize, p.K, err)
 		}
-		if err := ep.Send(master, TagSummary, packSummary(ik1, r)); err != nil {
-			return err
-		}
-		if err := ep.Send(master, TagMoments, packMoments(ik1, r)); err != nil {
-			return err
-		}
-		if mode.KeepSources {
-			if err := ep.Send(master, TagSources, packSources(ik1, r)); err != nil {
+		for j, r := range rs {
+			if err := ep.Send(master, TagSummary, packSummary(ik1+j, r)); err != nil {
 				return err
+			}
+			if err := ep.Send(master, TagMoments, packMoments(ik1+j, r)); err != nil {
+				return err
+			}
+			if mode.KeepSources {
+				if err := ep.Send(master, TagSources, packSources(ik1+j, r)); err != nil {
+					return err
+				}
 			}
 		}
 	}

@@ -22,12 +22,20 @@ type Defaults struct {
 	KRefine int `json:"krefine"`
 	// PkNK is the default matter-power grid size.
 	PkNK int `json:"pk_nk"`
+	// LSpline and KBatch are the fast engine's projection and evolution
+	// batching knobs, applied to non-exact requests only. Both stay
+	// inside the engine's 1e-3 relative C_l contract, so — like workers
+	// and transport — they are execution configuration and never enter
+	// cache keys: toggling them re-serves cached spectra.
+	LSpline bool `json:"lspline"`
+	KBatch  int  `json:"kbatch"`
 }
 
 // DefaultDefaults is the daemon's stock configuration: the PR 2 benchmark
-// resolution served by the fast engine.
+// resolution served by the full fast engine, spline-in-l projection and
+// lockstep mode batching included.
 func DefaultDefaults() Defaults {
-	return Defaults{LMaxCl: 150, NK: 130, KRefine: 6, PkNK: 40}
+	return Defaults{LMaxCl: 150, NK: 130, KRefine: 6, PkNK: 40, LSpline: true, KBatch: 4}
 }
 
 // Options configures a Service.
@@ -221,6 +229,10 @@ func (s *Service) ComputeCl(ctx context.Context, req ClRequest) (*ClResponse, Me
 		FastLOS:    !rr.Exact,
 		FastEvolve: !rr.Exact,
 		KRefine:    rr.KRefine,
+		LSpline:    !rr.Exact && d.LSpline,
+	}
+	if !rr.Exact {
+		opts.KBatch = d.KBatch
 	}
 	key := req.Key(d)
 	// Fast-fail before the request touches the flight group or the

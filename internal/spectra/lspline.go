@@ -1,0 +1,153 @@
+package spectra
+
+import (
+	"fmt"
+	"math"
+
+	"plinger/internal/spline"
+)
+
+// Spline-in-l projection: the second half of the fast C_l recipe. The
+// angular spectrum is smooth in l on the acoustic scale — l(l+1)C_l is a
+// damped oscillation of period l_A (the projected inverse sound horizon at
+// recombination) — so projecting every requested multipole is wasted work:
+// the engine projects a coarse l ladder that resolves that oscillation,
+// then cubic-splines l(l+1)C_l onto the full request. The projection loop
+// and the Bessel-table footprint shrink by the same factor, which on a
+// dense request is a multiple, on the default log-thinned ladder still a
+// solid cut at high l where the thinning has flattened out.
+
+// AcousticScaleL returns the acoustic angular scale l_A = pi * (tau0 -
+// tauRec) / r_s with the tight-coupling sound horizon r_s ~ tauRec /
+// sqrt(3): the period of the C_l acoustic oscillation in l, and hence the
+// scale every coarse l grid must resolve. For the paper's SCDM model this
+// is ~230, putting the first acoustic peak (at ~0.75 l_A) near l ~ 220.
+func AcousticScaleL(tau0, tauRec float64) float64 {
+	if tauRec <= 0 || tau0 <= tauRec {
+		return 0
+	}
+	return math.Pi * math.Sqrt(3.0) * (tau0 - tauRec) / tauRec
+}
+
+// Coarse-grid shape parameters, all in units of the acoustic scale l_A:
+// the base step between peaks, the finer step inside a peak window, and
+// the window half-width around each peak center l_m ~ l_A (m - 1/4).
+// A cubic spline sampling a period-P oscillation at step h carries a
+// relative error ~ (2 pi h / P)^4 / 384, so h = l_A/9 sits near 6e-4 —
+// inside the engine's 1e-3 budget — and the peak windows (where the C_l
+// curvature peaks and accuracy matters most) run ~3x finer still.
+const (
+	lsplineStepFrac = 1.0 / 9.0
+	lsplinePeakFrac = 1.0 / 14.0
+	lsplinePeakHalf = 1.0 / 4.0
+	// lsplineGrow is the geometric step ratio at low l, where C_l varies
+	// on the scale of l itself rather than l_A.
+	lsplineGrow = 0.30
+)
+
+// lsplineNearPeak reports whether multipole l falls inside the densified
+// window of an acoustic peak l_m = lA (m - 1/4), m >= 1.
+func lsplineNearPeak(l, lA float64) bool {
+	m := math.Round(l/lA + 0.25)
+	if m < 1 {
+		m = 1
+	}
+	return math.Abs(l-lA*(m-0.25)) < lA*lsplinePeakHalf
+}
+
+// LSplineGrid returns the coarse projection ladder for requests spanning
+// [lmin, lmax]: geometric steps at low l, capped at l_A/9 once the
+// acoustic oscillation sets the smoothness scale, densified to l_A/14
+// inside a half-width l_A/4 window around every acoustic peak. Both
+// endpoints are always included so the spline never extrapolates.
+func LSplineGrid(lmin, lmax int, tauRec, tau0 float64) []int {
+	lA := AcousticScaleL(tau0, tauRec)
+	if lA <= 0 || lmin >= lmax {
+		return nil
+	}
+	var out []int
+	for l := lmin; l < lmax; {
+		out = append(out, l)
+		step := float64(l) * lsplineGrow
+		if cap := lA * lsplineStepFrac; step > cap {
+			step = cap
+		}
+		if lsplineNearPeak(float64(l), lA) {
+			if cap := lA * lsplinePeakFrac; step > cap {
+				step = cap
+			}
+		}
+		if step < 1 {
+			step = 1
+		}
+		l += int(step)
+	}
+	// Fold a short last step into the endpoint instead of leaving a
+	// sliver interval, which would wiggle the spline's end condition.
+	if n := len(out); n > 1 && lmax-out[n-1] < 2 {
+		out = out[:n-1]
+	}
+	return append(out, lmax)
+}
+
+// SafeLSpline is the engine's clamp on the spline-in-l optimisation, the
+// analogue of SafeKRefine for the k direction: it returns the coarse
+// projection ladder for the request ls, or nil when the optimisation
+// cannot pay for itself or cannot meet the 1e-3 budget — too few
+// requested multipoles to amortise a spline, a degenerate recombination
+// epoch (no acoustic scale to set the coarse step), a non-increasing
+// request (the spline abscissae must be strictly increasing), or a coarse
+// ladder not at least 20% smaller than the request. A nil return means
+// "project exactly"; callers degrade to the full ladder, never to an
+// unsound spline.
+func SafeLSpline(ls []int, tauRec, tau0 float64) []int {
+	const minRequest = 12
+	if len(ls) < minRequest {
+		return nil
+	}
+	for i := 1; i < len(ls); i++ {
+		if ls[i] <= ls[i-1] {
+			return nil
+		}
+	}
+	coarse := LSplineGrid(ls[0], ls[len(ls)-1], tauRec, tau0)
+	if coarse == nil || len(coarse) < 4 {
+		return nil
+	}
+	if 5*len(coarse) > 4*len(ls) { // not >= 20% smaller: not worth a spline
+		return nil
+	}
+	return coarse
+}
+
+// SplineCl interpolates a coarse-ladder spectrum onto the full request
+// ls. The interpolant is l(l+1)C_l versus l — the combination that is a
+// pure damped oscillation, free of the steep l^-2 envelope that would
+// bleed interpolation error across octaves — and the coarse ladder must
+// span the request (SafeLSpline guarantees it by construction).
+func SplineCl(coarse *ClSpectrum, ls []int) (*ClSpectrum, error) {
+	nc := len(coarse.L)
+	if nc < 4 {
+		return nil, fmt.Errorf("spectra: coarse l ladder too short to spline (%d points)", nc)
+	}
+	if ls[0] < coarse.L[0] || ls[len(ls)-1] > coarse.L[nc-1] {
+		return nil, fmt.Errorf("spectra: request [%d, %d] outside coarse ladder [%d, %d]",
+			ls[0], ls[len(ls)-1], coarse.L[0], coarse.L[nc-1])
+	}
+	xs := make([]float64, nc)
+	ys := make([]float64, nc)
+	for i, l := range coarse.L {
+		xs[i] = float64(l)
+		ys[i] = float64(l*(l+1)) * coarse.Cl[i]
+	}
+	var sp spline.Spline
+	if err := sp.Fit(xs, ys); err != nil {
+		return nil, err
+	}
+	out := &ClSpectrum{L: append([]int(nil), ls...), Cl: make([]float64, len(ls)), TCMB: coarse.TCMB}
+	hint := 0
+	for j, l := range ls {
+		out.Cl[j] = sp.EvalHint(float64(l), &hint) / float64(l*(l+1))
+	}
+	return out, nil
+}

@@ -1,0 +1,159 @@
+package spectra
+
+import (
+	"math"
+	"testing"
+
+	"plinger/internal/core"
+)
+
+// TestLSplineGridShape pins the coarse-ladder construction: endpoints
+// kept, strictly increasing, geometric at low l, and — the property the
+// 1e-3 budget leans on — densified around the acoustic peaks, where the
+// C_l curvature is largest.
+func TestLSplineGridShape(t *testing.T) {
+	m := model(t)
+	tau0, tauRec := m.BG.Tau0(), m.TH.TauRec()
+	lA := AcousticScaleL(tau0, tauRec)
+	if lA < 150 || lA > 350 {
+		t.Fatalf("acoustic scale l_A = %g outside the SCDM ballpark", lA)
+	}
+
+	lmax := int(1.2 * lA) // past the first peak
+	grid := LSplineGrid(2, lmax, tauRec, tau0)
+	if grid[0] != 2 || grid[len(grid)-1] != lmax {
+		t.Fatalf("endpoints not preserved: %v", grid)
+	}
+	for i := 1; i < len(grid); i++ {
+		if grid[i] <= grid[i-1] {
+			t.Fatalf("coarse ladder not strictly increasing at %d: %v", i, grid)
+		}
+	}
+	// Spacing inside the first peak window must be tighter than the
+	// inter-peak cap — the densification actually engaging.
+	peak1 := lA * 0.75
+	peakStep, baseStep := 0, 0
+	for i := 1; i < len(grid); i++ {
+		mid := float64(grid[i]+grid[i-1]) / 2
+		d := grid[i] - grid[i-1]
+		switch {
+		case math.Abs(mid-peak1) < lA*lsplinePeakHalf/2:
+			if d > peakStep {
+				peakStep = d
+			}
+		case mid > lA*0.33 && mid < peak1-lA*lsplinePeakHalf:
+			if d > baseStep {
+				baseStep = d
+			}
+		}
+	}
+	if peakStep == 0 || baseStep == 0 {
+		t.Fatalf("test windows empty: %v", grid)
+	}
+	if peakStep >= baseStep {
+		t.Fatalf("no densification near the first acoustic peak: step %d inside vs %d outside (grid %v)",
+			peakStep, baseStep, grid)
+	}
+	if float64(peakStep) > lA*lsplinePeakFrac+1 {
+		t.Fatalf("peak-window step %d exceeds the l_A/14 target (l_A = %g)", peakStep, lA)
+	}
+}
+
+// TestSafeLSplineClamps pins the degrade-to-exact contract, mirroring
+// SafeKRefine: every pathological request must come back nil rather than
+// as an unsound coarse ladder.
+func TestSafeLSplineClamps(t *testing.T) {
+	m := model(t)
+	tau0, tauRec := m.BG.Tau0(), m.TH.TauRec()
+
+	if g := SafeLSpline([]int{2, 4, 8, 16, 32, 64}, tauRec, tau0); g != nil {
+		t.Fatalf("short request accepted: %v", g)
+	}
+	unsorted := []int{2, 3, 4, 5, 6, 8, 10, 13, 17, 22, 29, 25, 38}
+	if g := SafeLSpline(unsorted, tauRec, tau0); g != nil {
+		t.Fatalf("non-increasing request accepted: %v", g)
+	}
+	if g := SafeLSpline(DefaultLs(240), 0, tau0); g != nil {
+		t.Fatalf("degenerate recombination epoch accepted: %v", g)
+	}
+	// A request already coarser than the spline ladder: the 20%
+	// amortisation clamp must reject it (the "spline" would project MORE
+	// multipoles than it saves).
+	sparse := []int{2, 3, 5, 8, 12, 18, 27, 41, 62, 93, 140, 210}
+	if g := SafeLSpline(sparse, tauRec, tau0); g != nil {
+		t.Fatalf("spline engaged on a ladder it cannot shrink: %v", g)
+	}
+	// A dense request spanning the first peak must engage with a real cut.
+	dense := make([]int, 0, 239)
+	for l := 2; l <= 240; l++ {
+		dense = append(dense, l)
+	}
+	g := SafeLSpline(dense, tauRec, tau0)
+	if g == nil {
+		t.Fatal("spline refused a dense request it should accelerate")
+	}
+	if 5*len(g) > 4*len(dense) {
+		t.Fatalf("coarse ladder %d points for a %d-point request: clamp arithmetic broken", len(g), len(dense))
+	}
+	if g[0] != 2 || g[len(g)-1] != 240 {
+		t.Fatalf("coarse ladder does not span the request: %v", g)
+	}
+}
+
+// TestClLSplineMatchesExact is the golden accuracy contract of the
+// spline-in-l projection: on one shared sweep spanning the first acoustic
+// peak, projecting the coarse ladder and splining l(l+1)C_l onto a dense
+// request must track the exactly projected spectrum to < 1e-3 relative at
+// every multipole. Both paths share sources and k quadrature, so the
+// measured deviation is purely the spline-in-l error this pins — but only
+// on a quadrature dense enough that the exact C_l is itself smooth in l
+// (the nk below is past the convergence knee; an under-resolved k grid
+// carries aliasing noise in l that no consistent l interpolation could or
+// should reproduce).
+func TestClLSplineMatchesExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("peak-resolving C_l sweep is expensive")
+	}
+	m := model(t)
+	tau0, tauRec := m.BG.Tau0(), m.TH.TauRec()
+	const lmaxCl = 240 // past the first acoustic peak at ~0.75 l_A
+	ks := ClGrid(lmaxCl, tau0, 400)
+	sw, err := RunSweep(m, core.Params{LMax: 24, Gauge: core.ConformalNewtonian,
+		KeepSources: true, FastEvolve: true}, ks, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := make([]int, 0, lmaxCl-1)
+	for l := 2; l <= lmaxCl; l++ {
+		ls = append(ls, l)
+	}
+	prim := DefaultPrimordial(1.0)
+	exact, err := sw.ClLOSFast(ls, prim, m.BG.P.TCMB, tauRec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse := SafeLSpline(ls, tauRec, tau0)
+	if coarse == nil {
+		t.Fatal("SafeLSpline refused the dense request")
+	}
+	coarseCl, err := sw.ClLOSFast(coarse, prim, m.BG.P.TCMB, tauRec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SplineCl(coarseCl, ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, worstL := 0.0, 0
+	for j, l := range ls {
+		rel := math.Abs(got.Cl[j]-exact.Cl[j]) / exact.Cl[j]
+		if rel > worst {
+			worst, worstL = rel, l
+		}
+	}
+	t.Logf("spline-in-l: %d coarse points for %d multipoles, worst rel dev %.2e at l=%d",
+		len(coarse), len(ls), worst, worstL)
+	if worst > 1e-3 {
+		t.Fatalf("worst relative C_l deviation %.3e at l=%d exceeds the 1e-3 contract", worst, worstL)
+	}
+}

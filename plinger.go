@@ -363,7 +363,29 @@ type SpectrumOptions struct {
 	// golden tests enforce the bound) and is off by default: the exact
 	// path remains the reference implementation. los method only.
 	FastEvolve bool
+	// LSpline projects the line-of-sight integral only on a coarse
+	// multipole ladder that resolves the acoustic oscillation of C_l
+	// (densified around the peaks) and cubic-splines l(l+1)C_l onto the
+	// requested multipoles, shrinking the projection work and the Bessel
+	// table footprint by the same factor. SafeLSpline degrades the run to
+	// exact projection whenever the request is too small or too coarse for
+	// the spline to pay for itself or to hold the engine's 1e-3 relative
+	// C_l budget. Requires FastLOS; los method only; off by default.
+	LSpline bool
+	// KBatch > 1 evolves blocks of KBatch neighbouring wavenumbers in
+	// lockstep per worker, sharing one background/thermodynamics lookup
+	// per right-hand-side evaluation across the block. The blocks couple
+	// the members through the shared step controller, so results shift at
+	// the integrator-tolerance level (~1e-4 of the multipole scale), well
+	// inside the 1e-3 budget; 0 or 1 disables batching and reproduces the
+	// scalar sweep bitwise. los method only.
+	KBatch int
 }
+
+// maxKBatch caps the lockstep batch width: beyond this the members' k
+// ranges are too wide to share a tight-coupling window efficiently and
+// the batch state stops fitting hot caches.
+const maxKBatch = 32
 
 // validTransport checks the execution-backend name shared by
 // SpectrumOptions, MatterPowerOptions and ParallelOptions.
@@ -401,16 +423,36 @@ func (o SpectrumOptions) Validate() error {
 	if o.KRefine < 0 {
 		return fmt.Errorf("plinger: KRefine = %d is negative (0 or 1 disables refinement)", o.KRefine)
 	}
-	for _, l := range o.Ls {
+	if o.KBatch < 0 {
+		return fmt.Errorf("plinger: KBatch = %d is negative (0 or 1 disables batching)", o.KBatch)
+	}
+	if o.KBatch > maxKBatch {
+		return fmt.Errorf("plinger: KBatch = %d exceeds the cap of %d modes per lockstep batch", o.KBatch, maxKBatch)
+	}
+	// The quadrature, the spline-in-l ladder and the Bessel tables all
+	// assume a strictly increasing multipole request; a duplicate or
+	// out-of-order entry is a caller bug, not a preference.
+	for i, l := range o.Ls {
 		if l < 2 {
 			return fmt.Errorf("plinger: requested multipole l = %d (C_l starts at the quadrupole, l = 2)", l)
 		}
+		if i > 0 && l == o.Ls[i-1] {
+			return fmt.Errorf("plinger: duplicate multipole l = %d in Ls", l)
+		}
+		if i > 0 && l < o.Ls[i-1] {
+			return fmt.Errorf("plinger: Ls must be strictly increasing (l = %d after l = %d)", l, o.Ls[i-1])
+		}
 	}
-	if o.LMaxCl > 0 {
-		for _, l := range o.Ls {
-			if l > o.LMaxCl {
-				return fmt.Errorf("plinger: requested multipole l = %d exceeds LMaxCl = %d", l, o.LMaxCl)
-			}
+	// The k quadrature only resolves multipoles up to LMaxCl (its default
+	// when unset included), so larger requests would silently come back
+	// wrong rather than slow.
+	lmaxCl := o.LMaxCl
+	if lmaxCl == 0 {
+		lmaxCl = 300
+	}
+	for _, l := range o.Ls {
+		if l > lmaxCl {
+			return fmt.Errorf("plinger: requested multipole l = %d exceeds LMaxCl = %d", l, lmaxCl)
 		}
 	}
 	method := o.Method
@@ -422,6 +464,9 @@ func (o SpectrumOptions) Validate() error {
 		if o.Polarization {
 			return fmt.Errorf("plinger: polarization requires Method \"brute\"")
 		}
+		if o.LSpline && !o.FastLOS {
+			return fmt.Errorf("plinger: LSpline requires FastLOS (it splines the table-driven projection)")
+		}
 	case "brute":
 		if o.FastLOS {
 			return fmt.Errorf("plinger: FastLOS applies to Method \"los\" only")
@@ -431,6 +476,12 @@ func (o SpectrumOptions) Validate() error {
 		}
 		if o.FastEvolve {
 			return fmt.Errorf("plinger: FastEvolve applies to Method \"los\" only")
+		}
+		if o.LSpline {
+			return fmt.Errorf("plinger: LSpline applies to Method \"los\" only")
+		}
+		if o.KBatch > 1 {
+			return fmt.Errorf("plinger: KBatch applies to Method \"los\" only")
 		}
 	default:
 		return fmt.Errorf("plinger: unknown method %q (want los or brute)", o.Method)
@@ -550,13 +601,24 @@ func (m *Model) ComputeSpectrum(o SpectrumOptions) (*Spectrum, error) {
 		// if the capped coarse grid (log head included) is not actually
 		// smaller than the requested grid, refinement cannot pay for
 		// itself and the run falls back to the plain NK-point sweep.
-		kRefine = spectra.SafeKRefine(kRefine, nk, ks[0], ks[len(ks)-1], m.core.TH.TauRec())
+		tauRec := m.core.TH.TauRec()
+		kRefine = spectra.SafeKRefine(kRefine, nk, ks[0], ks[len(ks)-1], tauRec)
 		ksRun := ks
 		if kRefine > 1 {
 			if coarse := spectra.RefineCoarseGrid(ks, kRefine); len(coarse) < nk {
 				ksRun = coarse
 			} else {
 				kRefine = 1
+			}
+		}
+		// Spline-in-l: project only a coarse multipole ladder and spline
+		// l(l+1)C_l onto the full request afterwards. SafeLSpline returns
+		// nil — and the run projects exactly — whenever the coarse ladder
+		// cannot pay for itself or hold the 1e-3 budget.
+		lsProj := ls
+		if o.LSpline {
+			if coarse := spectra.SafeLSpline(ls, tauRec, tau0); coarse != nil {
+				lsProj = coarse
 			}
 		}
 		d, cleanup, err := m.newDispatcher(o.Transport, o.Schedule, o.Workers, false)
@@ -568,8 +630,9 @@ func (m *Model) ComputeSpectrum(o SpectrumOptions) (*Spectrum, error) {
 			// Warm the shared Bessel kernel table concurrently with the
 			// sweep, via the dispatcher's prebuild hook when it has one.
 			// The shared pool serves concurrent runs, so its hooks cannot
-			// be set per run; the facade warms caller-side instead.
-			warm := func() { spectra.PrewarmBesselTable(ls, ks[len(ks)-1], tau0) }
+			// be set per run; the facade warms caller-side instead. Under
+			// LSpline only the coarse ladder's rows are ever needed.
+			warm := func() { spectra.PrewarmBesselTable(lsProj, ks[len(ks)-1], tau0) }
 			switch dd := d.(type) {
 			case *dispatch.Pool:
 				dd.Prebuild = warm
@@ -581,12 +644,11 @@ func (m *Model) ComputeSpectrum(o SpectrumOptions) (*Spectrum, error) {
 		}
 		sw, _, err := spectra.RunSweepWith(d, ksRun, core.Params{
 			LMax: lmax, Gauge: core.ConformalNewtonian, KeepSources: true,
-			FastEvolve: o.FastEvolve,
+			FastEvolve: o.FastEvolve, KBatch: o.KBatch,
 		})
 		if err != nil {
 			return nil, err
 		}
-		tauRec := m.core.TH.TauRec()
 		if kRefine > 1 && len(ksRun) < nk {
 			sw, err = sw.RefineK(nk, tauRec)
 			if err != nil {
@@ -595,7 +657,10 @@ func (m *Model) ComputeSpectrum(o SpectrumOptions) (*Spectrum, error) {
 		}
 		var cl *spectra.ClSpectrum
 		if o.FastLOS {
-			cl, err = sw.ClLOSFast(ls, m.prim, m.cfg.TCMB, tauRec)
+			cl, err = sw.ClLOSFast(lsProj, m.prim, m.cfg.TCMB, tauRec)
+			if err == nil && len(lsProj) != len(ls) {
+				cl, err = spectra.SplineCl(cl, ls)
+			}
 		} else {
 			cl, err = sw.ClLOS(ls, m.prim, m.cfg.TCMB, tauRec)
 		}

@@ -1,0 +1,98 @@
+package plinger
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// fastBase is the established fast-path configuration (FastLOS + KRefine
+// + FastEvolve) the LSpline/KBatch knobs compose on top of. NK is set past
+// the k-quadrature convergence knee rather than at the production 130: at
+// production resolution the exact path itself sits a few percent from the
+// converged spectrum at low l (trapezoid aliasing of the oscillatory
+// Theta_l^2 integrand), and that incoherent jitter — common to every
+// projection of the same sweep but not interpolable across l — would mask
+// the sub-1e-3 projection errors this test pins.
+func fastBase() SpectrumOptions {
+	return SpectrumOptions{LMaxCl: 150, NK: 400, FastLOS: true, FastEvolve: true, KRefine: 6}
+}
+
+// TestFastPathKnobsAccuracy: each new fast ingredient — spline-in-l
+// projection and lockstep mode batching — and their composition must stay
+// within the engine's 1e-3 relative C_l budget of the established fast
+// path.
+func TestFastPathKnobsAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("production-resolution sweeps are expensive")
+	}
+	m := scdmModel(t)
+	ref, err := m.ComputeSpectrum(fastBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mod  func(*SpectrumOptions)
+	}{
+		{"lspline", func(o *SpectrumOptions) { o.LSpline = true }},
+		{"kbatch", func(o *SpectrumOptions) { o.KBatch = 4 }},
+		{"lspline+kbatch", func(o *SpectrumOptions) { o.LSpline = true; o.KBatch = 8 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			o := fastBase()
+			c.mod(&o)
+			got, err := m.ComputeSpectrum(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.L, ref.L) {
+				t.Fatalf("multipole sets differ: %v vs %v", got.L, ref.L)
+			}
+			worst, worstL := 0.0, 0
+			for i := range ref.Cl {
+				rel := math.Abs(got.Cl[i]-ref.Cl[i]) / ref.Cl[i]
+				if rel > worst {
+					worst, worstL = rel, ref.L[i]
+				}
+			}
+			t.Logf("worst relative C_l deviation %.2e at l=%d", worst, worstL)
+			if worst > 1e-3 {
+				t.Fatalf("worst relative C_l deviation %.3e at l=%d exceeds the 1e-3 contract", worst, worstL)
+			}
+		})
+	}
+}
+
+// TestFastPathKnobsNoOp pins the degrade-to-identity contracts: KBatch 1
+// is the scalar sweep bitwise, and LSpline on a request too small to
+// amortise a spline is the exact projection bitwise (SafeLSpline clamps
+// it to nil). Cheap enough to run in -short.
+func TestFastPathKnobsNoOp(t *testing.T) {
+	m := scdmModel(t)
+	base := SpectrumOptions{LMaxCl: 40, NK: 60, Ls: []int{2, 5, 10, 20, 40},
+		FastLOS: true, FastEvolve: true}
+	ref, err := m.ComputeSpectrum(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := base
+	one.KBatch = 1
+	got, err := m.ComputeSpectrum(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref.Cl, got.Cl) {
+		t.Fatal("KBatch = 1 is not bitwise the scalar sweep")
+	}
+	clamped := base
+	clamped.LSpline = true // 5 requested multipoles: SafeLSpline must refuse
+	got, err = m.ComputeSpectrum(clamped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref.Cl, got.Cl) {
+		t.Fatal("clamped LSpline is not bitwise the exact projection")
+	}
+}

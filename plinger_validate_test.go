@@ -30,6 +30,16 @@ func TestSpectrumOptionsValidate(t *testing.T) {
 		{"brute krefine", SpectrumOptions{Method: "brute", KRefine: 4}, "KRefine"},
 		{"brute fastevolve", SpectrumOptions{Method: "brute", FastEvolve: true}, "FastEvolve"},
 		{"los fastevolve", SpectrumOptions{FastEvolve: true, FastLOS: true, KRefine: 6}, ""},
+		{"los lspline", SpectrumOptions{FastLOS: true, LSpline: true}, ""},
+		{"los kbatch", SpectrumOptions{KBatch: 8, FastEvolve: true}, ""},
+		{"duplicate ls", SpectrumOptions{LMaxCl: 30, Ls: []int{2, 10, 10, 30}}, "duplicate"},
+		{"unsorted ls", SpectrumOptions{LMaxCl: 30, Ls: []int{2, 30, 10}}, "increasing"},
+		{"l beyond default LMaxCl", SpectrumOptions{Ls: []int{2, 400}}, "exceeds"},
+		{"negative kbatch", SpectrumOptions{KBatch: -2}, "KBatch"},
+		{"kbatch beyond cap", SpectrumOptions{KBatch: 64}, "KBatch"},
+		{"lspline without fastlos", SpectrumOptions{LSpline: true}, "FastLOS"},
+		{"brute lspline", SpectrumOptions{Method: "brute", FastLOS: false, LSpline: true}, "LSpline"},
+		{"brute kbatch", SpectrumOptions{Method: "brute", KBatch: 4}, "KBatch"},
 		{"unknown transport", SpectrumOptions{Transport: "telegraph"}, "transport"},
 		{"unknown schedule", SpectrumOptions{Schedule: "alphabetical"}, "schedule"},
 	}
