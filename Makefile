@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check vet staticcheck build test-short test test-race bench bench-json bench-smoke
+.PHONY: check fmt-check vet staticcheck build test-short test test-race test-faults bench bench-json bench-smoke
 
 check: fmt-check vet staticcheck build test-short
 
@@ -36,10 +36,20 @@ test:
 test-race:
 	$(GO) test -race -short ./internal/serve/... ./...
 
+# test-faults runs the fault-injection and recovery suite under the race
+# detector: the faultmp transport wrapper, the chaos matrix (scripted
+# kill/hang/drop across the chan/fifo/tcp transports, all-but-one and
+# all-workers-lost kills, batched-block reassignment), the connect
+# retry/timeout paths, worker panic recovery, and the serving layer's
+# deadline/stale degradation.
+test-faults:
+	$(GO) test -race ./internal/mp/faultmp/
+	$(GO) test -race -run 'Chaos|ConnectAll|Panic|Deadline|Stale' ./internal/dispatch/ ./internal/serve/
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# bench-json regenerates BENCH_PR6.json: the fast-vs-reference C_l pipeline
+# bench-json regenerates BENCH_PR7.json: the fast-vs-reference C_l pipeline
 # and single-mode evolution speedups, the PR 6 ablation grid on the dense
 # multipole request (lspline on/off x kbatch 1/4/8 plus each fast
 # ingredient individually toggled off, with per-column wall/speedup and
@@ -47,10 +57,12 @@ bench:
 # (wallclock/speedup/parallel efficiency per processor count, spectra
 # bitwise-checked across counts), the projection/kernel microbenchmarks
 # with their allocs/op columns, the measured accuracy of the full fast
-# path, and the spectrum service's serving numbers (cache-hit and
-# cold-miss latency, sustained req/s at 32 concurrent clients).
+# path, the PR 7 fault-recovery column (wall time with one injected worker
+# kill vs clean, recovered spectra bitwise-checked), and the spectrum
+# service's serving numbers (cache-hit and cold-miss latency, sustained
+# req/s at 32 concurrent clients).
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR6.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR7.json
 
 # bench-smoke runs the whole benchjson path at tiny settings (small
 # LMaxCl/NK, short service runs) and writes outside the repo — the CI guard

@@ -4,7 +4,7 @@
 // multi-core scaling sweep, and the spectrum service's serving benchmark),
 // extending the performance trajectory started in BENCH_PR2.json:
 //
-//	benchjson [-out BENCH_PR6.json] [-quick] [-smoke] [-procs 1,2,4,all]
+//	benchjson [-out BENCH_PR7.json] [-quick] [-smoke] [-procs 1,2,4,all]
 //
 // The headline numbers are the Figure-2 C_l pipeline with the full fast
 // engine (fast evolution + shared spherical-Bessel tables + coarse-to-fine
@@ -21,7 +21,10 @@
 // allocation counts the worker arenas are budgeted for, the kernel-level
 // microbenchmarks behind them, and the daemon's serving numbers:
 // cold-miss latency, cache-hit latency, and sustained requests/sec at 32
-// concurrent clients against an in-process plingerd service.
+// concurrent clients against an in-process plingerd service. The PR 7
+// fault-recovery column reruns one sweep with a worker killed
+// mid-assignment under the fault-tolerant master and reports the recovery
+// overhead, asserting the recovered spectra bitwise-identical.
 //
 // -quick shrinks the pipeline settings; -smoke shrinks everything to a
 // few seconds of total runtime, runs the scaling sweep at GOMAXPROCS 1
@@ -32,6 +35,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -40,6 +44,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"reflect"
 	"runtime"
 	"sort"
 	"strconv"
@@ -50,6 +55,9 @@ import (
 	"plinger"
 	"plinger/internal/core"
 	"plinger/internal/cosmology"
+	"plinger/internal/dispatch"
+	"plinger/internal/mp/chanmp"
+	"plinger/internal/mp/faultmp"
 	"plinger/internal/recomb"
 	"plinger/internal/serve"
 	"plinger/internal/specfunc"
@@ -123,6 +131,24 @@ type AblationRow struct {
 	MaxRelCl float64 `json:"max_rel_cl_vs_pr5_fast"`
 }
 
+// FaultRecovery is the PR 7 robustness number: the same mode sweep run
+// clean and with one worker killed mid-assignment under the fault-tolerant
+// master, with the recovered spectra checked bitwise-identical against the
+// undisturbed run. The overhead column is the price of losing (and
+// re-running) the dead worker's in-flight block.
+type FaultRecovery struct {
+	Workers     int     `json:"workers"`
+	Modes       int     `json:"modes"`
+	CleanWallMS float64 `json:"clean_wall_ms"`
+	KillWallMS  float64 `json:"kill_wall_ms"`
+	// OverheadX is kill wallclock over clean wallclock.
+	OverheadX      float64 `json:"recovery_overhead_x"`
+	WorkerFailures int     `json:"worker_failures"`
+	Reassignments  int     `json:"reassignments"`
+	LocalModes     int     `json:"local_modes"`
+	Bitwise        bool    `json:"bitwise_identical"`
+}
+
 // Report is the written document.
 type Report struct {
 	Date          string  `json:"date"`
@@ -161,6 +187,10 @@ type Report struct {
 	Ablation        []AblationRow `json:"ablation"`
 	SpeedupFullFast float64       `json:"speedup_full_fast_vs_pr5_fast"`
 
+	// The PR 7 number: wall time of a sweep that loses a worker
+	// mid-assignment versus the clean run, recovered bitwise-identically.
+	FaultRecovery *FaultRecovery `json:"fault_recovery"`
+
 	// The PR 3 serving numbers.
 	ServiceHitMS     float64       `json:"service_hit_ms"`
 	ServiceMissMS    float64       `json:"service_miss_ms"`
@@ -186,7 +216,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	var (
-		out   = flag.String("out", "BENCH_PR6.json", "output file")
+		out   = flag.String("out", "BENCH_PR7.json", "output file")
 		quick = flag.Bool("quick", false, "smaller pipeline settings (for smoke runs)")
 		smoke = flag.Bool("smoke", false, "tiny settings and short service runs: the CI exercise of the whole report path")
 		procs = flag.String("procs", "", "comma-separated GOMAXPROCS values for the scaling sweep ('all' = every core; default 1,2,4,all clamped to the machine)")
@@ -395,6 +425,24 @@ func main() {
 		fmt.Printf("%-24s %10.1f %8.2fx %13.3g\n", r.Name, r.WallMS, r.Speedup, r.MaxRelCl)
 	}
 
+	// The PR 7 fault-recovery column: the same sweep with and without one
+	// injected worker kill. Smoke runs shrink the grid but keep the path —
+	// CI proves on every run that a killed worker cannot change the bits.
+	frModes := 40
+	if *quick || *smoke {
+		frModes = 12
+	}
+	rep.FaultRecovery, err = runFaultRecovery(cm, bg.Tau0(), lmaxCl, frModes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !rep.FaultRecovery.Bitwise {
+		log.Fatal("recovered sweep not bitwise-identical to the clean run (fault-tolerance contract broken)")
+	}
+	fmt.Printf("\nfault recovery: clean %.1f ms, one worker killed %.1f ms (%.2fx), %d reassignments, bitwise ok\n",
+		rep.FaultRecovery.CleanWallMS, rep.FaultRecovery.KillWallMS,
+		rep.FaultRecovery.OverheadX, rep.FaultRecovery.Reassignments)
+
 	// The serving benchmark: an in-process plingerd (real HTTP stack via
 	// httptest) at the same product settings. Cold misses are timed on
 	// distinct fresh keys, then a single-client run measures unloaded hit
@@ -599,6 +647,80 @@ func runAblation(m *plinger.Model, lmaxCl, nk, kRefine int) ([]AblationRow, floa
 		}
 	}
 	return rows, full, nil
+}
+
+// sameModeBits compares the deterministic fields of two sweep results —
+// everything except the wallclock timings, mirroring the dispatch test
+// suite's bitwise contract.
+func sameModeBits(a, b *core.Result) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	return a.K == b.K && a.LMax == b.LMax && a.Flops == b.Flops &&
+		a.DeltaC == b.DeltaC && a.DeltaB == b.DeltaB && a.DeltaG == b.DeltaG &&
+		a.Phi == b.Phi && a.Psi == b.Psi && a.Eta == b.Eta &&
+		a.Stats.Steps == b.Stats.Steps && a.Stats.Evals == b.Stats.Evals &&
+		reflect.DeepEqual(a.ThetaL, b.ThetaL) && reflect.DeepEqual(a.ThetaPL, b.ThetaPL)
+}
+
+// runFaultRecovery times one dispatch sweep clean (best of 3) and once with
+// the first worker scripted to crash after its first assignment, under the
+// fault-tolerant master. Both worlds are chanmp with 3 workers; the
+// recovered spectra must match the clean run bitwise.
+func runFaultRecovery(cm *core.Model, tau0 float64, lmaxCl, nModes int) (*FaultRecovery, error) {
+	const workers = 3
+	ks := spectra.ClGrid(lmaxCl, tau0, nModes)
+	mode := core.Params{LMax: 24, Gauge: core.ConformalNewtonian}
+	runOnce := func(kill bool) (*dispatch.Sweep, *dispatch.RunStats, float64, error) {
+		_, eps, err := chanmp.New(workers + 1)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		if kill {
+			eps[1] = faultmp.Wrap(eps[1], faultmp.Options{Seed: 7, CrashAfterAssigns: 1})
+		}
+		d := &dispatch.MP{Model: cm, Endpoints: eps, Transport: "chan", AssignDeadline: 5 * time.Second}
+		t0 := time.Now()
+		sw, st, err := d.Run(context.Background(), ks, mode)
+		ms := float64(time.Since(t0).Nanoseconds()) / 1e6
+		for _, ep := range eps {
+			ep.Close()
+		}
+		return sw, st, ms, err
+	}
+
+	fr := &FaultRecovery{Workers: workers, Modes: nModes}
+	var clean *dispatch.Sweep
+	fr.CleanWallMS = math.Inf(1)
+	for rep := 0; rep < 3; rep++ {
+		sw, _, ms, err := runOnce(false)
+		if err != nil {
+			return nil, fmt.Errorf("fault recovery clean run: %w", err)
+		}
+		if ms < fr.CleanWallMS {
+			fr.CleanWallMS = ms
+		}
+		clean = sw
+	}
+	sw, st, ms, err := runOnce(true)
+	if err != nil {
+		return nil, fmt.Errorf("fault recovery kill run: %w", err)
+	}
+	fr.KillWallMS = ms
+	fr.OverheadX = fr.KillWallMS / fr.CleanWallMS
+	fr.WorkerFailures = st.WorkerFailures
+	fr.Reassignments = st.Reassignments
+	fr.LocalModes = st.LocalModes
+	if fr.WorkerFailures == 0 {
+		return nil, fmt.Errorf("fault recovery: injected kill never failed the worker")
+	}
+	fr.Bitwise = true
+	for i := range clean.Results {
+		if !sameModeBits(clean.Results[i], sw.Results[i]) {
+			fr.Bitwise = false
+		}
+	}
+	return fr, nil
 }
 
 // runServiceBench measures one in-process daemon: cold-miss latency on

@@ -47,6 +47,7 @@ func main() {
 		models  = flag.Int("models", 4, "model registry entries")
 		conc    = flag.Int("concurrent", 2, "max concurrently computing sweeps")
 		queue   = flag.Int("queue", 64, "max requests waiting for a compute slot")
+		stale   = flag.Int("stalecache", 0, "stale-response cache entries, serving last known good answers on failed or timed-out recomputes (0: 4x -cache)")
 		lmaxCl  = flag.Int("lmaxcl", 150, "default C_l multipole cap")
 		nk      = flag.Int("nk", 130, "default C_l wavenumber grid")
 		krefine = flag.Int("krefine", 6, "default coarse-to-fine refinement factor")
@@ -80,6 +81,7 @@ func main() {
 		ModelCacheSize: *models,
 		MaxConcurrent:  *conc,
 		MaxQueue:       *queue,
+		StaleCacheSize: *stale,
 	})
 	defer svc.Close()
 	log.Printf("starting %v", svc)

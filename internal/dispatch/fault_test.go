@@ -1,0 +1,361 @@
+package dispatch
+
+import (
+	"context"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"plinger/internal/core"
+	"plinger/internal/mp"
+	"plinger/internal/mp/chanmp"
+	"plinger/internal/mp/faultmp"
+	"plinger/internal/mp/fifomp"
+	"plinger/internal/mp/tcpmp"
+)
+
+// chaosMode keeps the recovery sweeps fast while still exercising the full
+// three-message result protocol (sources ride on tag 7, so reassignment
+// must preserve them bitwise too).
+func chaosMode() core.Params {
+	return core.Params{LMax: 10, Gauge: core.Synchronous, TauEnd: 300, KeepSources: true}
+}
+
+// chaosDeadline bounds each assignment round trip in the recovery tests:
+// generous against CI scheduling noise (a healthy mode takes milliseconds),
+// short enough that a hung worker costs one beat, not the test budget.
+const chaosDeadline = 800 * time.Millisecond
+
+// chaosWorld builds an n-endpoint world of the named transport so the tests
+// can wrap individual worker endpoints in faultmp before handing them to MP.
+func chaosWorld(t *testing.T, transport string, n int) ([]mp.Endpoint, func()) {
+	t.Helper()
+	closeAll := func(eps []mp.Endpoint) func() {
+		return func() {
+			for _, ep := range eps {
+				ep.Close()
+			}
+		}
+	}
+	switch transport {
+	case "chan":
+		_, eps, err := chanmp.New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eps, closeAll(eps)
+	case "fifo":
+		_, eps, err := fifomp.New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eps, closeAll(eps)
+	case "tcp":
+		hub, err := tcpmp.NewHub("127.0.0.1:0", n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps, _, err := connectAll(hub.Addr(), n, 10*time.Second)
+		if err != nil {
+			hub.Close()
+			t.Fatal(err)
+		}
+		closeEps := closeAll(eps)
+		return eps, func() { closeEps(); hub.Close() }
+	}
+	t.Fatalf("unknown transport %q", transport)
+	return nil, nil
+}
+
+// checkRecovered asserts the fault-tolerance acceptance criterion: a
+// recovered sweep is bitwise-identical to the undisturbed reference —
+// sources included — and no mode is lost or double-counted.
+func checkRecovered(t *testing.T, label string, ref, sw *Sweep, st *RunStats, nModes int) {
+	t.Helper()
+	for i := range ref.Results {
+		sameResult(t, label, ref.Results[i], sw.Results[i])
+		if !reflect.DeepEqual(ref.Results[i].Sources, sw.Results[i].Sources) {
+			t.Fatalf("%s: sources of mode %d differ from the undisturbed reference", label, i)
+		}
+	}
+	if st.Modes != nModes {
+		t.Fatalf("%s: %d modes in stats, want %d", label, st.Modes, nModes)
+	}
+	modes := 0
+	for _, w := range st.Workers {
+		modes += w.Modes
+	}
+	if modes != nModes {
+		t.Fatalf("%s: worker timings credit %d modes, want %d (duplicates must be first-wins)", label, modes, nModes)
+	}
+}
+
+// TestChaosMatrix is the tentpole acceptance test: one worker per run is
+// scripted to crash mid-assignment, hang, or randomly lose messages —
+// across every transport — and the sweep must still complete with results
+// bitwise-identical to an undisturbed run.
+func TestChaosMatrix(t *testing.T) {
+	m := model(t)
+	ks := testKs()
+	mode := chaosMode()
+	ref, _, err := (&Pool{Model: m, Workers: 2}).Run(context.Background(), ks, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := []struct {
+		name string
+		opts faultmp.Options
+		// orphan: the fault strikes with a block in flight, so recovery must
+		// reassign or locally recompute it. A drop-faulted worker may instead
+		// lose its start-up request and die having never held work.
+		orphan bool
+	}{
+		// Crash: the assignment is delivered, then the worker dies with the
+		// block in flight. Detected out-of-band or by transport errors.
+		{"kill", faultmp.Options{Seed: 11, CrashAfterAssigns: 1}, true},
+		// Hang: the worker wedges silently after its first assignment. Only
+		// the deadline can see this one.
+		{"hang", faultmp.Options{Seed: 12, HangAfterAssigns: 1}, true},
+		// Lossy link: half the worker's messages vanish; the master sees
+		// protocol violations or silence and fails the worker.
+		{"drop", faultmp.Options{Seed: 13, DropSend: 0.5}, false},
+	}
+	for _, tr := range []string{"chan", "fifo", "tcp"} {
+		for _, f := range faults {
+			label := tr + "/" + f.name
+			eps, cleanup := chaosWorld(t, tr, 4)
+			eps[1] = faultmp.Wrap(eps[1], f.opts)
+			d := &MP{Model: m, Endpoints: eps, Transport: tr, AssignDeadline: chaosDeadline}
+			sw, st, err := d.Run(context.Background(), ks, mode)
+			cleanup()
+			if err != nil {
+				t.Fatalf("%s: recovery failed: %v", label, err)
+			}
+			if st.WorkerFailures == 0 {
+				t.Fatalf("%s: fault injected but no worker failure recorded", label)
+			}
+			if f.orphan && st.Reassignments+st.LocalModes == 0 {
+				t.Fatalf("%s: failed worker's block neither reassigned nor recomputed: %+v", label, st)
+			}
+			if f.name == "hang" && st.DeadlineMisses == 0 {
+				t.Fatalf("%s: hung worker recovered without a deadline miss", label)
+			}
+			checkRecovered(t, label, ref, sw, st, len(ks))
+		}
+	}
+}
+
+// Killing every worker but one mid-sweep must degrade to a slower but
+// bitwise-identical run on the survivor.
+func TestChaosKillAllButOne(t *testing.T) {
+	m := model(t)
+	ks := testKs()
+	mode := chaosMode()
+	ref, _, err := (&Pool{Model: m, Workers: 2}).Run(context.Background(), ks, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, cleanup := chaosWorld(t, "chan", 4)
+	defer cleanup()
+	eps[1] = faultmp.Wrap(eps[1], faultmp.Options{Seed: 21, CrashAfterAssigns: 1})
+	eps[2] = faultmp.Wrap(eps[2], faultmp.Options{Seed: 22, CrashAfterAssigns: 1})
+	d := &MP{Model: m, Endpoints: eps, Transport: "chan", AssignDeadline: chaosDeadline}
+	sw, st, err := d.Run(context.Background(), ks, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WorkerFailures != 2 {
+		t.Fatalf("worker failures %d, want 2", st.WorkerFailures)
+	}
+	checkRecovered(t, "kill-all-but-one", ref, sw, st, len(ks))
+}
+
+// With every worker lost the master must finish the sweep itself — the
+// degradation path the paper's "this has no fault tolerance" protocol
+// lacked — and still match the undisturbed run bitwise.
+func TestChaosAllWorkersLost(t *testing.T) {
+	m := model(t)
+	ks := testKs()
+	mode := chaosMode()
+	ref, _, err := (&Pool{Model: m, Workers: 2}).Run(context.Background(), ks, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, cleanup := chaosWorld(t, "chan", 3)
+	defer cleanup()
+	// Both workers die on their first result send: no worker result ever
+	// reaches the master.
+	eps[1] = faultmp.Wrap(eps[1], faultmp.Options{Seed: 31, CrashAfterAssigns: 1})
+	eps[2] = faultmp.Wrap(eps[2], faultmp.Options{Seed: 32, CrashAfterAssigns: 1})
+	d := &MP{Model: m, Endpoints: eps, Transport: "chan", AssignDeadline: chaosDeadline}
+	sw, st, err := d.Run(context.Background(), ks, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WorkerFailures != 2 {
+		t.Fatalf("worker failures %d, want 2", st.WorkerFailures)
+	}
+	if st.LocalModes != len(ks) {
+		t.Fatalf("master recomputed %d modes locally, want all %d", st.LocalModes, len(ks))
+	}
+	master := false
+	for _, w := range st.Workers {
+		if w.Rank == 0 && w.Modes == len(ks) {
+			master = true
+		}
+	}
+	if !master {
+		t.Fatalf("master's local recompute missing from the timings: %+v", st.Workers)
+	}
+	checkRecovered(t, "all-workers-lost", ref, sw, st, len(ks))
+}
+
+// A context deadline on Run arms the fault-tolerant master even without an
+// explicit AssignDeadline: the same crash that aborts a plain run is
+// recovered under a deadline-carrying context.
+func TestChaosContextDeadlineArmsRecovery(t *testing.T) {
+	m := model(t)
+	ks := testKs()
+	mode := chaosMode()
+	ref, _, err := (&Pool{Model: m, Workers: 2}).Run(context.Background(), ks, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	eps, cleanup := chaosWorld(t, "chan", 3)
+	defer cleanup()
+	eps[1] = faultmp.Wrap(eps[1], faultmp.Options{Seed: 41, CrashAfterAssigns: 1})
+	d := &MP{Model: m, Endpoints: eps, Transport: "chan"}
+	sw, st, err := d.Run(ctx, ks, mode)
+	if err != nil {
+		t.Fatalf("context deadline did not arm recovery: %v", err)
+	}
+	if st.WorkerFailures != 1 {
+		t.Fatalf("worker failures %d, want 1", st.WorkerFailures)
+	}
+	checkRecovered(t, "ctx-deadline", ref, sw, st, len(ks))
+}
+
+// A lockstep batch block must be re-run WHOLE on reassignment — its
+// trajectories depend on every member — so a recovered batched sweep stays
+// bitwise-identical at fixed KBatch.
+func TestChaosBatchedBlockReassignment(t *testing.T) {
+	m := model(t)
+	ks := testKs()
+	mode := chaosMode()
+	mode.KBatch = 3
+	ref, _, err := (&Pool{Model: m, Workers: 2}).Run(context.Background(), ks, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, cleanup := chaosWorld(t, "chan", 3)
+	defer cleanup()
+	eps[1] = faultmp.Wrap(eps[1], faultmp.Options{Seed: 51, CrashAfterAssigns: 1})
+	d := &MP{Model: m, Endpoints: eps, Transport: "chan", AssignDeadline: chaosDeadline}
+	sw, st, err := d.Run(context.Background(), ks, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WorkerFailures != 1 {
+		t.Fatalf("worker failures %d, want 1", st.WorkerFailures)
+	}
+	checkRecovered(t, "batched-reassign", ref, sw, st, len(ks))
+}
+
+// connectAll with a rendezvous timeout must fail fast when a worker never
+// joins the world, instead of blocking NewMP forever (the old behavior).
+func TestConnectAllHandshakeTimeout(t *testing.T) {
+	hub, err := tcpmp.NewHub("127.0.0.1:0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	start := time.Now()
+	// Only 2 of the hub's 3 expected processes dial in: the rank handshake
+	// can never complete.
+	_, _, err = connectAll(hub.Addr(), 2, 400*time.Millisecond)
+	if err == nil {
+		t.Fatal("partial rendezvous reported success")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("rendezvous timeout took %v, want well under the old forever", elapsed)
+	}
+}
+
+// Dial failures inside the rendezvous budget are retried with backoff, so a
+// hub that comes up moments after its workers still forms a world.
+func TestConnectAllRetriesDial(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // reserve the port, then free it for the late hub
+	hubCh := make(chan *tcpmp.Hub, 1)
+	hubErr := make(chan error, 1)
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		hub, err := tcpmp.NewHub(addr, 2)
+		if err != nil {
+			hubErr <- err
+			return
+		}
+		hubCh <- hub
+	}()
+	eps, retries, err := connectAll(addr, 2, 5*time.Second)
+	if err != nil {
+		select {
+		case herr := <-hubErr:
+			t.Fatalf("late hub failed to start (port reuse race): %v", herr)
+		default:
+		}
+		t.Fatal(err)
+	}
+	if retries == 0 {
+		t.Fatal("hub started late but no dial was retried")
+	}
+	for _, ep := range eps {
+		ep.Close()
+	}
+	(<-hubCh).Close()
+}
+
+// Worker panics must surface as per-worker errors naming the rank and mode,
+// not crash the process: the pool sweeps and the non-fault-tolerant MP run
+// abort with the panic as root cause.
+func TestWorkerPanicRecovery(t *testing.T) {
+	broken := core.NewModel(nil, nil) // every evolution panics on the nil background
+	ks := testKs()[:3]
+	mode := smallMode()
+	if _, _, err := (&Pool{Model: broken, Workers: 2}).Run(context.Background(), ks, mode); err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("pool worker panic: %v", err)
+	}
+	sp := NewSharedPool(broken, 2)
+	_, _, err := sp.Run(context.Background(), ks, mode)
+	sp.Close()
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("shared pool worker panic: %v", err)
+	}
+	eps, cleanup := chaosWorld(t, "chan", 3)
+	defer cleanup()
+	d := &MP{Model: broken, Endpoints: eps, Transport: "chan"}
+	if _, _, err := d.Run(context.Background(), ks, mode); err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("mp worker panic: %v", err)
+	}
+}
+
+// The master's own degradation path carries the same guard: when the local
+// recompute panics, the run fails with an error instead of the process.
+func TestLocalRecomputePanicGuard(t *testing.T) {
+	broken := core.NewModel(nil, nil)
+	eps, cleanup := chaosWorld(t, "chan", 2)
+	defer cleanup()
+	d := &MP{Model: broken, Endpoints: eps, Transport: "chan", AssignDeadline: 2 * time.Second}
+	_, _, err := d.Run(context.Background(), testKs()[:2], smallMode())
+	if err == nil || !strings.Contains(err.Error(), "local recompute") {
+		t.Fatalf("local recompute panic: %v", err)
+	}
+}

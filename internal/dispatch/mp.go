@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"plinger/internal/core"
 	"plinger/internal/mp"
@@ -42,6 +43,15 @@ type MP struct {
 	// Prebuild, when set, runs once concurrently with the sweep (see
 	// Pool.Prebuild); Run waits for it before returning.
 	Prebuild func()
+	// AssignDeadline, when > 0, turns on the fault-tolerant master: each
+	// assignment round trip (and each worker's start-up) is bounded, dead
+	// or hung workers have their blocks reassigned, and the master
+	// recomputes locally if every worker is lost. A context deadline on Run
+	// also activates it (the tighter of the two budgets wins).
+	AssignDeadline time.Duration
+	// ConnectRetries is filled in by NewMP: transport connect attempts
+	// beyond the first (reported as RunStats.Retries).
+	ConnectRetries int
 }
 
 // Run implements Dispatcher.
@@ -68,13 +78,29 @@ func (d *MP) Run(ctx context.Context, ks []float64, mode core.Params) (*Sweep, *
 	if mode.KBatch > 1 && len(ks) > 1 {
 		order = blockOrder(d.Schedule, ks, batchBlocks(len(ks), mode.KBatch))
 	}
+	// Deadline propagation: an explicit AssignDeadline or a context
+	// deadline (whichever is tighter) arms the fault-tolerant master.
+	assignDL := d.AssignDeadline
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem > 0 && (assignDL == 0 || rem < assignDL) {
+			assignDL = rem
+		}
+	}
+	ft := assignDL > 0
+	nLocal := len(d.Endpoints) - 1
+	var workerDown chan int
+	if ft && nLocal > 0 {
+		workerDown = make(chan int, nLocal)
+	}
 	cfg := runner.Config{
-		KValues:   ks,
-		Mode:      mode,
-		Order:     order,
-		PerKLMax:  perKLMaxTable(ks, tau0, mode.LMax, d.AdaptLMax),
-		ASCIIOut:  d.ASCIIOut,
-		BinaryOut: d.BinaryOut,
+		KValues:        ks,
+		Mode:           mode,
+		Order:          order,
+		PerKLMax:       perKLMaxTable(ks, tau0, mode.LMax, d.AdaptLMax),
+		ASCIIOut:       d.ASCIIOut,
+		BinaryOut:      d.BinaryOut,
+		AssignDeadline: assignDL,
+		WorkerDown:     workerDown,
 	}
 
 	prebuildEvalTables(d.Model, mode)
@@ -97,16 +123,36 @@ func (d *MP) Run(ctx context.Context, ks []float64, mode core.Params) (*Sweep, *
 		}()
 	}
 
-	nLocal := len(d.Endpoints) - 1
 	errCh := make(chan error, nLocal)
-	for _, ep := range d.Endpoints[1:] {
-		go func(ep mp.Endpoint) {
-			errCh <- runner.Worker(ep, d.Model, ks, mode)
-		}(ep)
+	for _, wep := range d.Endpoints[1:] {
+		go func(wep mp.Endpoint) {
+			rank := wep.Rank()
+			werr := func() (err error) {
+				// A panicking worker must look to the master exactly like a
+				// crashed one: recover, report, let reassignment handle it.
+				defer func() {
+					if r := recover(); r != nil {
+						err = fmt.Errorf("dispatch: mp worker %d panicked: %v", rank, r)
+					}
+				}()
+				return runner.Worker(wep, d.Model, ks, mode)
+			}()
+			if werr != nil && workerDown != nil {
+				// Out-of-band death report: lets the fault-tolerant master
+				// orphan this worker's block before the deadline expires.
+				select {
+				case workerDown <- rank:
+				default:
+				}
+			}
+			errCh <- werr
+		}(wep)
 	}
-	// A failed worker never reports back over the protocol, so the master
-	// would block forever waiting for its result. Watch the local workers
-	// concurrently and abort the whole world on the first failure.
+	// A failed worker never reports back over the protocol. Without fault
+	// tolerance the master would block forever waiting for its result, so
+	// watch the local workers concurrently and abort the whole world on the
+	// first failure. With fault tolerance armed the master survives worker
+	// loss by design, so the world stays up and recovery runs instead.
 	var wmu sync.Mutex
 	var workerErr error
 	workersDone := make(chan struct{})
@@ -117,8 +163,10 @@ func (d *MP) Run(ctx context.Context, ks []float64, mode core.Params) (*Sweep, *
 				wmu.Lock()
 				if workerErr == nil {
 					workerErr = werr
-					for _, ep := range d.Endpoints {
-						ep.Close()
+					if !ft {
+						for _, ep := range d.Endpoints {
+							ep.Close()
+						}
 					}
 				}
 				wmu.Unlock()
@@ -140,23 +188,38 @@ func (d *MP) Run(ctx context.Context, ks []float64, mode core.Params) (*Sweep, *
 		wmu.Unlock()
 		// Prefer the root cause: a genuine worker failure beats the
 		// master's probe fallout, but a worker's bare ErrClosed is
-		// itself fallout from the master failing first.
-		if werr != nil && !errors.Is(werr, mp.ErrClosed) {
+		// itself fallout from the master failing first. Under fault
+		// tolerance the preference flips — worker casualties are expected
+		// and recovered, so a master error is the authoritative failure.
+		if werr != nil && !ft && !errors.Is(werr, mp.ErrClosed) {
 			return nil, nil, werr
 		}
 		return nil, nil, err
 	}
+	if ft && res.WorkerFailures > 0 {
+		// Casualties may be wedged in a probe for an assignment that will
+		// never come, or in a hung send; closing the world releases their
+		// goroutines. A recovered run's endpoints are spent either way.
+		for _, ep := range d.Endpoints {
+			ep.Close()
+		}
+	}
 	<-workersDone
-	if workerErr != nil {
+	if workerErr != nil && !ft {
 		return nil, nil, workerErr
 	}
 
 	st := &RunStats{
-		Backend:   "mp/" + d.transportName(),
-		Schedule:  d.Schedule,
-		NProc:     res.NProc,
-		NWorkers:  res.NProc - 1,
-		Wallclock: res.Wallclock,
+		Backend:        "mp/" + d.transportName(),
+		Schedule:       d.Schedule,
+		NProc:          res.NProc,
+		NWorkers:       res.NProc - 1,
+		Wallclock:      res.Wallclock,
+		WorkerFailures: res.WorkerFailures,
+		Reassignments:  res.Reassignments,
+		DeadlineMisses: res.DeadlineMisses,
+		LocalModes:     res.LocalModes,
+		Retries:        d.ConnectRetries,
 	}
 	if st.NWorkers < 1 {
 		st.NWorkers = 1
@@ -206,6 +269,7 @@ func NewMP(model *core.Model, transport string, workers int) (*MP, func(), error
 	var eps []mp.Endpoint
 	var bytes func() int64
 	closeHub := func() {}
+	connectRetries := 0
 	name := transport
 	switch transport {
 	case "", "chan":
@@ -226,7 +290,9 @@ func NewMP(model *core.Model, transport string, workers int) (*MP, func(), error
 		if err != nil {
 			return nil, nil, err
 		}
-		eps, err = connectAll(hub, n)
+		var retries int
+		eps, retries, err = connectAll(hub.Addr(), n, tcpConnectTimeout)
+		connectRetries = retries
 		if err != nil {
 			hub.Close()
 			return nil, nil, err
@@ -242,42 +308,75 @@ func NewMP(model *core.Model, transport string, workers int) (*MP, func(), error
 		}
 		closeHub()
 	}
-	d := &MP{Model: model, Endpoints: eps, Transport: name, BytesMoved: bytes}
+	d := &MP{Model: model, Endpoints: eps, Transport: name, BytesMoved: bytes, ConnectRetries: connectRetries}
 	return d, cleanup, nil
 }
 
-// connectAll joins n loopback endpoints to the hub. Connections must be
-// made concurrently: the hub completes the rank handshake only once all n
-// processes have dialed in.
-func connectAll(hub *tcpmp.Hub, n int) ([]mp.Endpoint, error) {
+// tcpConnectTimeout bounds the whole loopback rendezvous in NewMP; a
+// package variable so the tests can tighten it.
+var tcpConnectTimeout = 10 * time.Second
+
+// connectAll joins n loopback endpoints to the hub at addr. Connections
+// must be made concurrently: the hub completes the rank handshake only once
+// all n processes have dialed in. The rendezvous is bounded by timeout (0:
+// wait forever, the old behavior); dial failures are retried with doubling
+// backoff inside the budget, while a handshake timeout — a worker that
+// never joined the world — is a hard error, since the hub has already
+// counted the half-open connection. Returns the endpoints and the number
+// of retried dials.
+func connectAll(addr string, n int, timeout time.Duration) ([]mp.Endpoint, int, error) {
 	eps := make([]mp.Endpoint, n)
 	errs := make([]error, n)
+	retries := 0
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			ep, err := tcpmp.Connect(hub.Addr())
-			if err != nil {
-				errs[i] = err
-				return
+			backoff := 10 * time.Millisecond
+			for {
+				remaining := time.Duration(0)
+				if !deadline.IsZero() {
+					remaining = time.Until(deadline)
+					if remaining <= 0 {
+						errs[i] = fmt.Errorf("dispatch: tcp connect: rendezvous deadline (%v) exceeded", timeout)
+						return
+					}
+				}
+				ep, err := tcpmp.ConnectTimeout(addr, remaining)
+				if err == nil {
+					mu.Lock()
+					eps[ep.Rank()] = ep
+					mu.Unlock()
+					return
+				}
+				if deadline.IsZero() || !errors.Is(err, tcpmp.ErrDial) || time.Until(deadline) <= backoff {
+					errs[i] = err
+					return
+				}
+				time.Sleep(backoff)
+				backoff *= 2
+				mu.Lock()
+				retries++
+				mu.Unlock()
 			}
-			mu.Lock()
-			eps[ep.Rank()] = ep
-			mu.Unlock()
 		}(i)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, retries, err
 		}
 	}
 	for rank, ep := range eps {
 		if ep == nil {
-			return nil, fmt.Errorf("dispatch: no endpoint claimed rank %d", rank)
+			return nil, retries, fmt.Errorf("dispatch: no endpoint claimed rank %d", rank)
 		}
 	}
-	return eps, nil
+	return eps, retries, nil
 }

@@ -81,10 +81,20 @@ func (p *Pool) Run(ctx context.Context, ks []float64, mode core.Params) (*Sweep,
 			sc := core.NewScratch()
 			t := &timings[w].WorkerTiming
 			t.Rank = w + 1
+			cur := -1
+			// A panicking evolution must fail the sweep like any other
+			// per-mode error — with the worker rank and grid index — not
+			// kill the process.
+			defer func() {
+				if r := recover(); r != nil {
+					errs <- fmt.Errorf("dispatch: pool worker %d panicked on mode index %d: %v", w+1, cur, r)
+				}
+			}()
 			for chunk := range chunks {
 				for _, i := range chunk {
 					if blocks != nil {
 						lo, hi := blocks[i][0], blocks[i][1]
+						cur = lo
 						var perkSub []int
 						if perk != nil {
 							perkSub = perk[lo:hi]
@@ -102,6 +112,7 @@ func (p *Pool) Run(ctx context.Context, ks []float64, mode core.Params) (*Sweep,
 						}
 						continue
 					}
+					cur = i
 					pm := mode
 					pm.K = ks[i]
 					if perk != nil {

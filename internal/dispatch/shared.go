@@ -115,43 +115,65 @@ func (p *SharedPool) worker(rank int) {
 		case <-p.quit:
 			return
 		}
-		run := job.run
-		for _, idx := range job.idxs {
-			if run.ctx.Err() != nil {
-				break
-			}
-			if run.blocks != nil {
-				lo, hi := run.blocks[idx][0], run.blocks[idx][1]
-				var perkSub []int
-				if run.perk != nil {
-					perkSub = run.perk[lo:hi]
-				}
-				rs, err := p.model.EvolveBatchWith(run.ks[lo:hi], run.mode, perkSub, sc)
-				if err != nil {
-					run.fail(fmt.Errorf("dispatch: batch k=%g..%g: %w", run.ks[lo], run.ks[hi-1], err))
-					break
-				}
-				for j, r := range rs {
-					run.results[lo+j] = r
-					run.record(rank, r)
-				}
-				continue
-			}
-			pm := run.mode
-			pm.K = run.ks[idx]
-			if run.perk != nil {
-				pm.LMax = run.perk[idx]
-			}
-			res, err := p.model.EvolveWith(pm, sc)
-			if err != nil {
-				run.fail(fmt.Errorf("dispatch: k=%g: %w", pm.K, err))
-				break
-			}
-			run.results[idx] = res
-			run.record(rank, res)
+		if !p.serveJob(rank, job, sc) {
+			// The panic may have left the arena's buffers half-written;
+			// retire it so later runs start from clean state.
+			sc = core.NewScratch()
 		}
-		run.wg.Done()
+		job.run.wg.Done()
 	}
+}
+
+// serveJob runs one assignment; it reports false when the job panicked, in
+// which case the run has been failed (with the worker rank and grid index)
+// and the worker goroutine — which must outlive any single run — carries on.
+func (p *SharedPool) serveJob(rank int, job sharedJob, sc *core.Scratch) (ok bool) {
+	run := job.run
+	cur := -1
+	defer func() {
+		if r := recover(); r != nil {
+			run.fail(fmt.Errorf("dispatch: shared worker %d panicked on mode index %d: %v", rank, cur, r))
+			ok = false
+		}
+	}()
+	ok = true
+	for _, idx := range job.idxs {
+		if run.ctx.Err() != nil {
+			break
+		}
+		if run.blocks != nil {
+			lo, hi := run.blocks[idx][0], run.blocks[idx][1]
+			cur = lo
+			var perkSub []int
+			if run.perk != nil {
+				perkSub = run.perk[lo:hi]
+			}
+			rs, err := p.model.EvolveBatchWith(run.ks[lo:hi], run.mode, perkSub, sc)
+			if err != nil {
+				run.fail(fmt.Errorf("dispatch: batch k=%g..%g: %w", run.ks[lo], run.ks[hi-1], err))
+				break
+			}
+			for j, r := range rs {
+				run.results[lo+j] = r
+				run.record(rank, r)
+			}
+			continue
+		}
+		cur = idx
+		pm := run.mode
+		pm.K = run.ks[idx]
+		if run.perk != nil {
+			pm.LMax = run.perk[idx]
+		}
+		res, err := p.model.EvolveWith(pm, sc)
+		if err != nil {
+			run.fail(fmt.Errorf("dispatch: k=%g: %w", pm.K, err))
+			break
+		}
+		run.results[idx] = res
+		run.record(rank, res)
+	}
+	return ok
 }
 
 // Run implements Dispatcher: it enqueues the wavenumbers onto the shared

@@ -2,26 +2,31 @@ package dispatch
 
 import "sort"
 
-// WorkerTiming is the per-worker accounting used for Figure 1. For the MP
-// backend Rank is the endpoint rank (1..n); the Pool backend numbers its
-// goroutines the same way so the two reports line up.
+// WorkerTiming is the per-worker accounting used for Figure 1, extended with
+// the fault ledger. For the MP backend Rank is the endpoint rank (1..n); the
+// Pool backend numbers its goroutines the same way so the two reports line
+// up. The field layout mirrors plinger.WorkerTiming exactly so the two
+// convert directly.
 type WorkerTiming struct {
 	Rank    int
 	Modes   int     // k values computed
 	Seconds float64 // busy seconds (the paper's etime)
 	Flops   float64 // model flop count
+	// DeadlineMisses counts assignment deadlines this worker blew before
+	// being declared failed (always zero for the shared-memory backends).
+	DeadlineMisses int
 }
 
 // paddedTiming is the in-flight per-worker accounting slot: WorkerTiming is
-// 32 bytes, so four adjacent slots would share a cache line and every
+// 40 bytes, so three adjacent slots would share a cache line and every
 // per-mode counter update by one worker would invalidate the line under
-// three others' feet (false sharing). The pad spreads the slots to 128
+// the others' feet (false sharing). The pad spreads the slots to 128
 // bytes — two lines, covering the adjacent-line prefetcher — which keeps
 // each worker's counters core-local; the slots collapse to plain
 // WorkerTiming values when the run finishes.
 type paddedTiming struct {
 	WorkerTiming
-	_ [96]byte
+	_ [88]byte
 }
 
 // unpadTimings copies the in-flight slots into the final RunStats form.
@@ -60,6 +65,14 @@ type RunStats struct {
 	BytesMoved int64
 
 	Workers []WorkerTiming
+
+	// Fault-tolerance ledger (all zero on an undisturbed run; only the MP
+	// backend with an assignment deadline can populate it).
+	WorkerFailures int // workers declared dead during the run
+	Reassignments  int // orphaned k-blocks handed to surviving workers
+	DeadlineMisses int // assignment/start-up deadline expiries
+	LocalModes     int // modes the master recomputed after losing all workers
+	Retries        int // transport connect attempts beyond the first
 }
 
 // finalize derives the aggregate quantities from the per-worker timings,

@@ -7,6 +7,7 @@ package chanmp
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"plinger/internal/mp"
 )
@@ -74,6 +75,11 @@ func (e *endpoint) Send(dst, tag int, data []float64) error {
 
 func (e *endpoint) Probe(tag, source int) (int, int, error) {
 	return e.q.Probe(tag, source)
+}
+
+// ProbeTimeout implements mp.DeadlineProber.
+func (e *endpoint) ProbeTimeout(tag, source int, d time.Duration) (int, int, bool, error) {
+	return e.q.ProbeTimeout(tag, source, d)
 }
 
 func (e *endpoint) Recv(tag, source int) (mp.Message, error) {

@@ -1,0 +1,244 @@
+// Package faultmp is the deterministic fault-injection transport: an
+// mp.Endpoint wrapper that loses, delays or fails messages and crashes or
+// hangs the wrapped process at scripted points, all driven by a seeded
+// generator so a chaos test replays the exact same disturbance every run.
+// It wraps any transport — chan, fifo or tcp — which is how the recovery
+// tests prove the fault-tolerant master is transport-agnostic: the paper's
+// protocol ("this has no fault tolerance"; a lost worker stalls the run)
+// is exercised against precisely the failures a multi-host sweep farm must
+// survive.
+package faultmp
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"plinger/internal/mp"
+)
+
+// ErrInjected is the transport error produced by scripted Send failures
+// and by operations on a crashed endpoint.
+var ErrInjected = errors.New("faultmp: injected transport fault")
+
+// Options scripts the faults for one wrapped endpoint. All probabilistic
+// decisions derive from Seed, so a fixed (Options, operation sequence)
+// pair injects an identical fault pattern on every run.
+type Options struct {
+	// Seed drives the per-endpoint fault generator.
+	Seed int64
+
+	// DropSend is the probability an outgoing Send is silently lost: the
+	// caller sees success, nothing arrives.
+	DropSend float64
+	// ErrSend is the probability an outgoing Send fails with ErrInjected.
+	ErrSend float64
+	// DelaySend is the probability an outgoing Send sleeps SendDelay
+	// before delivery (a slow link).
+	DelaySend float64
+	// SendDelay is the injected latency for delayed sends.
+	SendDelay time.Duration
+
+	// CrashAfterAssigns, when > 0, kills the endpoint after the Nth
+	// received message with AssignTag: that assignment is still delivered,
+	// then every later operation fails with ErrInjected and the wrapped
+	// endpoint is closed — a worker dying mid-assignment, with its k-modes
+	// in flight.
+	CrashAfterAssigns int
+	// HangAfterAssigns, when > 0, makes every Send after the Nth received
+	// AssignTag block until Close: a hung worker, the failure only a
+	// deadline (never an error) can detect.
+	HangAfterAssigns int
+	// AssignTag is the received tag counted by the two triggers
+	// (0: plinger's assignment tag, 3).
+	AssignTag int
+}
+
+// Stats counts the faults actually injected, for test assertions.
+type Stats struct {
+	Drops   int
+	Errors  int
+	Delays  int
+	Crashed bool
+	Hung    bool
+}
+
+// Endpoint wraps an mp.Endpoint with fault injection. It implements
+// mp.Endpoint and mp.DeadlineProber (forwarding the timed probe when the
+// wrapped transport supports it).
+type Endpoint struct {
+	ep   mp.Endpoint
+	opts Options
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	assigns int
+	crashed bool
+	hung    bool
+	stats   Stats
+
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// Wrap scripts opts around ep.
+func Wrap(ep mp.Endpoint, opts Options) *Endpoint {
+	if opts.AssignTag == 0 {
+		opts.AssignTag = 3
+	}
+	return &Endpoint{
+		ep:     ep,
+		opts:   opts,
+		rng:    rand.New(rand.NewSource(opts.Seed)),
+		closed: make(chan struct{}),
+	}
+}
+
+// Stats snapshots the injected-fault counters.
+func (e *Endpoint) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+func (e *Endpoint) Rank() int   { return e.ep.Rank() }
+func (e *Endpoint) Size() int   { return e.ep.Size() }
+func (e *Endpoint) Master() int { return e.ep.Master() }
+
+// sendFault rolls the scripted send faults; exactly one generator draw per
+// configured fault class keeps the sequence deterministic regardless of
+// which faults fire.
+type sendFault int
+
+const (
+	sendOK sendFault = iota
+	sendDropped
+	sendErrored
+	sendDelayed
+	sendCrashed
+	sendHung
+)
+
+func (e *Endpoint) rollSend() sendFault {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.crashed {
+		return sendCrashed
+	}
+	if e.hung {
+		e.stats.Hung = true
+		return sendHung
+	}
+	f := sendOK
+	if e.opts.ErrSend > 0 && e.rng.Float64() < e.opts.ErrSend {
+		f = sendErrored
+		e.stats.Errors++
+	}
+	if e.opts.DropSend > 0 && e.rng.Float64() < e.opts.DropSend && f == sendOK {
+		f = sendDropped
+		e.stats.Drops++
+	}
+	if e.opts.DelaySend > 0 && e.rng.Float64() < e.opts.DelaySend && f == sendOK {
+		f = sendDelayed
+		e.stats.Delays++
+	}
+	return f
+}
+
+func (e *Endpoint) dispatchSend(f sendFault, deliver func() error) error {
+	switch f {
+	case sendCrashed:
+		return ErrInjected
+	case sendHung:
+		<-e.closed
+		return mp.ErrClosed
+	case sendErrored:
+		return ErrInjected
+	case sendDropped:
+		return nil
+	case sendDelayed:
+		select {
+		case <-time.After(e.opts.SendDelay):
+		case <-e.closed:
+			return mp.ErrClosed
+		}
+	}
+	return deliver()
+}
+
+func (e *Endpoint) Send(dst, tag int, data []float64) error {
+	return e.dispatchSend(e.rollSend(), func() error { return e.ep.Send(dst, tag, data) })
+}
+
+func (e *Endpoint) Bcast(tag int, data []float64) error {
+	return e.dispatchSend(e.rollSend(), func() error { return e.ep.Bcast(tag, data) })
+}
+
+func (e *Endpoint) dead() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.crashed
+}
+
+func (e *Endpoint) Probe(tag, source int) (int, int, error) {
+	if e.dead() {
+		return 0, 0, ErrInjected
+	}
+	return e.ep.Probe(tag, source)
+}
+
+// ProbeTimeout implements mp.DeadlineProber by forwarding to the wrapped
+// transport; a transport without the capability degrades to a blocking
+// probe (the caller's deadline then rests on the other endpoints).
+func (e *Endpoint) ProbeTimeout(tag, source int, d time.Duration) (int, int, bool, error) {
+	if e.dead() {
+		return 0, 0, false, ErrInjected
+	}
+	if p, ok := e.ep.(mp.DeadlineProber); ok {
+		return p.ProbeTimeout(tag, source, d)
+	}
+	t, s, err := e.ep.Probe(tag, source)
+	return t, s, err == nil, err
+}
+
+func (e *Endpoint) Recv(tag, source int) (mp.Message, error) {
+	if e.dead() {
+		return mp.Message{}, ErrInjected
+	}
+	m, err := e.ep.Recv(tag, source)
+	if err != nil {
+		return m, err
+	}
+	if m.Tag == e.opts.AssignTag {
+		e.onAssign()
+	}
+	return m, nil
+}
+
+// onAssign advances the crash/hang triggers after an assignment has been
+// delivered, so the scripted failure strikes mid-assignment: the work is in
+// the worker's hands when the worker dies.
+func (e *Endpoint) onAssign() {
+	e.mu.Lock()
+	e.assigns++
+	crash := e.opts.CrashAfterAssigns > 0 && e.assigns == e.opts.CrashAfterAssigns
+	if crash {
+		e.crashed = true
+		e.stats.Crashed = true
+	}
+	if e.opts.HangAfterAssigns > 0 && e.assigns == e.opts.HangAfterAssigns {
+		e.hung = true
+	}
+	e.mu.Unlock()
+	if crash {
+		// The crashed process leaves the world: peers sending to it get
+		// transport errors, exactly like a dead PVM task.
+		e.ep.Close()
+	}
+}
+
+func (e *Endpoint) Close() error {
+	e.closeOnce.Do(func() { close(e.closed) })
+	return e.ep.Close()
+}

@@ -1,0 +1,186 @@
+package faultmp_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"plinger/internal/mp"
+	"plinger/internal/mp/chanmp"
+	"plinger/internal/mp/faultmp"
+)
+
+var _ mp.Endpoint = (*faultmp.Endpoint)(nil)
+var _ mp.DeadlineProber = (*faultmp.Endpoint)(nil)
+
+// world builds a two-node chanmp world: [master, worker].
+func world(t *testing.T) (mp.Endpoint, mp.Endpoint) {
+	t.Helper()
+	_, eps, err := chanmp.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eps[0], eps[1]
+}
+
+// drain counts the messages waiting at ep, using the timed probe so an
+// empty mailbox terminates the count instead of blocking it.
+func drain(t *testing.T, ep mp.Endpoint) int {
+	t.Helper()
+	p := ep.(mp.DeadlineProber)
+	n := 0
+	for {
+		tag, src, ok, err := p.ProbeTimeout(mp.AnyTag, mp.AnySource, 20*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return n
+		}
+		if _, err := ep.Recv(tag, src); err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+}
+
+// The seed contract: a fixed (Options, operation sequence) pair injects an
+// identical fault pattern on every run, and every fired fault is visible in
+// Stats — drops silently succeed, errors fail with ErrInjected, and the
+// survivors all arrive.
+func TestSendFaultsDeterministic(t *testing.T) {
+	const sends = 200
+	opts := faultmp.Options{Seed: 7, DropSend: 0.3, ErrSend: 0.2, DelaySend: 0.1, SendDelay: time.Microsecond}
+	run := func() (faultmp.Stats, int) {
+		master, workerEP := world(t)
+		defer master.Close()
+		defer workerEP.Close()
+		f := faultmp.Wrap(master, opts)
+		failed := 0
+		for i := 0; i < sends; i++ {
+			if err := f.Send(1, 9, []float64{float64(i)}); err != nil {
+				if !errors.Is(err, faultmp.ErrInjected) {
+					t.Fatalf("send %d: %v", i, err)
+				}
+				failed++
+			}
+		}
+		st := f.Stats()
+		if failed != st.Errors {
+			t.Fatalf("%d sends failed but Stats counts %d errors", failed, st.Errors)
+		}
+		if got := drain(t, workerEP); got != sends-st.Drops-st.Errors {
+			t.Fatalf("%d messages arrived, want %d (= %d sends - %d drops - %d errors)",
+				got, sends-st.Drops-st.Errors, sends, st.Drops, st.Errors)
+		}
+		return st, failed
+	}
+	st1, _ := run()
+	st2, _ := run()
+	if st1 != st2 {
+		t.Fatalf("same seed, different fault patterns: %+v vs %+v", st1, st2)
+	}
+	if st1.Drops == 0 || st1.Errors == 0 || st1.Delays == 0 {
+		t.Fatalf("fault classes never fired over %d sends: %+v", sends, st1)
+	}
+}
+
+// CrashAfterAssigns delivers the fatal assignment, then turns the endpoint
+// into a dead process: every later operation fails with ErrInjected.
+func TestCrashAfterAssign(t *testing.T) {
+	master, workerEP := world(t)
+	defer master.Close()
+	f := faultmp.Wrap(workerEP, faultmp.Options{Seed: 1, CrashAfterAssigns: 2})
+	for i := 0; i < 2; i++ {
+		if err := master.Send(1, 3, []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		m, err := f.Recv(3, 0)
+		if err != nil {
+			t.Fatalf("assignment %d must still be delivered: %v", i, err)
+		}
+		if m.Data[0] != float64(i) {
+			t.Fatalf("assignment %d payload %v", i, m.Data)
+		}
+	}
+	if !f.Stats().Crashed {
+		t.Fatal("Stats.Crashed not set after the second assignment")
+	}
+	if err := f.Send(0, 4, []float64{1}); !errors.Is(err, faultmp.ErrInjected) {
+		t.Fatalf("send on crashed endpoint: %v", err)
+	}
+	if _, _, err := f.Probe(mp.AnyTag, mp.AnySource); !errors.Is(err, faultmp.ErrInjected) {
+		t.Fatalf("probe on crashed endpoint: %v", err)
+	}
+	if _, _, _, err := f.ProbeTimeout(mp.AnyTag, mp.AnySource, time.Millisecond); !errors.Is(err, faultmp.ErrInjected) {
+		t.Fatalf("timed probe on crashed endpoint: %v", err)
+	}
+	if _, err := f.Recv(mp.AnyTag, mp.AnySource); !errors.Is(err, faultmp.ErrInjected) {
+		t.Fatalf("recv on crashed endpoint: %v", err)
+	}
+	// The crash closed the wrapped endpoint too: the dead process left the
+	// world, so peers delivering to it see a transport error.
+	if err := master.Send(1, 3, []float64{9}); err == nil {
+		t.Fatal("send to crashed process succeeded")
+	}
+}
+
+// HangAfterAssigns wedges every later Send until Close — the failure mode
+// only a deadline can detect, since no error ever surfaces.
+func TestHangAfterAssign(t *testing.T) {
+	master, workerEP := world(t)
+	defer master.Close()
+	f := faultmp.Wrap(workerEP, faultmp.Options{Seed: 1, HangAfterAssigns: 1})
+	if err := master.Send(1, 3, []float64{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Recv(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	sent := make(chan error, 1)
+	go func() { sent <- f.Send(0, 4, []float64{1}) }()
+	select {
+	case err := <-sent:
+		t.Fatalf("send on hung endpoint returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if !f.Stats().Hung {
+		t.Fatal("Stats.Hung not set")
+	}
+	f.Close()
+	select {
+	case err := <-sent:
+		if !errors.Is(err, mp.ErrClosed) {
+			t.Fatalf("hung send after Close: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("hung send not released by Close")
+	}
+}
+
+// plainEndpoint is a minimal transport without ProbeTimeout, to pin the
+// degraded path: the wrapper falls back to the blocking probe.
+type plainEndpoint struct{ q *mp.Queue }
+
+func (p *plainEndpoint) Rank() int                            { return 1 }
+func (p *plainEndpoint) Size() int                            { return 2 }
+func (p *plainEndpoint) Master() int                          { return 0 }
+func (p *plainEndpoint) Send(int, int, []float64) error       { return nil }
+func (p *plainEndpoint) Bcast(int, []float64) error           { return nil }
+func (p *plainEndpoint) Probe(tag, src int) (int, int, error) { return p.q.Probe(tag, src) }
+func (p *plainEndpoint) Recv(tag, src int) (mp.Message, error) {
+	return p.q.Recv(tag, src)
+}
+func (p *plainEndpoint) Close() error { p.q.Close(); return nil }
+
+func TestProbeTimeoutDegradesToBlocking(t *testing.T) {
+	plain := &plainEndpoint{q: mp.NewQueue()}
+	if err := plain.q.Push(mp.Message{Tag: 5, Source: 0}); err != nil {
+		t.Fatal(err)
+	}
+	f := faultmp.Wrap(plain, faultmp.Options{Seed: 1})
+	tag, src, ok, err := f.ProbeTimeout(mp.AnyTag, mp.AnySource, time.Millisecond)
+	if err != nil || !ok || tag != 5 || src != 0 {
+		t.Fatalf("degraded probe: tag=%d src=%d ok=%v err=%v", tag, src, ok, err)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // AnyTag matches any message tag in probe/receive operations.
@@ -70,6 +71,19 @@ type Endpoint interface {
 
 // ErrClosed is returned by operations on a closed endpoint.
 var ErrClosed = errors.New("mp: endpoint closed")
+
+// DeadlineProber is the optional endpoint capability behind fault-tolerant
+// mastering: a probe that gives up after a timeout instead of blocking
+// forever. The paper's wrappers have no such call — and its protocol
+// therefore has no fault tolerance — so the capability is an extension
+// interface rather than part of Endpoint. All transports in this repository
+// implement it (their mailboxes share Queue).
+type DeadlineProber interface {
+	// ProbeTimeout behaves like Probe but returns ok=false once d has
+	// elapsed with no matching message. err is reserved for real failures
+	// (closed endpoint, strict-FIFO mismatch); a timeout is not an error.
+	ProbeTimeout(tag, source int, d time.Duration) (gotTag, gotSource int, ok bool, err error)
+}
 
 // Queue is a blocking mailbox with MPI matching semantics: messages are
 // kept in arrival order and probes/receives select the first message whose
@@ -157,6 +171,47 @@ func (q *Queue) Probe(tag, source int) (int, int, error) {
 			return 0, 0, ErrClosed
 		}
 		q.cond.Wait()
+	}
+}
+
+// ProbeTimeout is Probe with a deadline: it returns ok=false when d elapses
+// before a matching message arrives. The timeout wakes the wait through the
+// queue's own condition variable, so no polling loop spins while waiting.
+func (q *Queue) ProbeTimeout(tag, source int, d time.Duration) (int, int, bool, error) {
+	deadline := time.Now().Add(d)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.strictFIFO {
+			if len(q.msgs) > 0 {
+				m := q.msgs[0]
+				if !match(m, tag, source) {
+					return 0, 0, false, fmt.Errorf("mp: strict-FIFO transport: head message (tag %d from %d) does not match probe (tag %d, src %d)",
+						m.Tag, m.Source, tag, source)
+				}
+				return m.Tag, m.Source, true, nil
+			}
+		} else {
+			for _, m := range q.msgs {
+				if match(m, tag, source) {
+					return m.Tag, m.Source, true, nil
+				}
+			}
+		}
+		if q.closed {
+			return 0, 0, false, ErrClosed
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return 0, 0, false, nil
+		}
+		t := time.AfterFunc(remaining, func() {
+			q.mu.Lock()
+			q.cond.Broadcast()
+			q.mu.Unlock()
+		})
+		q.cond.Wait()
+		t.Stop()
 	}
 }
 

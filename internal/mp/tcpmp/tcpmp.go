@@ -9,14 +9,22 @@ package tcpmp
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"plinger/internal/mp"
 )
+
+// ErrDial marks a failure in the dial phase of Connect — the only phase a
+// caller may safely retry. A handshake failure is NOT retryable: the hub has
+// already counted the connection toward its world size, so dialing again
+// would claim a second slot.
+var ErrDial = errors.New("tcpmp: dial failed")
 
 const magic = 0x504c4e47 // "PLNG"
 
@@ -135,7 +143,12 @@ func (h *Hub) route(rank int) {
 		}
 		h.wmu[dst].Unlock()
 		if err1 != nil || err2 != nil {
-			return
+			// The destination died. Drop the frame but keep routing for the
+			// rest of the world — killing this loop would silence the sender
+			// toward every process, turning one dead worker into a dead run.
+			// The sender learns of the loss through its deadlines, like a PVM
+			// task whose peer vanished.
+			continue
 		}
 	}
 }
@@ -152,9 +165,28 @@ type endpoint struct {
 // Connect joins the world at the hub address; it blocks until all
 // processes have connected and returns the ranked endpoint.
 func Connect(addr string) (mp.Endpoint, error) {
-	c, err := net.Dial("tcp", addr)
+	return ConnectTimeout(addr, 0)
+}
+
+// ConnectTimeout is Connect with a bound on the whole rendezvous: the dial
+// and the rank handshake must both finish within timeout (0: wait forever,
+// the paper's behavior). The handshake only completes once every process
+// has dialed in, so the bound is what lets a caller detect a worker that
+// never joins instead of hanging on it.
+func ConnectTimeout(addr string, timeout time.Duration) (mp.Endpoint, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	c, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
-		return nil, fmt.Errorf("tcpmp: dial %s: %w", addr, err)
+		return nil, fmt.Errorf("%w: %s: %v", ErrDial, addr, err)
+	}
+	if !deadline.IsZero() {
+		if err := c.SetDeadline(deadline); err != nil {
+			c.Close()
+			return nil, err
+		}
 	}
 	if err := binary.Write(c, binary.LittleEndian, uint32(magic)); err != nil {
 		c.Close()
@@ -164,6 +196,12 @@ func Connect(addr string) (mp.Endpoint, error) {
 	if err := binary.Read(c, binary.LittleEndian, hdr[:]); err != nil {
 		c.Close()
 		return nil, fmt.Errorf("tcpmp: handshake: %w", err)
+	}
+	if !deadline.IsZero() {
+		if err := c.SetDeadline(time.Time{}); err != nil {
+			c.Close()
+			return nil, err
+		}
 	}
 	e := &endpoint{conn: c, rank: int(hdr[0]), size: int(hdr[1]), q: mp.NewQueue()}
 	go e.reader()
@@ -228,6 +266,11 @@ func (e *endpoint) Bcast(tag int, data []float64) error {
 
 func (e *endpoint) Probe(tag, source int) (int, int, error) {
 	return e.q.Probe(tag, source)
+}
+
+// ProbeTimeout implements mp.DeadlineProber.
+func (e *endpoint) ProbeTimeout(tag, source int, d time.Duration) (int, int, bool, error) {
+	return e.q.ProbeTimeout(tag, source, d)
 }
 
 func (e *endpoint) Recv(tag, source int) (mp.Message, error) {

@@ -2,6 +2,7 @@ package plinger
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -33,14 +34,34 @@ type Config struct {
 	// BinaryOut, if non-nil, receives the unit_2-style binary moment
 	// records.
 	BinaryOut io.Writer
+	// AssignDeadline, when > 0, turns on the fault-tolerant master: it
+	// bounds each assignment's round trip (and each worker's start-up).
+	// A worker that blows the deadline — or is reported dead through
+	// WorkerDown, or violates the protocol — is declared failed, its
+	// in-flight block is reassigned to a surviving worker, and with no
+	// survivors left the master recomputes the orphans itself. Every mode
+	// is a pure function of (k, mode, lmax), so a recovered sweep is
+	// bitwise-identical to an undisturbed one. Zero keeps the paper's
+	// original semantics: no fault tolerance, one lost worker stalls the
+	// run.
+	AssignDeadline time.Duration
+	// WorkerDown, when non-nil, delivers ranks of workers known to have
+	// died out-of-band (e.g. a local worker goroutine returning an error),
+	// so the master can orphan their work before the deadline expires.
+	// Only consumed when AssignDeadline > 0.
+	WorkerDown <-chan int
 }
 
-// WorkerTiming is the per-worker accounting used for Figure 1.
+// WorkerTiming is the per-worker accounting used for Figure 1, extended
+// with the fault ledger.
 type WorkerTiming struct {
 	Rank    int
 	Modes   int     // k values computed
 	Seconds float64 // busy seconds (the paper's etime)
 	Flops   float64 // model flop count
+	// DeadlineMisses counts assignment (or start-up) deadlines this worker
+	// blew before being declared failed.
+	DeadlineMisses int
 }
 
 // Results is the master's collected output, ordered like KValues, plus the
@@ -56,8 +77,16 @@ type Results struct {
 	Wallclock float64
 	// BytesReceived is the protocol payload volume at the master.
 	BytesReceived int64
-	// Workers holds the per-worker tallies, sorted by rank.
+	// Workers holds the per-worker tallies, sorted by rank. On a run that
+	// degraded to local recomputation the master itself appears under its
+	// own rank.
 	Workers []WorkerTiming
+
+	// Fault-tolerance ledger; all zero on an undisturbed run.
+	WorkerFailures int // workers declared dead (crash, hang, protocol violation)
+	Reassignments  int // orphaned blocks handed to surviving workers
+	DeadlineMisses int // total assignment/start-up deadline expiries
+	LocalModes     int // modes recomputed by the master's degradation path
 }
 
 // BatchBlocks splits nk grid indices into consecutive [lo, hi) blocks of up
@@ -102,8 +131,26 @@ func handOutOrder(cfg Config, nk int) ([]int, error) {
 	return cfg.Order, nil
 }
 
+// workerFaultError marks an error caused by one worker's data or behavior
+// (a protocol violation, a corrupt block) rather than by the master itself.
+// The fault-tolerant master converts it into a worker failure; the paper's
+// original protocol aborts the run with the inner error.
+type workerFaultError struct{ err error }
+
+func (e workerFaultError) Error() string { return e.err.Error() }
+func (e workerFaultError) Unwrap() error { return e.err }
+
 // Master runs the master subroutine of Appendix A over the endpoint. It
 // returns when every wavenumber has been received and every worker stopped.
+//
+// With cfg.AssignDeadline > 0 the master additionally detects worker
+// failures (crashes, hangs, protocol violations, out-of-band death reports)
+// and recovers: orphaned blocks are reassigned to survivors, and with no
+// survivors the master recomputes them itself. Recovery always re-runs the
+// WHOLE original block — a block's lockstep trajectories depend on every
+// member, so partial re-batching would change bits — and duplicate results
+// are resolved first-wins, keeping recovered sweeps bitwise-identical to
+// undisturbed ones.
 func Master(ep mp.Endpoint, model *core.Model, cfg Config) (*Results, error) {
 	nk := len(cfg.KValues)
 	if nk == 0 {
@@ -134,8 +181,15 @@ func Master(ep mp.Endpoint, model *core.Model, cfg Config) (*Results, error) {
 	if len(init) != initBlockLen {
 		panic("plinger: init block length drifted from the protocol")
 	}
+	ft := cfg.AssignDeadline > 0
+	prober, hasProber := ep.(mp.DeadlineProber)
 	if err := ep.Bcast(TagInit, init); err != nil {
-		return nil, fmt.Errorf("plinger: broadcast: %w", err)
+		// Under fault tolerance a worker unreachable at broadcast time is a
+		// worker failure, not a run failure: whoever missed the init never
+		// requests work and falls to the start-up deadline below.
+		if !ft {
+			return nil, fmt.Errorf("plinger: broadcast: %w", err)
+		}
 	}
 
 	res := &Results{
@@ -153,35 +207,22 @@ func Master(ep mp.Endpoint, model *core.Model, cfg Config) (*Results, error) {
 	// last member completes, not after every one.
 	left := map[int]int{}
 
-	assign := func(dst int) error {
-		if next < len(order) {
-			lo, hi := blocks[order[next]][0], blocks[order[next]][1]
-			next++
-			lmax := 0.0
-			if cfg.PerKLMax != nil {
-				// The block runs at the largest cutoff among its members
-				// (the lockstep batch unifies the hierarchy anyway).
-				for ik := lo; ik < hi; ik++ {
-					if l := cfg.PerKLMax[ik]; l > 0 && float64(l) > lmax {
-						lmax = float64(l)
-					}
-				}
+	// Fault-tolerance state. Every live worker owes the master a message
+	// before its deadlineAt entry expires: first the start-up request, then
+	// per-assignment progress. orphans holds blocks whose owner died; they
+	// are handed out ahead of fresh work. computing counts live workers with
+	// an assigned block still outstanding.
+	failed := map[int]bool{}
+	assignedBlock := map[int]int{}
+	deadlineAt := map[int]time.Time{}
+	var orphans []int
+	computing := 0
+	if ft {
+		for rank := 0; rank < ep.Size(); rank++ {
+			if rank != ep.Master() {
+				deadlineAt[rank] = start.Add(cfg.AssignDeadline)
 			}
-			left[dst] = hi - lo
-			if hi-lo == 1 {
-				// The Fortran sends the 1-based wavenumber index; the
-				// optional second value is the per-k hierarchy cutoff.
-				return ep.Send(dst, TagAssign, []float64{float64(lo + 1), lmax})
-			}
-			// Batched assignment: 1-based first index, unified cutoff, and
-			// the block size as the third value.
-			return ep.Send(dst, TagAssign, []float64{float64(lo + 1), lmax, float64(hi - lo)})
 		}
-		if !stopped[dst] {
-			stopped[dst] = true
-			return ep.Send(dst, TagStop, []float64{0})
-		}
-		return nil
 	}
 
 	touch := func(src int) *WorkerTiming {
@@ -203,56 +244,307 @@ func Master(ep mp.Endpoint, model *core.Model, cfg Config) (*Results, error) {
 	}
 	pending := map[int]*inflight{}
 
+	// failWorker declares a live worker dead: its half-assembled record is
+	// discarded and its in-flight block joins the orphan queue for a full
+	// re-run (the lockstep batch ties every trajectory to the whole block,
+	// so resuming mid-block would change bits).
+	failWorker := func(rank int) {
+		if !ft || failed[rank] || stopped[rank] {
+			return
+		}
+		failed[rank] = true
+		res.WorkerFailures++
+		delete(deadlineAt, rank)
+		delete(pending, rank)
+		if left[rank] > 0 {
+			computing--
+			left[rank] = 0
+			orphans = append(orphans, assignedBlock[rank])
+			delete(assignedBlock, rank)
+		}
+	}
+
+	blockLMax := func(lo, hi int) float64 {
+		lmax := 0.0
+		if cfg.PerKLMax != nil {
+			// The block runs at the largest cutoff among its members
+			// (the lockstep batch unifies the hierarchy anyway).
+			for ik := lo; ik < hi; ik++ {
+				if l := cfg.PerKLMax[ik]; l > 0 && float64(l) > lmax {
+					lmax = float64(l)
+				}
+			}
+		}
+		return lmax
+	}
+
+	assign := func(dst int) error {
+		blockIdx := -1
+		if ft && len(orphans) > 0 {
+			blockIdx = orphans[0]
+			orphans = orphans[1:]
+			res.Reassignments++
+		} else if next < len(order) {
+			blockIdx = order[next]
+			next++
+		}
+		if blockIdx < 0 {
+			if !stopped[dst] {
+				stopped[dst] = true
+				delete(deadlineAt, dst)
+				if err := ep.Send(dst, TagStop, []float64{0}); err != nil {
+					if ft {
+						return nil // unreachable and already stopped: moot
+					}
+					return err
+				}
+			}
+			return nil
+		}
+		lo, hi := blocks[blockIdx][0], blocks[blockIdx][1]
+		lmax := blockLMax(lo, hi)
+		left[dst] = hi - lo
+		assignedBlock[dst] = blockIdx
+		computing++
+		if ft {
+			deadlineAt[dst] = time.Now().Add(cfg.AssignDeadline)
+		}
+		var payload []float64
+		if hi-lo == 1 {
+			// The Fortran sends the 1-based wavenumber index; the
+			// optional second value is the per-k hierarchy cutoff.
+			payload = []float64{float64(lo + 1), lmax}
+		} else {
+			// Batched assignment: 1-based first index, unified cutoff, and
+			// the block size as the third value.
+			payload = []float64{float64(lo + 1), lmax, float64(hi - lo)}
+		}
+		if err := ep.Send(dst, TagAssign, payload); err != nil {
+			if ft {
+				// The transport already knows this worker is gone; orphan
+				// the block for the next live requester.
+				failWorker(dst)
+				return nil
+			}
+			return err
+		}
+		return nil
+	}
+
 	complete := func(src int, fl *inflight, srcBlock []float64) error {
 		delete(pending, src)
 		ik1, r, err := unpackResult(fl.sum, fl.mom)
 		if err != nil {
-			return err
+			return workerFaultError{err}
 		}
 		ik := ik1 - 1
 		if ik < 0 || ik >= nk {
-			return fmt.Errorf("plinger: wavenumber index %d out of range", ik1)
+			return workerFaultError{fmt.Errorf("plinger: wavenumber index %d out of range", ik1)}
 		}
 		if srcBlock != nil {
 			samples, err := unpackSources(ik1, srcBlock)
 			if err != nil {
-				return err
+				return workerFaultError{err}
 			}
 			r.Sources = samples
 		}
-		res.Mode[ik] = r
-		done++
-		w := touch(src)
-		w.Modes++
-		w.Seconds += r.Seconds
-		w.Flops += r.Flops
-		if cfg.ASCIIOut != nil {
-			if err := writeASCIIRecord(cfg.ASCIIOut, fl.sum); err != nil {
-				return err
+		if res.Mode[ik] == nil {
+			// First-wins: a reassigned block re-runs members its dead owner
+			// already delivered, and only the first copy of each mode counts
+			// (identical bits either way — a mode is a pure function of k).
+			res.Mode[ik] = r
+			done++
+			w := touch(src)
+			w.Modes++
+			w.Seconds += r.Seconds
+			w.Flops += r.Flops
+			if cfg.ASCIIOut != nil {
+				if err := writeASCIIRecord(cfg.ASCIIOut, fl.sum); err != nil {
+					return err
+				}
 			}
-		}
-		if cfg.BinaryOut != nil {
-			if err := writeBinaryRecord(cfg.BinaryOut, fl.mom); err != nil {
-				return err
+			if cfg.BinaryOut != nil {
+				if err := writeBinaryRecord(cfg.BinaryOut, fl.mom); err != nil {
+					return err
+				}
 			}
 		}
 		left[src]--
 		if left[src] > 0 {
 			return nil // more members of this worker's block are in flight
 		}
+		computing--
+		delete(assignedBlock, src)
 		return assign(src)
 	}
 
-	for done < nk {
+	// live counts workers that could still produce results or requests.
+	live := func() int {
+		n := 0
+		for rank := 0; rank < ep.Size(); rank++ {
+			if rank != ep.Master() && !failed[rank] && !stopped[rank] {
+				n++
+			}
+		}
+		return n
+	}
+
+	// drainDown consumes out-of-band death reports without blocking.
+	drainDown := func() {
+		if !ft || cfg.WorkerDown == nil {
+			return
+		}
+		for {
+			select {
+			case rank := <-cfg.WorkerDown:
+				failWorker(rank)
+			default:
+				return
+			}
+		}
+	}
+
+	// expire fails every worker whose deadline has passed.
+	expire := func(now time.Time) {
+		for rank, dl := range deadlineAt {
+			if !dl.After(now) {
+				res.DeadlineMisses++
+				touch(rank).DeadlineMisses++
+				failWorker(rank)
+			}
+		}
+	}
+
+	// probeNext waits for the next message, bounded by the earliest live
+	// deadline under fault tolerance. ok=false reports a deadline expiry
+	// instead of a message.
+	probeNext := func() (int, int, bool, error) {
+		if ft && hasProber && len(deadlineAt) > 0 {
+			earliest := time.Time{}
+			for _, dl := range deadlineAt {
+				if earliest.IsZero() || dl.Before(earliest) {
+					earliest = dl
+				}
+			}
+			wait := time.Until(earliest)
+			if wait <= 0 {
+				return 0, 0, false, nil
+			}
+			return prober.ProbeTimeout(mp.AnyTag, mp.AnySource, wait)
+		}
 		tag, src, err := ep.Probe(mp.AnyTag, mp.AnySource)
+		return tag, src, err == nil, err
+	}
+
+	// recomputeLocal is the last-resort degradation: with every worker lost,
+	// the master evolves the remaining blocks itself, mirroring the worker's
+	// exact evolution call so the results stay bitwise-identical.
+	recomputeLocal := func() error {
+		rem := append([]int(nil), orphans...)
+		orphans = orphans[:0]
+		for ; next < len(order); next++ {
+			rem = append(rem, order[next])
+		}
+		if len(rem) == 0 {
+			return nil
+		}
+		scratch := core.NewScratch()
+		self := ep.Rank()
+		for _, bi := range rem {
+			lo, hi := blocks[bi][0], blocks[bi][1]
+			p := cfg.Mode
+			p.TauEnd = tauEnd
+			p.K = cfg.KValues[lo]
+			if lm := blockLMax(lo, hi); lm > 0 {
+				p.LMax = int(lm)
+			}
+			rs, err := func() (rs []*core.Result, err error) {
+				// The degradation path runs on the master's own stack; a
+				// panicking evolution must fail the run, not the process —
+				// symmetric with the worker goroutines' recovery.
+				defer func() {
+					if r := recover(); r != nil {
+						err = fmt.Errorf("panic: %v", r)
+					}
+				}()
+				return model.EvolveBatchWith(cfg.KValues[lo:hi], p, nil, scratch)
+			}()
+			if err != nil {
+				return fmt.Errorf("plinger: local recompute (ik=%d+%d): %w", lo+1, hi-lo, err)
+			}
+			for j, r := range rs {
+				ik := lo + j
+				if res.Mode[ik] != nil {
+					continue // first-wins against results received earlier
+				}
+				res.Mode[ik] = r
+				done++
+				res.LocalModes++
+				w := touch(self)
+				w.Modes++
+				w.Seconds += r.Seconds
+				w.Flops += r.Flops
+				if cfg.ASCIIOut != nil {
+					if err := writeASCIIRecord(cfg.ASCIIOut, packSummary(ik+1, r)); err != nil {
+						return err
+					}
+				}
+				if cfg.BinaryOut != nil {
+					if err := writeBinaryRecord(cfg.BinaryOut, packMoments(ik+1, r)); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}
+
+	// Under fault tolerance the loop also waits out live workers still
+	// holding a block past done == nk — possible when a reassigned block's
+	// members were all first-won by its dead previous owner — so that every
+	// live worker ends the loop stopped. Without fault tolerance computing
+	// can never outlast done == nk and the condition is the paper's.
+	for done < nk || computing > 0 {
+		if ft {
+			drainDown()
+			if live() == 0 {
+				// Nobody left to compute or request: finish the sweep
+				// locally rather than stall (the paper: "this has no fault
+				// tolerance" — this path is precisely what it lacked).
+				if err := recomputeLocal(); err != nil {
+					return nil, err
+				}
+				break
+			}
+		}
+		tag, src, ok, err := probeNext()
 		if err != nil {
 			return nil, fmt.Errorf("plinger: master probe: %w", err)
+		}
+		if !ok {
+			expire(time.Now())
+			continue
 		}
 		m, err := ep.Recv(tag, src)
 		if err != nil {
 			return nil, err
 		}
 		bytes += int64(8 * len(m.Data))
+		if ft && failed[src] {
+			// A worker declared dead may still be alive (a blown deadline on
+			// a slow link). Its work was reassigned; discard the duplicates
+			// and, if it asks for more, tell it to exit.
+			if tag == TagRequest {
+				_ = ep.Send(src, TagStop, []float64{0})
+			}
+			continue
+		}
+		if ft && left[src] > 0 {
+			// Any message is progress: the deadline bounds silence, so a
+			// worker grinding through a long block stays alive as long as
+			// its members keep arriving.
+			deadlineAt[src] = time.Now().Add(cfg.AssignDeadline)
+		}
 		switch tag {
 		case TagRequest:
 			touch(src)
@@ -261,29 +553,61 @@ func Master(ep mp.Endpoint, model *core.Model, cfg Config) (*Results, error) {
 			}
 		case TagSummary:
 			if pending[src] != nil {
+				if ft {
+					failWorker(src)
+					continue
+				}
 				return nil, fmt.Errorf("plinger: worker %d sent a new summary before completing a mode", src)
 			}
 			pending[src] = &inflight{sum: m.Data}
 		case TagMoments:
 			fl := pending[src]
 			if fl == nil || fl.mom != nil {
+				if ft {
+					failWorker(src)
+					continue
+				}
 				return nil, fmt.Errorf("plinger: worker %d sent moments without a summary", src)
 			}
 			fl.mom = m.Data
 			if !cfg.Mode.KeepSources {
 				if err := complete(src, fl, nil); err != nil {
+					var wf workerFaultError
+					if errors.As(err, &wf) {
+						if ft {
+							failWorker(src)
+							continue
+						}
+						return nil, wf.err
+					}
 					return nil, err
 				}
 			}
 		case TagSources:
 			fl := pending[src]
 			if fl == nil || fl.mom == nil {
+				if ft {
+					failWorker(src)
+					continue
+				}
 				return nil, fmt.Errorf("plinger: worker %d sent sources without moments", src)
 			}
 			if err := complete(src, fl, m.Data); err != nil {
+				var wf workerFaultError
+				if errors.As(err, &wf) {
+					if ft {
+						failWorker(src)
+						continue
+					}
+					return nil, wf.err
+				}
 				return nil, err
 			}
 		default:
+			if ft {
+				failWorker(src)
+				continue
+			}
 			return nil, fmt.Errorf("plinger: master got unexpected tag %d from %d", tag, src)
 		}
 	}
@@ -291,35 +615,58 @@ func Master(ep mp.Endpoint, model *core.Model, cfg Config) (*Results, error) {
 	// Late-starting workers may not have asked for work yet. Every worker
 	// sends exactly one request after the init broadcast, so wait for each
 	// outstanding one — in arrival order, as MPL-style transports require —
-	// and answer it with a stop. Like the paper's protocol this has no
-	// fault tolerance: a remote worker that joined the world but died
-	// before its first request stalls this wait, just as one dying
-	// mid-compute stalls the main loop above.
-	remaining := 0
-	for rank := 0; rank < ep.Size(); rank++ {
-		if rank != ep.Master() && !stopped[rank] {
-			remaining++
+	// and answer it with a stop. Like the paper's protocol the plain path
+	// has no fault tolerance: a remote worker that joined the world but died
+	// before its first request stalls this wait. Under fault tolerance the
+	// wait is deadline-bounded and a worker that never shows is failed.
+	countRemaining := func() int {
+		n := 0
+		for rank := 0; rank < ep.Size(); rank++ {
+			if rank != ep.Master() && !stopped[rank] && !failed[rank] {
+				n++
+			}
 		}
+		return n
 	}
-	for remaining > 0 {
-		tag, src, err := ep.Probe(mp.AnyTag, mp.AnySource)
+	for countRemaining() > 0 {
+		if ft {
+			drainDown()
+			if countRemaining() == 0 {
+				break
+			}
+		}
+		tag, src, ok, err := probeNext()
 		if err != nil {
 			return nil, fmt.Errorf("plinger: master drain probe: %w", err)
+		}
+		if !ok {
+			expire(time.Now())
+			continue
 		}
 		m, err := ep.Recv(tag, src)
 		if err != nil {
 			return nil, err
 		}
-		if tag != TagRequest || stopped[src] {
+		if tag != TagRequest || stopped[src] || (ft && failed[src]) {
+			if ft {
+				// Stragglers may deliver duplicates of reassigned work while
+				// the run winds down; they are not failures, just late.
+				if tag == TagRequest {
+					_ = ep.Send(src, TagStop, []float64{0})
+				}
+				continue
+			}
 			return nil, fmt.Errorf("plinger: master got unexpected tag %d from %d while draining", tag, src)
 		}
 		bytes += int64(8 * len(m.Data))
 		touch(src)
 		stopped[src] = true
+		delete(deadlineAt, src)
 		if err := ep.Send(src, TagStop, []float64{0}); err != nil {
-			return nil, err
+			if !ft {
+				return nil, err
+			}
 		}
-		remaining--
 	}
 
 	res.NProc = ep.Size()

@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// A cold request whose deadline expires before the sweep finishes gets 504
+// semantics (ErrDeadline), but the computation keeps running and fills the
+// cache for the next caller — a timed-out request warms the key.
+func TestDeadlineColdRequest(t *testing.T) {
+	s := testService()
+	defer s.Close()
+	ctx := context.Background()
+
+	_, meta, err := s.ComputeCl(ctx, ClRequest{DeadlineMS: 1})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("1ms deadline on a cold sweep: err = %v (meta %+v)", err, meta)
+	}
+	// The sweep continues in the background; wait for it to land.
+	deadline := time.Now().Add(30 * time.Second)
+	for s.Sweeps() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background sweep never completed after the timeout")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// deadline_ms is an execution knob, not physics: the same request without
+	// it shares the key and is now a cache hit.
+	_, meta, err = s.ComputeCl(ctx, ClRequest{})
+	if err != nil || meta.Source != SourceCache {
+		t.Fatalf("request after timed-out warm-up: source %s err %v", meta.Source, err)
+	}
+	st := s.Stats()
+	if st.Timeouts != 1 {
+		t.Fatalf("timeouts counter %d, want 1", st.Timeouts)
+	}
+	if st.Sweeps != 1 {
+		t.Fatalf("sweeps %d, want 1 (the timed-out computation must not rerun)", st.Sweeps)
+	}
+}
+
+// When the primary LRU has evicted a key but the stale cache still holds the
+// last good response, a deadline expiry serves stale instead of 504.
+func TestDeadlineServesStale(t *testing.T) {
+	s := New(Options{Defaults: testDefaults(), Workers: 1, CacheSize: 1, ModelCacheSize: 2, MaxConcurrent: 2, MaxQueue: 32})
+	defer s.Close()
+	ctx := context.Background()
+
+	want, _, err := s.ComputeCl(ctx, ClRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second key through the 1-entry primary cache evicts the first; the
+	// stale cache (4x) keeps both.
+	if _, _, err := s.ComputeCl(ctx, ClRequest{LMaxCl: 30}); err != nil {
+		t.Fatal(err)
+	}
+	got, meta, err := s.ComputeCl(ctx, ClRequest{DeadlineMS: 1})
+	if err != nil {
+		t.Fatalf("stale-backed timeout returned error: %v", err)
+	}
+	if meta.Source != SourceStale {
+		t.Fatalf("source %s, want %s", meta.Source, SourceStale)
+	}
+	if len(got.Cl) != len(want.Cl) {
+		t.Fatalf("stale payload shape differs: %d vs %d", len(got.Cl), len(want.Cl))
+	}
+	for i := range want.Cl {
+		if got.Cl[i] != want.Cl[i] {
+			t.Fatalf("stale C_l[%d] = %g, want the previously computed %g", i, got.Cl[i], want.Cl[i])
+		}
+	}
+	st := s.Stats()
+	if st.Timeouts != 1 || st.StaleServed != 1 {
+		t.Fatalf("counters: timeouts %d stale %d, want 1 and 1", st.Timeouts, st.StaleServed)
+	}
+	if st.Stale.Size < 2 {
+		t.Fatalf("stale cache holds %d entries, want both keys", st.Stale.Size)
+	}
+}
+
+// ErrBusy with a stale response on hand degrades to stale too: overload
+// answers with the last known good spectrum rather than a 503.
+func TestBusyServesStale(t *testing.T) {
+	s := New(Options{Defaults: testDefaults(), Workers: 1, CacheSize: 1, ModelCacheSize: 2, MaxConcurrent: 1, MaxQueue: -1})
+	defer s.Close()
+	ctx := context.Background()
+
+	if _, _, err := s.ComputeCl(ctx, ClRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	// Evict the default key from the primary cache.
+	if _, _, err := s.ComputeCl(ctx, ClRequest{LMaxCl: 30}); err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the only compute slot with a third, distinct key.
+	slowDone := make(chan error, 1)
+	go func() {
+		_, _, err := s.ComputeCl(ctx, ClRequest{LMaxCl: 36})
+		slowDone <- err
+	}()
+	for s.adm.Stats().Computing == 0 {
+		select {
+		case err := <-slowDone:
+			t.Fatalf("slow request finished early: %v", err)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	_, meta, err := s.ComputeCl(ctx, ClRequest{})
+	if err != nil {
+		t.Fatalf("busy service with stale on hand errored: %v", err)
+	}
+	if meta.Source != SourceStale {
+		t.Fatalf("source %s, want %s", meta.Source, SourceStale)
+	}
+	if err := <-slowDone; err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Rejected != 1 || st.StaleServed != 1 {
+		t.Fatalf("counters: rejected %d stale %d, want 1 and 1", st.Rejected, st.StaleServed)
+	}
+}
+
+func TestDeadlineValidation(t *testing.T) {
+	s := testService()
+	defer s.Close()
+	if err := (ClRequest{DeadlineMS: -1}).Validate(); err == nil {
+		t.Fatal("negative cl deadline_ms accepted")
+	}
+	if err := (PkRequest{DeadlineMS: -1}).Validate(); err == nil {
+		t.Fatal("negative pk deadline_ms accepted")
+	}
+	if _, _, err := s.ComputeCl(context.Background(), ClRequest{DeadlineMS: -5}); err == nil {
+		t.Fatal("service accepted a negative deadline")
+	}
+	if s.Sweeps() != 0 {
+		t.Fatal("invalid deadline ran a sweep")
+	}
+	// deadline_ms never enters the cache key: two spellings, one key.
+	d := testDefaults()
+	with := ClRequest{DeadlineMS: 250}
+	if with.Key(d) != (ClRequest{}).Key(d) {
+		t.Fatal("deadline_ms leaked into the cache key")
+	}
+	if (PkRequest{DeadlineMS: 250}).Key(d) != (PkRequest{}).Key(d) {
+		t.Fatal("pk deadline_ms leaked into the cache key")
+	}
+}
+
+// The HTTP layer: an expired deadline with no stale fallback is 504 with
+// Retry-After (the sweep is filling the cache); a negative deadline is 400;
+// the fault counters surface in /v1/stats.
+func TestHTTPDeadline(t *testing.T) {
+	s := testService()
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	resp, _ := postJSON(t, client, srv.URL+"/v1/cl", `{"deadline_ms": 1}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("cold deadline: status %d, want 504", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("504 without Retry-After")
+	}
+	resp, _ = postJSON(t, client, srv.URL+"/v1/cl", `{"deadline_ms": -1}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative deadline: status %d, want 400", resp.StatusCode)
+	}
+
+	// The timed-out sweep still completes and warms the cache: the same
+	// physics with a deadline now answers 200 from cache within it.
+	deadline := time.Now().Add(30 * time.Second)
+	for s.Sweeps() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background sweep never completed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, env := postJSON(t, client, srv.URL+"/v1/cl", `{"deadline_ms": 1000}`)
+	if resp.StatusCode != http.StatusOK || env.Source != SourceCache {
+		t.Fatalf("warmed request: status %d source %s", resp.StatusCode, env.Source)
+	}
+
+	sresp, err := client.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if st.Timeouts != 1 {
+		t.Fatalf("stats timeouts %d, want 1", st.Timeouts)
+	}
+}

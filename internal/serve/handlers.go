@@ -15,10 +15,11 @@ import (
 //	GET  /v1/stats                                         -> serving counters
 //	GET  /healthz                                          -> 200 ok
 //
-// Responses carry the cache key, the source (cache/compute/coalesced) and
-// the serving latency alongside the science payload; the same metadata is
-// mirrored in the X-Plinger-Source header. Overload returns 503, bad
-// requests 400 with the facade's validation message.
+// Responses carry the cache key, the source (cache/compute/coalesced/stale)
+// and the serving latency alongside the science payload; the same metadata
+// is mirrored in the X-Plinger-Source header. Overload returns 503, bad
+// requests 400 with the facade's validation message, and a request whose
+// deadline_ms expires with no stale response available returns 504.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/cl", func(w http.ResponseWriter, r *http.Request) {
@@ -87,6 +88,12 @@ func writeResponse(w http.ResponseWriter, result any, meta Meta, err error) {
 		case errors.Is(err, ErrBusy):
 			w.Header().Set("Retry-After", "1")
 			httpError(w, http.StatusServiceUnavailable, err.Error())
+		case errors.Is(err, ErrDeadline):
+			// Before isBadRequest: the sentinel's "serve:" prefix would
+			// otherwise classify a timeout as a client error. The sweep is
+			// still running and will fill the cache, so retrying helps.
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusGatewayTimeout, err.Error())
 		case isBadRequest(err):
 			httpError(w, http.StatusBadRequest, err.Error())
 		default:

@@ -28,6 +28,7 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"time"
 
 	"plinger"
 )
@@ -146,6 +147,12 @@ type ClRequest struct {
 	// QCOBEMicroK, when positive, normalizes the spectrum to the COBE
 	// quadrupole (microkelvin). Part of the cache key.
 	QCOBEMicroK float64 `json:"qcobe_uk,omitempty"`
+	// DeadlineMS, when positive, bounds this request's wait in
+	// milliseconds: past it the service answers with a stale cached
+	// response if one exists, else 504 — while the computation continues
+	// and fills the cache for the next caller. An execution knob like
+	// workers or transport, it never enters the cache key.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
 }
 
 // Validate rejects wire values the resolve step would otherwise silently
@@ -169,7 +176,15 @@ func (r ClRequest) Validate() error {
 	if r.QCOBEMicroK > 0 && r.QCOBEMicroK < stepQCOBE {
 		return fmt.Errorf("serve: qcobe_uk = %g is below the %g microkelvin key quantum", r.QCOBEMicroK, stepQCOBE)
 	}
+	if r.DeadlineMS < 0 {
+		return fmt.Errorf("serve: deadline_ms = %d is negative (0 or omitted waits for the sweep)", r.DeadlineMS)
+	}
 	return nil
+}
+
+// deadline converts the wire field to the lookup bound (0: no bound).
+func (r ClRequest) deadline() time.Duration {
+	return time.Duration(r.DeadlineMS) * time.Millisecond
 }
 
 // resolve fills service defaults into a copy of the request, so physically
@@ -243,6 +258,9 @@ type PkRequest struct {
 	NK   int     `json:"nk,omitempty"`
 	// Amp is the primordial amplitude (0: unit amplitude).
 	Amp float64 `json:"amp,omitempty"`
+	// DeadlineMS bounds this request's wait in milliseconds; see
+	// ClRequest.DeadlineMS. Never part of the cache key.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
 }
 
 // Validate is the PkRequest analogue of ClRequest.Validate.
@@ -259,7 +277,15 @@ func (r PkRequest) Validate() error {
 	if r.Amp < 0 {
 		return fmt.Errorf("serve: amp = %g is negative (0 or omitted means unit amplitude)", r.Amp)
 	}
+	if r.DeadlineMS < 0 {
+		return fmt.Errorf("serve: deadline_ms = %d is negative (0 or omitted waits for the sweep)", r.DeadlineMS)
+	}
 	return nil
+}
+
+// deadline converts the wire field to the lookup bound (0: no bound).
+func (r PkRequest) deadline() time.Duration {
+	return time.Duration(r.DeadlineMS) * time.Millisecond
 }
 
 func (r PkRequest) resolve(d Defaults) PkRequest {

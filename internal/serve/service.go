@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync/atomic"
@@ -53,6 +54,12 @@ type Options struct {
 	// MaxQueue bounds requests waiting for a compute slot; beyond it the
 	// service answers ErrBusy/503 (< 0: 0; 0 picks 64).
 	MaxQueue int
+	// StaleCacheSize bounds the stale-response LRU (<= 0: 4x CacheSize).
+	// The stale cache is a larger, second-chance copy of every computed
+	// response: when a recompute fails or blows a request deadline and the
+	// primary LRU has already evicted the entry, the service can still
+	// answer with the last known good response instead of an error.
+	StaleCacheSize int
 }
 
 func (o Options) withDefaults() Options {
@@ -74,8 +81,17 @@ func (o Options) withDefaults() Options {
 	if o.MaxQueue == 0 {
 		o.MaxQueue = 64
 	}
+	if o.StaleCacheSize <= 0 {
+		o.StaleCacheSize = 4 * o.CacheSize
+	}
 	return o
 }
+
+// ErrDeadline is returned when a request's compute deadline expires before
+// the sweep finishes and no stale response is available. The computation
+// itself keeps running and fills the cache for the next caller; handlers
+// map the error to 504.
+var ErrDeadline = errors.New("serve: compute deadline exceeded")
 
 // Service is the spectrum server: cached, coalesced, admission-bounded
 // C_l and P(k) computation over long-lived models and dispatch pools.
@@ -83,6 +99,7 @@ func (o Options) withDefaults() Options {
 type Service struct {
 	opts    Options
 	cache   *lru
+	stale   *lru
 	models  *modelCache
 	flights flightGroup
 	adm     *admission
@@ -96,6 +113,9 @@ type Service struct {
 	errors    atomic.Uint64
 	sweeps    atomic.Uint64
 
+	timeouts    atomic.Uint64
+	staleServed atomic.Uint64
+
 	hitNs  atomic.Int64
 	missNs atomic.Int64
 }
@@ -106,6 +126,7 @@ func New(opts Options) *Service {
 	return &Service{
 		opts:    o,
 		cache:   newLRU(o.CacheSize),
+		stale:   newLRU(o.StaleCacheSize),
 		models:  newModelCache(o.ModelCacheSize, o.Workers),
 		adm:     newAdmission(o.MaxConcurrent, o.MaxQueue),
 		started: time.Now(),
@@ -125,6 +146,7 @@ const (
 	SourceCache     Source = "cache"     // LRU hit, no computation
 	SourceCompute   Source = "compute"   // this request ran the sweep
 	SourceCoalesced Source = "coalesced" // attached to another request's sweep
+	SourceStale     Source = "stale"     // last known good response, after a failed or timed-out recompute
 )
 
 // Meta is the per-request serving telemetry.
@@ -153,7 +175,11 @@ type PkResponse struct {
 }
 
 // lookup is the shared serve path: cache, then coalesced + admitted compute.
-func (s *Service) lookup(ctx context.Context, key string, compute func() (any, error)) (any, Meta, error) {
+// A positive deadline bounds only this request's WAIT: the sweep itself runs
+// to completion in the background and fills the cache, so a timed-out
+// request warms the next one. On a timeout — or a failed recompute — the
+// stale LRU answers with the last known good response when it has one.
+func (s *Service) lookup(ctx context.Context, key string, deadline time.Duration, compute func() (any, error)) (any, Meta, error) {
 	s.requests.Add(1)
 	start := time.Now()
 	meta := Meta{Key: key}
@@ -164,31 +190,64 @@ func (s *Service) lookup(ctx context.Context, key string, compute func() (any, e
 		s.hitNs.Add(meta.Elapsed.Nanoseconds())
 		return v, meta, nil
 	}
-	leaderCacheHit := false
-	v, err, coalesced := s.flights.Do(key, func() (any, error) {
-		// The flight leader re-checks the cache: an earlier flight for the
-		// same key may have completed between our miss and this call.
-		if v, ok := s.cache.Get(key); ok {
-			leaderCacheHit = true
+	type flightOut struct {
+		v              any
+		err            error
+		coalesced      bool
+		leaderCacheHit bool
+	}
+	runFlight := func() flightOut {
+		var out flightOut
+		out.v, out.err, out.coalesced = s.flights.Do(key, func() (any, error) {
+			// The flight leader re-checks the cache: an earlier flight for the
+			// same key may have completed between our miss and this call.
+			if v, ok := s.cache.Get(key); ok {
+				out.leaderCacheHit = true
+				return v, nil
+			}
+			// The leader computes on behalf of every follower that coalesces
+			// onto this flight, so its own request's cancellation must not
+			// abort the shared work (one disconnecting client would fail N
+			// healthy ones). Only the values of ctx are kept; the admission
+			// queue and the sweep run to completion regardless.
+			if err := s.adm.acquire(context.WithoutCancel(ctx)); err != nil {
+				return nil, err
+			}
+			defer s.adm.release()
+			v, err := compute()
+			if err != nil {
+				return nil, err
+			}
+			s.sweeps.Add(1)
+			s.cache.Add(key, v)
+			s.stale.Add(key, v)
 			return v, nil
+		})
+		return out
+	}
+	var out flightOut
+	if deadline > 0 {
+		ch := make(chan flightOut, 1)
+		go func() { ch <- runFlight() }()
+		timer := time.NewTimer(deadline)
+		defer timer.Stop()
+		select {
+		case out = <-ch:
+		case <-timer.C:
+			meta.Elapsed = time.Since(start)
+			s.timeouts.Add(1)
+			if v, ok := s.stale.Get(key); ok {
+				s.staleServed.Add(1)
+				meta.Source = SourceStale
+				return v, meta, nil
+			}
+			meta.Source = SourceCompute
+			return nil, meta, ErrDeadline
 		}
-		// The leader computes on behalf of every follower that coalesces
-		// onto this flight, so its own request's cancellation must not
-		// abort the shared work (one disconnecting client would fail N
-		// healthy ones). Only the values of ctx are kept; the admission
-		// queue and the sweep run to completion regardless.
-		if err := s.adm.acquire(context.WithoutCancel(ctx)); err != nil {
-			return nil, err
-		}
-		defer s.adm.release()
-		v, err := compute()
-		if err != nil {
-			return nil, err
-		}
-		s.sweeps.Add(1)
-		s.cache.Add(key, v)
-		return v, nil
-	})
+	} else {
+		out = runFlight()
+	}
+	v, err := out.v, out.err
 	meta.Elapsed = time.Since(start)
 	switch {
 	case err == ErrBusy:
@@ -197,10 +256,10 @@ func (s *Service) lookup(ctx context.Context, key string, compute func() (any, e
 	case err != nil:
 		s.errors.Add(1)
 		meta.Source = SourceCompute
-	case coalesced:
+	case out.coalesced:
 		s.coalesced.Add(1)
 		meta.Source = SourceCoalesced
-	case leaderCacheHit:
+	case out.leaderCacheHit:
 		s.hits.Add(1)
 		meta.Source = SourceCache
 		s.hitNs.Add(meta.Elapsed.Nanoseconds())
@@ -208,6 +267,15 @@ func (s *Service) lookup(ctx context.Context, key string, compute func() (any, e
 		s.misses.Add(1)
 		meta.Source = SourceCompute
 		s.missNs.Add(meta.Elapsed.Nanoseconds())
+	}
+	if err != nil {
+		// Failed recompute with a last known good response on hand: serve
+		// stale rather than erroring (the failure is still counted above).
+		if sv, ok := s.stale.Get(key); ok {
+			s.staleServed.Add(1)
+			meta.Source = SourceStale
+			return sv, meta, nil
+		}
 	}
 	return v, meta, err
 }
@@ -242,7 +310,7 @@ func (s *Service) ComputeCl(ctx context.Context, req ClRequest) (*ClResponse, Me
 		s.errors.Add(1)
 		return nil, Meta{Key: key, Source: SourceCompute}, err
 	}
-	v, meta, err := s.lookup(ctx, key, func() (any, error) {
+	v, meta, err := s.lookup(ctx, key, req.deadline(), func() (any, error) {
 		m, release, err := s.models.acquire(*rr.Config)
 		if err != nil {
 			return nil, err
@@ -291,7 +359,7 @@ func (s *Service) ComputePk(ctx context.Context, req PkRequest) (*PkResponse, Me
 		s.errors.Add(1)
 		return nil, Meta{Key: key, Source: SourceCompute}, err
 	}
-	v, meta, err := s.lookup(ctx, key, func() (any, error) {
+	v, meta, err := s.lookup(ctx, key, req.deadline(), func() (any, error) {
 		m, release, err := s.models.acquire(*rr.Config)
 		if err != nil {
 			return nil, err
@@ -311,22 +379,28 @@ func (s *Service) ComputePk(ctx context.Context, req PkRequest) (*PkResponse, Me
 
 // Stats is the /v1/stats document.
 type Stats struct {
-	UptimeSeconds float64    `json:"uptime_seconds"`
-	Requests      uint64     `json:"requests"`
-	Hits          uint64     `json:"hits"`
-	Misses        uint64     `json:"misses"`
-	Coalesced     uint64     `json:"coalesced"`
-	Rejected      uint64     `json:"rejected"`
-	Errors        uint64     `json:"errors"`
-	Sweeps        uint64     `json:"sweeps"`
-	AvgHitMS      float64    `json:"avg_hit_ms"`
-	AvgMissMS     float64    `json:"avg_miss_ms"`
-	InFlightKeys  int        `json:"in_flight_keys"`
-	Cache         CacheStats `json:"cache"`
-	Models        ModelStats `json:"models"`
-	Queue         QueueStats `json:"queue"`
-	Defaults      Defaults   `json:"defaults"`
-	Workers       int        `json:"workers"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Requests      uint64  `json:"requests"`
+	Hits          uint64  `json:"hits"`
+	Misses        uint64  `json:"misses"`
+	Coalesced     uint64  `json:"coalesced"`
+	Rejected      uint64  `json:"rejected"`
+	Errors        uint64  `json:"errors"`
+	Sweeps        uint64  `json:"sweeps"`
+	// Timeouts counts requests whose deadline expired before the sweep
+	// finished; StaleServed counts responses answered from the stale LRU
+	// after a timeout or a failed recompute.
+	Timeouts     uint64     `json:"timeouts"`
+	StaleServed  uint64     `json:"stale_served"`
+	AvgHitMS     float64    `json:"avg_hit_ms"`
+	AvgMissMS    float64    `json:"avg_miss_ms"`
+	InFlightKeys int        `json:"in_flight_keys"`
+	Cache        CacheStats `json:"cache"`
+	Stale        CacheStats `json:"stale"`
+	Models       ModelStats `json:"models"`
+	Queue        QueueStats `json:"queue"`
+	Defaults     Defaults   `json:"defaults"`
+	Workers      int        `json:"workers"`
 	// BesselTables is the current size of the process-wide spherical-
 	// Bessel kernel cache — bounded by the same LRU discipline as the
 	// model registry, so a daemon churning through resolutions can watch
@@ -345,8 +419,11 @@ func (s *Service) Stats() Stats {
 		Rejected:      s.rejected.Load(),
 		Errors:        s.errors.Load(),
 		Sweeps:        s.sweeps.Load(),
+		Timeouts:      s.timeouts.Load(),
+		StaleServed:   s.staleServed.Load(),
 		InFlightKeys:  s.flights.InFlight(),
 		Cache:         s.cache.Stats(),
+		Stale:         s.stale.Stats(),
 		Models:        s.models.Stats(),
 		Queue:         s.adm.Stats(),
 		Defaults:      s.opts.Defaults,
