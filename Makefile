@@ -49,7 +49,7 @@ test-faults:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# bench-json regenerates BENCH_PR7.json: the fast-vs-reference C_l pipeline
+# bench-json regenerates BENCH_PR8.json: the fast-vs-reference C_l pipeline
 # and single-mode evolution speedups, the PR 6 ablation grid on the dense
 # multipole request (lspline on/off x kbatch 1/4/8 plus each fast
 # ingredient individually toggled off, with per-column wall/speedup and
@@ -59,10 +59,11 @@ bench:
 # with their allocs/op columns, the measured accuracy of the full fast
 # path, the PR 7 fault-recovery column (wall time with one injected worker
 # kill vs clean, recovered spectra bitwise-checked), and the spectrum
-# service's serving numbers (cache-hit and cold-miss latency, sustained
-# req/s at 32 concurrent clients).
+# service's serving numbers (cache-hit and cold-miss latency with
+# histogram-backed p50/p95/p99/max quantiles, sustained req/s at 32
+# concurrent clients).
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR7.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR8.json
 
 # bench-smoke runs the whole benchjson path at tiny settings (small
 # LMaxCl/NK, short service runs) and writes outside the repo — the CI guard

@@ -4,7 +4,7 @@
 // multi-core scaling sweep, and the spectrum service's serving benchmark),
 // extending the performance trajectory started in BENCH_PR2.json:
 //
-//	benchjson [-out BENCH_PR7.json] [-quick] [-smoke] [-procs 1,2,4,all]
+//	benchjson [-out BENCH_PR8.json] [-quick] [-smoke] [-procs 1,2,4,all]
 //
 // The headline numbers are the Figure-2 C_l pipeline with the full fast
 // engine (fast evolution + shared spherical-Bessel tables + coarse-to-fine
@@ -58,6 +58,7 @@ import (
 	"plinger/internal/dispatch"
 	"plinger/internal/mp/chanmp"
 	"plinger/internal/mp/faultmp"
+	"plinger/internal/obs"
 	"plinger/internal/recomb"
 	"plinger/internal/serve"
 	"plinger/internal/specfunc"
@@ -82,6 +83,10 @@ type ServiceBench struct {
 	// steady-state cold path (the model registry amortizes the per-
 	// cosmology build over its lifetime; FirstRequestMS reports it).
 	ColdMissMS float64 `json:"cold_miss_ms"`
+	// ColdMiss is the cold-path latency distribution over the fresh-key
+	// runs, read off the same sharded histogram type the daemon's /metrics
+	// exposes (bucket-interpolated quantiles, exact max).
+	ColdMiss serve.LatencyStats `json:"cold_miss_quantiles"`
 	// FirstRequestMS is the very first request of the process: the
 	// one-time model build (background, recombination, flattened tables)
 	// plus the sweep.
@@ -216,7 +221,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	var (
-		out   = flag.String("out", "BENCH_PR7.json", "output file")
+		out   = flag.String("out", "BENCH_PR8.json", "output file")
 		quick = flag.Bool("quick", false, "smaller pipeline settings (for smoke runs)")
 		smoke = flag.Bool("smoke", false, "tiny settings and short service runs: the CI exercise of the whole report path")
 		procs = flag.String("procs", "", "comma-separated GOMAXPROCS values for the scaling sweep ('all' = every core; default 1,2,4,all clamped to the machine)")
@@ -454,7 +459,14 @@ func main() {
 	if *smoke {
 		svcDur = time.Second
 	}
-	sb, err := runServiceBench(lmaxCl, nk, kRefine, svcDur)
+	coldN := 8
+	if *quick {
+		coldN = 5
+	}
+	if *smoke {
+		coldN = 3
+	}
+	sb, err := runServiceBench(lmaxCl, nk, kRefine, coldN, svcDur)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -477,8 +489,10 @@ func main() {
 		rep.SpeedupEvolve, rep.SpeedupEvolveLOS)
 	fmt.Printf("max relative C_l deviation fast vs reference: %.3g\n", rep.MaxRelClErr)
 	fmt.Printf("full fast pipeline vs PR 5 fast path (dense request): %.2fx\n", rep.SpeedupFullFast)
-	fmt.Printf("service: hit %.3g ms, cold miss %.3g ms, %.0f req/s at %d clients\n",
-		rep.ServiceHitMS, rep.ServiceMissMS, rep.ServiceReqPerSec, sb.Sustained32.Clients)
+	fmt.Printf("service: hit %.3g ms, cold miss %.3g ms (p50 %.3g, p95 %.3g, p99 %.3g, max %.3g), %.0f req/s at %d clients\n",
+		rep.ServiceHitMS, rep.ServiceMissMS,
+		sb.ColdMiss.P50MS, sb.ColdMiss.P95MS, sb.ColdMiss.P99MS, sb.ColdMiss.MaxMS,
+		rep.ServiceReqPerSec, sb.Sustained32.Clients)
 	fmt.Printf("wrote %s\n", *out)
 }
 
@@ -724,10 +738,10 @@ func runFaultRecovery(cm *core.Model, tau0 float64, lmaxCl, nModes int) (*FaultR
 }
 
 // runServiceBench measures one in-process daemon: cold-miss latency on
-// fresh keys, unloaded cache-hit latency, and sustained throughput at 32
-// concurrent clients. The defaults carry the PR 6 execution knobs the
+// coldN fresh keys, unloaded cache-hit latency, and sustained throughput at
+// 32 concurrent clients. The defaults carry the PR 6 execution knobs the
 // production daemon ships with (excluded from cache keys).
-func runServiceBench(lmaxCl, nk, kRefine int, dur time.Duration) (*ServiceBench, error) {
+func runServiceBench(lmaxCl, nk, kRefine, coldN int, dur time.Duration) (*ServiceBench, error) {
 	svc := serve.New(serve.Options{
 		Defaults: serve.Defaults{LMaxCl: lmaxCl, NK: nk, KRefine: kRefine, PkNK: 40,
 			LSpline: true, KBatch: 4},
@@ -760,19 +774,28 @@ func runServiceBench(lmaxCl, nk, kRefine int, dur time.Duration) (*ServiceBench,
 		return nil, err
 	}
 	sb.FirstRequestMS = first
-	colds := []string{
-		fmt.Sprintf(`{"nk": %d}`, nk+1),
-		fmt.Sprintf(`{"nk": %d}`, nk+2),
-		fmt.Sprintf(`{"nk": %d}`, nk+3)}
+	// Steady-state cold path: each request perturbs the resolution so it is
+	// a guaranteed cache miss against the warm model, and every latency
+	// lands in the exposition histogram the quantiles come from.
+	coldHist := obs.NewHistogram("cold", "", obs.DefBuckets(), 1)
 	var missSum float64
-	for _, body := range colds {
-		ms, err := post(body)
+	for i := 0; i < coldN; i++ {
+		ms, err := post(fmt.Sprintf(`{"nk": %d}`, nk+1+i))
 		if err != nil {
 			return nil, err
 		}
 		missSum += ms
+		coldHist.Observe(ms / 1e3)
 	}
-	sb.ColdMissMS = missSum / float64(len(colds))
+	sb.ColdMissMS = missSum / float64(coldN)
+	snap := coldHist.Snapshot()
+	sb.ColdMiss = serve.LatencyStats{
+		Count: snap.Count,
+		P50MS: snap.Quantile(0.50) * 1e3,
+		P95MS: snap.Quantile(0.95) * 1e3,
+		P99MS: snap.Quantile(0.99) * 1e3,
+		MaxMS: snap.Max * 1e3,
+	}
 
 	// Unloaded hit latency: one client against the now-hot default key.
 	hit, err := serve.RunLoadgen(srv.URL, 1, dur/2, "{}")

@@ -14,6 +14,12 @@
 //	curl -s -X POST localhost:8787/v1/pk -d '{"kmax": 0.3, "nk": 40}'
 //	curl -s localhost:8787/v1/stats
 //
+// Observe it:
+//
+//	curl -s localhost:8787/metrics          # Prometheus text exposition
+//	curl -s localhost:8787/v1/trace?last=4  # recent sweep traces with phase spans
+//	plingerd -addr :8787 -debug-addr :6060  # net/http/pprof on a side listener
+//
 // Load-generate against a running daemon (the benchmark client):
 //
 //	plingerd -loadgen -url http://localhost:8787 -clients 32 -duration 10s
@@ -27,8 +33,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,23 +45,24 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("plingerd: ")
 	var (
-		addr    = flag.String("addr", ":8787", "listen address")
-		workers = flag.Int("workers", 0, "shared dispatch pool size per model (0: GOMAXPROCS)")
-		cache   = flag.Int("cache", 256, "response cache entries")
-		models  = flag.Int("models", 4, "model registry entries")
-		conc    = flag.Int("concurrent", 2, "max concurrently computing sweeps")
-		queue   = flag.Int("queue", 64, "max requests waiting for a compute slot")
-		stale   = flag.Int("stalecache", 0, "stale-response cache entries, serving last known good answers on failed or timed-out recomputes (0: 4x -cache)")
-		lmaxCl  = flag.Int("lmaxcl", 150, "default C_l multipole cap")
-		nk      = flag.Int("nk", 130, "default C_l wavenumber grid")
-		krefine = flag.Int("krefine", 6, "default coarse-to-fine refinement factor")
-		pknk    = flag.Int("pknk", 40, "default P(k) grid size")
-		lspline = flag.Bool("lspline", true, "spline-in-l projection for non-exact C_l requests")
-		kbatch  = flag.Int("kbatch", 4, "lockstep k-mode batch size for non-exact C_l requests (0/1: scalar)")
-		warm    = flag.Bool("warm", false, "precompute the default products before listening")
+		addr     = flag.String("addr", ":8787", "listen address")
+		workers  = flag.Int("workers", 0, "shared dispatch pool size per model (0: GOMAXPROCS)")
+		cache    = flag.Int("cache", 256, "response cache entries")
+		models   = flag.Int("models", 4, "model registry entries")
+		conc     = flag.Int("concurrent", 2, "max concurrently computing sweeps")
+		queue    = flag.Int("queue", 64, "max requests waiting for a compute slot")
+		stale    = flag.Int("stalecache", 0, "stale-response cache entries, serving last known good answers on failed or timed-out recomputes (0: 4x -cache)")
+		lmaxCl   = flag.Int("lmaxcl", 150, "default C_l multipole cap")
+		nk       = flag.Int("nk", 130, "default C_l wavenumber grid")
+		krefine  = flag.Int("krefine", 6, "default coarse-to-fine refinement factor")
+		pknk     = flag.Int("pknk", 40, "default P(k) grid size")
+		lspline  = flag.Bool("lspline", true, "spline-in-l projection for non-exact C_l requests")
+		kbatch   = flag.Int("kbatch", 4, "lockstep k-mode batch size for non-exact C_l requests (0/1: scalar)")
+		warm     = flag.Bool("warm", false, "precompute the default products before listening")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		slowMS   = flag.Int("slow-ms", 2000, "log requests slower than this as warnings")
+		debug    = flag.String("debug-addr", "", "serve net/http/pprof on this side address (empty: disabled)")
 
 		loadgen  = flag.Bool("loadgen", false, "run as a load-generating client instead of a server")
 		url      = flag.String("url", "http://localhost:8787", "loadgen: daemon base URL")
@@ -64,10 +72,13 @@ func main() {
 	)
 	flag.Parse()
 
+	logger := newLogger(*logLevel)
+
 	if *loadgen {
 		rep, err := serve.RunLoadgen(*url, *clients, *duration, *body)
 		if err != nil {
-			log.Fatal(err)
+			logger.Error("loadgen failed", "err", err)
+			os.Exit(1)
 		}
 		printLoadReport(os.Stdout, rep)
 		return
@@ -82,42 +93,78 @@ func main() {
 		MaxConcurrent:  *conc,
 		MaxQueue:       *queue,
 		StaleCacheSize: *stale,
+		Logger:         logger,
+		SlowRequest:    time.Duration(*slowMS) * time.Millisecond,
 	})
 	defer svc.Close()
-	log.Printf("starting %v", svc)
+	logger.Info("starting", "service", fmt.Sprint(svc))
+
+	if *debug != "" {
+		go func() {
+			// pprof rides a side listener so profiling never competes with
+			// (or exposes itself on) the public API address.
+			mux := http.NewServeMux()
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			logger.Info("pprof listening", "addr", *debug)
+			if err := http.ListenAndServe(*debug, mux); err != nil {
+				logger.Error("pprof listener failed", "err", err)
+			}
+		}()
+	}
 
 	if *warm {
 		cls, pks := serve.DefaultWarmGrid(svc.Defaults())
 		rep, err := svc.Warm(context.Background(), cls, pks)
 		if err != nil {
-			log.Fatalf("warmup: %v", err)
+			logger.Error("warmup failed", "err", err)
+			os.Exit(1)
 		}
-		log.Printf("warm: %d requests precomputed in %.2fs (%d sweeps)",
-			rep.Requests, rep.ElapsedS, rep.Sweeps)
+		logger.Info("warm", "requests", rep.Requests, "elapsed_s", rep.ElapsedS, "sweeps", rep.Sweeps)
 	}
 
 	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- server.ListenAndServe() }()
-	log.Printf("listening on %s", *addr)
+	logger.Info("listening", "addr", *addr)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
-		log.Fatal(err)
+		logger.Error("server failed", "err", err)
+		os.Exit(1)
 	case s := <-sig:
-		log.Printf("%v: shutting down", s)
+		logger.Info("shutting down", "signal", s.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = server.Shutdown(ctx)
 	}
 }
 
+// newLogger builds the daemon's structured key=value logger.
+func newLogger(level string) *slog.Logger {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		lv = slog.LevelInfo
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv}))
+}
+
 func printLoadReport(w *os.File, rep *serve.LoadReport) {
 	buf, _ := json.MarshalIndent(rep, "", "  ")
 	fmt.Fprintln(w, string(buf))
-	fmt.Fprintf(w, "%.0f req/s over %.1fs with %d clients (p50 %.2f ms, p99 %.2f ms; %d hits, %d misses, %d coalesced, %d errors)\n",
-		rep.RequestsSec, rep.Seconds, rep.Clients, rep.P50MS, rep.P99MS,
+	fmt.Fprintf(w, "%.0f req/s over %.1fs with %d clients (p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, max %.2f ms; %d hits, %d misses, %d coalesced, %d errors)\n",
+		rep.RequestsSec, rep.Seconds, rep.Clients, rep.P50MS, rep.P95MS, rep.P99MS, rep.MaxMS,
 		rep.Hits, rep.Misses, rep.Coalesced, rep.Errors)
 }

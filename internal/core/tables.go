@@ -4,8 +4,19 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"plinger/internal/cosmology"
+	"plinger/internal/obs"
+)
+
+// Table builds are rare (once per cached model) but expensive enough to show
+// up as a cold-request latency cliff, so they get their own series.
+var (
+	obsTableBuilds = obs.Default.Counter("plinger_core_tablebuilds_total", "",
+		"evaluation-table builds (one per model, on first use)")
+	obsTableBuildSeconds = obs.Default.Histogram("plinger_core_tablebuild_seconds", "",
+		"wall time of one evaluation-table build", obs.DefBuckets(), 1)
 )
 
 // The flattened evaluation tables of the fast evolution engine. Every
@@ -195,7 +206,10 @@ func (mdl *Model) EnsureEvalTables(pfor func(workers, n int, body func(i int))) 
 	if t := ts.tab.Load(); t != nil {
 		return t
 	}
+	start := time.Now()
 	t := buildEvalTables(mdl, pfor)
+	obsTableBuilds.Inc()
+	obsTableBuildSeconds.Observe(time.Since(start).Seconds())
 	ts.tab.Store(t)
 	return t
 }

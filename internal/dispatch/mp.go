@@ -13,6 +13,7 @@ import (
 	"plinger/internal/mp/chanmp"
 	"plinger/internal/mp/fifomp"
 	"plinger/internal/mp/tcpmp"
+	"plinger/internal/obs"
 	runner "plinger/internal/plinger"
 )
 
@@ -103,7 +104,10 @@ func (d *MP) Run(ctx context.Context, ks []float64, mode core.Params) (*Sweep, *
 		WorkerDown:     workerDown,
 	}
 
+	tr := obs.TraceFrom(ctx)
+	spTables := tr.Start("eval_tables")
 	prebuildEvalTables(d.Model, mode)
+	spTables.End()
 	defer runPrebuild(d.Prebuild)()
 
 	// Cancellation: blocking probes cannot watch a context, so closing
@@ -173,7 +177,9 @@ func (d *MP) Run(ctx context.Context, ks []float64, mode core.Params) (*Sweep, *
 			}
 		}
 	}()
+	spModes := tr.Start("modes")
 	res, err := runner.Master(d.Endpoints[0], d.Model, cfg)
+	spModes.End()
 	if err != nil {
 		// Unblock any local workers still probing, then collect them.
 		for _, ep := range d.Endpoints {
@@ -233,6 +239,7 @@ func (d *MP) Run(ctx context.Context, ks []float64, mode core.Params) (*Sweep, *
 		st.BytesMoved = res.BytesReceived
 	}
 	st.finalize()
+	recordRunStats(st)
 	sw := &Sweep{
 		KValues: append([]float64(nil), ks...),
 		Results: res.Mode,

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"plinger/internal/core"
+	"plinger/internal/obs"
 )
 
 // Pool is the shared-memory backend: a fixed set of worker goroutines
@@ -63,9 +64,13 @@ func (p *Pool) Run(ctx context.Context, ks []float64, mode core.Params) (*Sweep,
 		order = blockOrder(p.Schedule, ks, blocks)
 	}
 
+	tr := obs.TraceFrom(ctx)
+	spTables := tr.Start("eval_tables")
 	prebuildEvalTables(p.Model, mode)
+	spTables.End()
 	defer runPrebuild(p.Prebuild)()
 
+	spModes := tr.Start("modes")
 	start := time.Now()
 	results := make([]*core.Result, len(ks))
 	timings := make([]paddedTiming, workers)
@@ -109,6 +114,7 @@ func (p *Pool) Run(ctx context.Context, ks []float64, mode core.Params) (*Sweep,
 							t.Modes++
 							t.Seconds += r.Seconds
 							t.Flops += r.Flops
+							observeMode(t.Rank, r.Seconds)
 						}
 						continue
 					}
@@ -127,6 +133,7 @@ func (p *Pool) Run(ctx context.Context, ks []float64, mode core.Params) (*Sweep,
 					t.Modes++
 					t.Seconds += r.Seconds
 					t.Flops += r.Flops
+					observeMode(t.Rank, r.Seconds)
 				}
 			}
 		}(w)
@@ -157,6 +164,7 @@ func (p *Pool) Run(ctx context.Context, ks []float64, mode core.Params) (*Sweep,
 		return nil, nil, err
 	}
 
+	spModes.End()
 	st := &RunStats{
 		Backend:   "pool",
 		Schedule:  p.Schedule,
@@ -166,6 +174,7 @@ func (p *Pool) Run(ctx context.Context, ks []float64, mode core.Params) (*Sweep,
 		Workers:   unpadTimings(timings),
 	}
 	st.finalize()
+	recordRunStats(st)
 	sw := &Sweep{
 		KValues: append([]float64(nil), ks...),
 		Results: results,

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"plinger/internal/core"
+	"plinger/internal/obs"
 )
 
 // SharedPool is the long-lived variant of Pool for serving workloads: the
@@ -81,6 +82,7 @@ func (r *sharedRun) record(rank int, res *core.Result) {
 	t.Modes++
 	t.Seconds += res.Seconds
 	t.Flops += res.Flops
+	observeMode(rank, res.Seconds)
 }
 
 // NewSharedPool starts a persistent pool of workers (<= 0: GOMAXPROCS)
@@ -196,8 +198,11 @@ func (p *SharedPool) Run(ctx context.Context, ks []float64, mode core.Params) (*
 	default:
 	}
 
+	tr := obs.TraceFrom(ctx)
 	tau0 := sweepTau0(p.model, mode)
+	spTables := tr.Start("eval_tables")
 	prebuildEvalTables(p.model, mode)
+	spTables.End()
 	rctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	run := &sharedRun{
@@ -216,6 +221,7 @@ func (p *SharedPool) Run(ctx context.Context, ks []float64, mode core.Params) (*
 	}
 	chunks := handOutChunks(order, p.workers)
 
+	spModes := tr.Start("modes")
 	start := time.Now()
 	run.wg.Add(len(chunks))
 	enqueued, closed := 0, false
@@ -236,6 +242,7 @@ func (p *SharedPool) Run(ctx context.Context, ks []float64, mode core.Params) (*
 		run.wg.Done()
 	}
 	run.wg.Wait()
+	spModes.End()
 
 	run.mu.Lock()
 	err := run.err
@@ -263,6 +270,7 @@ func (p *SharedPool) Run(ctx context.Context, ks []float64, mode core.Params) (*
 		}
 	}
 	st.finalize()
+	recordRunStats(st)
 	sw := &Sweep{
 		KValues: append([]float64(nil), ks...),
 		Results: run.results,

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkHistogramObserve measures the rank-sharded hot path a dispatch
+// worker pays per mode. Expect low-double-digit ns and 0 allocs.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram("bench_seconds", "", DefBuckets(), 8)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h.ObserveShard(i, 0.003)
+			i++
+		}
+	})
+}
+
+// BenchmarkCounterInc measures the bare counter increment.
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkNoopSpan measures the disabled-tracing path: a nil *Trace
+// Start/End pair plus the context lookup. This is what every instrumented
+// call site pays when no trace is attached.
+func BenchmarkNoopSpan(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := TraceFrom(ctx)
+		sp := tr.Start("evolve")
+		sp.End()
+	}
+}
+
+// BenchmarkLiveSpan measures the enabled path for contrast (two clock reads
+// plus a mutex-guarded append into the preallocated span slice).
+func BenchmarkLiveSpan(b *testing.B) {
+	tr := NewTrace("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("evolve")
+		sp.End()
+		if i&1023 == 0 {
+			// Keep the span slice from growing unboundedly.
+			tr.mu.Lock()
+			tr.spans = tr.spans[:0]
+			tr.mu.Unlock()
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "", "help")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	// Get-or-create returns the same series.
+	if r.Counter("test_total", "", "other help") != c {
+		t.Fatal("second Counter call returned a different instance")
+	}
+	// A different label set is a different series under the same family.
+	c2 := r.Counter("test_total", `kind="b"`, "help")
+	if c2 == c {
+		t.Fatal("labelled series aliased the unlabelled one")
+	}
+	g := r.Gauge("test_gauge", "", "help")
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %g", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram("h", "", []float64{1, 2, 4}, 1)
+	for _, v := range []float64{0.5, 1.0, 1.5, 3, 8, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// 0.5 and 1.0 land in le=1 (upper bound inclusive), 1.5 in le=2, 3 in
+	// le=4, 8 and 100 overflow.
+	want := []uint64{2, 1, 1, 2}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 6 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if math.Abs(s.Sum-114) > 1e-12 {
+		t.Fatalf("sum = %g", s.Sum)
+	}
+	if s.Max != 100 {
+		t.Fatalf("max = %g", s.Max)
+	}
+	if m := s.Mean(); math.Abs(m-19) > 1e-12 {
+		t.Fatalf("mean = %g", m)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram("h", "", DefBuckets(), 4)
+	// 1000 observations uniform on (0, 1s]: quantiles should land within
+	// bucket resolution of the true values.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q < 0.25 || q > 0.75 {
+		t.Fatalf("p50 = %g, want ~0.5 within bucket resolution", q)
+	}
+	if q := s.Quantile(0.99); q < 0.9 || q > 1.0 {
+		t.Fatalf("p99 = %g", q)
+	}
+	if q := s.Quantile(1.0); q != s.Max {
+		// p100 must resolve to the tracked maximum exactly.
+		t.Fatalf("p100 = %g, max = %g", q, s.Max)
+	}
+	if (&HistSnapshot{}).Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+}
+
+// TestHistogramConcurrentShards is the -race merge-correctness check:
+// hammering every shard from concurrent writers must lose no observation
+// and must keep sum/count consistent after the writers quiesce.
+func TestHistogramConcurrentShards(t *testing.T) {
+	h := NewHistogram("h", "", DefBuckets(), 8)
+	const (
+		workers = 16
+		perW    = 5000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				h.ObserveShard(w, 0.001*float64(i%37+1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*perW {
+		t.Fatalf("count = %d, want %d", s.Count, workers*perW)
+	}
+	var bucketSum uint64
+	for _, c := range s.Counts {
+		bucketSum += c
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, s.Count)
+	}
+	if s.Max != 0.037 {
+		t.Fatalf("max = %g, want 0.037", s.Max)
+	}
+}
+
+// TestPrometheusRoundTrip pins the exposition format: write a registry out,
+// parse it back, and check every series and histogram bucket survives.
+func TestPrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("rt_requests_total", `endpoint="cl"`, "requests")
+	c.Add(7)
+	g := r.Gauge("rt_queue_depth", "", "depth")
+	g.Set(3)
+	r.GaugeFunc("rt_uptime_seconds", "", "uptime", func() float64 { return 12.5 })
+	h := r.Histogram("rt_latency_seconds", `endpoint="cl"`, "latency", []float64{0.1, 1}, 2)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE rt_requests_total counter",
+		"# TYPE rt_latency_seconds histogram",
+		`rt_requests_total{endpoint="cl"} 7`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	samples, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse back: %v\n%s", err, text)
+	}
+	if s := FindSample(samples, "rt_requests_total", map[string]string{"endpoint": "cl"}); s == nil || s.Value != 7 {
+		t.Fatalf("counter sample: %+v", s)
+	}
+	if s := FindSample(samples, "rt_queue_depth", nil); s == nil || s.Value != 3 {
+		t.Fatalf("gauge sample: %+v", s)
+	}
+	if s := FindSample(samples, "rt_uptime_seconds", nil); s == nil || s.Value != 12.5 {
+		t.Fatalf("gauge func sample: %+v", s)
+	}
+	// Histogram expansion: cumulative buckets, sum, count.
+	if s := FindSample(samples, "rt_latency_seconds_bucket", map[string]string{"le": "0.1"}); s == nil || s.Value != 1 {
+		t.Fatalf("le=0.1 bucket: %+v", s)
+	}
+	if s := FindSample(samples, "rt_latency_seconds_bucket", map[string]string{"le": "1"}); s == nil || s.Value != 2 {
+		t.Fatalf("le=1 bucket: %+v", s)
+	}
+	if s := FindSample(samples, "rt_latency_seconds_bucket", map[string]string{"le": "+Inf"}); s == nil || s.Value != 3 {
+		t.Fatalf("le=+Inf bucket: %+v", s)
+	}
+	if s := FindSample(samples, "rt_latency_seconds_count", nil); s == nil || s.Value != 3 {
+		t.Fatalf("count: %+v", s)
+	}
+	if s := FindSample(samples, "rt_latency_seconds_sum", nil); s == nil || math.Abs(s.Value-5.55) > 1e-9 {
+		t.Fatalf("sum: %+v", s)
+	}
+}
+
+func TestParsePrometheusRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"no_value",
+		`broken{le="0.1" 3`,
+		`x{a=b} 1`,
+		"name notanumber",
+	} {
+		if _, err := ParsePrometheus(strings.NewReader(bad)); err == nil {
+			t.Fatalf("ParsePrometheus(%q) accepted garbage", bad)
+		}
+	}
+}
+
+// TestObserveAllocFree pins the hot-path budget: histogram observations and
+// counter increments are pure atomic work.
+func TestObserveAllocFree(t *testing.T) {
+	h := NewHistogram("h", "", DefBuckets(), 4)
+	c := NewRegistry().Counter("c_total", "", "")
+	if n := testing.AllocsPerRun(100, func() {
+		h.ObserveShard(1, 0.002)
+		h.Observe(0.004)
+		c.Inc()
+	}); n > 0 {
+		t.Fatalf("observe path allocates %.0f per op, want 0", n)
+	}
+}

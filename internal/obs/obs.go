@@ -1,0 +1,193 @@
+// Package obs is the observability layer: a small, dependency-free metrics
+// registry (counters, gauges, fixed-bucket histograms with padded per-worker
+// shards), Prometheus text exposition, and a sweep tracer recording per-phase
+// spans into a bounded ring buffer.
+//
+// The design constraints come from the compute pipeline it instruments:
+//
+//   - the hot path must stay allocation-free — counters and histogram
+//     observations are plain atomic operations on preallocated arrays, and
+//     a nil *Trace is a no-op sink whose Start/End pair compiles down to a
+//     nil check (budget-tested at 0 allocs);
+//   - concurrent sweep workers must not contend — histograms expose
+//     ObserveShard so each worker rank owns a padded shard (the
+//     dispatch.paddedTiming trick), merged only at scrape time;
+//   - everything is stdlib-only, so core/dispatch/serve can all import it.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is unusable;
+// create counters through Registry.Counter.
+type Counter struct {
+	v            atomic.Uint64
+	name, labels string
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	bits         atomic.Uint64
+	name, labels string
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// gaugeFunc is a scrape-time gauge: the function runs on every exposition.
+type gaugeFunc struct {
+	name, labels string
+	fn           func() float64
+}
+
+// Registry holds a set of named metrics and renders them in Prometheus text
+// exposition format. Lookups are get-or-create: asking for an existing
+// (name, labels) pair returns the same metric, so package-level init code
+// and tests can share series without coordination. Safe for concurrent use.
+type Registry struct {
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	gaugeFns  map[string]*gaugeFunc
+	hists     map[string]*Histogram
+	help      map[string]string // by family name
+	order     []string          // family names in registration order
+	seenKinds map[string]string // family name -> kind, guards mismatched reuse
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:  make(map[string]*Counter),
+		gauges:    make(map[string]*Gauge),
+		gaugeFns:  make(map[string]*gaugeFunc),
+		hists:     make(map[string]*Histogram),
+		help:      make(map[string]string),
+		seenKinds: make(map[string]string),
+	}
+}
+
+// Default is the process-wide registry. Long-lived subsystems without a
+// natural owner (dispatch backends, the core table builder, the Go runtime
+// gauges) register here; the daemon's /metrics endpoint scrapes it alongside
+// the service's own registry.
+var Default = NewRegistry()
+
+// seriesKey joins name and labels into the unique series identity.
+func seriesKey(name, labels string) string { return name + "\xff" + labels }
+
+// registerFamily books the family's help text and kind on first sight.
+func (r *Registry) registerFamily(name, kind, help string) {
+	if _, ok := r.seenKinds[name]; !ok {
+		r.seenKinds[name] = kind
+		r.help[name] = help
+		r.order = append(r.order, name)
+	}
+}
+
+// Counter returns the counter for (name, labels), creating it on first use.
+// labels is a raw Prometheus label body such as `endpoint="cl"` (empty for
+// an unlabelled series).
+func (r *Registry) Counter(name, labels, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := seriesKey(name, labels)
+	if c, ok := r.counters[key]; ok {
+		return c
+	}
+	r.registerFamily(name, "counter", help)
+	c := &Counter{name: name, labels: labels}
+	r.counters[key] = c
+	return c
+}
+
+// Gauge returns the settable gauge for (name, labels), creating it on first
+// use.
+func (r *Registry) Gauge(name, labels, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := seriesKey(name, labels)
+	if g, ok := r.gauges[key]; ok {
+		return g
+	}
+	r.registerFamily(name, "gauge", help)
+	g := &Gauge{name: name, labels: labels}
+	r.gauges[key] = g
+	return g
+}
+
+// GaugeFunc registers a scrape-time gauge backed by fn. A second
+// registration for the same (name, labels) keeps the first function.
+func (r *Registry) GaugeFunc(name, labels, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := seriesKey(name, labels)
+	if _, ok := r.gaugeFns[key]; ok {
+		return
+	}
+	r.registerFamily(name, "gauge", help)
+	r.gaugeFns[key] = &gaugeFunc{name: name, labels: labels, fn: fn}
+}
+
+// Histogram returns the histogram for (name, labels), creating it with the
+// given bucket bounds and shard count on first use (see NewHistogram).
+func (r *Registry) Histogram(name, labels, help string, bounds []float64, shards int) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := seriesKey(name, labels)
+	if h, ok := r.hists[key]; ok {
+		return h
+	}
+	r.registerFamily(name, "histogram", help)
+	h := NewHistogram(name, labels, bounds, shards)
+	r.hists[key] = h
+	return h
+}
+
+// families returns the family names in registration order and a snapshot of
+// each family's series, for exposition.
+func (r *Registry) snapshotLocked() ([]string, map[string][]series) {
+	fams := make(map[string][]series)
+	add := func(name string, s series) { fams[name] = append(fams[name], s) }
+	for _, c := range r.counters {
+		add(c.name, series{labels: c.labels, value: float64(c.Value()), isCount: true})
+	}
+	for _, g := range r.gauges {
+		add(g.name, series{labels: g.labels, value: g.Value()})
+	}
+	for _, gf := range r.gaugeFns {
+		add(gf.name, series{labels: gf.labels, value: gf.fn()})
+	}
+	for _, h := range r.hists {
+		add(h.name, series{labels: h.labels, hist: h.Snapshot()})
+	}
+	names := append([]string(nil), r.order...)
+	for _, ss := range fams {
+		sort.Slice(ss, func(a, b int) bool { return ss[a].labels < ss[b].labels })
+	}
+	return names, fams
+}
+
+// series is one exposition line (or, for histograms, one bucket family).
+type series struct {
+	labels  string
+	value   float64
+	isCount bool
+	hist    *HistSnapshot
+}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memCache caches one runtime.ReadMemStats per scrape burst: the gauges
+// below are evaluated independently, and ReadMemStats briefly stops the
+// world, so consecutive reads within 100 ms share a snapshot.
+type memCache struct {
+	mu sync.Mutex
+	at time.Time
+	ms runtime.MemStats
+}
+
+func (c *memCache) get() runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if time.Since(c.at) > 100*time.Millisecond {
+		runtime.ReadMemStats(&c.ms)
+		c.at = time.Now()
+	}
+	return c.ms
+}
+
+// RegisterRuntimeMetrics adds the Go runtime gauges — goroutine count, heap
+// occupancy, GC cycles and cumulative GC pause — to the registry. Values
+// are read at scrape time. Idempotent per registry.
+func RegisterRuntimeMetrics(r *Registry) {
+	var mc memCache
+	r.GaugeFunc("plinger_go_goroutines", "", "current number of goroutines",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("plinger_go_heap_alloc_bytes", "", "bytes of allocated heap objects",
+		func() float64 { return float64(mc.get().HeapAlloc) })
+	r.GaugeFunc("plinger_go_heap_objects", "", "number of allocated heap objects",
+		func() float64 { return float64(mc.get().HeapObjects) })
+	r.GaugeFunc("plinger_go_gc_runs", "", "completed GC cycles",
+		func() float64 { return float64(mc.get().NumGC) })
+	r.GaugeFunc("plinger_go_gc_pause_seconds", "", "cumulative GC stop-the-world pause",
+		func() float64 { return float64(mc.get().PauseTotalNs) / 1e9 })
+	r.GaugeFunc("plinger_go_maxprocs", "", "GOMAXPROCS at scrape time",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+}

@@ -10,7 +10,16 @@ import (
 
 	"plinger/internal/core"
 	"plinger/internal/mp"
+	"plinger/internal/obs"
 )
+
+// obsModeSeconds is the process-wide per-mode busy-time histogram, the same
+// series the dispatch backends observe into (get-or-create on obs.Default
+// resolves both registrations to one histogram). The MP worker loop books
+// here because its evolutions happen on the worker side of the wire, outside
+// any dispatch accounting; the master does not book received modes again.
+var obsModeSeconds = obs.Default.Histogram("plinger_sweep_mode_seconds", "",
+	"busy seconds per evolved mode (rank-sharded)", obs.ModeBuckets(), 16)
 
 // Config describes one parallel run. Scheduling policy is not decided
 // here: internal/dispatch computes the hand-out order and this package only
@@ -484,6 +493,7 @@ func Master(ep mp.Endpoint, model *core.Model, cfg Config) (*Results, error) {
 				w.Modes++
 				w.Seconds += r.Seconds
 				w.Flops += r.Flops
+				obsModeSeconds.ObserveShard(self, r.Seconds)
 				if cfg.ASCIIOut != nil {
 					if err := writeASCIIRecord(cfg.ASCIIOut, packSummary(ik+1, r)); err != nil {
 						return err
@@ -750,6 +760,7 @@ func Worker(ep mp.Endpoint, model *core.Model, kValues []float64, mode core.Para
 			return fmt.Errorf("plinger: worker evolve (ik=%d+%d, k=%g): %w", ik1, bsize, p.K, err)
 		}
 		for j, r := range rs {
+			obsModeSeconds.ObserveShard(ep.Rank()-1, r.Seconds)
 			if err := ep.Send(master, TagSummary, packSummary(ik1+j, r)); err != nil {
 				return err
 			}

@@ -1,11 +1,16 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
+
+	"plinger/internal/obs"
 )
 
 // Handler returns the daemon's HTTP API:
@@ -13,13 +18,19 @@ import (
 //	POST /v1/cl    {"config": {...}, "lmax_cl": 150, ...}  -> C_l JSON
 //	POST /v1/pk    {"config": {...}, "nk": 40, ...}        -> P(k) JSON
 //	GET  /v1/stats                                         -> serving counters
+//	GET  /v1/trace?last=N                                  -> recent sweep traces
+//	GET  /metrics                                          -> Prometheus text
 //	GET  /healthz                                          -> 200 ok
 //
 // Responses carry the cache key, the source (cache/compute/coalesced/stale)
 // and the serving latency alongside the science payload; the same metadata
-// is mirrored in the X-Plinger-Source header. Overload returns 503, bad
-// requests 400 with the facade's validation message, and a request whose
-// deadline_ms expires with no stale response available returns 504.
+// is mirrored in the X-Plinger-Source header, and a request that led a cold
+// computation additionally carries its sweep trace id in X-Plinger-Trace.
+// Overload returns 503, bad requests 400 with the facade's validation
+// message, and a request whose deadline_ms expires with no stale response
+// available returns 504. Every request is logged through Options.Logger
+// with a per-request id; requests slower than Options.SlowRequest get an
+// extra warning line carrying the trace id.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/cl", func(w http.ResponseWriter, r *http.Request) {
@@ -28,6 +39,7 @@ func (s *Service) Handler() http.Handler {
 			return
 		}
 		resp, meta, err := s.ComputeCl(r.Context(), req)
+		annotate(r, meta)
 		writeResponse(w, resp, meta, err)
 	})
 	mux.HandleFunc("/v1/pk", func(w http.ResponseWriter, r *http.Request) {
@@ -36,6 +48,7 @@ func (s *Service) Handler() http.Handler {
 			return
 		}
 		resp, meta, err := s.ComputePk(r.Context(), req)
+		annotate(r, meta)
 		writeResponse(w, resp, meta, err)
 	})
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
@@ -45,11 +58,109 @@ func (s *Service) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
+	mux.HandleFunc("/v1/trace", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		n := 16
+		if q := r.URL.Query().Get("last"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 1 {
+				httpError(w, http.StatusBadRequest, "last must be a positive integer")
+				return
+			}
+			n = v
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"traces": s.Traces(n)})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Per-service serving metrics first, then the process-wide engine
+		// metrics (sweeps, fault ledger, table builds, Go runtime).
+		s.reg.WritePrometheus(w)
+		obs.Default.WritePrometheus(w)
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	return mux
+	return s.logging(mux)
+}
+
+// traceNote carries serving metadata from the compute handlers out to the
+// logging middleware through the request context.
+type traceNote struct {
+	source Source
+	key    string
+	trace  string
+}
+
+type traceNoteKey struct{}
+
+// annotate records the request's serving metadata for the access log.
+func annotate(r *http.Request, meta Meta) {
+	if note, ok := r.Context().Value(traceNoteKey{}).(*traceNote); ok {
+		note.source, note.key, note.trace = meta.Source, meta.Key, meta.Trace
+	}
+}
+
+// statusWriter captures the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// logging wraps the API mux with structured request logging: one INFO line
+// per request (id, method, path, status, elapsed, cache source, sweep trace
+// id when a computation ran) and a WARN line when the request exceeded the
+// slow-request threshold.
+func (s *Service) logging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("r-%06d", s.reqSeq.Add(1))
+		note := &traceNote{}
+		r = r.WithContext(context.WithValue(r.Context(), traceNoteKey{}, note))
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		args := []any{
+			"req", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"elapsed_ms", float64(elapsed.Nanoseconds()) / 1e6,
+		}
+		if note.source != "" {
+			args = append(args, "source", string(note.source), "key", note.key)
+		}
+		if note.trace != "" {
+			args = append(args, "trace", note.trace)
+		}
+		s.logger.Info("request", args...)
+		if elapsed > s.opts.SlowRequest {
+			s.logger.Warn("slow request", args...)
+		}
+	})
 }
 
 // decodeRequest parses the JSON body into req; an empty body is the zero
@@ -79,6 +190,7 @@ type envelope struct {
 	Key       string  `json:"key"`
 	Source    Source  `json:"source"`
 	ElapsedMS float64 `json:"elapsed_ms"`
+	TraceID   string  `json:"trace_id,omitempty"`
 	Result    any     `json:"result"`
 }
 
@@ -103,10 +215,14 @@ func writeResponse(w http.ResponseWriter, result any, meta Meta, err error) {
 	}
 	w.Header().Set("X-Plinger-Source", string(meta.Source))
 	w.Header().Set("X-Plinger-Key", meta.Key)
+	if meta.Trace != "" {
+		w.Header().Set("X-Plinger-Trace", meta.Trace)
+	}
 	writeJSON(w, http.StatusOK, envelope{
 		Key:       meta.Key,
 		Source:    meta.Source,
 		ElapsedMS: float64(meta.Elapsed.Nanoseconds()) / 1e6,
+		TraceID:   meta.Trace,
 		Result:    result,
 	})
 }

@@ -3,18 +3,20 @@ package serve
 import (
 	"bytes"
 	"fmt"
-	"math"
 	"net/http"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"plinger/internal/obs"
 )
 
 // LoadReport is the load generator's summary: sustained throughput and the
 // client-side latency distribution, split by how the daemon served each
 // request (cache hit / computed miss / coalesced). cmd/plingerd -loadgen
-// prints it; cmd/benchjson embeds it into BENCH_PR3.json.
+// prints it; cmd/benchjson embeds it into the benchmark JSON. The quantiles
+// come from the same sharded histogram type the daemon exposes on /metrics,
+// so the client-side and server-side distributions are directly comparable.
 type LoadReport struct {
 	Clients     int     `json:"clients"`
 	Seconds     float64 `json:"seconds"`
@@ -25,24 +27,27 @@ type LoadReport struct {
 	Misses      int64   `json:"misses"`
 	Coalesced   int64   `json:"coalesced"`
 	P50MS       float64 `json:"p50_ms"`
+	P95MS       float64 `json:"p95_ms"`
 	P99MS       float64 `json:"p99_ms"`
+	MaxMS       float64 `json:"max_ms"`
 	HitMeanMS   float64 `json:"hit_mean_ms"`
 	MissMeanMS  float64 `json:"miss_mean_ms"`
 }
 
 // RunLoadgen hammers POST {base}/v1/cl with identical `body` requests from
 // `clients` concurrent goroutines for the duration and aggregates
-// client-side latency. The daemon classifies each response via the
-// X-Plinger-Source header, so the report separates hot-path and cold-path
-// behaviour without server cooperation.
+// client-side latency into one sharded histogram (each client owns a shard,
+// so the hot loop records without contention). The daemon classifies each
+// response via the X-Plinger-Source header, so the report separates
+// hot-path and cold-path behaviour without server cooperation.
 func RunLoadgen(base string, clients int, d time.Duration, body string) (*LoadReport, error) {
-	type obs struct {
-		ns     int64
-		source string
-	}
 	var (
-		mu      sync.Mutex
-		all     []obs
+		lat     = obs.NewHistogram("loadgen", "", obs.DefBuckets(), clients)
+		hits    atomic.Int64
+		misses  atomic.Int64
+		coal    atomic.Int64
+		hitNs   atomic.Int64
+		missNs  atomic.Int64
 		errs    atomic.Int64
 		stop    = make(chan struct{})
 		wg      sync.WaitGroup
@@ -59,15 +64,11 @@ func RunLoadgen(base string, clients int, d time.Duration, body string) (*LoadRe
 	start := time.Now()
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
-		go func() {
+		go func(shard int) {
 			defer wg.Done()
-			var local []obs
 			for {
 				select {
 				case <-stop:
-					mu.Lock()
-					all = append(all, local...)
-					mu.Unlock()
 					return
 				default:
 				}
@@ -87,61 +88,44 @@ func RunLoadgen(base string, clients int, d time.Duration, body string) (*LoadRe
 					errs.Add(1)
 					continue
 				}
-				local = append(local, obs{ns: ns, source: source})
+				lat.ObserveShard(shard, float64(ns)/1e9)
+				switch source {
+				case string(SourceCache):
+					hits.Add(1)
+					hitNs.Add(ns)
+				case string(SourceCoalesced):
+					coal.Add(1)
+				default:
+					misses.Add(1)
+					missNs.Add(ns)
+				}
 			}
-		}()
+		}(c)
 	}
 	time.Sleep(d)
 	close(stop)
 	wg.Wait()
 	elapsed := time.Since(start).Seconds()
 
-	rep := &LoadReport{Clients: clients, Seconds: elapsed, Errors: errs.Load()}
-	if len(all) == 0 {
+	rep := &LoadReport{
+		Clients: clients, Seconds: elapsed, Errors: errs.Load(),
+		Hits: hits.Load(), Misses: misses.Load(), Coalesced: coal.Load(),
+	}
+	snap := lat.Snapshot()
+	if snap.Count == 0 {
 		return rep, fmt.Errorf("no requests completed")
 	}
-	lat := make([]float64, 0, len(all))
-	var hitNs, missNs, hitN, missN int64
-	for _, o := range all {
-		lat = append(lat, float64(o.ns)/1e6)
-		switch o.source {
-		case string(SourceCache):
-			rep.Hits++
-			hitNs += o.ns
-			hitN++
-		case string(SourceCoalesced):
-			rep.Coalesced++
-		default:
-			rep.Misses++
-			missNs += o.ns
-			missN++
-		}
+	rep.Requests = int64(snap.Count)
+	rep.RequestsSec = float64(snap.Count) / elapsed
+	rep.P50MS = snap.Quantile(0.50) * 1e3
+	rep.P95MS = snap.Quantile(0.95) * 1e3
+	rep.P99MS = snap.Quantile(0.99) * 1e3
+	rep.MaxMS = snap.Max * 1e3
+	if n := rep.Hits; n > 0 {
+		rep.HitMeanMS = float64(hitNs.Load()) / 1e6 / float64(n)
 	}
-	sort.Float64s(lat)
-	rep.Requests = int64(len(all))
-	rep.RequestsSec = float64(len(all)) / elapsed
-	rep.P50MS = percentile(lat, 0.50)
-	rep.P99MS = percentile(lat, 0.99)
-	if hitN > 0 {
-		rep.HitMeanMS = float64(hitNs) / 1e6 / float64(hitN)
-	}
-	if missN > 0 {
-		rep.MissMeanMS = float64(missNs) / 1e6 / float64(missN)
+	if n := rep.Misses; n > 0 {
+		rep.MissMeanMS = float64(missNs.Load()) / 1e6 / float64(n)
 	}
 	return rep, nil
-}
-
-// percentile reads the p-quantile off an ascending latency slice.
-func percentile(sorted []float64, p float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(math.Ceil(p*float64(len(sorted)))) - 1
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i]
 }

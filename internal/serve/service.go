@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync/atomic"
 	"time"
 
 	"plinger"
+	"plinger/internal/obs"
 	"plinger/internal/specfunc"
 )
 
@@ -60,6 +62,15 @@ type Options struct {
 	// primary LRU has already evicted the entry, the service can still
 	// answer with the last known good response instead of an error.
 	StaleCacheSize int
+	// Logger receives structured serving logs (one line per HTTP request,
+	// slow-request warnings). Nil disables logging.
+	Logger *slog.Logger
+	// SlowRequest is the latency above which a request is logged at WARN
+	// with its sweep trace id (<= 0: 2s).
+	SlowRequest time.Duration
+	// TraceBuffer bounds the /v1/trace ring of recent sweep traces
+	// (<= 0: 64).
+	TraceBuffer int
 }
 
 func (o Options) withDefaults() Options {
@@ -84,6 +95,15 @@ func (o Options) withDefaults() Options {
 	if o.StaleCacheSize <= 0 {
 		o.StaleCacheSize = 4 * o.CacheSize
 	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
+	}
+	if o.SlowRequest <= 0 {
+		o.SlowRequest = 2 * time.Second
+	}
+	if o.TraceBuffer <= 0 {
+		o.TraceBuffer = 64
+	}
 	return o
 }
 
@@ -105,16 +125,29 @@ type Service struct {
 	adm     *admission
 	started time.Time
 
-	requests  atomic.Uint64
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	coalesced atomic.Uint64
-	rejected  atomic.Uint64
-	errors    atomic.Uint64
-	sweeps    atomic.Uint64
+	// reg is the service's own metrics registry. Counters are per Service
+	// (not process-wide) so tests and multiple services never share counts;
+	// the /metrics endpoint scrapes it together with obs.Default, where the
+	// engine-level series (sweeps, fault ledger, runtime) live.
+	reg    *obs.Registry
+	traces *obs.TraceLog
+	logger *slog.Logger
+	reqSeq atomic.Uint64
 
-	timeouts    atomic.Uint64
-	staleServed atomic.Uint64
+	requests  *obs.Counter
+	hits      *obs.Counter
+	misses    *obs.Counter
+	coalesced *obs.Counter
+	rejected  *obs.Counter
+	errCount  *obs.Counter
+	sweeps    *obs.Counter
+
+	timeouts    *obs.Counter
+	staleServed *obs.Counter
+
+	latCl     *obs.Histogram
+	latPk     *obs.Histogram
+	queueWait *obs.Histogram
 
 	hitNs  atomic.Int64
 	missNs atomic.Int64
@@ -123,14 +156,51 @@ type Service struct {
 // New builds a Service.
 func New(opts Options) *Service {
 	o := opts.withDefaults()
-	return &Service{
+	s := &Service{
 		opts:    o,
 		cache:   newLRU(o.CacheSize),
 		stale:   newLRU(o.StaleCacheSize),
 		models:  newModelCache(o.ModelCacheSize, o.Workers),
 		adm:     newAdmission(o.MaxConcurrent, o.MaxQueue),
 		started: time.Now(),
+		reg:     obs.NewRegistry(),
+		traces:  obs.NewTraceLog(o.TraceBuffer),
+		logger:  o.Logger,
 	}
+	r := s.reg
+	s.requests = r.Counter("plinger_serve_requests_total", "", "requests accepted by the compute API")
+	s.hits = r.Counter("plinger_serve_cache_hits_total", "", "requests answered from the response cache")
+	s.misses = r.Counter("plinger_serve_cache_misses_total", "", "requests that computed a fresh response")
+	s.coalesced = r.Counter("plinger_serve_coalesced_total", "", "requests attached to another request's sweep")
+	s.rejected = r.Counter("plinger_serve_rejected_total", "", "requests rejected by the admission queue")
+	s.errCount = r.Counter("plinger_serve_errors_total", "", "failed requests (validation and compute)")
+	s.sweeps = r.Counter("plinger_serve_sweeps_total", "", "spectrum computations completed")
+	s.timeouts = r.Counter("plinger_serve_timeouts_total", "", "requests whose deadline expired before the sweep finished")
+	s.staleServed = r.Counter("plinger_serve_stale_served_total", "", "responses answered from the stale cache")
+	const latHelp = "request latency by endpoint (cache hits included)"
+	s.latCl = r.Histogram("plinger_serve_request_seconds", `endpoint="cl"`, latHelp, obs.DefBuckets(), 4)
+	s.latPk = r.Histogram("plinger_serve_request_seconds", `endpoint="pk"`, latHelp, obs.DefBuckets(), 4)
+	s.queueWait = r.Histogram("plinger_serve_queue_wait_seconds", "", "time a flight leader waited for a compute slot", obs.DefBuckets(), 4)
+	r.GaugeFunc("plinger_serve_uptime_seconds", "", "seconds since the service started",
+		func() float64 { return time.Since(s.started).Seconds() })
+	r.GaugeFunc("plinger_serve_cache_entries", `cache="primary"`, "entries in the response LRU",
+		func() float64 { return float64(s.cache.Stats().Size) })
+	r.GaugeFunc("plinger_serve_cache_entries", `cache="stale"`, "entries in the stale LRU",
+		func() float64 { return float64(s.stale.Stats().Size) })
+	r.GaugeFunc("plinger_serve_queue_computing", "", "sweeps currently holding a compute slot",
+		func() float64 { return float64(s.adm.Stats().Computing) })
+	r.GaugeFunc("plinger_serve_queue_waiting", "", "requests waiting for a compute slot",
+		func() float64 { return float64(s.adm.Stats().Waiting) })
+	r.GaugeFunc("plinger_serve_models", "", "models in the refcounted registry",
+		func() float64 { return float64(s.models.Stats().Size) })
+	r.GaugeFunc("plinger_serve_inflight_keys", "", "distinct keys currently computing",
+		func() float64 { return float64(s.flights.InFlight()) })
+	r.GaugeFunc("plinger_serve_bessel_tables", "", "entries in the process-wide Bessel kernel cache",
+		func() float64 { return float64(specfunc.BesselCacheLen()) })
+	// The Go runtime gauges live on the process-wide registry next to the
+	// engine series; registration is idempotent, so every Service may ask.
+	obs.RegisterRuntimeMetrics(obs.Default)
+	return s
 }
 
 // Close releases the model registry and its dispatch pools.
@@ -154,6 +224,10 @@ type Meta struct {
 	Key     string        `json:"key"`
 	Source  Source        `json:"source"`
 	Elapsed time.Duration `json:"-"`
+	// Trace is the sweep trace id when this request led the computation
+	// (empty for cache hits and coalesced followers); the full trace is
+	// retrievable from /v1/trace while it remains in the ring.
+	Trace string `json:"-"`
 }
 
 // ClResponse is the cached C_l product. Immutable once computed.
@@ -179,12 +253,12 @@ type PkResponse struct {
 // to completion in the background and fills the cache, so a timed-out
 // request warms the next one. On a timeout — or a failed recompute — the
 // stale LRU answers with the last known good response when it has one.
-func (s *Service) lookup(ctx context.Context, key string, deadline time.Duration, compute func() (any, error)) (any, Meta, error) {
-	s.requests.Add(1)
+func (s *Service) lookup(ctx context.Context, label, key string, deadline time.Duration, compute func(tr *obs.Trace) (any, error)) (any, Meta, error) {
+	s.requests.Inc()
 	start := time.Now()
 	meta := Meta{Key: key}
 	if v, ok := s.cache.Get(key); ok {
-		s.hits.Add(1)
+		s.hits.Inc()
 		meta.Source = SourceCache
 		meta.Elapsed = time.Since(start)
 		s.hitNs.Add(meta.Elapsed.Nanoseconds())
@@ -195,6 +269,7 @@ func (s *Service) lookup(ctx context.Context, key string, deadline time.Duration
 		err            error
 		coalesced      bool
 		leaderCacheHit bool
+		traceID        string
 	}
 	runFlight := func() flightOut {
 		var out flightOut
@@ -205,20 +280,31 @@ func (s *Service) lookup(ctx context.Context, key string, deadline time.Duration
 				out.leaderCacheHit = true
 				return v, nil
 			}
+			// Only flight leaders that actually compute carry a trace: cache
+			// hits and coalesced followers stay on the untraced (and
+			// allocation-free) path, and the ring holds one trace per sweep.
+			tr := obs.NewTrace(label)
+			out.traceID = tr.ID()
+			s.traces.Add(tr)
+			defer tr.Finish()
 			// The leader computes on behalf of every follower that coalesces
 			// onto this flight, so its own request's cancellation must not
 			// abort the shared work (one disconnecting client would fail N
 			// healthy ones). Only the values of ctx are kept; the admission
 			// queue and the sweep run to completion regardless.
+			sp := tr.Start("queue_wait")
 			if err := s.adm.acquire(context.WithoutCancel(ctx)); err != nil {
+				sp.End()
 				return nil, err
 			}
+			sp.End()
+			s.queueWait.Observe(tr.SpanMS("queue_wait") / 1e3)
 			defer s.adm.release()
-			v, err := compute()
+			v, err := compute(tr)
 			if err != nil {
 				return nil, err
 			}
-			s.sweeps.Add(1)
+			s.sweeps.Inc()
 			s.cache.Add(key, v)
 			s.stale.Add(key, v)
 			return v, nil
@@ -235,9 +321,9 @@ func (s *Service) lookup(ctx context.Context, key string, deadline time.Duration
 		case out = <-ch:
 		case <-timer.C:
 			meta.Elapsed = time.Since(start)
-			s.timeouts.Add(1)
+			s.timeouts.Inc()
 			if v, ok := s.stale.Get(key); ok {
-				s.staleServed.Add(1)
+				s.staleServed.Inc()
 				meta.Source = SourceStale
 				return v, meta, nil
 			}
@@ -249,22 +335,23 @@ func (s *Service) lookup(ctx context.Context, key string, deadline time.Duration
 	}
 	v, err := out.v, out.err
 	meta.Elapsed = time.Since(start)
+	meta.Trace = out.traceID
 	switch {
 	case err == ErrBusy:
-		s.rejected.Add(1)
+		s.rejected.Inc()
 		meta.Source = SourceCompute
 	case err != nil:
-		s.errors.Add(1)
+		s.errCount.Inc()
 		meta.Source = SourceCompute
 	case out.coalesced:
-		s.coalesced.Add(1)
+		s.coalesced.Inc()
 		meta.Source = SourceCoalesced
 	case out.leaderCacheHit:
-		s.hits.Add(1)
+		s.hits.Inc()
 		meta.Source = SourceCache
 		s.hitNs.Add(meta.Elapsed.Nanoseconds())
 	default:
-		s.misses.Add(1)
+		s.misses.Inc()
 		meta.Source = SourceCompute
 		s.missNs.Add(meta.Elapsed.Nanoseconds())
 	}
@@ -272,7 +359,7 @@ func (s *Service) lookup(ctx context.Context, key string, deadline time.Duration
 		// Failed recompute with a last known good response on hand: serve
 		// stale rather than erroring (the failure is still counted above).
 		if sv, ok := s.stale.Get(key); ok {
-			s.staleServed.Add(1)
+			s.staleServed.Inc()
 			meta.Source = SourceStale
 			return sv, meta, nil
 		}
@@ -285,8 +372,8 @@ func (s *Service) ComputeCl(ctx context.Context, req ClRequest) (*ClResponse, Me
 	// Wire-level validation first: negatives must 400, not resolve to
 	// defaults (resolve treats only zero as "use the default").
 	if err := req.Validate(); err != nil {
-		s.requests.Add(1)
-		s.errors.Add(1)
+		s.requests.Inc()
+		s.errCount.Inc()
 		return nil, Meta{Source: SourceCompute}, err
 	}
 	d := s.opts.Defaults
@@ -306,20 +393,25 @@ func (s *Service) ComputeCl(ctx context.Context, req ClRequest) (*ClResponse, Me
 	// Fast-fail before the request touches the flight group or the
 	// admission queue: garbage must not occupy compute slots.
 	if err := opts.Validate(); err != nil {
-		s.requests.Add(1)
-		s.errors.Add(1)
+		s.requests.Inc()
+		s.errCount.Inc()
 		return nil, Meta{Key: key, Source: SourceCompute}, err
 	}
-	v, meta, err := s.lookup(ctx, key, req.deadline(), func() (any, error) {
+	v, meta, err := s.lookup(ctx, "cl", key, req.deadline(), func(tr *obs.Trace) (any, error) {
+		sp := tr.Start("model_acquire")
 		m, release, err := s.models.acquire(*rr.Config)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
 		defer release()
+		opts.Trace = tr
 		spec, err := m.ComputeSpectrum(opts)
 		if err != nil {
 			return nil, err
 		}
+		sp = tr.Start("assemble")
+		defer sp.End()
 		out := &ClResponse{L: spec.L, Cl: spec.Cl}
 		if rr.QCOBEMicroK > 0 {
 			scale, err := spec.NormalizeCOBE(rr.QCOBEMicroK)
@@ -335,6 +427,7 @@ func (s *Service) ComputeCl(ctx context.Context, req ClRequest) (*ClResponse, Me
 		}
 		return out, nil
 	})
+	s.latCl.Observe(meta.Elapsed.Seconds())
 	if err != nil {
 		return nil, meta, err
 	}
@@ -344,8 +437,8 @@ func (s *Service) ComputeCl(ctx context.Context, req ClRequest) (*ClResponse, Me
 // ComputePk serves one P(k) request.
 func (s *Service) ComputePk(ctx context.Context, req PkRequest) (*PkResponse, Meta, error) {
 	if err := req.Validate(); err != nil {
-		s.requests.Add(1)
-		s.errors.Add(1)
+		s.requests.Inc()
+		s.errCount.Inc()
 		return nil, Meta{Source: SourceCompute}, err
 	}
 	d := s.opts.Defaults
@@ -355,22 +448,26 @@ func (s *Service) ComputePk(ctx context.Context, req PkRequest) (*PkResponse, Me
 	}
 	key := req.Key(d)
 	if err := opts.Validate(); err != nil {
-		s.requests.Add(1)
-		s.errors.Add(1)
+		s.requests.Inc()
+		s.errCount.Inc()
 		return nil, Meta{Key: key, Source: SourceCompute}, err
 	}
-	v, meta, err := s.lookup(ctx, key, req.deadline(), func() (any, error) {
+	v, meta, err := s.lookup(ctx, "pk", key, req.deadline(), func(tr *obs.Trace) (any, error) {
+		sp := tr.Start("model_acquire")
 		m, release, err := s.models.acquire(*rr.Config)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
 		defer release()
+		opts.Trace = tr
 		mp, err := m.MatterPower(opts)
 		if err != nil {
 			return nil, err
 		}
 		return &PkResponse{K: mp.K, T: mp.T, P: mp.P, Sigma8: mp.Sigma8}, nil
 	})
+	s.latPk.Observe(meta.Elapsed.Seconds())
 	if err != nil {
 		return nil, meta, err
 	}
@@ -406,21 +503,49 @@ type Stats struct {
 	// model registry, so a daemon churning through resolutions can watch
 	// that it stays capped.
 	BesselTables int `json:"bessel_tables"`
+	// LatencyCl and LatencyPk are the per-endpoint latency distributions
+	// (cache hits included), read from the same histograms /metrics exposes.
+	LatencyCl LatencyStats `json:"latency_cl"`
+	LatencyPk LatencyStats `json:"latency_pk"`
+	// Traces is the number of sweep traces currently in the /v1/trace ring.
+	Traces int `json:"traces"`
+}
+
+// LatencyStats summarizes one latency histogram for /v1/stats. Quantiles
+// are bucket-interpolated (see obs.HistSnapshot.Quantile).
+type LatencyStats struct {
+	Count uint64  `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+}
+
+// latencyStats reads the quantile summary off a histogram.
+func latencyStats(h *obs.Histogram) LatencyStats {
+	s := h.Snapshot()
+	return LatencyStats{
+		Count: s.Count,
+		P50MS: s.Quantile(0.50) * 1e3,
+		P95MS: s.Quantile(0.95) * 1e3,
+		P99MS: s.Quantile(0.99) * 1e3,
+		MaxMS: s.Max * 1e3,
+	}
 }
 
 // Stats snapshots the serving counters.
 func (s *Service) Stats() Stats {
 	st := Stats{
 		UptimeSeconds: time.Since(s.started).Seconds(),
-		Requests:      s.requests.Load(),
-		Hits:          s.hits.Load(),
-		Misses:        s.misses.Load(),
-		Coalesced:     s.coalesced.Load(),
-		Rejected:      s.rejected.Load(),
-		Errors:        s.errors.Load(),
-		Sweeps:        s.sweeps.Load(),
-		Timeouts:      s.timeouts.Load(),
-		StaleServed:   s.staleServed.Load(),
+		Requests:      s.requests.Value(),
+		Hits:          s.hits.Value(),
+		Misses:        s.misses.Value(),
+		Coalesced:     s.coalesced.Value(),
+		Rejected:      s.rejected.Value(),
+		Errors:        s.errCount.Value(),
+		Sweeps:        s.sweeps.Value(),
+		Timeouts:      s.timeouts.Value(),
+		StaleServed:   s.staleServed.Value(),
 		InFlightKeys:  s.flights.InFlight(),
 		Cache:         s.cache.Stats(),
 		Stale:         s.stale.Stats(),
@@ -429,6 +554,9 @@ func (s *Service) Stats() Stats {
 		Defaults:      s.opts.Defaults,
 		Workers:       s.opts.Workers,
 		BesselTables:  specfunc.BesselCacheLen(),
+		LatencyCl:     latencyStats(s.latCl),
+		LatencyPk:     latencyStats(s.latPk),
+		Traces:        s.traces.Len(),
 	}
 	if st.Hits > 0 {
 		st.AvgHitMS = float64(s.hitNs.Load()) / 1e6 / float64(st.Hits)
@@ -442,7 +570,10 @@ func (s *Service) Stats() Stats {
 // Sweeps returns the number of spectrum computations completed
 // successfully — the coalescing tests' witness (failed computations and
 // rejected requests never count).
-func (s *Service) Sweeps() uint64 { return s.sweeps.Load() }
+func (s *Service) Sweeps() uint64 { return s.sweeps.Value() }
+
+// Traces returns snapshots of up to n recent sweep traces, newest first.
+func (s *Service) Traces(n int) []obs.TraceSnapshot { return s.traces.Last(n) }
 
 // String identifies the service configuration in logs.
 func (s *Service) String() string {

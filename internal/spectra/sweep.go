@@ -18,6 +18,7 @@ import (
 
 	"plinger/internal/core"
 	"plinger/internal/dispatch"
+	"plinger/internal/obs"
 )
 
 // Sweep holds the results of evolving a set of k modes.
@@ -76,9 +77,33 @@ func RunSweep(mdl *core.Model, mode core.Params, ks []float64, workers int, adap
 // RunSweepWith evolves the grid on any dispatcher and wraps the results for
 // science post-processing, returning the run telemetry alongside.
 func RunSweepWith(d dispatch.Dispatcher, ks []float64, mode core.Params) (*Sweep, *dispatch.RunStats, error) {
-	dsw, st, err := d.Run(context.Background(), ks, mode)
+	return RunSweepTraced(nil, d, ks, mode)
+}
+
+// RunSweepTraced is RunSweepWith with a sweep trace attached: the trace rides
+// down to the dispatcher through the run context (obs.TraceFrom), so the
+// backends record their eval-table and mode-evolution phases as spans. A nil
+// trace is the no-op sink and makes this identical to RunSweepWith.
+func RunSweepTraced(tr *obs.Trace, d dispatch.Dispatcher, ks []float64, mode core.Params) (*Sweep, *dispatch.RunStats, error) {
+	dsw, st, err := d.Run(obs.ContextWithTrace(context.Background(), tr), ks, mode)
 	if err != nil {
 		return nil, nil, err
+	}
+	if tr != nil && st != nil {
+		// Fold the spans recorded so far (eval_tables, modes, a finished
+		// bessel_tables prewarm) into the run telemetry, summed by name in
+		// first-seen order.
+		snap := tr.Snapshot()
+		idx := make(map[string]int, len(snap.Spans))
+		for _, sp := range snap.Spans {
+			i, ok := idx[sp.Name]
+			if !ok {
+				i = len(st.Phases)
+				idx[sp.Name] = i
+				st.Phases = append(st.Phases, dispatch.Phase{Name: sp.Name})
+			}
+			st.Phases[i].Seconds += sp.DurMS / 1e3
+		}
 	}
 	sw, err := FromResults(dsw.KValues, dsw.Results, dsw.Tau0)
 	if err != nil {

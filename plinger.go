@@ -37,11 +37,23 @@ import (
 	"plinger/internal/cosmology"
 	"plinger/internal/dispatch"
 	"plinger/internal/expdata"
+	"plinger/internal/obs"
 	"plinger/internal/recomb"
 	"plinger/internal/sky"
 	"plinger/internal/spectra"
 	"plinger/internal/thermo"
 )
+
+// Trace is a sweep trace: a per-request recorder of named phase spans
+// (evolve, source spline, projection, ...). Attach one via
+// SpectrumOptions.Trace or MatterPowerOptions.Trace; a nil trace is the
+// no-op sink, so instrumentation costs nothing when tracing is off. The
+// serving daemon creates one per cold request and exposes recent traces at
+// /v1/trace.
+type Trace = obs.Trace
+
+// NewTrace starts a trace; label names the request kind (e.g. "cl").
+func NewTrace(label string) *Trace { return obs.NewTrace(label) }
 
 // Config selects the cosmological model.
 type Config struct {
@@ -380,6 +392,10 @@ type SpectrumOptions struct {
 	// inside the 1e-3 budget; 0 or 1 disables batching and reproduces the
 	// scalar sweep bitwise. los method only.
 	KBatch int
+	// Trace, when non-nil, records the computation's phases (evolve,
+	// source_spline, project, lspline, bessel_tables plus the dispatch-level
+	// eval_tables and modes) as spans. Nil costs nothing.
+	Trace *Trace
 }
 
 // maxKBatch caps the lockstep batch width: beyond this the members' k
@@ -626,43 +642,71 @@ func (m *Model) ComputeSpectrum(o SpectrumOptions) (*Spectrum, error) {
 			return nil, err
 		}
 		defer cleanup()
+		tr := o.Trace
+		var besselWait func()
 		if o.FastLOS {
 			// Warm the shared Bessel kernel table concurrently with the
 			// sweep, via the dispatcher's prebuild hook when it has one.
 			// The shared pool serves concurrent runs, so its hooks cannot
 			// be set per run; the facade warms caller-side instead. Under
 			// LSpline only the coarse ladder's rows are ever needed.
-			warm := func() { spectra.PrewarmBesselTable(lsProj, ks[len(ks)-1], tau0) }
+			warm := func() {
+				sp := tr.Start("bessel_tables")
+				spectra.PrewarmBesselTable(lsProj, ks[len(ks)-1], tau0)
+				sp.End()
+			}
 			switch dd := d.(type) {
 			case *dispatch.Pool:
 				dd.Prebuild = warm
 			case *dispatch.MP:
 				dd.Prebuild = warm
 			default:
-				defer dispatch.StartPrebuild(warm)()
+				besselWait = dispatch.StartPrebuild(warm)
+				defer besselWait()
 			}
 		}
-		sw, _, err := spectra.RunSweepWith(d, ksRun, core.Params{
+		// The evolve span covers the whole sweep including the concurrent
+		// Bessel prewarm wait, so a cold request's wall time decomposes into
+		// non-overlapping top-level spans (evolve, source_spline, project,
+		// lspline); bessel_tables and the dispatch-level spans are nested
+		// detail inside it.
+		spEvolve := tr.Start("evolve")
+		sw, _, err := spectra.RunSweepTraced(tr, d, ksRun, core.Params{
 			LMax: lmax, Gauge: core.ConformalNewtonian, KeepSources: true,
 			FastEvolve: o.FastEvolve, KBatch: o.KBatch,
 		})
 		if err != nil {
 			return nil, err
 		}
+		if besselWait != nil {
+			// The table-driven projection needs the warmed rows anyway;
+			// waiting here books any remaining warm time under evolve
+			// instead of leaving an unattributed tail after projection.
+			besselWait()
+		}
+		spEvolve.End()
 		if kRefine > 1 && len(ksRun) < nk {
+			sp := tr.Start("source_spline")
 			sw, err = sw.RefineK(nk, tauRec)
+			sp.End()
 			if err != nil {
 				return nil, err
 			}
 		}
 		var cl *spectra.ClSpectrum
 		if o.FastLOS {
+			sp := tr.Start("project")
 			cl, err = sw.ClLOSFast(lsProj, m.prim, m.cfg.TCMB, tauRec)
+			sp.End()
 			if err == nil && len(lsProj) != len(ls) {
+				sp := tr.Start("lspline")
 				cl, err = spectra.SplineCl(cl, ls)
+				sp.End()
 			}
 		} else {
+			sp := tr.Start("project")
 			cl, err = sw.ClLOS(ls, m.prim, m.cfg.TCMB, tauRec)
+			sp.End()
 		}
 		if err != nil {
 			return nil, err
@@ -678,18 +722,23 @@ func (m *Model) ComputeSpectrum(o SpectrumOptions) (*Spectrum, error) {
 			return nil, err
 		}
 		defer cleanup()
-		sw, _, err := spectra.RunSweepWith(d, ks, core.Params{
+		tr := o.Trace
+		spEvolve := tr.Start("evolve")
+		sw, _, err := spectra.RunSweepTraced(tr, d, ks, core.Params{
 			LMax: lmax, Gauge: core.Synchronous,
 		})
+		spEvolve.End()
 		if err != nil {
 			return nil, err
 		}
+		spProj := tr.Start("project")
 		var cl *spectra.ClSpectrum
 		if o.Polarization {
 			cl, err = sw.ClPolarization(ls, m.prim, m.cfg.TCMB)
 		} else {
 			cl, err = sw.Cl(ls, m.prim, m.cfg.TCMB)
 		}
+		spProj.End()
 		if err != nil {
 			return nil, err
 		}
@@ -721,6 +770,9 @@ type MatterPowerOptions struct {
 	// Transport and Schedule select the execution backend, as in
 	// SpectrumOptions.
 	Transport, Schedule string
+	// Trace, when non-nil, records the computation's phases (evolve,
+	// postprocess) as spans. Nil costs nothing.
+	Trace *Trace
 }
 
 // MatterPower computes the matter transfer function, power spectrum and
@@ -745,10 +797,15 @@ func (m *Model) MatterPower(o MatterPowerOptions) (*MatterPowerResult, error) {
 		return nil, err
 	}
 	defer cleanup()
-	sw, _, err := spectra.RunSweepWith(d, ks, core.Params{LMax: 24, Gauge: core.Synchronous})
+	tr := o.Trace
+	spEvolve := tr.Start("evolve")
+	sw, _, err := spectra.RunSweepTraced(tr, d, ks, core.Params{LMax: 24, Gauge: core.Synchronous})
+	spEvolve.End()
 	if err != nil {
 		return nil, err
 	}
+	spPost := tr.Start("postprocess")
+	defer spPost.End()
 	tf, err := sw.MatterTransfer(m.cfg.OmegaC, m.cfg.OmegaB)
 	if err != nil {
 		return nil, err

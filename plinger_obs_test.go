@@ -1,0 +1,119 @@
+package plinger
+
+import (
+	"testing"
+	"time"
+)
+
+// obsTestOptions is a small but complete fast-path spectrum: coarse-to-fine
+// in k, fast LOS projection, table-driven evolution — every traced phase of
+// a production request.
+func obsTestOptions() SpectrumOptions {
+	return SpectrumOptions{
+		LMaxCl: 40, NK: 60, Ls: []int{2, 5, 10, 20, 40},
+		FastLOS: true, FastEvolve: true, KRefine: 4,
+	}
+}
+
+// TestTracedSpectrumSpans runs one traced spectrum and checks the pipeline
+// phases land in the trace: the dispatch-level detail (eval_tables, modes),
+// the facade's top-level phases (evolve, project) and the concurrent Bessel
+// prewarm.
+func TestTracedSpectrumSpans(t *testing.T) {
+	m := scdmModel(t)
+	o := obsTestOptions()
+	tr := NewTrace("test")
+	o.Trace = tr
+	if _, err := m.ComputeSpectrum(o); err != nil {
+		t.Fatal(err)
+	}
+	tr.Finish()
+	snap := tr.Snapshot()
+	if snap.ID == "" || snap.TotalMS <= 0 {
+		t.Fatalf("bad trace snapshot: %+v", snap)
+	}
+	got := map[string]float64{}
+	for _, sp := range snap.Spans {
+		got[sp.Name] += sp.DurMS
+	}
+	for _, want := range []string{"evolve", "project", "eval_tables", "modes", "bessel_tables"} {
+		if _, ok := got[want]; !ok {
+			t.Errorf("missing span %q (got %v)", want, got)
+		}
+	}
+	// The dispatch phases are nested inside evolve, so they cannot exceed it.
+	if got["modes"] > got["evolve"]+1e-6 {
+		t.Errorf("modes span %.3f ms exceeds evolve span %.3f ms", got["modes"], got["evolve"])
+	}
+	if got["evolve"] <= 0 || got["project"] <= 0 {
+		t.Errorf("zero-duration phases: %v", got)
+	}
+}
+
+// TestNoopTraceOverhead is the acceptance-criterion check on the no-op sink:
+// with a nil trace the instrumented pipeline must run within 2% of itself,
+// which we bound two ways. First, the primitive: a nil-trace Start/End pair
+// must cost so little that even thousands per request stay under 2% of the
+// request's wall time. Second, end to end: the same computation with a live
+// trace (a strict superset of the nil-trace work) must land in the same
+// ballpark, with interleaved runs and a generous margin absorbing scheduler
+// noise — a wall-clock smoke guard, not the 2% assertion itself.
+func TestNoopTraceOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overhead measurement is timing-sensitive")
+	}
+	m := scdmModel(t)
+
+	run := func(o SpectrumOptions) time.Duration {
+		t0 := time.Now()
+		if _, err := m.ComputeSpectrum(o); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+
+	// One warm-up pass so table builds and Bessel rows never land in a
+	// measured iteration, then interleave nil/traced to share any drift.
+	warm := obsTestOptions()
+	run(warm)
+	big := time.Duration(1<<63 - 1)
+	nilWall, tracedWall := big, big
+	for i := 0; i < 5; i++ {
+		o := obsTestOptions()
+		o.Trace = nil
+		if d := run(o); d < nilWall {
+			nilWall = d
+		}
+		o = obsTestOptions()
+		o.Trace = NewTrace("bench")
+		if d := run(o); d < tracedWall {
+			tracedWall = d
+		}
+	}
+
+	// Primitive bound: price one nil-trace span via the testing harness and
+	// scale to a generous 10000 spans per request.
+	res := testing.Benchmark(func(b *testing.B) {
+		var tr *Trace
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp := tr.Start("x")
+			sp.End()
+		}
+	})
+	if res.AllocsPerOp() != 0 {
+		t.Fatalf("nil-trace span allocates: %d allocs/op", res.AllocsPerOp())
+	}
+	perSpan := time.Duration(res.NsPerOp())
+	if overhead := 10000 * perSpan; overhead > nilWall/50 {
+		t.Fatalf("no-op span too expensive: %v each, 10000 spans = %v against %v wall (>2%%)",
+			perSpan, overhead, nilWall)
+	}
+
+	// End-to-end bound: live tracing does strictly more than the nil sink,
+	// so the nil sink's overhead is below whatever this measures.
+	if ratio := float64(tracedWall) / float64(nilWall); ratio > 1.25 {
+		t.Fatalf("live tracing wall ratio %.3f (traced %v vs nil %v), want <= 1.25",
+			ratio, tracedWall, nilWall)
+	}
+}
