@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check vet staticcheck build test-short test test-race test-faults bench bench-json bench-smoke
+.PHONY: check fmt-check vet staticcheck build test-short test test-race test-faults test-farm bench bench-json bench-smoke
 
 check: fmt-check vet staticcheck build test-short
 
@@ -46,10 +46,20 @@ test-faults:
 	$(GO) test -race ./internal/mp/faultmp/
 	$(GO) test -race -run 'Chaos|ConnectAll|Panic|Deadline|Stale' ./internal/dispatch/ ./internal/serve/
 
+# test-farm runs the multi-process worker-farm suite under the race
+# detector: the in-process supervisor contract tests (bitwise equality with
+# the pool, heartbeat kills, rejoin accounting, drain, zero-worker
+# degradation), the tcpmp rendezvous/typed-error hardening, the serve and
+# facade farm routing, and the process-spawning chaos tests that SIGKILL
+# real plingerw workers mid-sweep and between sweeps.
+test-farm:
+	$(GO) test -race ./internal/farm/ ./internal/mp/tcpmp/
+	$(GO) test -race -run 'Farm' ./internal/serve/ .
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# bench-json regenerates BENCH_PR8.json: the fast-vs-reference C_l pipeline
+# bench-json regenerates BENCH_PR9.json: the fast-vs-reference C_l pipeline
 # and single-mode evolution speedups, the PR 6 ablation grid on the dense
 # multipole request (lspline on/off x kbatch 1/4/8 plus each fast
 # ingredient individually toggled off, with per-column wall/speedup and
@@ -61,9 +71,11 @@ bench:
 # kill vs clean, recovered spectra bitwise-checked), and the spectrum
 # service's serving numbers (cache-hit and cold-miss latency with
 # histogram-backed p50/p95/p99/max quantiles, sustained req/s at 32
-# concurrent clients).
+# concurrent clients), and the PR 9 farm-procs column (cold-sweep wall
+# clock vs plingerw worker-process count, spectra bitwise-checked against
+# the in-process pool).
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR8.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR9.json
 
 # bench-smoke runs the whole benchjson path at tiny settings (small
 # LMaxCl/NK, short service runs) and writes outside the repo — the CI guard

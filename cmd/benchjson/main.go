@@ -4,7 +4,7 @@
 // multi-core scaling sweep, and the spectrum service's serving benchmark),
 // extending the performance trajectory started in BENCH_PR2.json:
 //
-//	benchjson [-out BENCH_PR8.json] [-quick] [-smoke] [-procs 1,2,4,all]
+//	benchjson [-out BENCH_PR9.json] [-quick] [-smoke] [-procs 1,2,4,all] [-farm-procs 1,2,4]
 //
 // The headline numbers are the Figure-2 C_l pipeline with the full fast
 // engine (fast evolution + shared spherical-Bessel tables + coarse-to-fine
@@ -24,7 +24,10 @@
 // concurrent clients against an in-process plingerd service. The PR 7
 // fault-recovery column reruns one sweep with a worker killed
 // mid-assignment under the fault-tolerant master and reports the recovery
-// overhead, asserting the recovered spectra bitwise-identical.
+// overhead, asserting the recovered spectra bitwise-identical. The PR 9
+// farm column times the same cold sweep over freshly spawned plingerw
+// fleets per worker-process count (-farm-procs), every point's spectra
+// bitwise-checked against the in-process pool.
 //
 // -quick shrinks the pipeline settings; -smoke shrinks everything to a
 // few seconds of total runtime, runs the scaling sweep at GOMAXPROCS 1
@@ -44,6 +47,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"reflect"
 	"runtime"
 	"sort"
@@ -56,6 +61,7 @@ import (
 	"plinger/internal/core"
 	"plinger/internal/cosmology"
 	"plinger/internal/dispatch"
+	"plinger/internal/farm"
 	"plinger/internal/mp/chanmp"
 	"plinger/internal/mp/faultmp"
 	"plinger/internal/obs"
@@ -154,6 +160,19 @@ type FaultRecovery struct {
 	Bitwise        bool    `json:"bitwise_identical"`
 }
 
+// FarmPoint is one row of the PR 9 multi-process scaling column: the same
+// cold sweep served by a supervised fleet of plingerw worker processes,
+// per process count, with the spectra checked bitwise against the
+// in-process pool. "Cold" means the worker processes are freshly spawned
+// for each point — their model caches and arenas start empty — so the
+// column prices what a new fleet actually delivers.
+type FarmPoint struct {
+	WorkerProcs int     `json:"worker_procs"`
+	WallMS      float64 `json:"cold_sweep_wall_ms"`
+	Speedup     float64 `json:"speedup_vs_one_proc"`
+	Bitwise     bool    `json:"cl_bitwise_vs_pool"`
+}
+
 // Report is the written document.
 type Report struct {
 	Date          string  `json:"date"`
@@ -196,6 +215,11 @@ type Report struct {
 	// mid-assignment versus the clean run, recovered bitwise-identically.
 	FaultRecovery *FaultRecovery `json:"fault_recovery"`
 
+	// The PR 9 numbers: the cold C_l sweep over a supervised multi-process
+	// plingerw farm, per worker-process count (-farm-procs), every point's
+	// spectra bitwise-checked against the in-process pool.
+	FarmScaling []FarmPoint `json:"farm_procs,omitempty"`
+
 	// The PR 3 serving numbers.
 	ServiceHitMS     float64       `json:"service_hit_ms"`
 	ServiceMissMS    float64       `json:"service_miss_ms"`
@@ -221,10 +245,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	var (
-		out   = flag.String("out", "BENCH_PR8.json", "output file")
-		quick = flag.Bool("quick", false, "smaller pipeline settings (for smoke runs)")
-		smoke = flag.Bool("smoke", false, "tiny settings and short service runs: the CI exercise of the whole report path")
-		procs = flag.String("procs", "", "comma-separated GOMAXPROCS values for the scaling sweep ('all' = every core; default 1,2,4,all clamped to the machine)")
+		out       = flag.String("out", "BENCH_PR9.json", "output file")
+		quick     = flag.Bool("quick", false, "smaller pipeline settings (for smoke runs)")
+		smoke     = flag.Bool("smoke", false, "tiny settings and short service runs: the CI exercise of the whole report path")
+		procs     = flag.String("procs", "", "comma-separated GOMAXPROCS values for the scaling sweep ('all' = every core; default 1,2,4,all clamped to the machine)")
+		farmProcs = flag.String("farm-procs", "", "comma-separated plingerw process counts for the farm scaling column (default like -procs; 'skip' disables the column)")
 	)
 	flag.Parse()
 
@@ -448,6 +473,27 @@ func main() {
 		rep.FaultRecovery.CleanWallMS, rep.FaultRecovery.KillWallMS,
 		rep.FaultRecovery.OverheadX, rep.FaultRecovery.Reassignments)
 
+	// The PR 9 farm column: the same cold sweep over freshly spawned
+	// plingerw fleets of increasing size, bitwise-checked against the
+	// in-process fast spectrum computed above.
+	if *farmProcs != "skip" {
+		fpList, err := parseProcs(*farmProcs, *smoke)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.FarmScaling, err = runFarmScaling(m, fastOpts, fastSpec, fpList)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%12s %16s %10s %9s\n", "worker procs", "cold wall [ms]", "speedup", "bitwise")
+		for _, p := range rep.FarmScaling {
+			fmt.Printf("%12d %16.1f %9.2fx %9v\n", p.WorkerProcs, p.WallMS, p.Speedup, p.Bitwise)
+			if !p.Bitwise {
+				log.Fatal("farm sweep not bitwise-identical to the in-process pool (determinism contract broken)")
+			}
+		}
+	}
+
 	// The serving benchmark: an in-process plingerd (real HTTP stack via
 	// httptest) at the same product settings. Cold misses are timed on
 	// distinct fresh keys, then a single-client run measures unloaded hit
@@ -587,6 +633,66 @@ func runScalingSweep(m *plinger.Model, opts plinger.SpectrumOptions, procsList [
 		return out, nil, nil
 	}
 	return out, &identical, nil
+}
+
+// runFarmScaling times the cold C_l sweep over supervised plingerw
+// fleets of increasing size. Each point spawns a FRESH fleet (cold model
+// caches, cold arenas on every worker), runs the sweep once through the
+// facade's farm routing, checks the spectrum bitwise against the
+// in-process reference, and drains the fleet.
+func runFarmScaling(m *plinger.Model, opts plinger.SpectrumOptions, ref *plinger.Spectrum, procsList []int) ([]FarmPoint, error) {
+	dir, err := os.MkdirTemp("", "plingerw-bench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	bin := filepath.Join(dir, "plingerw")
+	if out, err := exec.Command("go", "build", "-o", bin, "plinger/cmd/plingerw").CombinedOutput(); err != nil {
+		return nil, fmt.Errorf("build plingerw: %v\n%s", err, out)
+	}
+	defer m.DisableFarm()
+	var points []FarmPoint
+	for _, n := range procsList {
+		f, err := farm.New(farm.Options{
+			Workers:        n,
+			WorkerBin:      bin,
+			WorkerArgs:     []string{"-quiet"},
+			MinWorkers:     n,
+			WaitWorkers:    60 * time.Second,
+			AssignDeadline: 120 * time.Second,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("farm with %d workers: %w", n, err)
+		}
+		joinBy := time.Now().Add(60 * time.Second)
+		for f.Alive() < n && time.Now().Before(joinBy) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if f.Alive() < n {
+			f.Close()
+			return nil, fmt.Errorf("only %d of %d plingerw processes joined", f.Alive(), n)
+		}
+		m.EnableFarm(f)
+		t0 := time.Now()
+		spec, err := m.ComputeSpectrum(opts)
+		wall := float64(time.Since(t0).Nanoseconds()) / 1e6
+		m.DisableFarm()
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("farm sweep with %d workers: %w", n, err)
+		}
+		p := FarmPoint{WorkerProcs: n, WallMS: wall, Bitwise: len(spec.Cl) == len(ref.Cl)}
+		for i := range ref.Cl {
+			if spec.Cl[i] != ref.Cl[i] {
+				p.Bitwise = false
+			}
+		}
+		points = append(points, p)
+	}
+	for i := range points {
+		points[i].Speedup = points[0].WallMS / points[i].WallMS
+	}
+	return points, nil
 }
 
 // runAblation times the PR 6 ablation grid on the dense C_l request:

@@ -26,6 +26,16 @@
 //
 // The load generator reports sustained requests/sec and the latency
 // distribution, split by cache hits and misses.
+//
+// Compute over a supervised multi-process worker farm instead of the
+// in-process pool (spawns plingerw children, restarts crashes, re-admits
+// rejoining workers; /v1/stats grows a per-host roster):
+//
+//	plingerd -addr :8787 -farm 127.0.0.1:9041 -farm-workers 4
+//
+// Remote plingerw processes dial the same -farm address; SIGTERM drains
+// the farm and finishes in-flight requests (-drain-timeout bounds it, a
+// second signal forces exit).
 package main
 
 import (
@@ -38,9 +48,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"plinger/internal/farm"
 	"plinger/internal/serve"
 )
 
@@ -64,6 +76,11 @@ func main() {
 		slowMS   = flag.Int("slow-ms", 2000, "log requests slower than this as warnings")
 		debug    = flag.String("debug-addr", "", "serve net/http/pprof on this side address (empty: disabled)")
 
+		farmAddr    = flag.String("farm", "", "run sweeps over a worker farm listening on this address for plingerw workers (e.g. :9041; empty: in-process pools unless -farm-workers > 0)")
+		farmWorkers = flag.Int("farm-workers", 0, "plingerw processes to spawn and supervise locally")
+		farmBin     = flag.String("farm-worker-bin", "", "plingerw binary to spawn (default: plingerw next to this executable)")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight sweeps and farm drain")
+
 		loadgen  = flag.Bool("loadgen", false, "run as a load-generating client instead of a server")
 		url      = flag.String("url", "http://localhost:8787", "loadgen: daemon base URL")
 		clients  = flag.Int("clients", 32, "loadgen: concurrent clients")
@@ -84,10 +101,45 @@ func main() {
 		return
 	}
 
+	// The farm, when configured, is the daemon's: started before the
+	// service (models route over it from the first request) and drained
+	// after the HTTP server has stopped taking traffic.
+	var fleet *farm.Supervisor
+	if *farmAddr != "" || *farmWorkers > 0 {
+		bin := *farmBin
+		if bin == "" && *farmWorkers > 0 {
+			exe, err := os.Executable()
+			if err != nil {
+				logger.Error("cannot locate plingerw next to the daemon", "err", err)
+				os.Exit(1)
+			}
+			bin = filepath.Join(filepath.Dir(exe), "plingerw")
+		}
+		addr := *farmAddr
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		f, err := farm.New(farm.Options{
+			Addr:      addr,
+			Workers:   *farmWorkers,
+			WorkerBin: bin,
+			Logf: func(format string, args ...any) {
+				logger.Info(fmt.Sprintf(format, args...))
+			},
+		})
+		if err != nil {
+			logger.Error("farm startup failed", "err", err)
+			os.Exit(1)
+		}
+		fleet = f
+		logger.Info("farm listening", "addr", f.Addr(), "spawned_workers", *farmWorkers)
+	}
+
 	svc := serve.New(serve.Options{
 		Defaults: serve.Defaults{LMaxCl: *lmaxCl, NK: *nk, KRefine: *krefine, PkNK: *pknk,
 			LSpline: *lspline, KBatch: *kbatch},
 		Workers:        *workers,
+		Farm:           fleet,
 		CacheSize:      *cache,
 		ModelCacheSize: *models,
 		MaxConcurrent:  *conc,
@@ -131,17 +183,36 @@ func main() {
 	go func() { errCh <- server.ListenAndServe() }()
 	logger.Info("listening", "addr", *addr)
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
 		logger.Error("server failed", "err", err)
 		os.Exit(1)
 	case s := <-sig:
-		logger.Info("shutting down", "signal", s.String())
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		logger.Info("shutting down", "signal", s.String(), "budget", drainWait.String())
+		// A second signal is the operator overruling the graceful path.
+		go func() {
+			s := <-sig
+			logger.Error("second signal: forcing exit", "signal", s.String())
+			os.Exit(1)
+		}()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
-		_ = server.Shutdown(ctx)
+		// Shutdown waits out in-flight requests — and with them their
+		// sweeps — before returning; its error is the difference between a
+		// clean stop and work cut off by the budget, so it is logged, not
+		// discarded.
+		if err := server.Shutdown(ctx); err != nil {
+			logger.Error("http shutdown incomplete", "err", err)
+		}
+		if fleet != nil {
+			if err := fleet.Drain(ctx); err != nil {
+				logger.Error("farm drain incomplete", "err", err)
+			} else {
+				logger.Info("farm drained")
+			}
+		}
 	}
 }
 

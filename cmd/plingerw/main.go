@@ -1,0 +1,95 @@
+// Command plingerw is the farm worker: it dials a plingerd master (or any
+// farm.Supervisor), registers, and serves sweeps until drained. Across
+// sweeps it keeps its models — background/thermodynamics/EvalTables — and
+// one evolution arena warm, so a fleet of these processes gives every
+// sweep hot caches on every host.
+//
+// The process is deliberately dumb about failure: if the connection dies
+// for any reason it reconnects with exponential backoff and registers
+// again (counting its rejoins), and if the master stays unreachable past
+// -retry-window it exits so an external supervisor (or the farm's own
+// restart budget) decides what happens next. A drain order from the
+// master is the one clean exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"plinger/internal/core"
+	"plinger/internal/farm"
+)
+
+func main() {
+	var (
+		master      = flag.String("master", "", "master address to dial (host:port, required)")
+		dialTimeout = flag.Duration("dial-timeout", 10*time.Second, "per-attempt dial timeout")
+		retryWindow = flag.Duration("retry-window", 5*time.Minute, "give up after this long without a successful session")
+		quiet       = flag.Bool("quiet", false, "suppress per-event logging")
+	)
+	flag.Parse()
+	if *master == "" {
+		fmt.Fprintln(os.Stderr, "plingerw: -master is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	logf := log.New(os.Stderr, "plingerw ", log.LstdFlags).Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	// Warm state survives reconnects: the same model cache and evolution
+	// arena serve every session this process ever runs.
+	models := farm.NewModelCache()
+	scratch := core.NewScratch()
+	uid := farm.NewWorkerUID()
+
+	const backoffMin, backoffMax = 200 * time.Millisecond, 15 * time.Second
+	backoff := backoffMin
+	rejoins := 0
+	lastGood := time.Now()
+	for {
+		conn, err := net.DialTimeout("tcp", *master, *dialTimeout)
+		if err != nil {
+			if time.Since(lastGood) > *retryWindow {
+				logf("no master at %s for %v; giving up", *master, *retryWindow)
+				os.Exit(1)
+			}
+			logf("dial %s: %v (retrying in %v)", *master, err, backoff)
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > backoffMax {
+				backoff = backoffMax
+			}
+			continue
+		}
+		sessionStart := time.Now()
+		err = farm.ServeWorker(conn, farm.WorkerOptions{
+			UID:     uid,
+			Rejoins: rejoins,
+			Logf:    logf,
+			Models:  models,
+			Scratch: scratch,
+		})
+		conn.Close()
+		if err == nil {
+			logf("drained; exiting")
+			return
+		}
+		rejoins++
+		if time.Since(sessionStart) > 5*time.Second {
+			// A session that lived a while was a healthy one: its loss is
+			// fresh news, not part of an ongoing outage.
+			backoff = backoffMin
+		}
+		lastGood = time.Now()
+		logf("session ended: %v (reconnect %d in %v)", err, rejoins, backoff)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > backoffMax {
+			backoff = backoffMax
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package dispatch
+
+import (
+	"plinger/internal/core"
+)
+
+// This file exports the scheduling/telemetry glue an out-of-package
+// long-lived MP backend (internal/farm) shares with the in-package MP
+// dispatcher, so both compute hand-out orders, per-k cutoffs, and RunStats
+// from one formula. The farm cannot live in this package — it sits above
+// the dispatcher (serve configures it, the facade routes to it) — and
+// dispatch must not import it, so the shared pieces are exported here
+// instead of duplicated there.
+
+// SweepTau0 exposes the sweep's conformal-time horizon for external
+// backends (Sweep.Tau0 must be filled the same way on every backend).
+func SweepTau0(model *core.Model, mode core.Params) float64 {
+	return sweepTau0(model, mode)
+}
+
+// HandOutOrder computes the hand-out order an MP master should be given:
+// a permutation of mode indices, or of batch blocks when kbatch > 1 —
+// exactly what MP.Run hands runner.Master.
+func HandOutOrder(s Schedule, ks []float64, kbatch int) []int {
+	if kbatch > 1 && len(ks) > 1 {
+		return blockOrder(s, ks, batchBlocks(len(ks), kbatch))
+	}
+	return s.Order(ks)
+}
+
+// PerKLMaxTable exposes the adaptive per-wavenumber hierarchy cutoff table
+// (nil when adapt is false), as ridden along in assignment messages.
+func PerKLMaxTable(ks []float64, tau0 float64, lmaxGlobal int, adapt bool) []int {
+	return perKLMaxTable(ks, tau0, lmaxGlobal, adapt)
+}
+
+// PrebuildEvalTables warms the model's shared evaluation tables exactly as
+// the in-package backends do before a FastEvolve sweep.
+func PrebuildEvalTables(m *core.Model, mode core.Params) {
+	prebuildEvalTables(m, mode)
+}
+
+// FinishRunStats derives the aggregate columns (parallel efficiency, flop
+// rate) and folds the run into the process-wide dispatch metrics — the
+// final step of every backend's Run.
+func FinishRunStats(st *RunStats) {
+	st.finalize()
+	recordRunStats(st)
+}

@@ -1,0 +1,28 @@
+package farm
+
+import "plinger/internal/obs"
+
+// Farm metric series on the default registry. Gauges are settable (not
+// GaugeFunc closures) so tests that run several supervisors in one process
+// never pin a retired supervisor's roster into the exposition; every
+// roster change re-publishes the current truth.
+var (
+	obsWorkersAlive = obs.Default.Gauge("plinger_farm_workers_alive", "",
+		"registered farm workers currently attached and heartbeating")
+	obsWorkersTarget = obs.Default.Gauge("plinger_farm_workers_target", "",
+		"configured spawned-local worker count the supervisor reconciles toward")
+	obsRestarts = obs.Default.Counter("plinger_farm_restarts_total", "",
+		"spawned worker processes restarted after an exit")
+	obsReconnects = obs.Default.Counter("plinger_farm_reconnects_total", "",
+		"worker registrations that were reconnections of a previously attached process")
+	obsRejoins = obs.Default.Counter("plinger_farm_rejoins_total", "",
+		"reconnections of workers previously declared failed (capacity self-healed)")
+	obsHeartbeatMisses = obs.Default.Counter("plinger_farm_heartbeat_misses_total", "",
+		"heartbeat windows that elapsed without a pong (or any traffic) from a worker")
+	obsHeartbeatKills = obs.Default.Counter("plinger_farm_heartbeat_kills_total", "",
+		"workers declared dead after exhausting the heartbeat miss budget")
+	obsRestartsDenied = obs.Default.Counter("plinger_farm_restarts_denied_total", "",
+		"worker restarts withheld because the rate-limited restart budget was exhausted")
+	obsSweeps = obs.Default.Counter("plinger_farm_sweeps_total", "",
+		"sweeps served through the farm backend")
+)

@@ -1,0 +1,241 @@
+// Package farm is the multi-host worker fleet: a Supervisor that owns a
+// roster of out-of-process plingerw workers (spawned locally or connected
+// from other hosts), keeps them alive with heartbeats and supervised
+// restarts, and serves sweeps over them through the paper's Appendix-A
+// master protocol (internal/plinger) with PR 7's fault tolerance armed.
+//
+// Where the tcpmp Hub is a fixed-size rendezvous — the world is sized up
+// front and one run consumes it — the farm is a long-lived dynamic world:
+// workers join and leave between sweeps, a worker lost mid-sweep is failed
+// by the master and REJOINS for the next sweep when its process reconnects,
+// and spawned workers that crash are restarted under a rate-limited budget.
+// Capacity self-heals instead of ratcheting down.
+package farm
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"plinger/internal/core"
+)
+
+// farmMagic opens every farm connection ("PLFM"), distinguishing the farm
+// protocol from the tcpmp hub protocol ("PLNG") on the wire.
+const farmMagic = 0x504c464d
+
+// protocolVersion is bumped on any incompatible frame-format change; the
+// supervisor rejects a Hello with a different version during registration.
+const protocolVersion = 1
+
+// Frame kinds. One persistent connection per worker multiplexes the
+// control plane (JSON payloads) and the sweep data plane (float64
+// payloads, carrying the Appendix-A tags) — TCP's per-connection ordering
+// is what guarantees a sweep's TagStop precedes the next SweepBegin.
+const (
+	kindHello      = int32(1) // worker -> master: registration (JSON Hello)
+	kindWelcome    = int32(2) // master -> worker: admission (JSON Welcome)
+	kindPing       = int32(3) // master -> worker: liveness probe
+	kindPong       = int32(4) // worker -> master: liveness answer
+	kindSweepBegin = int32(5) // master -> worker: sweep membership (JSON sweepSpec)
+	kindSweepDone  = int32(6) // worker -> master: sweep finished (JSON sweepDone)
+	kindData       = int32(7) // both ways: Appendix-A message (tag + float64s)
+	kindDrain      = int32(8) // master -> worker: finish and exit cleanly
+)
+
+// maxFramePayload bounds one frame's payload (matches tcpmp's 16 Mi
+// doubles); a larger header is a protocol violation, not an allocation.
+const maxFramePayload = 128 << 20
+
+// Hello is the worker's registration: who is joining and with what
+// capacity. Rejoins counts reconnections this process has made before the
+// current one, letting the supervisor tell a fresh worker from a returning
+// casualty.
+type Hello struct {
+	Version int    `json:"version"`
+	Host    string `json:"host"`
+	PID     int    `json:"pid"`
+	Procs   int    `json:"procs"` // GOMAXPROCS: the worker's arena capacity
+	Rejoins int    `json:"rejoins"`
+	// UID is the worker's stable identity across reconnects: the
+	// supervisor recognizes a returning casualty by it. A PID cannot play
+	// this role — two in-process workers share one, and a recycled PID
+	// would alias two unrelated processes.
+	UID      string `json:"uid"`
+	BuildTag string `json:"build,omitempty"`
+}
+
+// Welcome is the supervisor's admission reply.
+type Welcome struct {
+	ID          int `json:"id"`
+	HeartbeatMS int `json:"heartbeat_ms"`
+}
+
+// ModelSpec is the wire form of a cosmological model: the exact facade
+// Config fields, comparable so the worker can key its warm-model cache on
+// it. Two sweeps with equal specs hit the same cached background/thermo/
+// EvalTables on the worker.
+type ModelSpec struct {
+	H             float64 `json:"h"`
+	OmegaC        float64 `json:"omega_c"`
+	OmegaB        float64 `json:"omega_b"`
+	OmegaLambda   float64 `json:"omega_lambda"`
+	TCMB          float64 `json:"tcmb"`
+	YHe           float64 `json:"yhe"`
+	NNuMassless   float64 `json:"nnu_massless"`
+	NNuMassive    int     `json:"nnu_massive"`
+	MNuEV         float64 `json:"mnu_ev"`
+	SpectralIndex float64 `json:"ns"`
+	Flatten       bool    `json:"flatten"`
+}
+
+// sweepSpec tells one worker its place in a sweep. The Appendix-A TagInit
+// broadcast still carries the protocol's own init block (tauEnd, lmax, nk,
+// gauge, rtol, keep); the spec ships the fields TagInit does not cover —
+// the model, the grid, and the evolution knobs that must match the master
+// bit for bit (KBatch, FastEvolve, tolerances).
+type sweepSpec struct {
+	Rank  int       `json:"rank"`
+	World int       `json:"world"`
+	Model ModelSpec `json:"model"`
+	Ks    []float64 `json:"ks"`
+
+	LMax       int     `json:"lmax"`
+	LMaxNu     int     `json:"lmax_nu,omitempty"`
+	Gauge      int     `json:"gauge,omitempty"`
+	RTol       float64 `json:"rtol,omitempty"`
+	ATol       float64 `json:"atol,omitempty"`
+	TauEnd     float64 `json:"tau_end,omitempty"`
+	KTauStart  float64 `json:"ktau_start,omitempty"`
+	TCAFactor  float64 `json:"tca_factor,omitempty"`
+	NoTCA      bool    `json:"no_tca,omitempty"`
+	KeepSrc    bool    `json:"keep_sources,omitempty"`
+	KBatch     int     `json:"kbatch,omitempty"`
+	FastEvolve bool    `json:"fast_evolve,omitempty"`
+}
+
+// params reconstructs the worker-side core.Params (K is assigned per
+// block by the wire protocol; Integrator cannot cross a process boundary
+// and stays the default).
+func (sp *sweepSpec) params() core.Params {
+	return core.Params{
+		LMax:                 sp.LMax,
+		LMaxNu:               sp.LMaxNu,
+		Gauge:                core.Gauge(sp.Gauge),
+		RTol:                 sp.RTol,
+		ATol:                 sp.ATol,
+		TauEnd:               sp.TauEnd,
+		KTauStart:            sp.KTauStart,
+		TCAFactor:            sp.TCAFactor,
+		DisableTightCoupling: sp.NoTCA,
+		KeepSources:          sp.KeepSrc,
+		KBatch:               sp.KBatch,
+		FastEvolve:           sp.FastEvolve,
+	}
+}
+
+// specFromParams is the master-side inverse of params.
+func specFromParams(mode core.Params) sweepSpec {
+	return sweepSpec{
+		LMax:       mode.LMax,
+		LMaxNu:     mode.LMaxNu,
+		Gauge:      int(mode.Gauge),
+		RTol:       mode.RTol,
+		ATol:       mode.ATol,
+		TauEnd:     mode.TauEnd,
+		KTauStart:  mode.KTauStart,
+		TCAFactor:  mode.TCAFactor,
+		NoTCA:      mode.DisableTightCoupling,
+		KeepSrc:    mode.KeepSources,
+		KBatch:     mode.KBatch,
+		FastEvolve: mode.FastEvolve,
+	}
+}
+
+// sweepDone closes a worker's participation in one sweep.
+type sweepDone struct {
+	OK  bool   `json:"ok"`
+	Err string `json:"err,omitempty"`
+}
+
+// frame is one decoded wire frame.
+type frame struct {
+	kind    int32
+	tag     int32
+	payload []byte
+}
+
+// writeTimeout bounds every frame write: a peer whose TCP buffer stopped
+// draining (a wedged process, a dead link before the RST) must cost the
+// writer an error, never a stuck sweep. It is far above any healthy
+// flush time, so expiry is a liveness verdict.
+var writeTimeout = 30 * time.Second
+
+// writeFrame sends one frame under the connection's write lock (the
+// control plane and an in-flight sweep's data plane share the socket).
+func writeFrame(conn net.Conn, wmu *sync.Mutex, kind, tag int32, payload []byte) error {
+	if len(payload) > maxFramePayload {
+		return fmt.Errorf("farm: frame payload %d bytes exceeds limit", len(payload))
+	}
+	wmu.Lock()
+	defer wmu.Unlock()
+	conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+	hdr := [3]int32{kind, tag, int32(len(payload))}
+	if err := binary.Write(conn, binary.LittleEndian, hdr[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(payload)
+	return err
+}
+
+// writeJSON sends a control frame.
+func writeJSON(conn net.Conn, wmu *sync.Mutex, kind int32, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return writeFrame(conn, wmu, kind, 0, payload)
+}
+
+// readFrame reads one frame; io deadlines are the caller's business.
+func readFrame(conn net.Conn) (frame, error) {
+	var hdr [3]int32
+	if err := binary.Read(conn, binary.LittleEndian, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	n := int(hdr[2])
+	if n < 0 || n > maxFramePayload {
+		return frame{}, fmt.Errorf("farm: protocol violation: frame of %d payload bytes", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		return frame{}, err
+	}
+	return frame{kind: hdr[0], tag: hdr[1], payload: payload}, nil
+}
+
+// encodeFloats/decodeFloats carry Appendix-A message payloads bit-exactly
+// (Float64bits round-trips NaNs and signed zeros unchanged).
+func encodeFloats(data []float64) []byte {
+	buf := make([]byte, 8*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return buf
+}
+
+func decodeFloats(payload []byte) ([]float64, error) {
+	if len(payload)%8 != 0 {
+		return nil, fmt.Errorf("farm: data frame of %d bytes is not a float64 array", len(payload))
+	}
+	data := make([]float64, len(payload)/8)
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+	}
+	return data, nil
+}

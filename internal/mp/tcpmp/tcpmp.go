@@ -26,10 +26,32 @@ import (
 // would claim a second slot.
 var ErrDial = errors.New("tcpmp: dial failed")
 
+// ErrTimeout marks an i/o deadline expiry on an endpoint: a peer that went
+// silent past the configured read window, or a send that could not drain
+// within the write window. It is the transport-level signature of a dead or
+// wedged peer — a *liveness* failure — and deliberately distinct from
+// ErrProtocol so fault ledgers can count heartbeat-style misses separately
+// from corrupted traffic.
+var ErrTimeout = errors.New("tcpmp: i/o deadline exceeded")
+
+// ErrProtocol marks a frame-level protocol violation: an impossible frame
+// length, a bad magic word — traffic from a peer that is alive but speaking
+// garbage. Recovery policy differs from ErrTimeout (a violating peer should
+// be dropped outright, never waited for), which is why the two are typed.
+var ErrProtocol = errors.New("tcpmp: protocol violation")
+
 const magic = 0x504c4e47 // "PLNG"
 
 // maxFrameDoubles bounds a single message (16 Mi doubles = 128 MiB).
 const maxFrameDoubles = 16 << 20
+
+// hubMagicTimeout bounds how long the hub waits for a freshly accepted
+// connection to present the magic word. Without it, one process that dials
+// in and then wedges before writing anything holds the accept loop hostage
+// and the whole rendezvous never completes — a silent connection must cost
+// only its own slot, never the world's. Variable so the hardening test can
+// shrink it.
+var hubMagicTimeout = 5 * time.Second
 
 // Hub is the rendezvous/routing daemon.
 type Hub struct {
@@ -91,32 +113,52 @@ func (h *Hub) accept() {
 			return
 		}
 		var m uint32
+		c.SetReadDeadline(time.Now().Add(hubMagicTimeout))
 		if err := binary.Read(c, binary.LittleEndian, &m); err != nil || m != magic {
 			c.Close()
 			continue
 		}
+		c.SetReadDeadline(time.Time{})
 		conns = append(conns, c)
 	}
 	h.mu.Lock()
 	h.conns = conns
 	h.wmu = make([]sync.Mutex, h.n)
 	h.mu.Unlock()
-	// Handshake: tell each process its rank and the world size.
+	// Handshake: tell each process its rank and the world size. A process
+	// that died between Accept and here has already claimed its slot, so the
+	// write to it may fail — that costs only the dead slot: the survivors
+	// still get their ranks and their route loops, and the master's
+	// assignment deadlines fail the silent rank like any other casualty.
+	// (Storing the error and bailing here used to kill the hub for everyone.)
 	for rank, c := range conns {
 		hdr := [2]int32{int32(rank), int32(h.n)}
 		if err := binary.Write(c, binary.LittleEndian, hdr[:]); err != nil {
-			h.err.Store(err)
-			return
+			c.Close()
+			h.mu.Lock()
+			h.conns[rank] = nil
+			h.mu.Unlock()
 		}
 	}
 	for rank := range conns {
-		go h.route(rank)
+		if h.connAt(rank) != nil {
+			go h.route(rank)
+		}
 	}
+}
+
+func (h *Hub) connAt(rank int) net.Conn {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.conns[rank]
 }
 
 // route forwards frames arriving from one process to their destinations.
 func (h *Hub) route(rank int) {
-	src := h.conns[rank]
+	src := h.connAt(rank)
+	if src == nil {
+		return
+	}
 	for {
 		var hdr [3]int32 // dst, tag, n
 		if err := binary.Read(src, binary.LittleEndian, hdr[:]); err != nil {
@@ -134,12 +176,16 @@ func (h *Hub) route(rank int) {
 			continue
 		}
 		h.bytes.Add(int64(8 * n))
+		dc := h.connAt(dst)
+		if dc == nil {
+			continue // destination lost its slot during handshake
+		}
 		out := [3]int32{int32(rank), int32(tag), int32(n)}
 		h.wmu[dst].Lock()
-		err1 := binary.Write(h.conns[dst], binary.LittleEndian, out[:])
+		err1 := binary.Write(dc, binary.LittleEndian, out[:])
 		var err2 error
 		if err1 == nil {
-			_, err2 = h.conns[dst].Write(payload)
+			_, err2 = dc.Write(payload)
 		}
 		h.wmu[dst].Unlock()
 		if err1 != nil || err2 != nil {
@@ -160,6 +206,55 @@ type endpoint struct {
 	size int
 	q    *mp.Queue
 	wmu  sync.Mutex
+
+	// readTO/writeTO are optional per-frame i/o deadlines in nanoseconds
+	// (0: none). Atomics because SetIOTimeouts races with the reader
+	// goroutine by construction.
+	readTO  atomic.Int64
+	writeTO atomic.Int64
+	closed  atomic.Bool  // local Close: reader exit is expected, not a fault
+	ioErr   atomic.Value // error: why the reader stopped, classified
+}
+
+// SetIOTimeouts arms per-frame deadlines on a tcpmp endpoint: each inbound
+// frame must start arriving within read, each Send must drain within write
+// (0 leaves that direction unbounded). Expiry surfaces as ErrTimeout —
+// from Send directly, and from Err after the receive side shuts down — so a
+// fault ledger can file the peer under "went silent" instead of "spoke
+// garbage" (ErrProtocol). Returns false when ep is not a tcpmp endpoint.
+// A read timeout only suits callers with steady traffic or heartbeats;
+// an idle-by-design master link should leave read at 0.
+func SetIOTimeouts(ep mp.Endpoint, read, write time.Duration) bool {
+	e, ok := ep.(*endpoint)
+	if !ok {
+		return false
+	}
+	e.readTO.Store(int64(read))
+	e.writeTO.Store(int64(write))
+	return true
+}
+
+// Err reports why the endpoint's receive side stopped: nil while healthy or
+// after a local Close, ErrTimeout-wrapped after a read-deadline expiry,
+// ErrProtocol-wrapped after a malformed frame, the raw transport error
+// otherwise. Returns false when ep is not a tcpmp endpoint.
+func Err(ep mp.Endpoint) (error, bool) {
+	e, ok := ep.(*endpoint)
+	if !ok {
+		return nil, false
+	}
+	err, _ := e.ioErr.Load().(error)
+	return err, true
+}
+
+// classify maps a transport error to the typed sentinels: net timeouts
+// become ErrTimeout, everything else passes through untouched.
+func classify(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w: %v", ErrTimeout, err)
+	}
+	return err
 }
 
 // Connect joins the world at the hub address; it blocks until all
@@ -209,20 +304,32 @@ func ConnectTimeout(addr string, timeout time.Duration) (mp.Endpoint, error) {
 }
 
 func (e *endpoint) reader() {
+	fail := func(err error) {
+		if !e.closed.Load() {
+			e.ioErr.Store(err)
+		}
+		e.q.Close()
+	}
 	for {
+		if to := e.readTO.Load(); to > 0 {
+			e.conn.SetReadDeadline(time.Now().Add(time.Duration(to)))
+		} else {
+			e.conn.SetReadDeadline(time.Time{})
+		}
 		var hdr [3]int32 // src, tag, n
 		if err := binary.Read(e.conn, binary.LittleEndian, hdr[:]); err != nil {
-			e.q.Close()
+			fail(classify(err))
 			return
 		}
 		n := int(hdr[2])
 		if n < 0 || n > maxFrameDoubles {
-			e.q.Close()
+			fail(fmt.Errorf("%w: frame of %d doubles from rank %d", ErrProtocol, n, hdr[0]))
+			e.conn.Close() // a violating peer is dropped, not waited out
 			return
 		}
 		buf := make([]byte, 8*n)
 		if _, err := io.ReadFull(e.conn, buf); err != nil {
-			e.q.Close()
+			fail(classify(err))
 			return
 		}
 		data := make([]float64, n)
@@ -240,16 +347,21 @@ func (e *endpoint) Master() int { return 0 }
 func (e *endpoint) Send(dst, tag int, data []float64) error {
 	e.wmu.Lock()
 	defer e.wmu.Unlock()
+	if to := e.writeTO.Load(); to > 0 {
+		e.conn.SetWriteDeadline(time.Now().Add(time.Duration(to)))
+	} else {
+		e.conn.SetWriteDeadline(time.Time{})
+	}
 	hdr := [3]int32{int32(dst), int32(tag), int32(len(data))}
 	if err := binary.Write(e.conn, binary.LittleEndian, hdr[:]); err != nil {
-		return err
+		return classify(err)
 	}
 	buf := make([]byte, 8*len(data))
 	for i, v := range data {
 		binary.LittleEndian.PutUint64(buf[8*i:], floatToBits(v))
 	}
 	_, err := e.conn.Write(buf)
-	return err
+	return classify(err)
 }
 
 func (e *endpoint) Bcast(tag int, data []float64) error {
@@ -278,6 +390,7 @@ func (e *endpoint) Recv(tag, source int) (mp.Message, error) {
 }
 
 func (e *endpoint) Close() error {
+	e.closed.Store(true)
 	e.q.Close()
 	return e.conn.Close()
 }

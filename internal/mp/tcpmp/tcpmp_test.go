@@ -1,0 +1,234 @@
+package tcpmp
+
+// Hardening tests for the hub rendezvous and the typed endpoint errors:
+// a worker lost between Accept and handshake must cost only its own slot,
+// and i/o deadline expiries must surface as ErrTimeout — distinguishable
+// from ErrProtocol — so fault ledgers can separate silence from garbage.
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"plinger/internal/mp"
+)
+
+// TestRendezvousSurvivesPartialHandshakeLoss kills one worker between
+// Accept and the rank handshake: it dials, presents the magic word (so
+// the hub counts its slot), and dies with an RST before receiving its
+// rank. The two survivors must still complete the rendezvous and route
+// traffic; before the hardening, the hub stored the handshake-write error
+// and abandoned the whole world.
+func TestRendezvousSurvivesPartialHandshakeLoss(t *testing.T) {
+	hub, err := NewHub("127.0.0.1:0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+
+	// The doomed worker claims the first slot (rank 0) and vanishes.
+	c, err := net.Dial("tcp", hub.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := binary.Write(c, binary.LittleEndian, uint32(magic)); err != nil {
+		t.Fatal(err)
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetLinger(0) // die with an RST, not a graceful FIN
+	}
+	c.Close()
+
+	var wg sync.WaitGroup
+	eps := make([]mp.Endpoint, 2)
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			eps[i], errs[i] = ConnectTimeout(hub.Addr(), 10*time.Second)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if errs[i] != nil {
+			t.Fatalf("survivor %d rendezvous: %v", i, errs[i])
+		}
+		defer eps[i].Close()
+		if eps[i].Size() != 3 {
+			t.Fatalf("survivor %d: world size %d, want 3", i, eps[i].Size())
+		}
+	}
+	// The survivors can talk to each other across the hub.
+	a, b := eps[0], eps[1]
+	want := []float64{1.5, -2.25, 3.125}
+	if err := a.Send(b.Rank(), 7, want); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := b.Recv(7, a.Rank())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msg.Data) != len(want) || msg.Data[0] != want[0] || msg.Data[2] != want[2] {
+		t.Fatalf("routed frame corrupted: %v", msg.Data)
+	}
+}
+
+// TestHubMagicDeadlineFreesAcceptLoop dials in a connection that never
+// speaks: the hub must time it out instead of letting it hold the accept
+// loop hostage, so the real workers still rendezvous.
+func TestHubMagicDeadlineFreesAcceptLoop(t *testing.T) {
+	old := hubMagicTimeout
+	hubMagicTimeout = 100 * time.Millisecond
+	defer func() { hubMagicTimeout = old }()
+
+	hub, err := NewHub("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+
+	mute, err := net.Dial("tcp", hub.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mute.Close() // never writes anything
+
+	var wg sync.WaitGroup
+	eps := make([]mp.Endpoint, 2)
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			eps[i], errs[i] = ConnectTimeout(hub.Addr(), 10*time.Second)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if errs[i] != nil {
+			t.Fatalf("rendezvous behind a mute dialer: %v", errs[i])
+		}
+		eps[i].Close()
+	}
+}
+
+// fakeHub speaks just enough of the hub protocol to hand one endpoint a
+// rank and then feed it arbitrary bytes — the lever for exercising the
+// endpoint's typed error paths.
+func fakeHub(t *testing.T, serve func(c net.Conn)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		var m uint32
+		if binary.Read(c, binary.LittleEndian, &m) != nil {
+			c.Close()
+			return
+		}
+		hdr := [2]int32{1, 2} // you are rank 1 of 2
+		if binary.Write(c, binary.LittleEndian, hdr[:]) != nil {
+			c.Close()
+			return
+		}
+		serve(c)
+	}()
+	return ln.Addr().String()
+}
+
+// TestReadDeadlineSurfacesErrTimeout arms a read deadline on an endpoint
+// whose peer goes silent: the reader must stop with an ErrTimeout-wrapped
+// error (not ErrProtocol, not a bare transport error) and close the queue.
+func TestReadDeadlineSurfacesErrTimeout(t *testing.T) {
+	addr := fakeHub(t, func(c net.Conn) { /* silent forever */ })
+	ep, err := ConnectTimeout(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	if !SetIOTimeouts(ep, 50*time.Millisecond, 0) {
+		t.Fatal("SetIOTimeouts rejected a tcpmp endpoint")
+	}
+	if _, err := ep.Recv(1, mp.AnySource); !errors.Is(err, mp.ErrClosed) {
+		t.Fatalf("Recv after silence: %v, want ErrClosed", err)
+	}
+	cause, ok := Err(ep)
+	if !ok {
+		t.Fatal("Err rejected a tcpmp endpoint")
+	}
+	if !errors.Is(cause, ErrTimeout) {
+		t.Fatalf("cause = %v, want ErrTimeout", cause)
+	}
+	if errors.Is(cause, ErrProtocol) {
+		t.Fatal("a silent peer must not read as a protocol violation")
+	}
+}
+
+// TestMalformedFrameSurfacesErrProtocol feeds the endpoint an impossible
+// frame length: the reader must stop with ErrProtocol — a peer speaking
+// garbage is a different failure class than one that went silent.
+func TestMalformedFrameSurfacesErrProtocol(t *testing.T) {
+	addr := fakeHub(t, func(c net.Conn) {
+		bad := [3]int32{0, 5, -7} // negative payload length
+		_ = binary.Write(c, binary.LittleEndian, bad[:])
+	})
+	ep, err := ConnectTimeout(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	if _, err := ep.Recv(5, mp.AnySource); !errors.Is(err, mp.ErrClosed) {
+		t.Fatalf("Recv after garbage: %v, want ErrClosed", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		cause, _ := Err(ep)
+		if cause != nil {
+			if !errors.Is(cause, ErrProtocol) {
+				t.Fatalf("cause = %v, want ErrProtocol", cause)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("endpoint never recorded the protocol violation")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestLocalCloseIsNotAFault: an endpoint the caller closed must report a
+// nil cause — shutting down on purpose is not a peer failure.
+func TestLocalCloseIsNotAFault(t *testing.T) {
+	addr := fakeHub(t, func(c net.Conn) { /* idle */ })
+	ep, err := ConnectTimeout(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep.Close()
+	time.Sleep(20 * time.Millisecond) // let the reader observe the close
+	if cause, _ := Err(ep); cause != nil {
+		t.Fatalf("local close recorded a fault: %v", cause)
+	}
+}
+
+type notTCP struct{ mp.Endpoint }
+
+// TestTypedHelpersRejectForeignEndpoints pins the ok=false contract.
+func TestTypedHelpersRejectForeignEndpoints(t *testing.T) {
+	if SetIOTimeouts(notTCP{}, time.Second, time.Second) {
+		t.Fatal("SetIOTimeouts accepted a non-tcpmp endpoint")
+	}
+	if _, ok := Err(notTCP{}); ok {
+		t.Fatal("Err accepted a non-tcpmp endpoint")
+	}
+}

@@ -96,6 +96,10 @@ type Results struct {
 	Reassignments  int // orphaned blocks handed to surviving workers
 	DeadlineMisses int // total assignment/start-up deadline expiries
 	LocalModes     int // modes recomputed by the master's degradation path
+	// FailedRanks lists the ranks declared dead, in declaration order. A
+	// long-lived caller (the farm supervisor) uses it to retire exactly the
+	// casualties' connections while keeping the survivors attached.
+	FailedRanks []int
 }
 
 // BatchBlocks splits nk grid indices into consecutive [lo, hi) blocks of up
@@ -263,6 +267,7 @@ func Master(ep mp.Endpoint, model *core.Model, cfg Config) (*Results, error) {
 		}
 		failed[rank] = true
 		res.WorkerFailures++
+		res.FailedRanks = append(res.FailedRanks, rank)
 		delete(deadlineAt, rank)
 		delete(pending, rank)
 		if left[rank] > 0 {
@@ -693,6 +698,15 @@ func Master(ep mp.Endpoint, model *core.Model, cfg Config) (*Results, error) {
 // broadcast, then alternate between requesting work and returning results
 // until a stop message arrives.
 func Worker(ep mp.Endpoint, model *core.Model, kValues []float64, mode core.Params) error {
+	return WorkerWith(ep, model, kValues, mode, nil)
+}
+
+// WorkerWith is Worker with a caller-owned evolution arena: a long-lived
+// worker process (cmd/plingerw) hands the same scratch to every sweep it
+// serves, so the state buffers and the pooled integrator stay warm across
+// sweeps instead of being rebuilt per run. A nil scratch allocates a fresh
+// one, which is exactly Worker.
+func WorkerWith(ep mp.Endpoint, model *core.Model, kValues []float64, mode core.Params, scratch *core.Scratch) error {
 	master := ep.Master()
 	// Receive initial data (tag 1).
 	if _, _, err := ep.Probe(TagInit, master); err != nil {
@@ -719,9 +733,11 @@ func Worker(ep mp.Endpoint, model *core.Model, kValues []float64, mode core.Para
 	if err := ep.Send(master, TagRequest, []float64{0}); err != nil {
 		return err
 	}
-	// One evolution arena for the worker's whole life: every assigned mode
-	// reuses the same state buffers and integrator.
-	scratch := core.NewScratch()
+	// One evolution arena for (at least) the worker's whole run: every
+	// assigned mode reuses the same state buffers and integrator.
+	if scratch == nil {
+		scratch = core.NewScratch()
+	}
 	for {
 		// Receive next assignment or stop (mychecktid pattern: any tag
 		// from the master).

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"plinger"
+	"plinger/internal/farm"
 )
 
 // modelCache is the refcounted registry of built models. Building a model
@@ -16,7 +17,8 @@ import (
 // released it, so eviction can never yank a pool out from under a sweep.
 type modelCache struct {
 	capacity int
-	workers  int // shared-pool size per model
+	workers  int              // shared-pool size per model
+	farm     *farm.Supervisor // non-nil: sweeps route over the fleet instead
 
 	mu sync.Mutex
 	m  map[string]*modelEntry
@@ -38,13 +40,14 @@ type modelEntry struct {
 	evicted bool
 }
 
-func newModelCache(capacity, workers int) *modelCache {
+func newModelCache(capacity, workers int, f *farm.Supervisor) *modelCache {
 	if capacity < 1 {
 		capacity = 1
 	}
 	return &modelCache{
 		capacity: capacity,
 		workers:  workers,
+		farm:     f,
 		m:        make(map[string]*modelEntry),
 		ll:       list.New(),
 	}
@@ -76,7 +79,13 @@ func (c *modelCache) acquire(cfg plinger.Config) (*plinger.Model, func(), error)
 
 	m, err := plinger.New(cfg)
 	if err == nil {
-		m.EnableSharedPool(c.workers)
+		if c.farm != nil {
+			// The fleet is shared across all models; workers build and cache
+			// their own replica from the sweep's model specification.
+			m.EnableFarm(c.farm)
+		} else {
+			m.EnableSharedPool(c.workers)
+		}
 	}
 	e.model, e.err = m, err
 	close(e.ready)

@@ -364,7 +364,7 @@ func TestServiceBusy(t *testing.T) {
 }
 
 func TestModelCacheEvictionRefcounted(t *testing.T) {
-	mc := newModelCache(1, 1)
+	mc := newModelCache(1, 1, nil)
 	cfgA := clCfg(0.5)
 	cfgB := clCfg(0.55)
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"plinger"
+	"plinger/internal/farm"
 	"plinger/internal/obs"
 	"plinger/internal/specfunc"
 )
@@ -47,6 +48,12 @@ type Options struct {
 	Defaults Defaults
 	// Workers sizes each model's shared dispatch pool (<= 0: GOMAXPROCS).
 	Workers int
+	// Farm, when non-nil, routes every model's sweeps across the multi-host
+	// worker fleet instead of a per-model shared pool. The supervisor is
+	// attached, not owned: the service never closes it (the daemon that
+	// started the farm drains it on shutdown), and one supervisor serves
+	// every model in the registry — workers cache models per specification.
+	Farm *farm.Supervisor
 	// CacheSize bounds the response LRU in entries (<= 0: 256).
 	CacheSize int
 	// ModelCacheSize bounds the model registry (<= 0: 4).
@@ -160,7 +167,7 @@ func New(opts Options) *Service {
 		opts:    o,
 		cache:   newLRU(o.CacheSize),
 		stale:   newLRU(o.StaleCacheSize),
-		models:  newModelCache(o.ModelCacheSize, o.Workers),
+		models:  newModelCache(o.ModelCacheSize, o.Workers, o.Farm),
 		adm:     newAdmission(o.MaxConcurrent, o.MaxQueue),
 		started: time.Now(),
 		reg:     obs.NewRegistry(),
@@ -509,6 +516,10 @@ type Stats struct {
 	LatencyPk LatencyStats `json:"latency_pk"`
 	// Traces is the number of sweep traces currently in the /v1/trace ring.
 	Traces int `json:"traces"`
+	// Farm is the worker-fleet roster and supervision counters — per-host
+	// RunStats aggregates included — when the service computes over a farm
+	// (absent on in-process pool deployments).
+	Farm *farm.Status `json:"farm,omitempty"`
 }
 
 // LatencyStats summarizes one latency histogram for /v1/stats. Quantiles
@@ -563,6 +574,10 @@ func (s *Service) Stats() Stats {
 	}
 	if st.Misses > 0 {
 		st.AvgMissMS = float64(s.missNs.Load()) / 1e6 / float64(st.Misses)
+	}
+	if s.opts.Farm != nil {
+		fs := s.opts.Farm.Status()
+		st.Farm = &fs
 	}
 	return st
 }

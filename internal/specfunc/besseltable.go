@@ -466,7 +466,14 @@ func SharedBesselTable(ls []int, xmax float64, par func(n int, body func(i int))
 		// the old table are unaffected (tables are immutable).
 		ls = sortedUniqueLs(append(e.t.Ls(), ls...))
 	}
-	t := NewBesselTable(lmax, ls, xb, DefaultBesselH, par)
+	// Build at the key's bucketed cap, not the request's own lmax: the
+	// backward recurrence's starting order depends on the build lmax, so
+	// the low-order j_l bits would otherwise depend on which request
+	// happened to build (or union-extend) the entry first. Pinning the
+	// build to lb makes every row a pure function of (key, l) — the same
+	// bits no matter the request history, in this process or any other
+	// (the farm's cross-process bitwise contract rests on this).
+	t := NewBesselTable(lb, ls, xb, DefaultBesselH, par)
 	besselCache.m[key] = &besselCacheEntry{t: t, lastUse: besselCache.tick}
 	pruneBesselCacheLocked()
 	return t

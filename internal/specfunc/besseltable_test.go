@@ -195,3 +195,46 @@ func TestBesselTableParallelBuild(t *testing.T) {
 		}
 	}
 }
+
+// TestSharedBesselTableHistoryIndependent: rows served from the shared
+// cache must be a pure function of (key, l) — the same bits whether the
+// entry was built by a sparse request, by a wider one, or grown through a
+// union extension. The build therefore always runs its recurrence at the
+// key's bucketed cap, never at the request's own lmax; without that, a
+// process whose first request topped out at l=38 would serve different
+// j_l bits than a fresh process asking for l<=40 (the farm's
+// cross-process bitwise contract breaks exactly there).
+func TestSharedBesselTableHistoryIndependent(t *testing.T) {
+	// Two lmax values in the same 64-bucket, like DefaultLs(40) (max 38)
+	// vs a dense 2..40 request.
+	sparse := []int{2, 10, 38}
+	dense := []int{2, 10, 38, 40}
+	const xmax = 300.0
+
+	// The ground truth: what a fresh process building straight at the
+	// bucket cap tabulates.
+	direct := NewBesselTable(64, dense, besselXBucket(xmax), DefaultBesselH, nil)
+
+	// A history-shaped cache: sparse first, then union-extended by the
+	// dense request.
+	old := SetBesselCacheLimit(1)
+	defer SetBesselCacheLimit(old)
+	SharedBesselTable([]int{500}, 100, nil) // evict whatever earlier tests cached
+	SharedBesselTable(sparse, xmax, nil)
+	grown := SharedBesselTable(dense, xmax, nil)
+
+	for _, l := range dense {
+		rg, ok := grown.Row(l)
+		if !ok {
+			t.Fatalf("grown table missing l=%d", l)
+		}
+		rd, _ := direct.Row(l)
+		for _, x := range []float64{0.3, 5.5, 37.9, 123.4, 299.0} {
+			jg, jpg, qg := rg.Eval(x)
+			jd, jpd, qd := rd.Eval(x)
+			if jg != jd || jpg != jpd || qg != qd {
+				t.Fatalf("l=%d x=%g: union-grown row differs from fresh build", l, x)
+			}
+		}
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"plinger/internal/cosmology"
 	"plinger/internal/dispatch"
 	"plinger/internal/expdata"
+	"plinger/internal/farm"
 	"plinger/internal/obs"
 	"plinger/internal/recomb"
 	"plinger/internal/sky"
@@ -142,6 +143,10 @@ type Model struct {
 	// shared, when non-nil, is the long-lived pool every pool-transport
 	// sweep routes through (see EnableSharedPool).
 	shared *dispatch.SharedPool
+	// farm, when non-nil, routes default-transport sweeps across the
+	// multi-host worker fleet instead (see EnableFarm). It takes
+	// precedence over shared.
+	farm *farm.Supervisor
 }
 
 // New builds a model: Friedmann background (with massive-neutrino momentum
@@ -199,6 +204,46 @@ func (m *Model) CloseSharedPool() {
 		m.shared.Close()
 		m.shared = nil
 	}
+}
+
+// EnableFarm routes every subsequent default-transport sweep across the
+// given multi-host worker farm: the supervisor's plingerw fleet evolves
+// the modes out of process, with PR 7 fault tolerance armed on every run.
+// One supervisor serves any number of models (sweeps carry the model
+// specification; workers cache per spec), so the farm is attached, not
+// owned — the Model never closes it. Takes precedence over an attached
+// shared pool. Like EnableSharedPool, call it before the Model is shared
+// between goroutines.
+func (m *Model) EnableFarm(f *farm.Supervisor) { m.farm = f }
+
+// DisableFarm detaches the farm (without closing it) and reverts
+// default-transport sweeps to the in-process pool.
+func (m *Model) DisableFarm() { m.farm = nil }
+
+// farmSpec is the wire form of this model's configuration, the key under
+// which farm workers cache their replica of it.
+func (m *Model) farmSpec() farm.ModelSpec {
+	return farm.ModelSpec{
+		H: m.cfg.H, OmegaC: m.cfg.OmegaC, OmegaB: m.cfg.OmegaB,
+		OmegaLambda: m.cfg.OmegaLambda, TCMB: m.cfg.TCMB, YHe: m.cfg.YHe,
+		NNuMassless: m.cfg.NNuMassless, NNuMassive: m.cfg.NNuMassive,
+		MNuEV: m.cfg.MNuEV, SpectralIndex: m.cfg.SpectralIndex,
+		Flatten: m.cfg.Flatten,
+	}
+}
+
+// farmDispatcher adapts one (model, schedule) pair to the farm for a
+// single sweep call; the Supervisor itself is model-agnostic.
+type farmDispatcher struct {
+	f     *farm.Supervisor
+	spec  farm.ModelSpec
+	model *core.Model
+	sched dispatch.Schedule
+	adapt bool
+}
+
+func (d *farmDispatcher) Run(ctx context.Context, ks []float64, mode core.Params) (*dispatch.Sweep, *dispatch.RunStats, error) {
+	return d.f.Sweep(ctx, d.spec, d.model, ks, mode, d.sched, d.adapt)
 }
 
 // Tau0 returns the conformal age of the model in Mpc.
@@ -554,6 +599,12 @@ func (m *Model) newDispatcher(transport, schedule string, workers int, adaptLMax
 	}
 	switch transport {
 	case "", "pool":
+		if m.farm != nil {
+			return &farmDispatcher{
+				f: m.farm, spec: m.farmSpec(), model: m.core,
+				sched: sched, adapt: adaptLMax,
+			}, func() {}, nil
+		}
 		if m.shared != nil && !adaptLMax {
 			return m.shared, func() {}, nil
 		}
