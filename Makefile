@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check vet staticcheck build test-short test test-race test-faults test-farm bench bench-json bench-smoke
+.PHONY: check fmt-check vet staticcheck build test-short test test-race test-faults test-farm test-cluster bench bench-json bench-smoke
 
 check: fmt-check vet staticcheck build test-short
 
@@ -56,10 +56,22 @@ test-farm:
 	$(GO) test -race ./internal/farm/ ./internal/mp/tcpmp/
 	$(GO) test -race -run 'Farm' ./internal/serve/ .
 
+# test-cluster runs the sharded-cache fleet suite under the race detector:
+# the peering substrate (rendezvous ring, per-peer breakers, heartbeat
+# membership death/rejoin, retry/backoff, the deterministic fault-injection
+# transport) and the serving-layer chaos matrix — owner killed, hung,
+# erroring 5xx, and partitioned, each required to degrade to a 200 that is
+# bitwise identical to a no-cluster reference — plus the cross-node hit,
+# stale short-circuit, hedged-slow-peer, back-fill, and derived Retry-After
+# contracts.
+test-cluster:
+	$(GO) test -race ./internal/cluster/
+	$(GO) test -race -run 'Cluster|RetryAfter|KeyExcludesRouting' ./internal/serve/
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# bench-json regenerates BENCH_PR9.json: the fast-vs-reference C_l pipeline
+# bench-json regenerates BENCH_PR10.json: the fast-vs-reference C_l pipeline
 # and single-mode evolution speedups, the PR 6 ablation grid on the dense
 # multipole request (lspline on/off x kbatch 1/4/8 plus each fast
 # ingredient individually toggled off, with per-column wall/speedup and
@@ -71,11 +83,14 @@ bench:
 # kill vs clean, recovered spectra bitwise-checked), and the spectrum
 # service's serving numbers (cache-hit and cold-miss latency with
 # histogram-backed p50/p95/p99/max quantiles, sustained req/s at 32
-# concurrent clients), and the PR 9 farm-procs column (cold-sweep wall
+# concurrent clients), the PR 9 farm-procs column (cold-sweep wall
 # clock vs plingerw worker-process count, spectra bitwise-checked against
-# the in-process pool).
+# the in-process pool), and the PR 10 cluster-nodes column (hot-key
+# serving throughput of a sharded cache fleet at 1/2/4 in-process
+# daemons, with the whole fleet required to pay exactly one sweep for
+# the key).
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR9.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR10.json
 
 # bench-smoke runs the whole benchjson path at tiny settings (small
 # LMaxCl/NK, short service runs) and writes outside the repo — the CI guard

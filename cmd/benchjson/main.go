@@ -4,7 +4,7 @@
 // multi-core scaling sweep, and the spectrum service's serving benchmark),
 // extending the performance trajectory started in BENCH_PR2.json:
 //
-//	benchjson [-out BENCH_PR9.json] [-quick] [-smoke] [-procs 1,2,4,all] [-farm-procs 1,2,4]
+//	benchjson [-out BENCH_PR10.json] [-quick] [-smoke] [-procs 1,2,4,all] [-farm-procs 1,2,4] [-cluster-nodes 1,2,4]
 //
 // The headline numbers are the Figure-2 C_l pipeline with the full fast
 // engine (fast evolution + shared spherical-Bessel tables + coarse-to-fine
@@ -27,7 +27,11 @@
 // overhead, asserting the recovered spectra bitwise-identical. The PR 9
 // farm column times the same cold sweep over freshly spawned plingerw
 // fleets per worker-process count (-farm-procs), every point's spectra
-// bitwise-checked against the in-process pool.
+// bitwise-checked against the in-process pool. The PR 10 cluster column
+// (-cluster-nodes) serves the same hot key from a sharded cache fleet of
+// 1/2/4 in-process daemons peered into one rendezvous ring and reports
+// per-node-count throughput, p99, hit ratio, cross-node peer serves, and
+// the total sweeps the whole fleet paid for the key.
 //
 // -quick shrinks the pipeline settings; -smoke shrinks everything to a
 // few seconds of total runtime, runs the scaling sweep at GOMAXPROCS 1
@@ -58,6 +62,7 @@ import (
 	"time"
 
 	"plinger"
+	"plinger/internal/cluster"
 	"plinger/internal/core"
 	"plinger/internal/cosmology"
 	"plinger/internal/dispatch"
@@ -160,6 +165,23 @@ type FaultRecovery struct {
 	Bitwise        bool    `json:"bitwise_identical"`
 }
 
+// ClusterPoint is one row of the PR 10 sharded-fleet serving column: a
+// fleet of Nodes in-process plingerd daemons peered into one rendezvous
+// ring, hammered on the hot default key with clients spread round-robin
+// across the nodes. FleetSweeps is the whole fleet's sweep count for that
+// key — staying at 1 as nodes are added is the sharding contract (each
+// key has one owner; everyone else forwards, then caches). PeerServed
+// counts cross-node cache hits (the warm-up forwards).
+type ClusterPoint struct {
+	Nodes       int     `json:"nodes"`
+	RequestsSec float64 `json:"requests_per_sec"`
+	Speedup     float64 `json:"speedup_vs_one_node"`
+	P99MS       float64 `json:"p99_ms"`
+	HitRatio    float64 `json:"hit_ratio"`
+	PeerServed  int64   `json:"peer_served"`
+	FleetSweeps uint64  `json:"fleet_sweeps"`
+}
+
 // FarmPoint is one row of the PR 9 multi-process scaling column: the same
 // cold sweep served by a supervised fleet of plingerw worker processes,
 // per process count, with the spectra checked bitwise against the
@@ -220,6 +242,12 @@ type Report struct {
 	// spectra bitwise-checked against the in-process pool.
 	FarmScaling []FarmPoint `json:"farm_procs,omitempty"`
 
+	// The PR 10 numbers: hot-key serving throughput of a sharded cache
+	// fleet per in-process node count (-cluster-nodes), with the fleet's
+	// total sweep count for the key — 1 at every fleet size when the
+	// consistent-hash peering does its job.
+	ClusterScaling []ClusterPoint `json:"cluster_nodes,omitempty"`
+
 	// The PR 3 serving numbers.
 	ServiceHitMS     float64       `json:"service_hit_ms"`
 	ServiceMissMS    float64       `json:"service_miss_ms"`
@@ -245,11 +273,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	var (
-		out       = flag.String("out", "BENCH_PR9.json", "output file")
-		quick     = flag.Bool("quick", false, "smaller pipeline settings (for smoke runs)")
-		smoke     = flag.Bool("smoke", false, "tiny settings and short service runs: the CI exercise of the whole report path")
-		procs     = flag.String("procs", "", "comma-separated GOMAXPROCS values for the scaling sweep ('all' = every core; default 1,2,4,all clamped to the machine)")
-		farmProcs = flag.String("farm-procs", "", "comma-separated plingerw process counts for the farm scaling column (default like -procs; 'skip' disables the column)")
+		out          = flag.String("out", "BENCH_PR10.json", "output file")
+		quick        = flag.Bool("quick", false, "smaller pipeline settings (for smoke runs)")
+		smoke        = flag.Bool("smoke", false, "tiny settings and short service runs: the CI exercise of the whole report path")
+		procs        = flag.String("procs", "", "comma-separated GOMAXPROCS values for the scaling sweep ('all' = every core; default 1,2,4,all clamped to the machine)")
+		farmProcs    = flag.String("farm-procs", "", "comma-separated plingerw process counts for the farm scaling column (default like -procs; 'skip' disables the column)")
+		clusterNodes = flag.String("cluster-nodes", "", "comma-separated in-process node counts for the sharded-fleet serving column (default 1,2,4; smoke 1,2; 'skip' disables the column)")
 	)
 	flag.Parse()
 
@@ -521,6 +550,28 @@ func main() {
 	rep.ServiceMissMS = sb.ColdMissMS
 	rep.ServiceReqPerSec = sb.Sustained32.RequestsSec
 
+	// The PR 10 cluster column: the same hot-key serving run against a
+	// sharded fleet of increasing size, clients round-robin across nodes.
+	if *clusterNodes != "skip" {
+		cnList, err := parseNodes(*clusterNodes, *smoke)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.ClusterScaling, err = runClusterBench(lmaxCl, nk, kRefine, cnList, svcDur)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%6s %12s %10s %10s %10s %12s %13s\n",
+			"nodes", "req/s", "speedup", "p99 [ms]", "hit ratio", "peer served", "fleet sweeps")
+		for _, p := range rep.ClusterScaling {
+			fmt.Printf("%6d %12.0f %9.2fx %10.2f %10.3f %12d %13d\n",
+				p.Nodes, p.RequestsSec, p.Speedup, p.P99MS, p.HitRatio, p.PeerServed, p.FleetSweeps)
+			if p.FleetSweeps != 1 {
+				log.Fatalf("cluster with %d nodes paid %d sweeps for one key, want 1 (sharding contract broken)", p.Nodes, p.FleetSweeps)
+			}
+		}
+	}
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -582,6 +633,129 @@ func parseProcs(spec string, smoke bool) ([]int, error) {
 		}
 	}
 	return out, nil
+}
+
+// parseNodes resolves the -cluster-nodes flag: an explicit comma list, or
+// the default 1,2,4 (smoke: 1,2). Unlike the processor sweeps, the counts
+// are not clamped to the core count — the nodes are in-process daemons
+// sharing one machine; the column measures the sharding protocol, not
+// hardware scaling.
+func parseNodes(spec string, smoke bool) ([]int, error) {
+	if spec == "" {
+		if smoke {
+			return []int{1, 2}, nil
+		}
+		return []int{1, 2, 4}, nil
+	}
+	var list []int
+	for _, s := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad cluster-nodes value %q", s)
+		}
+		list = append(list, n)
+	}
+	sort.Ints(list)
+	out := list[:0]
+	for i, n := range list {
+		if i == 0 || n != list[i-1] {
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
+
+// runClusterBench serves the hot default key from sharded fleets of
+// increasing size: each point builds a fresh fleet of n in-process
+// daemons peered into one rendezvous ring over real HTTP listeners, warms
+// every node (one sweep on the key's owner, one forward per non-owner),
+// then runs the 32-client load generator with clients spread round-robin
+// across the nodes.
+func runClusterBench(lmaxCl, nk, kRefine int, nodesList []int, dur time.Duration) ([]ClusterPoint, error) {
+	var points []ClusterPoint
+	for _, n := range nodesList {
+		pt, err := runClusterPoint(lmaxCl, nk, kRefine, n, dur)
+		if err != nil {
+			return nil, fmt.Errorf("cluster with %d nodes: %w", n, err)
+		}
+		points = append(points, pt)
+	}
+	for i := range points {
+		points[i].Speedup = points[i].RequestsSec / points[0].RequestsSec
+	}
+	return points, nil
+}
+
+func runClusterPoint(lmaxCl, nk, kRefine, n int, dur time.Duration) (ClusterPoint, error) {
+	srvs := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := range srvs {
+		srvs[i] = httptest.NewUnstartedServer(nil)
+		urls[i] = "http://" + srvs[i].Listener.Addr().String()
+	}
+	svcs := make([]*serve.Service, n)
+	peerings := make([]*cluster.Peering, n)
+	defer func() {
+		for i := range srvs {
+			srvs[i].Close()
+			if svcs[i] != nil {
+				svcs[i].Close()
+			}
+			if peerings[i] != nil {
+				peerings[i].Close()
+			}
+		}
+	}()
+	for i := range srvs {
+		p, err := cluster.New(cluster.Options{
+			Self:  urls[i],
+			Peers: urls,
+			// No hedging: the warm-up cold sweep can outlive any sane hedge
+			// window, and a hedged duplicate sweep would spoil the one-sweep
+			// accounting this column exists to demonstrate.
+			HedgeAfter: -1,
+		})
+		if err != nil {
+			return ClusterPoint{}, err
+		}
+		peerings[i] = p
+		svcs[i] = serve.New(serve.Options{
+			Defaults: serve.Defaults{LMaxCl: lmaxCl, NK: nk, KRefine: kRefine, PkNK: 40,
+				LSpline: true, KBatch: 4},
+			Cluster: p,
+		})
+		srvs[i].Config.Handler = svcs[i].Handler()
+		srvs[i].Start()
+	}
+	// Warm every node: the key's owner sweeps once, everyone else forwards
+	// and keeps a local copy — after this loop the fleet serves the key
+	// without further hops.
+	client := &http.Client{Timeout: 120 * time.Second}
+	for _, u := range urls {
+		resp, err := client.Post(u+"/v1/cl", "application/json", bytes.NewReader([]byte("{}")))
+		if err != nil {
+			return ClusterPoint{}, err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return ClusterPoint{}, fmt.Errorf("warm-up against %s: status %d", u, resp.StatusCode)
+		}
+	}
+	rep, err := serve.RunLoadgen(strings.Join(urls, ","), 32, dur, "{}")
+	if err != nil {
+		return ClusterPoint{}, err
+	}
+	pt := ClusterPoint{Nodes: n, RequestsSec: rep.RequestsSec, P99MS: rep.P99MS}
+	if rep.Requests > 0 {
+		pt.HitRatio = float64(rep.Hits+rep.PeerServed) / float64(rep.Requests)
+	}
+	for i := range svcs {
+		pt.FleetSweeps += svcs[i].Sweeps()
+		if st := svcs[i].Stats(); st.Cluster != nil {
+			pt.PeerServed += int64(st.Cluster.PeerServed)
+		}
+	}
+	return pt, nil
 }
 
 // runScalingSweep times the fast C_l pipeline at each processor count

@@ -36,6 +36,17 @@
 // Remote plingerw processes dial the same -farm address; SIGTERM drains
 // the farm and finishes in-flight requests (-drain-timeout bounds it, a
 // second signal forces exit).
+//
+// Shard the response cache across a replica fleet (each daemon gets the
+// full fleet list; every cache key has one owning replica, misses for
+// remote-owned keys are fetched from the owner, and any peer failure
+// degrades to local compute — see internal/cluster):
+//
+//	plingerd -addr :8787 -advertise http://host-a:8787 \
+//	    -peers http://host-a:8787,http://host-b:8787,http://host-c:8787
+//
+// The loadgen's -url accepts the same comma-separated fleet list and
+// spreads clients round-robin across the nodes.
 package main
 
 import (
@@ -49,9 +60,11 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"plinger/internal/cluster"
 	"plinger/internal/farm"
 	"plinger/internal/serve"
 )
@@ -75,6 +88,10 @@ func main() {
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		slowMS   = flag.Int("slow-ms", 2000, "log requests slower than this as warnings")
 		debug    = flag.String("debug-addr", "", "serve net/http/pprof on this side address (empty: disabled)")
+
+		peers       = flag.String("peers", "", "comma-separated fleet list of replica base URLs for sharded-cache peering (include this node; empty: single-node)")
+		advertise   = flag.String("advertise", "", "this node's base URL as spelled in every replica's -peers list (required with -peers)")
+		peerTimeout = flag.Duration("peer-timeout", 2*time.Second, "per-hop timeout for peer cache fetches and back-fills")
 
 		farmAddr    = flag.String("farm", "", "run sweeps over a worker farm listening on this address for plingerw workers (e.g. :9041; empty: in-process pools unless -farm-workers > 0)")
 		farmWorkers = flag.Int("farm-workers", 0, "plingerw processes to spawn and supervise locally")
@@ -135,11 +152,37 @@ func main() {
 		logger.Info("farm listening", "addr", f.Addr(), "spawned_workers", *farmWorkers)
 	}
 
+	// The peering, like the farm, is the daemon's: built before the
+	// service and closed after the HTTP server has stopped taking traffic.
+	var peering *cluster.Peering
+	if *peers != "" {
+		if *advertise == "" {
+			logger.Error("-peers requires -advertise (this node's spelling in the fleet list)")
+			os.Exit(1)
+		}
+		p, err := cluster.New(cluster.Options{
+			Self:       *advertise,
+			Peers:      strings.Split(*peers, ","),
+			HopTimeout: *peerTimeout,
+			Logf: func(format string, args ...any) {
+				logger.Info(fmt.Sprintf(format, args...))
+			},
+		})
+		if err != nil {
+			logger.Error("cluster startup failed", "err", err)
+			os.Exit(1)
+		}
+		peering = p
+		defer peering.Close()
+		logger.Info("cluster peering up", "self", p.Self(), "members", len(p.Members()))
+	}
+
 	svc := serve.New(serve.Options{
 		Defaults: serve.Defaults{LMaxCl: *lmaxCl, NK: *nk, KRefine: *krefine, PkNK: *pknk,
 			LSpline: *lspline, KBatch: *kbatch},
 		Workers:        *workers,
 		Farm:           fleet,
+		Cluster:        peering,
 		CacheSize:      *cache,
 		ModelCacheSize: *models,
 		MaxConcurrent:  *conc,

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states, exposed as the plinger_cluster_breaker_state gauge and
+// the /v1/stats roster.
+const (
+	breakerClosed   = 0
+	breakerHalfOpen = 1
+	breakerOpen     = 2
+)
+
+func breakerStateName(s int) string {
+	switch s {
+	case breakerHalfOpen:
+		return "half-open"
+	case breakerOpen:
+		return "open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-peer circuit breaker: `threshold` consecutive failures
+// open it, and while open every allow() rejects instantly — a dead peer
+// costs the fleet microseconds instead of timeouts. After `cooldown` a
+// single half-open probe is admitted; its success closes the circuit, its
+// failure re-opens it for another cooldown. Self-locking so callers never
+// hold a membership lock across the network operation they are gating.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	failures  int // consecutive
+	openUntil time.Time
+	probing   bool // a half-open probe is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether an attempt may go out now. In the half-open
+// window exactly one caller wins the probe slot; everyone else keeps
+// failing fast until that probe settles.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.failures < b.threshold {
+		return true
+	}
+	if now.Before(b.openUntil) {
+		return false
+	}
+	if b.probing {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// success closes the circuit.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.probing = false
+}
+
+// failure records one failed attempt; the return value reports a
+// closed->open transition (for logging).
+func (b *breaker) failure(now time.Time) (opened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	wasOpen := b.failures >= b.threshold
+	b.probing = false
+	b.failures++
+	if b.failures >= b.threshold {
+		b.openUntil = now.Add(b.cooldown)
+	}
+	return !wasOpen && b.failures >= b.threshold
+}
+
+// state is the gauge view: closed / half-open / open.
+func (b *breaker) state() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case b.failures < b.threshold:
+		return breakerClosed
+	case time.Now().Before(b.openUntil):
+		return breakerOpen
+	default:
+		return breakerHalfOpen
+	}
+}

@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	now := time.Now()
+	b := newBreaker(3, time.Minute)
+	for i := 0; i < 3; i++ {
+		if !b.allow(now) {
+			t.Fatalf("closed breaker rejected attempt %d", i)
+		}
+		opened := b.failure(now)
+		if want := i == 2; opened != want {
+			t.Fatalf("failure %d: opened=%v, want %v", i, opened, want)
+		}
+	}
+	if b.state() != breakerOpen {
+		t.Fatalf("state %d after threshold failures, want open", b.state())
+	}
+	if b.allow(now.Add(time.Second)) {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+
+	// Cooldown over: exactly one half-open probe wins; a second concurrent
+	// caller keeps failing fast until the probe settles.
+	after := now.Add(2 * time.Minute)
+	if !b.allow(after) {
+		t.Fatal("half-open breaker rejected the probe")
+	}
+	if b.allow(after) {
+		t.Fatal("two concurrent half-open probes admitted")
+	}
+	b.success()
+	if b.state() != breakerClosed {
+		t.Fatal("probe success did not close the breaker")
+	}
+	if !b.allow(after) {
+		t.Fatal("closed breaker rejecting after recovery")
+	}
+
+	// A failed probe re-opens for another full cooldown.
+	for i := 0; i < 3; i++ {
+		b.failure(after)
+	}
+	probeAt := after.Add(2 * time.Minute)
+	if !b.allow(probeAt) {
+		t.Fatal("second half-open probe rejected")
+	}
+	b.failure(probeAt)
+	if b.allow(probeAt.Add(30 * time.Second)) {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	b := newBreaker(3, time.Minute)
+	now := time.Now()
+	b.failure(now)
+	b.failure(now)
+	b.success()
+	b.failure(now)
+	b.failure(now)
+	if b.state() != breakerClosed {
+		t.Fatal("non-consecutive failures opened the breaker")
+	}
+}

@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// ErrInjected is the transport error produced by scripted kill and
+// partition faults — the HTTP analogue of faultmp.ErrInjected.
+var ErrInjected = errors.New("cluster: injected peer fault")
+
+// FaultOptions scripts deterministic HTTP-level faults for the chaos
+// matrix, in the spirit of internal/mp/faultmp: all probabilistic
+// decisions derive from Seed, and the count-triggered faults fire at
+// exact request ordinals, so a fixed (options, request sequence) pair
+// replays the identical disturbance every run.
+type FaultOptions struct {
+	// Seed drives the per-transport fault generator.
+	Seed int64
+
+	// Err5xx is the probability a request is answered with an injected
+	// 503 instead of reaching the peer — an overloaded or crashing
+	// replica. Exactly one generator draw per request when configured,
+	// so the pattern is independent of which other faults fire.
+	Err5xx float64
+
+	// KillAfter, when > 0, makes every request after the Nth fail with
+	// ErrInjected — the peer process is gone (connection refused).
+	KillAfter int
+
+	// HangAfter, when > 0, makes every request after the Nth block until
+	// its context is done — a wedged peer, the failure only a per-hop
+	// timeout can detect. Hang makes every request block from the start.
+	HangAfter int
+	Hang      bool
+
+	// Partition marks destination hosts unreachable: requests whose URL
+	// host it matches fail immediately with ErrInjected. A symmetric
+	// network partition is two transports whose Partition functions
+	// point at each other's side.
+	Partition func(host string) bool
+
+	// Match limits the faults to matching requests (nil: all). Lets a
+	// test break the forward path while leaving back-fill offers or
+	// heartbeats clean.
+	Match func(req *http.Request) bool
+}
+
+// FaultStats counts the faults actually injected, for test assertions.
+type FaultStats struct {
+	Requests    int
+	Killed      int
+	Hung        int
+	Errored5xx  int
+	Partitioned int
+}
+
+// FaultTransport wraps an http.RoundTripper with scripted fault
+// injection. Safe for concurrent use.
+type FaultTransport struct {
+	base http.RoundTripper
+	opts FaultOptions
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	n     int
+	stats FaultStats
+}
+
+// NewFaultTransport scripts opts around base (nil base:
+// http.DefaultTransport).
+func NewFaultTransport(base http.RoundTripper, opts FaultOptions) *FaultTransport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &FaultTransport{base: base, opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+}
+
+// Stats snapshots the injected-fault counters.
+func (t *FaultTransport) Stats() FaultStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// RoundTrip applies the scripted faults in a fixed order — partition,
+// kill, hang, 5xx — then forwards to the wrapped transport.
+func (t *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.opts.Match != nil && !t.opts.Match(req) {
+		return t.base.RoundTrip(req)
+	}
+	t.mu.Lock()
+	t.n++
+	t.stats.Requests++
+	n := t.n
+	partitioned := t.opts.Partition != nil && t.opts.Partition(req.URL.Host)
+	killed := t.opts.KillAfter > 0 && n > t.opts.KillAfter
+	hung := t.opts.Hang || (t.opts.HangAfter > 0 && n > t.opts.HangAfter)
+	// One draw per request whenever the probabilistic class is configured,
+	// regardless of whether an earlier fault preempts it — the faultmp
+	// discipline that keeps the sequence deterministic.
+	err5 := false
+	if t.opts.Err5xx > 0 {
+		err5 = t.rng.Float64() < t.opts.Err5xx
+	}
+	switch {
+	case partitioned:
+		t.stats.Partitioned++
+	case killed:
+		t.stats.Killed++
+	case hung:
+		t.stats.Hung++
+	case err5:
+		t.stats.Errored5xx++
+	}
+	t.mu.Unlock()
+
+	switch {
+	case partitioned:
+		return nil, fmt.Errorf("%w: partitioned from %s", ErrInjected, req.URL.Host)
+	case killed:
+		return nil, fmt.Errorf("%w: peer killed", ErrInjected)
+	case hung:
+		<-req.Context().Done()
+		return nil, req.Context().Err()
+	case err5:
+		return &http.Response{
+			StatusCode: http.StatusServiceUnavailable,
+			Status:     "503 injected",
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  make(http.Header),
+			Body:    io.NopCloser(strings.NewReader(`{"error":"injected 503"}`)),
+			Request: req,
+		}, nil
+	}
+	return t.base.RoundTrip(req)
+}

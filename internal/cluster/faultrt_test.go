@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func doGet(t *testing.T, c *http.Client, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Do(req)
+}
+
+// The same seed must replay the same 5xx pattern — that is what makes the
+// chaos matrix reproducible.
+func TestFaultTransportDeterministic5xx(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	pattern := func() []int {
+		ft := NewFaultTransport(nil, FaultOptions{Seed: 7, Err5xx: 0.4})
+		c := &http.Client{Transport: ft}
+		var codes []int
+		for i := 0; i < 40; i++ {
+			resp, err := doGet(t, c, srv.URL)
+			if err != nil {
+				t.Fatalf("request %d: %v", i, err)
+			}
+			resp.Body.Close()
+			codes = append(codes, resp.StatusCode)
+		}
+		if st := ft.Stats(); st.Errored5xx == 0 || st.Errored5xx == st.Requests {
+			t.Fatalf("degenerate 5xx pattern: %+v", st)
+		}
+		return codes
+	}
+	a, b := pattern(), pattern()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d: run A got %d, run B got %d — not deterministic", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFaultTransportKillAfter(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	ft := NewFaultTransport(nil, FaultOptions{KillAfter: 2})
+	c := &http.Client{Transport: ft}
+	for i := 1; i <= 2; i++ {
+		resp, err := doGet(t, c, srv.URL)
+		if err != nil {
+			t.Fatalf("request %d before the kill failed: %v", i, err)
+		}
+		resp.Body.Close()
+	}
+	for i := 3; i <= 5; i++ {
+		if _, err := doGet(t, c, srv.URL); err == nil || !strings.Contains(err.Error(), ErrInjected.Error()) {
+			t.Fatalf("request %d after the kill: err=%v, want injected", i, err)
+		}
+	}
+	if st := ft.Stats(); st.Killed != 3 {
+		t.Fatalf("killed=%d, want 3", st.Killed)
+	}
+}
+
+// A hung transport must release the caller the moment its context is done
+// — the per-hop timeout is the only defense against a wedged peer.
+func TestFaultTransportHangHonorsContext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	ft := NewFaultTransport(nil, FaultOptions{Hang: true})
+	c := &http.Client{Transport: ft}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	start := time.Now()
+	_, err := c.Do(req)
+	if err == nil {
+		t.Fatal("hung request succeeded")
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("hung request took %s to release after context expiry", el)
+	}
+}
+
+func TestFaultTransportPartitionAndMatch(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	host := strings.TrimPrefix(srv.URL, "http://")
+	ft := NewFaultTransport(nil, FaultOptions{
+		Partition: func(h string) bool { return h == host },
+		Match:     func(req *http.Request) bool { return strings.HasSuffix(req.URL.Path, "/blocked") },
+	})
+	c := &http.Client{Transport: ft}
+	if _, err := doGet(t, c, srv.URL+"/blocked"); err == nil {
+		t.Fatal("partitioned matching request got through")
+	}
+	resp, err := doGet(t, c, srv.URL+"/open")
+	if err != nil {
+		t.Fatalf("non-matching request faulted: %v", err)
+	}
+	resp.Body.Close()
+	st := ft.Stats()
+	if st.Partitioned != 1 || st.Requests != 1 {
+		t.Fatalf("stats %+v: Match should exempt non-matching requests entirely", st)
+	}
+}

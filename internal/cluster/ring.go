@@ -1,0 +1,55 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// rendezvousOwner maps a cache key to one member via highest-random-weight
+// (rendezvous) hashing: every member scores hash(member, key) and the
+// highest score owns the key.
+//
+// Why rendezvous rather than a consistent-hash ring with virtual nodes:
+// the fleet here is a handful of replicas, and rendezvous gives exactly
+// the two properties the sharded cache needs with zero tuning — (1) the
+// key space splits essentially evenly at any member count (a vnode ring
+// needs hundreds of virtual nodes per member to approximate this), and
+// (2) minimal disruption: when a member leaves, only the keys whose
+// argmax it was move (to their second-highest scorer); every other key
+// keeps its owner, so failure detection never stampedes warm keys onto
+// new owners. Its O(members) cost per lookup is irrelevant at fleet
+// sizes — one SHA-256 per member against a ~92 ms cold sweep.
+//
+// The hash input is the member's normalized address joined to the
+// wire-stable cache key (internal/serve/keys.go), so every replica — and
+// every restart — derives the same ownership map from the same fleet
+// list. Ties (astronomically unlikely with 64-bit scores) break toward
+// the lexicographically largest address, keeping the map total.
+func rendezvousOwner(key string, members []string) string {
+	var (
+		best  string
+		score uint64
+		first = true
+	)
+	for _, m := range members {
+		s := rendezvousScore(m, key)
+		if first || s > score || (s == score && m > best) {
+			best, score, first = m, s, false
+		}
+	}
+	return best
+}
+
+// rendezvousScore is the member's weight for the key: the first 8 bytes
+// of SHA-256(member NUL key). SHA-256 keeps the score independent and
+// wire-stable across architectures and Go versions (no seeded runtime
+// hash), matching the discipline of the cache keys themselves.
+func rendezvousScore(member, key string) uint64 {
+	h := sha256.New()
+	h.Write([]byte(member))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return binary.BigEndian.Uint64(sum[:8])
+}

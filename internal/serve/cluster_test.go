@@ -1,0 +1,470 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"plinger/internal/cluster"
+)
+
+// fleetNode is one in-process daemon of a test fleet.
+type fleetNode struct {
+	svc     *Service
+	peering *cluster.Peering
+	srv     *httptest.Server
+	url     string
+}
+
+// newFleet builds n in-process daemons peered into one sharded-cache
+// fleet. Listeners are created first (unstarted) so every node knows the
+// full address list before its peering is built. mutateC / mutateS adjust
+// a node's cluster and service options by index (nil: defaults). Default
+// cluster settings are test-fast and deterministic: static membership (no
+// heartbeats), millisecond backoff, hedging disabled — each test opts
+// into exactly the paths it probes.
+func newFleet(t *testing.T, n int, mutateC func(i int, o *cluster.Options), mutateS func(i int, o *Options)) []*fleetNode {
+	t.Helper()
+	nodes := make([]*fleetNode, n)
+	urls := make([]string, n)
+	for i := range nodes {
+		srv := httptest.NewUnstartedServer(nil)
+		nodes[i] = &fleetNode{srv: srv, url: "http://" + srv.Listener.Addr().String()}
+		urls[i] = nodes[i].url
+	}
+	for i, nd := range nodes {
+		co := cluster.Options{
+			Self:         nd.url,
+			Peers:        urls,
+			HopTimeout:   2 * time.Second,
+			Backoff:      time.Millisecond,
+			HedgeAfter:   -1,
+			PingInterval: -1,
+		}
+		if mutateC != nil {
+			mutateC(i, &co)
+		}
+		p, err := cluster.New(co)
+		if err != nil {
+			t.Fatal(err)
+		}
+		so := Options{Defaults: testDefaults(), Workers: 1, CacheSize: 8, ModelCacheSize: 2,
+			MaxConcurrent: 2, MaxQueue: 32, Cluster: p}
+		if mutateS != nil {
+			mutateS(i, &so)
+		}
+		nd.peering = p
+		nd.svc = New(so)
+		nd.srv.Config.Handler = nd.svc.Handler()
+		nd.srv.Start()
+		t.Cleanup(func() { nd.srv.Close(); nd.svc.Close(); p.Close() })
+	}
+	return nodes
+}
+
+// fleetSweeps sums spectrum computations across the fleet — the witness
+// that a cross-node hit cost one sweep, not one per replica.
+func fleetSweeps(nodes []*fleetNode) uint64 {
+	var n uint64
+	for _, nd := range nodes {
+		n += nd.svc.Sweeps()
+	}
+	return n
+}
+
+// remoteOwnedBody finds a /v1/cl body whose key the node `from` does NOT
+// own (rendezvous splits keys about evenly, so a few lmax values in, one
+// must hash to the other side). skip lists keys already claimed by the
+// test.
+func remoteOwnedBody(t *testing.T, from *fleetNode, skip map[string]bool) (body, key string) {
+	t.Helper()
+	for lmax := 24; lmax < 64; lmax++ {
+		k := ClRequest{LMaxCl: lmax}.Key(testDefaults())
+		if skip[k] {
+			continue
+		}
+		if _, remote := from.peering.Owner(k); remote {
+			return fmt.Sprintf(`{"lmax_cl": %d}`, lmax), k
+		}
+	}
+	t.Fatal("no remote-owned key among 40 candidates — rendezvous balance is broken")
+	return "", ""
+}
+
+// canonResult normalizes a response payload for bitwise comparison:
+// envelope formatting aside, two equal spectra must re-marshal to
+// identical bytes (Go's float64 JSON encoding is shortest-round-trip
+// exact, so this is a bitwise check on every coefficient).
+func canonResult(t *testing.T, raw json.RawMessage) string {
+	t.Helper()
+	var v ClResponse
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// referenceResult computes the same body on a cluster-free single node —
+// the chaos matrix's ground truth.
+func referenceResult(t *testing.T, ref *Service, body string) string {
+	t.Helper()
+	var req ClRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := ref.ComputeCl(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestClusterCrossNodeHit is the acceptance criterion: a miss on node A
+// for a key node B owns is served via one forward — the owner computes
+// once for the whole fleet — bitwise identical to a single-node
+// reference, and the repeat on A is an ordinary local cache hit.
+func TestClusterCrossNodeHit(t *testing.T) {
+	nodes := newFleet(t, 2, nil, nil)
+	a := nodes[0]
+	body, key := remoteOwnedBody(t, a, nil)
+	owner, _ := a.peering.Owner(key)
+
+	ref := testService()
+	defer ref.Close()
+	want := referenceResult(t, ref, body)
+
+	// Cold request on the non-owner: forwarded, owner computes.
+	resp, env := postJSON(t, a.srv.Client(), a.url+"/v1/cl", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded request: status %d", resp.StatusCode)
+	}
+	if env.Source != SourcePeer {
+		t.Fatalf("source %q, want %q", env.Source, SourcePeer)
+	}
+	if got := resp.Header.Get("X-Plinger-Peer"); got != owner {
+		t.Fatalf("X-Plinger-Peer %q, want %q", got, owner)
+	}
+	if got := canonResult(t, env.Result); got != want {
+		t.Fatal("peer-forwarded response differs bitwise from the single-node reference")
+	}
+	if n := fleetSweeps(nodes); n != 1 {
+		t.Fatalf("fleet ran %d sweeps for one key, want 1", n)
+	}
+
+	// The forward left a local copy: the repeat is a zero-hop cache hit.
+	_, env = postJSON(t, a.srv.Client(), a.url+"/v1/cl", body)
+	if env.Source != SourceCache {
+		t.Fatalf("repeat source %q, want %q", env.Source, SourceCache)
+	}
+	if got := canonResult(t, env.Result); got != want {
+		t.Fatal("cached copy differs from the reference")
+	}
+	if n := fleetSweeps(nodes); n != 1 {
+		t.Fatalf("repeat cost a sweep (fleet total %d)", n)
+	}
+
+	st := a.svc.Stats()
+	if st.Cluster == nil || st.Cluster.PeerServed != 1 || st.Cluster.PeerRequests != 1 {
+		t.Fatalf("cluster stats %+v", st.Cluster)
+	}
+}
+
+// TestClusterChaosMatrix drives the degradation contract through every
+// scripted failure mode — owner killed, hung, erroring 5xx, partitioned —
+// and requires each response to stay 200 with a payload bitwise identical
+// to a no-cluster single-node reference, inside the degraded wall bound
+// (per-hop timeout x attempts + one local cold compute).
+func TestClusterChaosMatrix(t *testing.T) {
+	const hop = 150 * time.Millisecond
+	scenarios := []struct {
+		name  string
+		fault cluster.FaultOptions // injected into node 0's transport
+		kill  bool                 // close the owner's listener instead
+	}{
+		{name: "kill", kill: true},
+		{name: "hang", fault: cluster.FaultOptions{Hang: true}},
+		{name: "err5xx", fault: cluster.FaultOptions{Seed: 42, Err5xx: 1.0}},
+		{name: "partition", fault: cluster.FaultOptions{Partition: func(string) bool { return true }}},
+	}
+	ref := testService()
+	defer ref.Close()
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			fault := sc.fault
+			// Fault only the forward paths: back-fill offers and heartbeats
+			// stay clean so the scenario isolates one failure mode.
+			fault.Match = func(req *http.Request) bool {
+				return strings.HasPrefix(req.URL.Path, "/v1/peer/cl") ||
+					strings.HasPrefix(req.URL.Path, "/v1/peer/pk")
+			}
+			nodes := newFleet(t, 2,
+				func(i int, o *cluster.Options) {
+					o.HopTimeout = hop
+					if i == 0 {
+						o.Transport = cluster.NewFaultTransport(nil, fault)
+					}
+				}, nil)
+			a, b := nodes[0], nodes[1]
+			if sc.kill {
+				b.srv.Close()
+			}
+			body, _ := remoteOwnedBody(t, a, nil)
+			want := referenceResult(t, ref, body)
+
+			start := time.Now()
+			resp, env := postJSON(t, a.srv.Client(), a.url+"/v1/cl", body)
+			elapsed := time.Since(start)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("degraded request: status %d", resp.StatusCode)
+			}
+			if env.Source != SourceCompute {
+				t.Fatalf("degraded source %q, want %q (local compute)", env.Source, SourceCompute)
+			}
+			if got := canonResult(t, env.Result); got != want {
+				t.Fatal("degraded response differs bitwise from the single-node reference")
+			}
+			// Wall bound: two hop attempts + backoff + one cold local sweep,
+			// with CI margin. A blown bound means degrade-to-local waited on
+			// something it must not wait on.
+			if wall := 2*hop + 2*time.Second; elapsed > wall {
+				t.Fatalf("degraded request took %s, wall bound %s", elapsed, wall)
+			}
+			st := a.svc.Stats()
+			if st.Cluster == nil || st.Cluster.LocalFallback == 0 {
+				t.Fatalf("degrade not recorded: %+v", st.Cluster)
+			}
+		})
+	}
+}
+
+// TestClusterOwnerDeadServesStale pins the stale short-circuit: when the
+// owner is unreachable (open breaker after a hang) and a stale copy is on
+// hand, the node answers from it immediately — it must NOT wait out the
+// peer timeout, and must not pay a recompute either.
+func TestClusterOwnerDeadServesStale(t *testing.T) {
+	// Generous hop so the warm-up forward survives a race-detector-slowed
+	// cold compute on the owner; the stale serve must still beat it by
+	// orders of magnitude (an open breaker fails the fetch in microseconds).
+	const hop = 2 * time.Second
+	var hangOn atomic.Bool
+	nodes := newFleet(t, 2,
+		func(i int, o *cluster.Options) {
+			o.HopTimeout = hop
+			o.Retries = -1         // one attempt per fetch
+			o.BreakerThreshold = 1 // first failure opens the circuit
+			o.BreakerCooldown = time.Hour
+			if i == 0 {
+				o.Transport = cluster.NewFaultTransport(nil, cluster.FaultOptions{
+					Hang: true,
+					Match: func(req *http.Request) bool {
+						return hangOn.Load() && strings.HasPrefix(req.URL.Path, "/v1/peer/")
+					},
+				})
+			}
+		},
+		func(i int, o *Options) {
+			o.CacheSize = 1 // tiny primary so the stale LRU (4x) outlives it
+		})
+	a := nodes[0]
+
+	// Warm: a forwarded request leaves copies in A's primary and stale
+	// caches; a second key then evicts the first from the one-entry
+	// primary while the stale LRU keeps both.
+	body1, key1 := remoteOwnedBody(t, a, nil)
+	_, env := postJSON(t, a.srv.Client(), a.url+"/v1/cl", body1)
+	if env.Source != SourcePeer {
+		t.Fatalf("warm source %q, want peer", env.Source)
+	}
+	want := canonResult(t, env.Result)
+	body2, key2 := remoteOwnedBody(t, a, map[string]bool{key1: true})
+	postJSON(t, a.srv.Client(), a.url+"/v1/cl", body2)
+
+	// The owner wedges. Open the breaker with one more cold key: its
+	// fetch hangs for one full hop timeout, degrades to local compute,
+	// and trips the threshold-1 breaker.
+	hangOn.Store(true)
+	body3, _ := remoteOwnedBody(t, a, map[string]bool{key1: true, key2: true})
+	_, env = postJSON(t, a.srv.Client(), a.url+"/v1/cl", body2)
+	if env.Source != SourceCache {
+		// body2 is still in the one-entry primary: a plain hit, proving
+		// the wedged owner never touches cached keys.
+		t.Fatalf("cached key source %q under a wedged owner", env.Source)
+	}
+	_, env = postJSON(t, a.srv.Client(), a.url+"/v1/cl", body3)
+	if env.Source != SourceCompute {
+		t.Fatalf("breaker-opening request source %q, want compute", env.Source)
+	}
+	if st := a.svc.Stats(); st.Cluster.LocalFallback == 0 {
+		t.Fatal("hang did not degrade to local")
+	}
+
+	// The satellite assertion: key1 is primary-evicted but stale-held,
+	// its owner's breaker is open — the answer must come back instantly
+	// as source "stale", far inside the peer timeout.
+	start := time.Now()
+	resp, env := postJSON(t, a.srv.Client(), a.url+"/v1/cl", body1)
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stale path status %d", resp.StatusCode)
+	}
+	if env.Source != SourceStale {
+		t.Fatalf("source %q, want %q", env.Source, SourceStale)
+	}
+	if got := canonResult(t, env.Result); got != want {
+		t.Fatal("stale response differs from the original")
+	}
+	if elapsed >= hop {
+		t.Fatalf("stale serve took %s — waited out the %s peer timeout", elapsed, hop)
+	}
+}
+
+// TestClusterBackfill: a degraded local compute back-fills the owner, so
+// the ring's canonical copy lands where future requests look for it and
+// the fleet still pays exactly one sweep for the key.
+func TestClusterBackfill(t *testing.T) {
+	nodes := newFleet(t, 2,
+		func(i int, o *cluster.Options) {
+			o.HopTimeout = 300 * time.Millisecond
+			if i == 0 {
+				// Forwards always 503; offers and pings stay clean.
+				o.Transport = cluster.NewFaultTransport(nil, cluster.FaultOptions{
+					Seed:   1,
+					Err5xx: 1.0,
+					Match: func(req *http.Request) bool {
+						return strings.HasPrefix(req.URL.Path, "/v1/peer/cl") ||
+							strings.HasPrefix(req.URL.Path, "/v1/peer/pk")
+					},
+				})
+			}
+		}, nil)
+	a, b := nodes[0], nodes[1]
+	body, _ := remoteOwnedBody(t, a, nil)
+
+	_, env := postJSON(t, a.srv.Client(), a.url+"/v1/cl", body)
+	if env.Source != SourceCompute {
+		t.Fatalf("degraded source %q, want compute", env.Source)
+	}
+	want := canonResult(t, env.Result)
+
+	// The offer is asynchronous: wait for the owner to accept it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := b.svc.Stats(); st.Cluster != nil && st.Cluster.OffersAccepted >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("owner never received the back-fill offer")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The owner now serves the key from cache without ever having swept it.
+	_, env = postJSON(t, b.srv.Client(), b.url+"/v1/cl", body)
+	if env.Source != SourceCache {
+		t.Fatalf("owner source %q after back-fill, want cache", env.Source)
+	}
+	if got := canonResult(t, env.Result); got != want {
+		t.Fatal("back-filled copy differs from the degraded compute")
+	}
+	if n := fleetSweeps(nodes); n != 1 {
+		t.Fatalf("fleet ran %d sweeps, want 1 (degrade + back-fill)", n)
+	}
+}
+
+// TestClusterHedgedSlowPeer: a slow (not dead) owner is raced against a
+// local compute after the hedge delay; the caller gets an answer far
+// inside the hop timeout and the hedge is counted.
+func TestClusterHedgedSlowPeer(t *testing.T) {
+	const hop = 10 * time.Second // deliberately huge: the hedge must win, not the timeout
+	nodes := newFleet(t, 2,
+		func(i int, o *cluster.Options) {
+			o.HopTimeout = hop
+			o.Retries = -1
+			o.HedgeAfter = 50 * time.Millisecond
+			if i == 0 {
+				o.Transport = cluster.NewFaultTransport(nil, cluster.FaultOptions{
+					Hang: true,
+					Match: func(req *http.Request) bool {
+						return strings.HasPrefix(req.URL.Path, "/v1/peer/cl")
+					},
+				})
+			}
+		}, nil)
+	a := nodes[0]
+	body, _ := remoteOwnedBody(t, a, nil)
+
+	start := time.Now()
+	resp, env := postJSON(t, a.srv.Client(), a.url+"/v1/cl", body)
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hedged request status %d", resp.StatusCode)
+	}
+	if env.Source != SourceCompute {
+		t.Fatalf("hedged source %q, want compute (local won the race)", env.Source)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("hedged request took %s — waited on the wedged owner instead of racing it", elapsed)
+	}
+	if st := a.svc.Stats(); st.Cluster.Hedged == 0 {
+		t.Fatal("hedge not counted")
+	}
+}
+
+// TestRetryAfterDerived pins the satellite behaviour: the Retry-After
+// hint on 503/504 is derived from queue depth and observed sweep cost
+// (seconds, clamped [1,30]) instead of a bare constant.
+func TestRetryAfterDerived(t *testing.T) {
+	s := testService()
+	defer s.Close()
+	if got := s.retryAfter(); got != "1" {
+		t.Fatalf("idle retryAfter %q, want \"1\"", got)
+	}
+	// Pretend history: 4s average sweep, 3 waiting on 2 slots -> the
+	// retrier is ~2.5 batches out -> ceil(2.5 * 4) = 10s.
+	s.misses.Inc()
+	s.missNs.Store(4e9)
+	for i := 0; i < 2; i++ {
+		if err := s.adm.acquire(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		defer s.adm.release()
+	}
+	release := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		go func() {
+			if s.adm.acquire(context.Background()) == nil {
+				<-release
+				s.adm.release()
+			}
+		}()
+	}
+	defer close(release)
+	deadline := time.Now().Add(2 * time.Second)
+	for s.adm.Stats().Waiting < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiters never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := s.retryAfter(); got != "10" {
+		t.Fatalf("retryAfter %q with 3 waiting x 4s sweeps on 2 slots, want \"10\"", got)
+	}
+	// Clamp: absurd sweep cost must not push clients out past 30s.
+	s.missNs.Store(1e12)
+	if got := s.retryAfter(); got != "30" {
+		t.Fatalf("retryAfter %q, want clamped \"30\"", got)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strconv"
 	"time"
@@ -21,6 +22,9 @@ import (
 //	GET  /v1/trace?last=N                                  -> recent sweep traces
 //	GET  /metrics                                          -> Prometheus text
 //	GET  /healthz                                          -> 200 ok
+//
+// plus the fleet peer protocol (/v1/peer/cl, /v1/peer/pk, /v1/peer/offer,
+// /v1/peer/ping — see peer.go).
 //
 // Responses carry the cache key, the source (cache/compute/coalesced/stale)
 // and the serving latency alongside the science payload; the same metadata
@@ -40,7 +44,7 @@ func (s *Service) Handler() http.Handler {
 		}
 		resp, meta, err := s.ComputeCl(r.Context(), req)
 		annotate(r, meta)
-		writeResponse(w, resp, meta, err)
+		s.writeResponse(w, resp, meta, err)
 	})
 	mux.HandleFunc("/v1/pk", func(w http.ResponseWriter, r *http.Request) {
 		var req PkRequest
@@ -49,8 +53,9 @@ func (s *Service) Handler() http.Handler {
 		}
 		resp, meta, err := s.ComputePk(r.Context(), req)
 		annotate(r, meta)
-		writeResponse(w, resp, meta, err)
+		s.writeResponse(w, resp, meta, err)
 	})
+	s.peerRoutes(mux)
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			httpError(w, http.StatusMethodNotAllowed, "GET only")
@@ -80,9 +85,14 @@ func (s *Service) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		// Per-service serving metrics first, then the process-wide engine
-		// metrics (sweeps, fault ledger, table builds, Go runtime).
+		// Per-service serving metrics first, then the peering layer's
+		// (breaker states, membership, forward counters) when clustered,
+		// then the process-wide engine metrics (sweeps, fault ledger,
+		// table builds, Go runtime).
 		s.reg.WritePrometheus(w)
+		if s.cluster != nil {
+			s.cluster.Registry().WritePrometheus(w)
+		}
 		obs.Default.WritePrometheus(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -191,20 +201,52 @@ type envelope struct {
 	Source    Source  `json:"source"`
 	ElapsedMS float64 `json:"elapsed_ms"`
 	TraceID   string  `json:"trace_id,omitempty"`
-	Result    any     `json:"result"`
+	// Peer is the owning fleet member that served the response when
+	// Source is "peer".
+	Peer   string `json:"peer,omitempty"`
+	Result any    `json:"result"`
 }
 
-func writeResponse(w http.ResponseWriter, result any, meta Meta, err error) {
+// retryAfter derives the Retry-After hint written on 503 (queue full) and
+// 504 (deadline expired) responses. Units are SECONDS — the RFC 9110
+// delay-seconds form, never an HTTP-date. The hint estimates when the
+// present backlog will have drained rather than asserting a bare
+// constant: the waiting line forms waiting/max_concurrent compute
+// batches ahead of the retrier, plus one for the batch in flight, each
+// costing about one average cold sweep. Clamped to [1, 30] so an idle or
+// just-started daemon (no miss history yet) still asks for a polite 1s
+// pause, and a swamped one never pushes clients out more than half a
+// minute.
+func (s *Service) retryAfter() string {
+	avgSweep := 1.0
+	if m := s.misses.Value(); m > 0 {
+		if a := float64(s.missNs.Load()) / 1e9 / float64(m); a > avgSweep {
+			avgSweep = a
+		}
+	}
+	q := s.adm.Stats()
+	batches := float64(q.Waiting)/float64(q.MaxConcurrent) + 1
+	sec := int(math.Ceil(batches * avgSweep))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 30 {
+		sec = 30
+	}
+	return strconv.Itoa(sec)
+}
+
+func (s *Service) writeResponse(w http.ResponseWriter, result any, meta Meta, err error) {
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrBusy):
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryAfter())
 			httpError(w, http.StatusServiceUnavailable, err.Error())
 		case errors.Is(err, ErrDeadline):
 			// Before isBadRequest: the sentinel's "serve:" prefix would
 			// otherwise classify a timeout as a client error. The sweep is
 			// still running and will fill the cache, so retrying helps.
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryAfter())
 			httpError(w, http.StatusGatewayTimeout, err.Error())
 		case isBadRequest(err):
 			httpError(w, http.StatusBadRequest, err.Error())
@@ -218,11 +260,15 @@ func writeResponse(w http.ResponseWriter, result any, meta Meta, err error) {
 	if meta.Trace != "" {
 		w.Header().Set("X-Plinger-Trace", meta.Trace)
 	}
+	if meta.Peer != "" {
+		w.Header().Set("X-Plinger-Peer", meta.Peer)
+	}
 	writeJSON(w, http.StatusOK, envelope{
 		Key:       meta.Key,
 		Source:    meta.Source,
 		ElapsedMS: float64(meta.Elapsed.Nanoseconds()) / 1e6,
 		TraceID:   meta.Trace,
+		Peer:      meta.Peer,
 		Result:    result,
 	})
 }

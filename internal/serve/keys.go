@@ -18,6 +18,10 @@
 //     long-lived shared dispatch pool;
 //   - service.go / handlers.go — the compute paths and the HTTP JSON API
 //     (/v1/cl, /v1/pk, /v1/stats) that cmd/plingerd exposes;
+//   - peer.go — the sharded-fleet routing over internal/cluster: cache
+//     misses whose key another replica owns are fetched over the peer
+//     protocol (/v1/peer/cl, /v1/peer/pk), and every peer failure degrades
+//     to local compute with an asynchronous back-fill to the owner;
 //   - warmup.go — startup precomputation so the hot path begins warm.
 package serve
 
@@ -153,6 +157,12 @@ type ClRequest struct {
 	// and fills the cache for the next caller. An execution knob like
 	// workers or transport, it never enters the cache key.
 	DeadlineMS int `json:"deadline_ms,omitempty"`
+	// PeerHop marks a request forwarded by another fleet member (the peer
+	// client sets it to 1); peer endpoints never re-forward it, so a
+	// forward travels at most one hop even when membership views disagree.
+	// Routing metadata like DeadlineMS, it never enters the cache key: a
+	// peer-forwarded request and a locally arriving one share one entry.
+	PeerHop int `json:"peer_hop,omitempty"`
 }
 
 // Validate rejects wire values the resolve step would otherwise silently
@@ -178,6 +188,9 @@ func (r ClRequest) Validate() error {
 	}
 	if r.DeadlineMS < 0 {
 		return fmt.Errorf("serve: deadline_ms = %d is negative (0 or omitted waits for the sweep)", r.DeadlineMS)
+	}
+	if r.PeerHop < 0 || r.PeerHop > 1 {
+		return fmt.Errorf("serve: peer_hop = %d is invalid (only the peer client sets it, to 1)", r.PeerHop)
 	}
 	return nil
 }
@@ -261,6 +274,9 @@ type PkRequest struct {
 	// DeadlineMS bounds this request's wait in milliseconds; see
 	// ClRequest.DeadlineMS. Never part of the cache key.
 	DeadlineMS int `json:"deadline_ms,omitempty"`
+	// PeerHop marks a peer-forwarded request; see ClRequest.PeerHop.
+	// Never part of the cache key.
+	PeerHop int `json:"peer_hop,omitempty"`
 }
 
 // Validate is the PkRequest analogue of ClRequest.Validate.
@@ -279,6 +295,9 @@ func (r PkRequest) Validate() error {
 	}
 	if r.DeadlineMS < 0 {
 		return fmt.Errorf("serve: deadline_ms = %d is negative (0 or omitted waits for the sweep)", r.DeadlineMS)
+	}
+	if r.PeerHop < 0 || r.PeerHop > 1 {
+		return fmt.Errorf("serve: peer_hop = %d is invalid (only the peer client sets it, to 1)", r.PeerHop)
 	}
 	return nil
 }

@@ -30,6 +30,41 @@ func TestGoldenKeys(t *testing.T) {
 	}
 }
 
+// TestKeyExcludesRoutingMetadata pins the fleet invariant behind the
+// sharded cache: PeerHop and DeadlineMS are routing/serving metadata, not
+// physics, and must never reach the key. If a forwarded request (PeerHop=1,
+// deadline stripped) keyed differently from the client's original, every
+// forward would recompute and cross-node hits could never happen.
+func TestKeyExcludesRoutingMetadata(t *testing.T) {
+	d := DefaultDefaults()
+	golden := []struct {
+		name string
+		key  string
+		want string
+	}{
+		{"cl forwarded zero request", ClRequest{PeerHop: 1}.Key(d), "cl-7b28a5a5e6d909d2"},
+		{"cl forwarded with deadline", ClRequest{PeerHop: 1, DeadlineMS: 250}.Key(d), "cl-7b28a5a5e6d909d2"},
+		{"pk forwarded zero request", PkRequest{PeerHop: 1}.Key(d), "pk-982b56d139f2fce6"},
+		{"pk forwarded with deadline", PkRequest{PeerHop: 1, DeadlineMS: 250}.Key(d), "pk-982b56d139f2fce6"},
+	}
+	for _, g := range golden {
+		if g.key != g.want {
+			t.Errorf("%s: key %s, want %s", g.name, g.key, g.want)
+		}
+	}
+
+	// The hop counter is bounded wire input: only 0 (client) and 1 (one
+	// peer forward) are meaningful, anything else is a malformed request.
+	for _, hop := range []int{-1, 2} {
+		if err := (ClRequest{PeerHop: hop}).Validate(); err == nil {
+			t.Errorf("ClRequest PeerHop=%d passed validation", hop)
+		}
+		if err := (PkRequest{PeerHop: hop}).Validate(); err == nil {
+			t.Errorf("PkRequest PeerHop=%d passed validation", hop)
+		}
+	}
+}
+
 // TestKeyEqualPhysics checks quantization: parameter differences far below
 // the pipeline accuracy collapse onto one key.
 func TestKeyEqualPhysics(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,6 +20,7 @@ import (
 // so the client-side and server-side distributions are directly comparable.
 type LoadReport struct {
 	Clients     int     `json:"clients"`
+	Nodes       int     `json:"nodes"`
 	Seconds     float64 `json:"seconds"`
 	Requests    int64   `json:"requests"`
 	Errors      int64   `json:"errors"`
@@ -26,6 +28,11 @@ type LoadReport struct {
 	Hits        int64   `json:"hits"`
 	Misses      int64   `json:"misses"`
 	Coalesced   int64   `json:"coalesced"`
+	// PeerServed and StaleServed count fleet-mode outcomes: responses a
+	// node fetched from the key's owning replica, and last-known-good
+	// answers served on a degraded path.
+	PeerServed  int64   `json:"peer_served"`
+	StaleServed int64   `json:"stale_served"`
 	P50MS       float64 `json:"p50_ms"`
 	P95MS       float64 `json:"p95_ms"`
 	P99MS       float64 `json:"p99_ms"`
@@ -40,12 +47,19 @@ type LoadReport struct {
 // so the hot loop records without contention). The daemon classifies each
 // response via the X-Plinger-Source header, so the report separates
 // hot-path and cold-path behaviour without server cooperation.
+//
+// Fleet mode: base may be a comma-separated list of daemon URLs — clients
+// are assigned round-robin across the nodes, so the report measures the
+// sharded fleet as one system (cross-node peer serves and degraded stale
+// serves are counted separately).
 func RunLoadgen(base string, clients int, d time.Duration, body string) (*LoadReport, error) {
 	var (
 		lat     = obs.NewHistogram("loadgen", "", obs.DefBuckets(), clients)
 		hits    atomic.Int64
 		misses  atomic.Int64
 		coal    atomic.Int64
+		peer    atomic.Int64
+		staled  atomic.Int64
 		hitNs   atomic.Int64
 		missNs  atomic.Int64
 		errs    atomic.Int64
@@ -53,19 +67,31 @@ func RunLoadgen(base string, clients int, d time.Duration, body string) (*LoadRe
 		wg      sync.WaitGroup
 		payload = []byte(body)
 	)
-	client := &http.Client{Timeout: 30 * time.Second}
-	// Fail fast on an unreachable daemon before spawning the fleet.
-	resp, err := client.Get(base + "/healthz")
-	if err != nil {
-		return nil, fmt.Errorf("daemon unreachable: %w", err)
+	var bases []string
+	for _, b := range strings.Split(base, ",") {
+		if b = strings.TrimSpace(strings.TrimRight(b, "/")); b != "" {
+			bases = append(bases, b)
+		}
 	}
-	resp.Body.Close()
+	if len(bases) == 0 {
+		return nil, fmt.Errorf("no daemon URL given")
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	// Fail fast on any unreachable node before spawning the fleet.
+	for _, b := range bases {
+		resp, err := client.Get(b + "/healthz")
+		if err != nil {
+			return nil, fmt.Errorf("daemon %s unreachable: %w", b, err)
+		}
+		resp.Body.Close()
+	}
 
 	start := time.Now()
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(shard int) {
 			defer wg.Done()
+			node := bases[shard%len(bases)]
 			for {
 				select {
 				case <-stop:
@@ -73,7 +99,7 @@ func RunLoadgen(base string, clients int, d time.Duration, body string) (*LoadRe
 				default:
 				}
 				t0 := time.Now()
-				resp, err := client.Post(base+"/v1/cl", "application/json", bytes.NewReader(payload))
+				resp, err := client.Post(node+"/v1/cl", "application/json", bytes.NewReader(payload))
 				ns := time.Since(t0).Nanoseconds()
 				if err != nil {
 					errs.Add(1)
@@ -95,6 +121,14 @@ func RunLoadgen(base string, clients int, d time.Duration, body string) (*LoadRe
 					hitNs.Add(ns)
 				case string(SourceCoalesced):
 					coal.Add(1)
+				case string(SourcePeer):
+					// A cross-node cache hit: the fleet had the answer even
+					// though this node did not. Counted with the hits in the
+					// ratio (no sweep ran) but tracked separately.
+					peer.Add(1)
+					hitNs.Add(ns)
+				case string(SourceStale):
+					staled.Add(1)
 				default:
 					misses.Add(1)
 					missNs.Add(ns)
@@ -108,8 +142,9 @@ func RunLoadgen(base string, clients int, d time.Duration, body string) (*LoadRe
 	elapsed := time.Since(start).Seconds()
 
 	rep := &LoadReport{
-		Clients: clients, Seconds: elapsed, Errors: errs.Load(),
+		Clients: clients, Nodes: len(bases), Seconds: elapsed, Errors: errs.Load(),
 		Hits: hits.Load(), Misses: misses.Load(), Coalesced: coal.Load(),
+		PeerServed: peer.Load(), StaleServed: staled.Load(),
 	}
 	snap := lat.Snapshot()
 	if snap.Count == 0 {
@@ -121,7 +156,7 @@ func RunLoadgen(base string, clients int, d time.Duration, body string) (*LoadRe
 	rep.P95MS = snap.Quantile(0.95) * 1e3
 	rep.P99MS = snap.Quantile(0.99) * 1e3
 	rep.MaxMS = snap.Max * 1e3
-	if n := rep.Hits; n > 0 {
+	if n := rep.Hits + rep.PeerServed; n > 0 {
 		rep.HitMeanMS = float64(hitNs.Load()) / 1e6 / float64(n)
 	}
 	if n := rep.Misses; n > 0 {

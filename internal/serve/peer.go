@@ -1,0 +1,293 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// This file is the serving side of the sharded cache fleet (tentpole of
+// the resilience work; the peering substrate lives in internal/cluster).
+// Every wire-stable cache key has exactly one owner in the peer ring. On
+// a cache miss for a remote-owned key, the flight leader forwards the
+// fully resolved request to the owner over the peer protocol:
+//
+//	POST /v1/peer/cl     resolved ClRequest (PeerHop=1)  -> envelope
+//	POST /v1/peer/pk     resolved PkRequest (PeerHop=1)  -> envelope
+//	POST /v1/peer/offer  {key, kind, result}             -> back-fill
+//	GET  /v1/peer/ping                                   -> membership probe
+//
+// The degradation contract, in order:
+//
+//  1. owner answers inside the hedge window        -> source "peer"
+//  2. owner slow: race forward vs local compute    -> first success wins
+//  3. forward fails (dead, open breaker, timeout):
+//     stale copy on hand                           -> source "stale", instantly
+//     otherwise                                    -> local compute
+//
+// Degraded responses are pushed back to the owner asynchronously (Offer)
+// so the ring's canonical copy lands where future requests will look for
+// it. Peer-originated requests (PeerHop=1) never re-forward, so a forward
+// travels at most one hop even when membership views disagree — a wrong
+// ownership view costs one extra sweep, never correctness.
+
+// peerForward is a prepared forward of one request to its owning peer.
+// The body is the fully resolved request — defaults filled in, DeadlineMS
+// zeroed, PeerHop set — so the owner derives the identical cache key even
+// when its configured defaults differ from ours.
+type peerForward struct {
+	endpoint string // /v1/peer/cl or /v1/peer/pk
+	kind     string // "cl" or "pk", the offer payload tag
+	body     []byte
+	decode   func(json.RawMessage) (any, error)
+}
+
+// localRes is the outcome of one admitted local compute. It carries its
+// trace id instead of writing the flight's shared state because a hedged
+// run may settle after the flight already adopted the peer's answer.
+type localRes struct {
+	v     any
+	err   error
+	trace string
+}
+
+func decodeClResult(raw json.RawMessage) (any, error) {
+	out := new(ClResponse)
+	if err := json.Unmarshal(raw, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func decodePkResult(raw json.RawMessage) (any, error) {
+	out := new(PkResponse)
+	if err := json.Unmarshal(raw, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// peerServe routes one cache miss through the fleet. handled=false means
+// this node owns the key and the ordinary local path should run. The
+// leader-only flightOut fields (src, peer, traceID) are written here —
+// never from the hedge goroutines.
+func (s *Service) peerServe(ctx context.Context, key string, fwd *peerForward, runLocal func() localRes, out *flightOut) (any, error, bool) {
+	owner, remote := s.cluster.Owner(key)
+	if !remote {
+		return nil, nil, false
+	}
+	s.peerRequests.Inc()
+	v, lr, ferr := s.peerFetch(ctx, owner, key, fwd, runLocal)
+	switch {
+	case v != nil:
+		// The owner answered. Keep a local copy so the next request for
+		// this key is an ordinary cache hit — the cross-node hit becomes a
+		// zero-hop hit from here on.
+		s.peerServed.Inc()
+		out.src = SourcePeer
+		out.peer = owner
+		s.cache.Add(key, v)
+		s.stale.Add(key, v)
+		return v, nil, true
+	case lr != nil:
+		// A hedged local run settled and was adopted (the forward was slow
+		// or failed after the hedge fired).
+		out.traceID = lr.trace
+		if lr.err == nil {
+			s.offerAsync(owner, fwd, key, lr.v)
+		}
+		return lr.v, lr.err, true
+	}
+	// The forward failed fast — dead member, open breaker, exhausted
+	// retries — and nothing ran locally yet. Degrade, cheapest first: a
+	// stale copy on hand answers immediately (responses are deterministic,
+	// so stale is bitwise-identical to fresh), only then pay a sweep.
+	s.localFallback.Inc()
+	s.logger.Warn("peer fetch failed; degrading to local", "peer", owner, "key", key, "err", ferr)
+	if sv, ok := s.stale.Get(key); ok {
+		s.staleServed.Inc()
+		out.src = SourceStale
+		s.offerAsync(owner, fwd, key, sv)
+		return sv, nil, true
+	}
+	lres := runLocal()
+	out.traceID = lres.trace
+	if lres.err == nil {
+		s.offerAsync(owner, fwd, key, lres.v)
+	}
+	return lres.v, lres.err, true
+}
+
+// fetchRes is one forward attempt's outcome.
+type fetchRes struct {
+	v   any
+	err error
+}
+
+// peerFetch forwards the request to the owner and, when the forward is
+// slow, hedges it against a local compute. Exactly one of the returns is
+// meaningful: v (the peer answered), lr (a local run settled and must be
+// adopted, success or failure), or err (the forward failed and nothing
+// ran locally). Like the compute path, the fetch is decoupled from the
+// leader's own cancellation — coalesced followers depend on it — and
+// bounded instead by the peering layer's per-hop timeout and retry budget.
+func (s *Service) peerFetch(ctx context.Context, owner, key string, fwd *peerForward, runLocal func() localRes) (any, *localRes, error) {
+	fetchCh := make(chan fetchRes, 1)
+	go func() {
+		b, err := s.cluster.Fetch(context.WithoutCancel(ctx), owner, fwd.endpoint, fwd.body)
+		if err != nil {
+			fetchCh <- fetchRes{err: err}
+			return
+		}
+		v, err := decodePeerEnvelope(b, key, fwd.decode)
+		fetchCh <- fetchRes{v: v, err: err}
+	}()
+	hedge := s.cluster.HedgeAfter()
+	if hedge <= 0 {
+		fr := <-fetchCh
+		return fr.v, nil, fr.err
+	}
+	timer := time.NewTimer(hedge)
+	defer timer.Stop()
+	select {
+	case fr := <-fetchCh:
+		return fr.v, nil, fr.err
+	case <-timer.C:
+	}
+	// The forward outlived the hedge window: race it against a local
+	// compute and adopt the first success. The loser's work is not wasted
+	// — a late peer response is dropped, a late local sweep still fills
+	// the cache.
+	s.hedged.Inc()
+	localCh := make(chan localRes, 1)
+	go func() { localCh <- runLocal() }()
+	var failedLocal *localRes
+	for {
+		select {
+		case fr := <-fetchCh:
+			if fr.err == nil {
+				return fr.v, nil, nil
+			}
+			if failedLocal != nil {
+				return nil, failedLocal, nil
+			}
+			lr := <-localCh
+			return nil, &lr, nil
+		case lr := <-localCh:
+			if lr.err == nil {
+				return nil, &lr, nil
+			}
+			// Local failed (admission overflow, compute error): the slow
+			// forward is now the best remaining hope — keep waiting on it.
+			failedLocal = &lr
+		}
+	}
+}
+
+// peerEnvelope is the owner's reply as read by the forwarding node: the
+// standard response envelope with the payload left raw for the typed
+// decode.
+type peerEnvelope struct {
+	Key    string          `json:"key"`
+	Source Source          `json:"source"`
+	Result json.RawMessage `json:"result"`
+}
+
+// decodePeerEnvelope unwraps a forwarded response. The key check guards
+// version or quantization skew: a peer that derives a different key for
+// the same resolved request must not fill our cache under ours.
+func decodePeerEnvelope(b []byte, key string, decode func(json.RawMessage) (any, error)) (any, error) {
+	var env peerEnvelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return nil, fmt.Errorf("serve: bad peer envelope: %w", err)
+	}
+	if env.Key != key {
+		return nil, fmt.Errorf("serve: peer answered key %s for %s (key-schema skew)", env.Key, key)
+	}
+	return decode(env.Result)
+}
+
+// peerOffer is the back-fill wire form (POST /v1/peer/offer).
+type peerOffer struct {
+	Key    string          `json:"key"`
+	Kind   string          `json:"kind"`
+	Result json.RawMessage `json:"result"`
+}
+
+// offerAsync pushes a locally produced response to the key's owner,
+// asynchronously and best-effort: the serving path never waits on it, and
+// a failed offer only means the owner stays cold until its own first miss.
+func (s *Service) offerAsync(owner string, fwd *peerForward, key string, v any) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	body, err := json.Marshal(peerOffer{Key: key, Kind: fwd.kind, Result: raw})
+	if err != nil {
+		return
+	}
+	go func() {
+		if err := s.cluster.Offer(owner, "/v1/peer/offer", body); err != nil {
+			s.logger.Debug("peer back-fill failed", "peer", owner, "key", key, "err", err)
+		}
+	}()
+}
+
+// peerRoutes registers the peer protocol on the daemon mux. The endpoints
+// are available on every node (clustered or not): a single-node daemon
+// answering /v1/peer/cl is just a slightly verbose /v1/cl.
+func (s *Service) peerRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("/v1/peer/cl", func(w http.ResponseWriter, r *http.Request) {
+		var req ClRequest
+		if !decodeRequest(w, r, &req) {
+			return
+		}
+		// Peer requests never re-forward, whatever the body says: the hop
+		// bound is enforced by the receiver, not trusted from the wire.
+		req.PeerHop = 1
+		resp, meta, err := s.ComputeCl(r.Context(), req)
+		annotate(r, meta)
+		s.writeResponse(w, resp, meta, err)
+	})
+	mux.HandleFunc("/v1/peer/pk", func(w http.ResponseWriter, r *http.Request) {
+		var req PkRequest
+		if !decodeRequest(w, r, &req) {
+			return
+		}
+		req.PeerHop = 1
+		resp, meta, err := s.ComputePk(r.Context(), req)
+		annotate(r, meta)
+		s.writeResponse(w, resp, meta, err)
+	})
+	mux.HandleFunc("/v1/peer/offer", func(w http.ResponseWriter, r *http.Request) {
+		var off peerOffer
+		if !decodeRequest(w, r, &off) {
+			return
+		}
+		var v any
+		var err error
+		switch off.Kind {
+		case "cl":
+			v, err = decodeClResult(off.Result)
+		case "pk":
+			v, err = decodePkResult(off.Result)
+		default:
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown offer kind %q", off.Kind))
+			return
+		}
+		if err != nil || off.Key == "" {
+			httpError(w, http.StatusBadRequest, "malformed offer payload")
+			return
+		}
+		s.cache.Add(off.Key, v)
+		s.stale.Add(off.Key, v)
+		s.offersAccepted.Inc()
+		writeJSON(w, http.StatusOK, map[string]any{"accepted": true})
+	})
+	mux.HandleFunc("/v1/peer/ping", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+}

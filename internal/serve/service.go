@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"plinger"
+	"plinger/internal/cluster"
 	"plinger/internal/farm"
 	"plinger/internal/obs"
 	"plinger/internal/specfunc"
@@ -54,6 +56,13 @@ type Options struct {
 	// started the farm drains it on shutdown), and one supervisor serves
 	// every model in the registry — workers cache models per specification.
 	Farm *farm.Supervisor
+	// Cluster, when non-nil, shards the response cache across a replica
+	// fleet: every cache key has one owner in the peer ring, a miss whose
+	// key another member owns is fetched over the peer protocol, and any
+	// peer failure degrades to stale-or-local serving (see internal/cluster
+	// and peer.go). Attached, not owned: the daemon that built the peering
+	// closes it.
+	Cluster *cluster.Peering
 	// CacheSize bounds the response LRU in entries (<= 0: 256).
 	CacheSize int
 	// ModelCacheSize bounds the model registry (<= 0: 4).
@@ -130,6 +139,7 @@ type Service struct {
 	models  *modelCache
 	flights flightGroup
 	adm     *admission
+	cluster *cluster.Peering
 	started time.Time
 
 	// reg is the service's own metrics registry. Counters are per Service
@@ -152,6 +162,14 @@ type Service struct {
 	timeouts    *obs.Counter
 	staleServed *obs.Counter
 
+	// Fleet-side counters (see peer.go); registered even without a
+	// cluster so the metric names are stable across deployments.
+	peerRequests   *obs.Counter
+	peerServed     *obs.Counter
+	hedged         *obs.Counter
+	localFallback  *obs.Counter
+	offersAccepted *obs.Counter
+
 	latCl     *obs.Histogram
 	latPk     *obs.Histogram
 	queueWait *obs.Histogram
@@ -169,6 +187,7 @@ func New(opts Options) *Service {
 		stale:   newLRU(o.StaleCacheSize),
 		models:  newModelCache(o.ModelCacheSize, o.Workers, o.Farm),
 		adm:     newAdmission(o.MaxConcurrent, o.MaxQueue),
+		cluster: o.Cluster,
 		started: time.Now(),
 		reg:     obs.NewRegistry(),
 		traces:  obs.NewTraceLog(o.TraceBuffer),
@@ -184,6 +203,11 @@ func New(opts Options) *Service {
 	s.sweeps = r.Counter("plinger_serve_sweeps_total", "", "spectrum computations completed")
 	s.timeouts = r.Counter("plinger_serve_timeouts_total", "", "requests whose deadline expired before the sweep finished")
 	s.staleServed = r.Counter("plinger_serve_stale_served_total", "", "responses answered from the stale cache")
+	s.peerRequests = r.Counter("plinger_cluster_peer_requests_total", "", "cache misses whose key a remote peer owns")
+	s.peerServed = r.Counter("plinger_cluster_peer_served_total", "", "requests answered by a peer forward")
+	s.hedged = r.Counter("plinger_cluster_hedged_total", "", "slow peer forwards raced against a local compute")
+	s.localFallback = r.Counter("plinger_cluster_local_fallback_total", "", "peer failures degraded to stale or local serving")
+	s.offersAccepted = r.Counter("plinger_cluster_offers_accepted_total", "", "peer back-fill offers cached on this node")
 	const latHelp = "request latency by endpoint (cache hits included)"
 	s.latCl = r.Histogram("plinger_serve_request_seconds", `endpoint="cl"`, latHelp, obs.DefBuckets(), 4)
 	s.latPk = r.Histogram("plinger_serve_request_seconds", `endpoint="pk"`, latHelp, obs.DefBuckets(), 4)
@@ -224,6 +248,7 @@ const (
 	SourceCompute   Source = "compute"   // this request ran the sweep
 	SourceCoalesced Source = "coalesced" // attached to another request's sweep
 	SourceStale     Source = "stale"     // last known good response, after a failed or timed-out recompute
+	SourcePeer      Source = "peer"      // fetched from the key's owning fleet peer
 )
 
 // Meta is the per-request serving telemetry.
@@ -235,6 +260,8 @@ type Meta struct {
 	// (empty for cache hits and coalesced followers); the full trace is
 	// retrievable from /v1/trace while it remains in the ring.
 	Trace string `json:"-"`
+	// Peer is the owning member's address when Source is SourcePeer.
+	Peer string `json:"-"`
 }
 
 // ClResponse is the cached C_l product. Immutable once computed.
@@ -255,12 +282,30 @@ type PkResponse struct {
 	Sigma8 float64   `json:"sigma8"`
 }
 
+// flightOut is one caller's view of a flight: the shared value and error,
+// plus leader-only routing facts (trace id, peer/stale short-circuits).
+// Coalesced followers see only v/err — the leader's closure writes the
+// rest into its own runFlight frame.
+type flightOut struct {
+	v              any
+	err            error
+	coalesced      bool
+	leaderCacheHit bool
+	traceID        string
+	src            Source // leader override: SourcePeer or SourceStale
+	peer           string // owning member when src is SourcePeer
+}
+
 // lookup is the shared serve path: cache, then coalesced + admitted compute.
 // A positive deadline bounds only this request's WAIT: the sweep itself runs
 // to completion in the background and fills the cache, so a timed-out
 // request warms the next one. On a timeout — or a failed recompute — the
 // stale LRU answers with the last known good response when it has one.
-func (s *Service) lookup(ctx context.Context, label, key string, deadline time.Duration, compute func(tr *obs.Trace) (any, error)) (any, Meta, error) {
+//
+// A non-nil fwd engages the sharded fleet (peer.go): a miss whose key a
+// remote peer owns is fetched from the owner instead of swept locally,
+// degrading to stale-or-local on any peer failure.
+func (s *Service) lookup(ctx context.Context, label, key string, deadline time.Duration, fwd *peerForward, compute func(tr *obs.Trace) (any, error)) (any, Meta, error) {
 	s.requests.Inc()
 	start := time.Now()
 	meta := Meta{Key: key}
@@ -271,13 +316,6 @@ func (s *Service) lookup(ctx context.Context, label, key string, deadline time.D
 		s.hitNs.Add(meta.Elapsed.Nanoseconds())
 		return v, meta, nil
 	}
-	type flightOut struct {
-		v              any
-		err            error
-		coalesced      bool
-		leaderCacheHit bool
-		traceID        string
-	}
 	runFlight := func() flightOut {
 		var out flightOut
 		out.v, out.err, out.coalesced = s.flights.Do(key, func() (any, error) {
@@ -287,34 +325,48 @@ func (s *Service) lookup(ctx context.Context, label, key string, deadline time.D
 				out.leaderCacheHit = true
 				return v, nil
 			}
-			// Only flight leaders that actually compute carry a trace: cache
-			// hits and coalesced followers stay on the untraced (and
-			// allocation-free) path, and the ring holds one trace per sweep.
-			tr := obs.NewTrace(label)
-			out.traceID = tr.ID()
-			s.traces.Add(tr)
-			defer tr.Finish()
-			// The leader computes on behalf of every follower that coalesces
-			// onto this flight, so its own request's cancellation must not
-			// abort the shared work (one disconnecting client would fail N
-			// healthy ones). Only the values of ctx are kept; the admission
-			// queue and the sweep run to completion regardless.
-			sp := tr.Start("queue_wait")
-			if err := s.adm.acquire(context.WithoutCancel(ctx)); err != nil {
+			// runLocal is one admitted local compute. It returns its trace id
+			// instead of writing out.traceID directly because a hedged run
+			// (peer.go) may settle after the flight has already returned the
+			// peer's answer — the leader adopts the id only when it adopts
+			// the result.
+			runLocal := func() localRes {
+				// Only flight leaders that actually compute carry a trace: cache
+				// hits and coalesced followers stay on the untraced (and
+				// allocation-free) path, and the ring holds one trace per sweep.
+				tr := obs.NewTrace(label)
+				s.traces.Add(tr)
+				defer tr.Finish()
+				// The leader computes on behalf of every follower that coalesces
+				// onto this flight, so its own request's cancellation must not
+				// abort the shared work (one disconnecting client would fail N
+				// healthy ones). Only the values of ctx are kept; the admission
+				// queue and the sweep run to completion regardless.
+				sp := tr.Start("queue_wait")
+				if err := s.adm.acquire(context.WithoutCancel(ctx)); err != nil {
+					sp.End()
+					return localRes{err: err, trace: tr.ID()}
+				}
 				sp.End()
-				return nil, err
+				s.queueWait.Observe(tr.SpanMS("queue_wait") / 1e3)
+				defer s.adm.release()
+				v, err := compute(tr)
+				if err != nil {
+					return localRes{err: err, trace: tr.ID()}
+				}
+				s.sweeps.Inc()
+				s.cache.Add(key, v)
+				s.stale.Add(key, v)
+				return localRes{v: v, trace: tr.ID()}
 			}
-			sp.End()
-			s.queueWait.Observe(tr.SpanMS("queue_wait") / 1e3)
-			defer s.adm.release()
-			v, err := compute(tr)
-			if err != nil {
-				return nil, err
+			if fwd != nil {
+				if v, err, handled := s.peerServe(ctx, key, fwd, runLocal, &out); handled {
+					return v, err
+				}
 			}
-			s.sweeps.Inc()
-			s.cache.Add(key, v)
-			s.stale.Add(key, v)
-			return v, nil
+			lr := runLocal()
+			out.traceID = lr.trace
+			return lr.v, lr.err
 		})
 		return out
 	}
@@ -350,6 +402,11 @@ func (s *Service) lookup(ctx context.Context, label, key string, deadline time.D
 	case err != nil:
 		s.errCount.Inc()
 		meta.Source = SourceCompute
+	case out.src != "":
+		// Peer forward or degraded stale short-circuit: the leader already
+		// counted it (peer.go); hit/miss timing stays local-only.
+		meta.Source = out.src
+		meta.Peer = out.peer
 	case out.coalesced:
 		s.coalesced.Inc()
 		meta.Source = SourceCoalesced
@@ -404,7 +461,20 @@ func (s *Service) ComputeCl(ctx context.Context, req ClRequest) (*ClResponse, Me
 		s.errCount.Inc()
 		return nil, Meta{Key: key, Source: SourceCompute}, err
 	}
-	v, meta, err := s.lookup(ctx, "cl", key, req.deadline(), func(tr *obs.Trace) (any, error) {
+	// A forward carries the fully resolved request (defaults filled in,
+	// deadline zeroed, hop marked) so the owner derives the identical key
+	// even when its own configured defaults differ. Peer-originated
+	// requests never build one: a forward travels at most one hop.
+	var fwd *peerForward
+	if s.cluster != nil && req.PeerHop == 0 {
+		wire := rr
+		wire.DeadlineMS = 0
+		wire.PeerHop = 1
+		if body, merr := json.Marshal(wire); merr == nil {
+			fwd = &peerForward{endpoint: "/v1/peer/cl", kind: "cl", body: body, decode: decodeClResult}
+		}
+	}
+	v, meta, err := s.lookup(ctx, "cl", key, req.deadline(), fwd, func(tr *obs.Trace) (any, error) {
 		sp := tr.Start("model_acquire")
 		m, release, err := s.models.acquire(*rr.Config)
 		sp.End()
@@ -459,7 +529,16 @@ func (s *Service) ComputePk(ctx context.Context, req PkRequest) (*PkResponse, Me
 		s.errCount.Inc()
 		return nil, Meta{Key: key, Source: SourceCompute}, err
 	}
-	v, meta, err := s.lookup(ctx, "pk", key, req.deadline(), func(tr *obs.Trace) (any, error) {
+	var fwd *peerForward
+	if s.cluster != nil && req.PeerHop == 0 {
+		wire := rr
+		wire.DeadlineMS = 0
+		wire.PeerHop = 1
+		if body, merr := json.Marshal(wire); merr == nil {
+			fwd = &peerForward{endpoint: "/v1/peer/pk", kind: "pk", body: body, decode: decodePkResult}
+		}
+	}
+	v, meta, err := s.lookup(ctx, "pk", key, req.deadline(), fwd, func(tr *obs.Trace) (any, error) {
 		sp := tr.Start("model_acquire")
 		m, release, err := s.models.acquire(*rr.Config)
 		sp.End()
@@ -520,6 +599,23 @@ type Stats struct {
 	// RunStats aggregates included — when the service computes over a farm
 	// (absent on in-process pool deployments).
 	Farm *farm.Status `json:"farm,omitempty"`
+	// Cluster is the sharded-cache fleet view — the peering roster plus
+	// this node's serving-side forwarding counters — when the daemon runs
+	// with -peers (absent on single-node deployments).
+	Cluster *ClusterStats `json:"cluster,omitempty"`
+}
+
+// ClusterStats is the /v1/stats view of the sharded cache fleet: the
+// peering layer's roster and counters (cluster.Status) plus the serving
+// side of the contract — how often this node's misses were owned
+// elsewhere, answered by a peer, hedged, or degraded to local serving.
+type ClusterStats struct {
+	cluster.Status
+	PeerRequests   uint64 `json:"peer_requests"`
+	PeerServed     uint64 `json:"peer_served"`
+	Hedged         uint64 `json:"hedged"`
+	LocalFallback  uint64 `json:"local_fallback"`
+	OffersAccepted uint64 `json:"offers_accepted"`
 }
 
 // LatencyStats summarizes one latency histogram for /v1/stats. Quantiles
@@ -578,6 +674,16 @@ func (s *Service) Stats() Stats {
 	if s.opts.Farm != nil {
 		fs := s.opts.Farm.Status()
 		st.Farm = &fs
+	}
+	if s.cluster != nil {
+		st.Cluster = &ClusterStats{
+			Status:         s.cluster.Status(),
+			PeerRequests:   s.peerRequests.Value(),
+			PeerServed:     s.peerServed.Value(),
+			Hedged:         s.hedged.Value(),
+			LocalFallback:  s.localFallback.Value(),
+			OffersAccepted: s.offersAccepted.Value(),
+		}
 	}
 	return st
 }
